@@ -1,0 +1,369 @@
+//! Intra-procedural control-flow graph reconstruction from the
+//! instruction stream, the way the paper rebuilds control flow from
+//! `objdump` output.
+//!
+//! Calls (`jal`/`jalr`) are treated as falling through — the CFG is
+//! per-function. `jr` ends a block with no intra-procedural successor
+//! (it is a return or an escape the analysis treats conservatively).
+
+use dl_mips::inst::Inst;
+use dl_mips::program::{FuncSym, Program};
+
+/// A basic block: a maximal single-entry, single-exit straight-line
+/// instruction range `[start, end)` within one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Successor block ids (within the same function).
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+/// The control-flow graph of one function.
+///
+/// # Example
+///
+/// ```
+/// use dl_mips::parse::parse_asm;
+/// use dl_analysis::Cfg;
+///
+/// let p = parse_asm(
+///     "main:\n\
+///      \tli $t0, 4\n\
+///      .Lloop:\n\
+///      \taddiu $t0, $t0, -1\n\
+///      \tbgtz $t0, .Lloop\n\
+///      \tjr $ra\n",
+/// ).unwrap();
+/// let cfg = Cfg::build(&p, p.symbols.func("main").unwrap());
+/// assert_eq!(cfg.blocks().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    func_start: usize,
+    func_end: usize,
+    blocks: Vec<BasicBlock>,
+    /// Block id of each instruction, indexed by `inst_index - func_start`.
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func` within `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function range is out of bounds or empty.
+    #[must_use]
+    pub fn build(program: &Program, func: &FuncSym) -> Cfg {
+        let (lo, hi) = (func.start, func.end);
+        assert!(lo < hi && hi <= program.insts.len(), "bad function range");
+        // Pass 1: identify leaders.
+        let mut leader = vec![false; hi - lo];
+        leader[0] = true;
+        for idx in lo..hi {
+            let inst = &program.insts[idx];
+            // A branch target that lies in this function is a leader;
+            // so is the instruction after any branch, terminator, or
+            // call (calls end blocks so profiling granularity matches
+            // `program_blocks`).
+            if inst.is_branch() || inst.is_terminator() || inst.is_call() {
+                if let Some(t) = inst.target() {
+                    let ti = t.index();
+                    if (lo..hi).contains(&ti) && !inst.is_call() {
+                        leader[ti - lo] = true;
+                    }
+                }
+                if idx + 1 < hi {
+                    leader[idx + 1 - lo] = true;
+                }
+            }
+        }
+        // Pass 2: carve blocks.
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut block_of = vec![0usize; hi - lo];
+        for idx in lo..hi {
+            if leader[idx - lo] {
+                blocks.push(BasicBlock {
+                    start: idx,
+                    end: idx, // patched below
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+            }
+            let bid = blocks.len() - 1;
+            block_of[idx - lo] = bid;
+        }
+        for b in 0..blocks.len() {
+            blocks[b].end = if b + 1 < blocks.len() {
+                blocks[b + 1].start
+            } else {
+                hi
+            };
+        }
+        // Pass 3: wire edges.
+        for b in 0..blocks.len() {
+            let last_idx = blocks[b].end - 1;
+            let last = &program.insts[last_idx];
+            let mut succs: Vec<usize> = Vec::new();
+            let fallthrough = blocks[b].end < hi;
+            match last {
+                Inst::J { target } => {
+                    let ti = target.index();
+                    if (lo..hi).contains(&ti) {
+                        succs.push(block_of[ti - lo]);
+                    }
+                }
+                Inst::Jr { .. } => { /* return: no intra-proc successor */ }
+                i if i.is_branch() => {
+                    let ti = i.target().expect("branch has target").index();
+                    if (lo..hi).contains(&ti) {
+                        succs.push(block_of[ti - lo]);
+                    }
+                    if fallthrough {
+                        succs.push(block_of[blocks[b].end - lo]);
+                    }
+                }
+                _ => {
+                    // Plain instruction or call: falls through.
+                    if fallthrough {
+                        succs.push(block_of[blocks[b].end - lo]);
+                    }
+                }
+            }
+            succs.dedup();
+            blocks[b].succs = succs;
+        }
+        for b in 0..blocks.len() {
+            for s in blocks[b].succs.clone() {
+                blocks[s].preds.push(b);
+            }
+        }
+        Cfg {
+            func_start: lo,
+            func_end: hi,
+            blocks,
+            block_of,
+        }
+    }
+
+    /// All basic blocks, in program order (block 0 is the entry).
+    #[must_use]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Block id containing instruction `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the function.
+    #[must_use]
+    pub fn block_of(&self, index: usize) -> usize {
+        assert!(
+            (self.func_start..self.func_end).contains(&index),
+            "instruction {index} outside function"
+        );
+        self.block_of[index - self.func_start]
+    }
+
+    /// The instruction range of the underlying function.
+    #[must_use]
+    pub fn func_range(&self) -> (usize, usize) {
+        (self.func_start, self.func_end)
+    }
+}
+
+/// Partitions the whole program into basic blocks (across all
+/// functions), for block-granularity profiling (the paper's §4 uses
+/// block execution profiles to find the hot 90% of compute cycles).
+///
+/// Returns `(start, end)` instruction ranges.
+#[must_use]
+pub fn program_blocks(program: &Program) -> Vec<(usize, usize)> {
+    let n = program.insts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut leader = vec![false; n];
+    leader[0] = true;
+    for f in program.symbols.funcs() {
+        if f.start < n {
+            leader[f.start] = true;
+        }
+    }
+    for (idx, inst) in program.insts.iter().enumerate() {
+        if inst.is_branch() || inst.is_terminator() || inst.is_call() {
+            if let Some(t) = inst.target() {
+                if t.index() < n {
+                    leader[t.index()] = true;
+                }
+            }
+            if idx + 1 < n {
+                leader[idx + 1] = true;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut start = 0;
+    #[allow(clippy::needless_range_loop)] // index used for block bounds
+    for idx in 1..n {
+        if leader[idx] {
+            out.push((start, idx));
+            start = idx;
+        }
+    }
+    out.push((start, n));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_mips::parse::parse_asm;
+
+    fn cfg_of(src: &str, func: &str) -> (Program, Cfg) {
+        let p = parse_asm(src).unwrap();
+        let f = p.symbols.func(func).unwrap().clone();
+        let c = Cfg::build(&p, &f);
+        (p, c)
+    }
+
+    use dl_mips::program::Program;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (_, c) = cfg_of("main:\n\tnop\n\tnop\n\tjr $ra\n", "main");
+        assert_eq!(c.blocks().len(), 1);
+        assert_eq!(c.blocks()[0].succs, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn loop_shape() {
+        let (_, c) = cfg_of(
+            "main:\n\
+             \tli $t0, 4\n\
+             .Lloop:\n\
+             \taddiu $t0, $t0, -1\n\
+             \tbgtz $t0, .Lloop\n\
+             \tjr $ra\n",
+            "main",
+        );
+        // Blocks: [li], [addiu; bgtz], [jr]
+        assert_eq!(c.blocks().len(), 3);
+        assert_eq!(c.blocks()[0].succs, vec![1]);
+        let mut s = c.blocks()[1].succs.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![1, 2]);
+        assert_eq!(c.blocks()[1].preds.len(), 2);
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let (_, c) = cfg_of(
+            "main:\n\
+             \tbeq $a0, $zero, .Lelse\n\
+             \tli $t0, 1\n\
+             \tj .Ljoin\n\
+             .Lelse:\n\
+             \tli $t0, 2\n\
+             .Ljoin:\n\
+             \tjr $ra\n",
+            "main",
+        );
+        assert_eq!(c.blocks().len(), 4);
+        let entry = &c.blocks()[0];
+        let mut s = entry.succs.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![1, 2]);
+        // Both arms join.
+        assert_eq!(c.blocks()[1].succs, vec![3]);
+        assert_eq!(c.blocks()[2].succs, vec![3]);
+    }
+
+    #[test]
+    fn call_falls_through() {
+        let (_, c) = cfg_of(
+            "main:\n\
+             \tjal helper\n\
+             \tjr $ra\n\
+             helper:\n\
+             \tjr $ra\n",
+            "main",
+        );
+        // jal ends a block (leader after it) but falls through.
+        assert_eq!(c.blocks().len(), 2);
+        assert_eq!(c.blocks()[0].succs, vec![1]);
+    }
+
+    #[test]
+    fn block_of_lookup() {
+        let (_, c) = cfg_of(
+            "main:\n\
+             \tli $t0, 4\n\
+             .Lloop:\n\
+             \taddiu $t0, $t0, -1\n\
+             \tbgtz $t0, .Lloop\n\
+             \tjr $ra\n",
+            "main",
+        );
+        assert_eq!(c.block_of(0), 0);
+        assert_eq!(c.block_of(1), 1);
+        assert_eq!(c.block_of(2), 1);
+        assert_eq!(c.block_of(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside function")]
+    fn block_of_out_of_range_panics() {
+        let (_, c) = cfg_of("main:\n\tjr $ra\nf:\n\tjr $ra\n", "main");
+        let _ = c.block_of(1);
+    }
+
+    #[test]
+    fn program_blocks_partition() {
+        let p = parse_asm(
+            "main:\n\
+             \tjal helper\n\
+             \tbeq $v0, $zero, .Lout\n\
+             \tnop\n\
+             .Lout:\n\
+             \tjr $ra\n\
+             helper:\n\
+             \tli $v0, 1\n\
+             \tjr $ra\n",
+        )
+        .unwrap();
+        let blocks = program_blocks(&p);
+        // Partition covers every instruction exactly once.
+        let mut covered = 0;
+        for (i, &(s, e)) in blocks.iter().enumerate() {
+            assert!(s < e);
+            covered += e - s;
+            if i > 0 {
+                assert_eq!(blocks[i - 1].1, s);
+            }
+        }
+        assert_eq!(covered, p.insts.len());
+        // helper's entry starts a block.
+        assert!(blocks.iter().any(|&(s, _)| s == 4));
+    }
+
+    #[test]
+    fn branch_to_other_function_has_no_local_edge() {
+        // A jump that leaves the function (tail call) produces no
+        // intra-procedural successor.
+        let (_, c) = cfg_of(
+            "main:\n\
+             \tj helper\n\
+             helper:\n\
+             \tjr $ra\n",
+            "main",
+        );
+        assert_eq!(c.blocks().len(), 1);
+        assert_eq!(c.blocks()[0].succs, Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,207 @@
+//! Dominator computation over a function CFG (iterative dataflow
+//! formulation), used by natural-loop detection.
+
+use crate::cfg::Cfg;
+
+/// Immediate-dominator tree of a [`Cfg`], with block 0 as the root.
+///
+/// # Example
+///
+/// ```
+/// use dl_mips::parse::parse_asm;
+/// use dl_analysis::{Cfg, dom::Dominators};
+///
+/// let p = parse_asm(
+///     "main:\n\
+///      \tbeq $a0, $zero, .Le\n\
+///      \tnop\n\
+///      \tj .Lj\n\
+///      .Le:\n\
+///      \tnop\n\
+///      .Lj:\n\
+///      \tjr $ra\n",
+/// ).unwrap();
+/// let cfg = Cfg::build(&p, p.symbols.func("main").unwrap());
+/// let dom = Dominators::build(&cfg);
+/// // The join block is dominated by the entry, not by either arm.
+/// let join = cfg.blocks().len() - 1;
+/// assert_eq!(dom.idom(join), Some(0));
+/// assert!(dom.dominates(0, join));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` — immediate dominator of block `b` (`None` for the
+    /// entry and for unreachable blocks).
+    idom: Vec<Option<usize>>,
+}
+
+impl Dominators {
+    /// Computes dominators with the classic iterative algorithm
+    /// (Cooper-Harvey-Kennedy style, on reverse-post-order).
+    #[must_use]
+    pub fn build(cfg: &Cfg) -> Dominators {
+        let n = cfg.blocks().len();
+        // Reverse post-order over the CFG from the entry.
+        let mut order = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        fn dfs(cfg: &Cfg, b: usize, visited: &mut [bool], out: &mut Vec<usize>) {
+            visited[b] = true;
+            for &s in &cfg.blocks()[b].succs {
+                if !visited[s] {
+                    dfs(cfg, s, visited, out);
+                }
+            }
+            out.push(b);
+        }
+        dfs(cfg, 0, &mut visited, &mut order);
+        order.reverse();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in order.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        idom[0] = Some(0);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in &cfg.blocks()[b].preds {
+                    if idom[p].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        // Normalize: entry's idom is conventionally itself internally;
+        // expose None for it.
+        let mut out = idom;
+        out[0] = None;
+        Dominators { idom: out }
+    }
+
+    /// The immediate dominator of `block` (`None` for the entry or an
+    /// unreachable block).
+    #[must_use]
+    pub fn idom(&self, block: usize) -> Option<usize> {
+        self.idom.get(block).copied().flatten()
+    }
+
+    /// `true` if `a` dominates `b` (reflexive).
+    #[must_use]
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(next) if next != cur => cur = next,
+                _ => return false,
+            }
+        }
+    }
+
+    /// `true` if the block was reachable from the entry.
+    #[must_use]
+    pub fn is_reachable(&self, block: usize) -> bool {
+        block == 0 || self.idom(block).is_some()
+    }
+}
+
+fn intersect(
+    idom: &[Option<usize>],
+    rpo_index: &[usize],
+    mut a: usize,
+    mut b: usize,
+) -> usize {
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a].expect("processed block has idom");
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_mips::parse::parse_asm;
+    use dl_mips::program::Program;
+
+    fn build(src: &str) -> (Program, Cfg, Dominators) {
+        let p = parse_asm(src).unwrap();
+        let f = p.symbols.func("main").unwrap().clone();
+        let cfg = Cfg::build(&p, &f);
+        let dom = Dominators::build(&cfg);
+        (p, cfg, dom)
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        let (_, cfg, dom) = build(
+            "main:\n\tjal main\n\tjal main\n\tjr $ra\n",
+        );
+        assert_eq!(cfg.blocks().len(), 3);
+        assert_eq!(dom.idom(0), None);
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(1));
+        assert!(dom.dominates(0, 2));
+        assert!(!dom.dominates(2, 1));
+    }
+
+    #[test]
+    fn diamond_joins_at_entry() {
+        let (_, cfg, dom) = build(
+            "main:\n\
+             \tbeq $a0, $zero, .Le\n\
+             \tnop\n\
+             \tj .Lj\n\
+             .Le:\n\
+             \tnop\n\
+             .Lj:\n\
+             \tjr $ra\n",
+        );
+        let join = cfg.blocks().len() - 1;
+        assert_eq!(dom.idom(join), Some(0));
+        // Neither arm dominates the join.
+        assert!(!dom.dominates(1, join));
+        assert!(!dom.dominates(2, join));
+        assert!(dom.dominates(0, join));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let (_, cfg, dom) = build(
+            "main:\n\
+             \tli $t0, 4\n\
+             .Lh:\n\
+             \taddiu $t0, $t0, -1\n\
+             \tbgtz $t0, .Lh\n\
+             \tjr $ra\n",
+        );
+        // Blocks: [li], [header+branch], [exit].
+        assert_eq!(cfg.blocks().len(), 3);
+        assert!(dom.dominates(1, 1));
+        assert_eq!(dom.idom(2), Some(1));
+    }
+
+    #[test]
+    fn reflexive_domination() {
+        let (_, _, dom) = build("main:\n\tjr $ra\n");
+        assert!(dom.dominates(0, 0));
+        assert!(dom.is_reachable(0));
+    }
+}

@@ -1,0 +1,55 @@
+//! # dl-analysis
+//!
+//! Post-compilation static analysis over `dl-mips` programs: control
+//! flow graph reconstruction, reaching-definitions dataflow, and
+//! **address pattern** extraction — the expressions the paper's
+//! delinquency heuristic classifies.
+//!
+//! The paper (§5.1): *"For each load instruction, control flow and data
+//! flow analysis is used to compute an expression called the address
+//! pattern. … The address pattern essentially summarizes the data-flow
+//! subgraph corresponding to the computation of the address source
+//! operand of the load instruction"*, written in the grammar
+//!
+//! ```text
+//! AP → AP(AP) | AP*AP | AP+AP | AP-AP | AP<<AP | AP>>AP | const | BR
+//! BR → gp | sp | reg_param | reg_ret
+//! ```
+//!
+//! where parentheses denote *dereferencing*. [`pattern::Ap`] is that
+//! grammar; [`extract::analyze_program`] computes the pattern set of
+//! every static load (multiple patterns when multiple control paths
+//! reach the load with different address computations).
+//!
+//! # Example
+//!
+//! ```
+//! use dl_mips::parse::parse_asm;
+//! use dl_analysis::extract::{analyze_program, AnalysisConfig};
+//!
+//! // A load whose base register was itself loaded from a stack slot:
+//! // the classic pointer-dereference shape `(sp+16)+8`.
+//! let p = parse_asm(
+//!     "main:\n\
+//!      \tlw $t0, 16($sp)\n\
+//!      \tlw $t1, 8($t0)\n\
+//!      \tjr $ra\n",
+//! ).unwrap();
+//! let analysis = analyze_program(&p, &AnalysisConfig::default());
+//! let second = &analysis.loads[1];
+//! assert_eq!(second.patterns[0].to_string(), "(sp+16)+8");
+//! assert_eq!(second.max_deref_nesting(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod dom;
+pub mod extract;
+pub mod freq;
+pub mod pattern;
+pub mod reaching;
+
+pub use cfg::Cfg;
+pub use extract::{analyze_program, AnalysisConfig, LoadInfo, ProgramAnalysis};
+pub use pattern::Ap;

@@ -1,0 +1,456 @@
+//! The address-pattern expression language (the paper's `AP` grammar)
+//! and the structural features the decision criteria H1–H4 read off it.
+
+use std::fmt;
+
+use dl_mips::reg::BaseReg;
+
+/// An address pattern: the data-flow expression computing a load's
+/// effective address, expressed only in terms of *basic registers*
+/// (`gp`, `sp`, parameter and return-value registers), constants, and
+/// the operators `+ - * << >>` plus dereferencing.
+///
+/// Two non-grammar leaves extend the paper's presentation:
+///
+/// * [`Ap::Rec`] marks the point where the expression refers back to
+///   itself through a loop-carried definition — the paper's
+///   *recurrence* (criterion H4).
+/// * [`Ap::Unknown`] stands for values the analysis cannot express
+///   (call-clobbered registers, bitwise-op results), which the paper
+///   handles implicitly by classifying such patterns into no positive
+///   class.
+///
+/// # Example
+///
+/// ```
+/// use dl_analysis::Ap;
+/// use dl_mips::reg::BaseReg;
+///
+/// // (sp+16) + 8 — one level of dereferencing through a stack slot.
+/// let ap = Ap::add(Ap::deref(Ap::add(Ap::Base(BaseReg::Sp), Ap::Const(16))), Ap::Const(8));
+/// assert_eq!(ap.to_string(), "(sp+16)+8");
+/// assert_eq!(ap.deref_nesting(), 1);
+/// assert_eq!(ap.count_base(BaseReg::Sp), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ap {
+    /// A compile-time constant.
+    Const(i64),
+    /// A basic register.
+    Base(BaseReg),
+    /// A value the analysis cannot express in the grammar.
+    Unknown,
+    /// A loop-carried reference back to the pattern itself.
+    Rec,
+    /// Addition.
+    Add(Box<Ap>, Box<Ap>),
+    /// Subtraction.
+    Sub(Box<Ap>, Box<Ap>),
+    /// Multiplication.
+    Mul(Box<Ap>, Box<Ap>),
+    /// Left shift.
+    Shl(Box<Ap>, Box<Ap>),
+    /// Right shift.
+    Shr(Box<Ap>, Box<Ap>),
+    /// Dereference: the value in memory at the inner address.
+    Deref(Box<Ap>),
+}
+
+// `add`/`sub`/`mul`/`shl`/`shr` are smart constructors mirroring the
+// grammar's operator names, not arithmetic on `Ap` values.
+#[allow(clippy::should_implement_trait)]
+impl Ap {
+    /// Smart constructor for `a + b` with constant folding and
+    /// identity elimination.
+    #[must_use]
+    pub fn add(a: Ap, b: Ap) -> Ap {
+        match (a, b) {
+            (Ap::Const(x), Ap::Const(y)) => Ap::Const(x.wrapping_add(y)),
+            (a, Ap::Const(0)) | (Ap::Const(0), a) => a,
+            (a, b) => Ap::Add(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Smart constructor for `a - b` with constant folding.
+    #[must_use]
+    pub fn sub(a: Ap, b: Ap) -> Ap {
+        match (a, b) {
+            (Ap::Const(x), Ap::Const(y)) => Ap::Const(x.wrapping_sub(y)),
+            (a, Ap::Const(0)) => a,
+            (a, b) => Ap::Sub(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Smart constructor for `a * b` with constant folding.
+    #[must_use]
+    pub fn mul(a: Ap, b: Ap) -> Ap {
+        match (a, b) {
+            (Ap::Const(x), Ap::Const(y)) => Ap::Const(x.wrapping_mul(y)),
+            (Ap::Const(0), _) | (_, Ap::Const(0)) => Ap::Const(0),
+            (a, Ap::Const(1)) | (Ap::Const(1), a) => a,
+            (a, b) => Ap::Mul(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Smart constructor for `a << b` with constant folding.
+    #[must_use]
+    pub fn shl(a: Ap, b: Ap) -> Ap {
+        match (a, b) {
+            (Ap::Const(x), Ap::Const(y)) if (0..64).contains(&y) => Ap::Const(x << y),
+            (a, Ap::Const(0)) => a,
+            (a, b) => Ap::Shl(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Smart constructor for `a >> b` with constant folding
+    /// (arithmetic shift).
+    #[must_use]
+    pub fn shr(a: Ap, b: Ap) -> Ap {
+        match (a, b) {
+            (Ap::Const(x), Ap::Const(y)) if (0..64).contains(&y) => Ap::Const(x >> y),
+            (a, Ap::Const(0)) => a,
+            (a, b) => Ap::Shr(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Smart constructor for a dereference.
+    #[must_use]
+    pub fn deref(a: Ap) -> Ap {
+        Ap::Deref(Box::new(a))
+    }
+
+    /// Folds a bitwise operation: constants fold, anything else is
+    /// [`Ap::Unknown`] (the grammar has no bitwise operators).
+    #[must_use]
+    pub fn bitop(a: Ap, b: Ap, f: fn(i64, i64) -> i64) -> Ap {
+        match (a, b) {
+            (Ap::Const(x), Ap::Const(y)) => Ap::Const(f(x, y)),
+            _ => Ap::Unknown,
+        }
+    }
+
+    /// Counts occurrences of the given basic register (criterion H1).
+    #[must_use]
+    pub fn count_base(&self, which: BaseReg) -> u32 {
+        match self {
+            Ap::Base(b) => u32::from(*b == which),
+            Ap::Const(_) | Ap::Unknown | Ap::Rec => 0,
+            Ap::Add(a, b) | Ap::Sub(a, b) | Ap::Mul(a, b) | Ap::Shl(a, b) | Ap::Shr(a, b) => {
+                a.count_base(which) + b.count_base(which)
+            }
+            Ap::Deref(a) => a.count_base(which),
+        }
+    }
+
+    /// Returns `true` if a multiplication or shift appears anywhere
+    /// (criterion H2 / aggregate class AG3).
+    #[must_use]
+    pub fn has_mul_or_shift(&self) -> bool {
+        match self {
+            Ap::Mul(..) | Ap::Shl(..) | Ap::Shr(..) => true,
+            Ap::Const(_) | Ap::Base(_) | Ap::Unknown | Ap::Rec => false,
+            Ap::Add(a, b) | Ap::Sub(a, b) => a.has_mul_or_shift() || b.has_mul_or_shift(),
+            Ap::Deref(a) => a.has_mul_or_shift(),
+        }
+    }
+
+    /// Maximum nesting depth of [`Ap::Deref`] nodes (criterion H3 works
+    /// on `1 +` this value: the load instruction itself is the first
+    /// level of dereferencing).
+    #[must_use]
+    pub fn deref_nesting(&self) -> u32 {
+        match self {
+            Ap::Const(_) | Ap::Base(_) | Ap::Unknown | Ap::Rec => 0,
+            Ap::Add(a, b) | Ap::Sub(a, b) | Ap::Mul(a, b) | Ap::Shl(a, b) | Ap::Shr(a, b) => {
+                a.deref_nesting().max(b.deref_nesting())
+            }
+            Ap::Deref(a) => 1 + a.deref_nesting(),
+        }
+    }
+
+    /// Returns `true` if the pattern contains a recurrence (criterion
+    /// H4 / aggregate class AG7).
+    #[must_use]
+    pub fn has_recurrence(&self) -> bool {
+        match self {
+            Ap::Rec => true,
+            Ap::Const(_) | Ap::Base(_) | Ap::Unknown => false,
+            Ap::Add(a, b) | Ap::Sub(a, b) | Ap::Mul(a, b) | Ap::Shl(a, b) | Ap::Shr(a, b) => {
+                a.has_recurrence() || b.has_recurrence()
+            }
+            Ap::Deref(a) => a.has_recurrence(),
+        }
+    }
+
+    /// Returns `true` if any part of the pattern is [`Ap::Unknown`].
+    #[must_use]
+    pub fn has_unknown(&self) -> bool {
+        match self {
+            Ap::Unknown => true,
+            Ap::Const(_) | Ap::Base(_) | Ap::Rec => false,
+            Ap::Add(a, b) | Ap::Sub(a, b) | Ap::Mul(a, b) | Ap::Shl(a, b) | Ap::Shr(a, b) => {
+                a.has_unknown() || b.has_unknown()
+            }
+            Ap::Deref(a) => a.has_unknown(),
+        }
+    }
+
+    /// If the pattern is a *strided* recurrence — the recurrence point
+    /// adjusted only by constants and constant scaling, with no
+    /// dereference between the recurrence and the address — returns the
+    /// constant step. Used by the OKN baseline's "strided reference"
+    /// class.
+    ///
+    /// The walk accepts `Rec ± c`, `(Rec ± c) * c`, `Rec << c` shapes
+    /// and accumulates the effective step.
+    #[must_use]
+    pub fn stride(&self) -> Option<i64> {
+        // Per-iteration step of the expression. Loop-invariant terms
+        // (no recurrence inside) contribute step 0 when added, and a
+        // constant amount when added along the recurrence cycle.
+        fn walk(ap: &Ap) -> Option<i64> {
+            match ap {
+                Ap::Rec => Some(0),
+                Ap::Add(a, b) => match (a.has_recurrence(), b.has_recurrence()) {
+                    (true, false) => {
+                        walk(a).map(|s| s.wrapping_add(b.as_const().unwrap_or(0)))
+                    }
+                    (false, true) => {
+                        walk(b).map(|s| s.wrapping_add(a.as_const().unwrap_or(0)))
+                    }
+                    _ => None,
+                },
+                Ap::Sub(a, b) => match (a.has_recurrence(), b.has_recurrence()) {
+                    (true, false) => {
+                        walk(a).map(|s| s.wrapping_sub(b.as_const().unwrap_or(0)))
+                    }
+                    (false, true) => {
+                        walk(b).map(|s| s.wrapping_neg().wrapping_add(a.as_const().unwrap_or(0)))
+                    }
+                    _ => None,
+                },
+                Ap::Mul(a, b) => match (a.has_recurrence(), b.has_recurrence()) {
+                    (true, false) => Some(walk(a)?.wrapping_mul(b.as_const()?)),
+                    (false, true) => Some(walk(b)?.wrapping_mul(a.as_const()?)),
+                    _ => None,
+                },
+                Ap::Shl(a, b) => match b.as_const() {
+                    Some(c) if (0..32).contains(&c) && a.has_recurrence() => {
+                        Some(walk(a)? << c)
+                    }
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        if !self.has_recurrence() {
+            return None;
+        }
+        walk(self).filter(|&s| s != 0)
+    }
+
+    /// Returns the constant value if the pattern is a bare constant.
+    #[must_use]
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            Ap::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Total node count (used to bound pattern growth).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Ap::Const(_) | Ap::Base(_) | Ap::Unknown | Ap::Rec => 1,
+            Ap::Add(a, b) | Ap::Sub(a, b) | Ap::Mul(a, b) | Ap::Shl(a, b) | Ap::Shr(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Ap::Deref(a) => 1 + a.size(),
+        }
+    }
+}
+
+impl fmt::Display for Ap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Dereference binds tightest and prints as parentheses, per the
+        // paper's "45(sp)+30" convention rendered as "(sp+45)+30".
+        fn prec(ap: &Ap) -> u8 {
+            match ap {
+                Ap::Const(_) | Ap::Base(_) | Ap::Unknown | Ap::Rec | Ap::Deref(_) => 4,
+                Ap::Mul(..) => 3,
+                Ap::Add(..) | Ap::Sub(..) => 2,
+                Ap::Shl(..) | Ap::Shr(..) => 1,
+            }
+        }
+        fn go(ap: &Ap, parent: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let me = prec(ap);
+            let need = me < parent;
+            if need {
+                f.write_str("[")?;
+            }
+            match ap {
+                Ap::Const(c) => write!(f, "{c}")?,
+                Ap::Base(b) => write!(f, "{b}")?,
+                Ap::Unknown => f.write_str("?")?,
+                Ap::Rec => f.write_str("rec")?,
+                Ap::Add(a, b) => {
+                    go(a, me, f)?;
+                    f.write_str("+")?;
+                    go(b, me + 1, f)?;
+                }
+                Ap::Sub(a, b) => {
+                    go(a, me, f)?;
+                    f.write_str("-")?;
+                    go(b, me + 1, f)?;
+                }
+                Ap::Mul(a, b) => {
+                    go(a, me, f)?;
+                    f.write_str("*")?;
+                    go(b, me + 1, f)?;
+                }
+                Ap::Shl(a, b) => {
+                    go(a, me, f)?;
+                    f.write_str("<<")?;
+                    go(b, me + 1, f)?;
+                }
+                Ap::Shr(a, b) => {
+                    go(a, me, f)?;
+                    f.write_str(">>")?;
+                    go(b, me + 1, f)?;
+                }
+                Ap::Deref(a) => {
+                    f.write_str("(")?;
+                    go(a, 0, f)?;
+                    f.write_str(")")?;
+                }
+            }
+            if need {
+                f.write_str("]")?;
+            }
+            Ok(())
+        }
+        go(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> Ap {
+        Ap::Base(BaseReg::Sp)
+    }
+    fn gp() -> Ap {
+        Ap::Base(BaseReg::Gp)
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(Ap::add(Ap::Const(2), Ap::Const(3)), Ap::Const(5));
+        assert_eq!(Ap::mul(Ap::Const(4), Ap::Const(8)), Ap::Const(32));
+        assert_eq!(Ap::shl(Ap::Const(1), Ap::Const(4)), Ap::Const(16));
+        assert_eq!(Ap::sub(sp(), Ap::Const(0)), sp());
+        assert_eq!(Ap::add(sp(), Ap::Const(0)), sp());
+        assert_eq!(Ap::mul(sp(), Ap::Const(1)), sp());
+        assert_eq!(Ap::mul(sp(), Ap::Const(0)), Ap::Const(0));
+    }
+
+    #[test]
+    fn bitop_folds_or_gives_unknown() {
+        assert_eq!(
+            Ap::bitop(Ap::Const(0x10000), Ap::Const(0x34), |a, b| a | b),
+            Ap::Const(0x10034)
+        );
+        assert_eq!(Ap::bitop(sp(), Ap::Const(1), |a, b| a & b), Ap::Unknown);
+    }
+
+    #[test]
+    fn base_counting() {
+        // (sp+4) + (sp+8) + gp
+        let ap = Ap::add(
+            Ap::add(
+                Ap::deref(Ap::add(sp(), Ap::Const(4))),
+                Ap::deref(Ap::add(sp(), Ap::Const(8))),
+            ),
+            gp(),
+        );
+        assert_eq!(ap.count_base(BaseReg::Sp), 2);
+        assert_eq!(ap.count_base(BaseReg::Gp), 1);
+        assert_eq!(ap.count_base(BaseReg::Param), 0);
+    }
+
+    #[test]
+    fn deref_nesting_depth() {
+        let one = Ap::deref(Ap::add(sp(), Ap::Const(16)));
+        assert_eq!(one.deref_nesting(), 1);
+        let chained = Ap::add(Ap::deref(one.clone()), Ap::Const(8));
+        assert_eq!(chained.deref_nesting(), 2);
+        // Parallel derefs don't add up.
+        let parallel = Ap::add(one.clone(), Ap::deref(gp()));
+        assert_eq!(parallel.deref_nesting(), 1);
+    }
+
+    #[test]
+    fn mul_shift_detection() {
+        // shl with a non-const left operand stays a Shl node.
+        assert!(Ap::shl(sp(), Ap::Const(2)).has_mul_or_shift());
+        let ap = Ap::add(Ap::Shl(Box::new(Ap::Rec), Box::new(Ap::Const(2))), gp());
+        assert!(ap.has_mul_or_shift());
+        assert!(!Ap::add(sp(), Ap::Const(4)).has_mul_or_shift());
+        // Deref hides nothing.
+        let inner = Ap::deref(Ap::Mul(Box::new(Ap::Rec), Box::new(Ap::Const(12))));
+        assert!(inner.has_mul_or_shift());
+    }
+
+    #[test]
+    fn recurrence_and_stride() {
+        let linear = Ap::add(Ap::Rec, Ap::Const(4));
+        assert!(linear.has_recurrence());
+        assert_eq!(linear.stride(), Some(4));
+
+        let scaled = Ap::add(
+            Ap::Shl(
+                Box::new(Ap::add(Ap::Rec, Ap::Const(1))),
+                Box::new(Ap::Const(2)),
+            ),
+            gp(),
+        );
+        // (rec+1)<<2 + gp — step 4 per iteration.
+        assert_eq!(scaled.stride(), Some(4));
+
+        let pointer_chase = Ap::deref(Ap::add(Ap::Rec, Ap::Const(8)));
+        assert!(pointer_chase.has_recurrence());
+        assert_eq!(pointer_chase.stride(), None);
+
+        assert_eq!(Ap::add(sp(), Ap::Const(4)).stride(), None);
+    }
+
+    #[test]
+    fn display_shapes() {
+        let ap = Ap::add(Ap::deref(Ap::add(sp(), Ap::Const(45))), Ap::Const(30));
+        assert_eq!(ap.to_string(), "(sp+45)+30");
+        let idx = Ap::add(
+            Ap::deref(Ap::add(sp(), Ap::Const(4))),
+            Ap::Shl(
+                Box::new(Ap::deref(Ap::add(sp(), Ap::Const(8)))),
+                Box::new(Ap::Const(2)),
+            ),
+        );
+        assert_eq!(idx.to_string(), "(sp+4)+[(sp+8)<<2]");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(sp().size(), 1);
+        assert_eq!(Ap::add(sp(), Ap::Const(4)).size(), 3);
+        assert_eq!(Ap::deref(Ap::add(sp(), Ap::Const(4))).size(), 4);
+    }
+
+    #[test]
+    fn unknown_propagates() {
+        assert!(Ap::Unknown.has_unknown());
+        assert!(Ap::add(sp(), Ap::Unknown).has_unknown());
+        assert!(!Ap::add(sp(), Ap::Const(1)).has_unknown());
+    }
+}

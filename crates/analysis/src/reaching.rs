@@ -1,0 +1,351 @@
+//! Reaching-definitions dataflow at instruction granularity, per
+//! function.
+//!
+//! The paper (§6): *"If a load's address computation is dependent on
+//! values computed outside the basic block it is in, we perform a data
+//! flow analysis to obtain all reaching definitions for the temporaries
+//! involved."* This module is that analysis. Function entry provides
+//! virtual definitions of every register (the basic registers `sp`,
+//! `gp`, `$a0-$a3` carry their conventional meanings there); calls
+//! define the return-value registers and clobber the caller-saved set.
+
+use dl_mips::inst::Inst;
+use dl_mips::program::{FuncSym, Program};
+use dl_mips::reg::Reg;
+
+use crate::cfg::Cfg;
+
+/// Where a reaching definition comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefSite {
+    /// The register's value at function entry.
+    Entry(Reg),
+    /// An ordinary instruction at this index.
+    Inst(usize),
+    /// A return value produced by the call/syscall at this index
+    /// (`$v0`/`$v1` — the paper's `reg_ret` basic register).
+    CallRet(usize),
+    /// A caller-saved register clobbered by the call at this index.
+    CallClobber(usize),
+}
+
+/// A compact bit set over definition ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+    fn insert(&mut self, i: u32) {
+        self.words[i as usize / 64] |= 1 << (i % 64);
+    }
+    fn remove(&mut self, i: u32) {
+        self.words[i as usize / 64] &= !(1 << (i % 64));
+    }
+    fn contains(&self, i: u32) -> bool {
+        self.words[i as usize / 64] & (1 << (i % 64)) != 0
+    }
+    /// `self |= other`; returns `true` if `self` changed.
+    fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+}
+
+/// Registers clobbered by a call (beyond the return registers).
+const CALL_CLOBBERS: [Reg; 16] = [
+    Reg::At,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::T3,
+    Reg::T4,
+    Reg::T5,
+    Reg::T6,
+    Reg::T7,
+    Reg::T8,
+    Reg::T9,
+    Reg::Ra,
+];
+
+/// The reaching-definitions solution for one function.
+///
+/// # Example
+///
+/// ```
+/// use dl_mips::parse::parse_asm;
+/// use dl_mips::reg::Reg;
+/// use dl_analysis::{Cfg, reaching::{ReachingDefs, DefSite}};
+///
+/// let p = parse_asm(
+///     "main:\n\
+///      \tli $t0, 1\n\
+///      \tlw $t1, 0($t0)\n\
+///      \tjr $ra\n",
+/// ).unwrap();
+/// let f = p.symbols.func("main").unwrap().clone();
+/// let cfg = Cfg::build(&p, &f);
+/// let rd = ReachingDefs::build(&p, &f, &cfg);
+/// assert_eq!(rd.reaching(1, Reg::T0), vec![DefSite::Inst(0)]);
+/// ```
+#[derive(Debug)]
+pub struct ReachingDefs {
+    func_start: usize,
+    /// Definition id → (site, defined register).
+    defs: Vec<(DefSite, Reg)>,
+    /// Per-register list of definition ids.
+    defs_of_reg: Vec<Vec<u32>>,
+    /// Per-instruction reach-in sets.
+    reach_in: Vec<BitSet>,
+}
+
+impl ReachingDefs {
+    /// The definitions an instruction generates, in (reg, site) pairs.
+    fn gens(inst: &Inst, idx: usize) -> Vec<(Reg, DefSite)> {
+        match inst {
+            Inst::Jal { .. } | Inst::Jalr { .. } => {
+                let mut v = vec![
+                    (Reg::V0, DefSite::CallRet(idx)),
+                    (Reg::V1, DefSite::CallRet(idx)),
+                ];
+                v.extend(CALL_CLOBBERS.map(|r| (r, DefSite::CallClobber(idx))));
+                v
+            }
+            Inst::Syscall => vec![(Reg::V0, DefSite::CallRet(idx))],
+            _ => inst.def().map(|r| (r, DefSite::Inst(idx))).into_iter().collect(),
+        }
+    }
+
+    /// Solves reaching definitions for `func`.
+    #[must_use]
+    pub fn build(program: &Program, func: &FuncSym, cfg: &Cfg) -> ReachingDefs {
+        let (lo, hi) = (func.start, func.end);
+        // Enumerate definitions: 32 entry defs, then instruction defs.
+        let mut defs: Vec<(DefSite, Reg)> = Reg::ALL
+            .iter()
+            .map(|&r| (DefSite::Entry(r), r))
+            .collect();
+        let mut defs_of_reg: Vec<Vec<u32>> = (0..32).map(|r| vec![r as u32]).collect();
+        // Per-instruction gen lists as def ids.
+        let mut inst_gens: Vec<Vec<(Reg, u32)>> = Vec::with_capacity(hi - lo);
+        for idx in lo..hi {
+            let mut list = Vec::new();
+            for (reg, site) in Self::gens(&program.insts[idx], idx) {
+                let id = defs.len() as u32;
+                defs.push((site, reg));
+                defs_of_reg[reg as usize].push(id);
+                list.push((reg, id));
+            }
+            inst_gens.push(list);
+        }
+        let ndefs = defs.len();
+
+        // Block-level GEN/KILL.
+        let blocks = cfg.blocks();
+        let nb = blocks.len();
+        let mut gen = vec![BitSet::new(ndefs); nb];
+        let mut kill = vec![BitSet::new(ndefs); nb];
+        for (b, block) in blocks.iter().enumerate() {
+            for idx in block.start..block.end {
+                for &(reg, id) in &inst_gens[idx - lo] {
+                    for &other in &defs_of_reg[reg as usize] {
+                        gen[b].remove(other);
+                        kill[b].insert(other);
+                    }
+                    gen[b].insert(id);
+                    kill[b].remove(id);
+                }
+            }
+        }
+        // Iterate to fixpoint.
+        let mut block_in = vec![BitSet::new(ndefs); nb];
+        let mut block_out = vec![BitSet::new(ndefs); nb];
+        for r in 0..32u32 {
+            block_in[0].insert(r);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..nb {
+                let mut input = block_in[b].clone();
+                for &p in &blocks[b].preds {
+                    input.union_with(&block_out[p]);
+                }
+                // OUT = GEN ∪ (IN - KILL)
+                let mut out = input.clone();
+                for (w, k) in out.words.iter_mut().zip(&kill[b].words) {
+                    *w &= !k;
+                }
+                out.union_with(&gen[b]);
+                if out != block_out[b] || input != block_in[b] {
+                    changed = true;
+                }
+                block_in[b] = input;
+                block_out[b] = out;
+            }
+        }
+        // Per-instruction reach-in by forward walk within each block.
+        let mut reach_in = vec![BitSet::new(0); hi - lo];
+        for (b, block) in blocks.iter().enumerate() {
+            let mut cur = block_in[b].clone();
+            for idx in block.start..block.end {
+                reach_in[idx - lo] = cur.clone();
+                for &(reg, id) in &inst_gens[idx - lo] {
+                    for &other in &defs_of_reg[reg as usize] {
+                        cur.remove(other);
+                    }
+                    cur.insert(id);
+                }
+            }
+        }
+        ReachingDefs {
+            func_start: lo,
+            defs,
+            defs_of_reg,
+            reach_in,
+        }
+    }
+
+    /// The definitions of `reg` that reach instruction `at`
+    /// (instruction index within the analyzed function).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is outside the analyzed function.
+    #[must_use]
+    pub fn reaching(&self, at: usize, reg: Reg) -> Vec<DefSite> {
+        let set = &self.reach_in[at - self.func_start];
+        self.defs_of_reg[reg as usize]
+            .iter()
+            .filter(|&&id| set.contains(id))
+            .map(|&id| self.defs[id as usize].0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_mips::parse::parse_asm;
+
+    fn build(src: &str) -> (Program, ReachingDefs) {
+        let p = parse_asm(src).unwrap();
+        let f = p.symbols.func("main").unwrap().clone();
+        let cfg = Cfg::build(&p, &f);
+        let rd = ReachingDefs::build(&p, &f, &cfg);
+        (p, rd)
+    }
+
+    #[test]
+    fn straight_line_def_reaches() {
+        let (_, rd) = build(
+            "main:\n\
+             \tli $t0, 1\n\
+             \tli $t0, 2\n\
+             \tlw $t1, 0($t0)\n\
+             \tjr $ra\n",
+        );
+        // Only the second def reaches the load.
+        assert_eq!(rd.reaching(2, Reg::T0), vec![DefSite::Inst(1)]);
+    }
+
+    #[test]
+    fn entry_defs_reach_when_undefined() {
+        let (_, rd) = build("main:\n\tlw $t1, 4($sp)\n\tjr $ra\n");
+        assert_eq!(rd.reaching(0, Reg::Sp), vec![DefSite::Entry(Reg::Sp)]);
+    }
+
+    #[test]
+    fn merge_brings_both_defs() {
+        let (_, rd) = build(
+            "main:\n\
+             \tbeq $a0, $zero, .Lelse\n\
+             \tli $t0, 1\n\
+             \tj .Ljoin\n\
+             .Lelse:\n\
+             \tli $t0, 2\n\
+             .Ljoin:\n\
+             \tlw $t1, 0($t0)\n\
+             \tjr $ra\n",
+        );
+        let mut sites = rd.reaching(4, Reg::T0);
+        sites.sort_by_key(|s| match s {
+            DefSite::Inst(i) => *i,
+            _ => usize::MAX,
+        });
+        assert_eq!(sites, vec![DefSite::Inst(1), DefSite::Inst(3)]);
+    }
+
+    #[test]
+    fn loop_carried_def_reaches_itself() {
+        let (_, rd) = build(
+            "main:\n\
+             \tli $t0, 0\n\
+             .Lloop:\n\
+             \taddiu $t0, $t0, 4\n\
+             \tbne $t0, $a0, .Lloop\n\
+             \tjr $ra\n",
+        );
+        // At the addiu (inst 1), both the init (0) and itself (1) reach.
+        let mut sites = rd.reaching(1, Reg::T0);
+        sites.sort_by_key(|s| match s {
+            DefSite::Inst(i) => *i,
+            _ => usize::MAX,
+        });
+        assert_eq!(sites, vec![DefSite::Inst(0), DefSite::Inst(1)]);
+    }
+
+    #[test]
+    fn call_clobbers_temporaries_and_defines_v0() {
+        let (_, rd) = build(
+            "main:\n\
+             \tli $t0, 7\n\
+             \tli $v0, 8\n\
+             \tjal main\n\
+             \tlw $t1, 0($t0)\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(rd.reaching(3, Reg::T0), vec![DefSite::CallClobber(2)]);
+        assert_eq!(rd.reaching(3, Reg::V0), vec![DefSite::CallRet(2)]);
+    }
+
+    #[test]
+    fn call_preserves_saved_registers() {
+        let (_, rd) = build(
+            "main:\n\
+             \tli $s0, 7\n\
+             \tjal main\n\
+             \tlw $t1, 0($s0)\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(rd.reaching(2, Reg::S0), vec![DefSite::Inst(0)]);
+    }
+
+    #[test]
+    fn syscall_defines_v0_only() {
+        let (_, rd) = build(
+            "main:\n\
+             \tli $t0, 5\n\
+             \tli $v0, 9\n\
+             \tsyscall\n\
+             \tlw $t1, 0($v0)\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(rd.reaching(3, Reg::V0), vec![DefSite::CallRet(2)]);
+        assert_eq!(rd.reaching(3, Reg::T0), vec![DefSite::Inst(0)]);
+    }
+}

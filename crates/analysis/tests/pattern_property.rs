@@ -1,0 +1,124 @@
+//! Property tests over the address-pattern algebra: the structural
+//! features the decision criteria read must obey compositional laws.
+
+use proptest::prelude::*;
+
+use dl_analysis::Ap;
+use dl_mips::reg::BaseReg;
+
+fn arb_base() -> impl Strategy<Value = BaseReg> {
+    prop_oneof![
+        Just(BaseReg::Gp),
+        Just(BaseReg::Sp),
+        Just(BaseReg::Param),
+        Just(BaseReg::Ret),
+    ]
+}
+
+fn arb_ap() -> impl Strategy<Value = Ap> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(Ap::Const),
+        arb_base().prop_map(Ap::Base),
+        Just(Ap::Unknown),
+        Just(Ap::Rec),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Ap::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Ap::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Ap::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Ap::Shl(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Ap::Deref(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn base_counts_are_additive_over_binary_ops(a in arb_ap(), b in arb_ap()) {
+        let sum = Ap::Add(Box::new(a.clone()), Box::new(b.clone()));
+        for reg in [BaseReg::Gp, BaseReg::Sp, BaseReg::Param, BaseReg::Ret] {
+            prop_assert_eq!(
+                sum.count_base(reg),
+                a.count_base(reg) + b.count_base(reg)
+            );
+        }
+    }
+
+    #[test]
+    fn deref_increments_nesting_by_exactly_one(a in arb_ap()) {
+        let d = Ap::deref(a.clone());
+        prop_assert_eq!(d.deref_nesting(), a.deref_nesting() + 1);
+    }
+
+    #[test]
+    fn binary_nesting_is_max_of_children(a in arb_ap(), b in arb_ap()) {
+        let m = Ap::Mul(Box::new(a.clone()), Box::new(b.clone()));
+        prop_assert_eq!(m.deref_nesting(), a.deref_nesting().max(b.deref_nesting()));
+    }
+
+    #[test]
+    fn recurrence_and_unknown_propagate_upward(a in arb_ap(), b in arb_ap()) {
+        let combined = Ap::Sub(Box::new(a.clone()), Box::new(b.clone()));
+        prop_assert_eq!(
+            combined.has_recurrence(),
+            a.has_recurrence() || b.has_recurrence()
+        );
+        prop_assert_eq!(
+            combined.has_unknown(),
+            a.has_unknown() || b.has_unknown()
+        );
+    }
+
+    #[test]
+    fn smart_constructors_never_increase_features(a in arb_ap(), b in arb_ap()) {
+        // Folding may simplify but must not invent structure.
+        let smart = Ap::add(a.clone(), b.clone());
+        let raw = Ap::Add(Box::new(a), Box::new(b));
+        prop_assert!(smart.size() <= raw.size());
+        prop_assert!(smart.deref_nesting() <= raw.deref_nesting());
+        for reg in [BaseReg::Gp, BaseReg::Sp, BaseReg::Param, BaseReg::Ret] {
+            prop_assert!(smart.count_base(reg) <= raw.count_base(reg));
+        }
+    }
+
+    #[test]
+    fn constant_folding_is_exact(x in -10_000i64..10_000, y in -10_000i64..10_000) {
+        prop_assert_eq!(Ap::add(Ap::Const(x), Ap::Const(y)), Ap::Const(x + y));
+        prop_assert_eq!(Ap::sub(Ap::Const(x), Ap::Const(y)), Ap::Const(x - y));
+        prop_assert_eq!(Ap::mul(Ap::Const(x), Ap::Const(y)), Ap::Const(x * y));
+    }
+
+    #[test]
+    fn stride_requires_recurrence(a in arb_ap()) {
+        if a.stride().is_some() {
+            prop_assert!(a.has_recurrence());
+        }
+    }
+
+    #[test]
+    fn display_never_panics_and_is_nonempty(a in arb_ap()) {
+        prop_assert!(!a.to_string().is_empty());
+    }
+
+    #[test]
+    fn size_is_positive_and_bounded_by_construction(a in arb_ap()) {
+        prop_assert!(a.size() >= 1);
+    }
+
+    #[test]
+    fn linear_recurrence_stride_is_the_step(step in 1i64..512, offset in -512i64..512) {
+        let ap = Ap::add(Ap::Add(Box::new(Ap::Rec), Box::new(Ap::Const(step))), Ap::Const(offset));
+        // A net-zero step is not a stride (the address never moves).
+        let expected = (step + offset != 0).then_some(step + offset);
+        prop_assert_eq!(ap.stride(), expected);
+        let scaled = Ap::Shl(Box::new(Ap::add(Ap::Rec, Ap::Const(step))), Box::new(Ap::Const(2)));
+        prop_assert_eq!(scaled.stride(), Some(step << 2));
+    }
+}

@@ -1,0 +1,112 @@
+//! Differential property test for reaching definitions: on
+//! straight-line code, the dataflow solution must agree with a naive
+//! last-writer scan for every register at every instruction.
+
+use proptest::prelude::*;
+
+use dl_analysis::reaching::{DefSite, ReachingDefs};
+use dl_analysis::Cfg;
+use dl_mips::inst::Inst;
+use dl_mips::program::{Program, SymbolTable};
+use dl_mips::reg::Reg;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::from_number(n).expect("in range"))
+}
+
+/// Straight-line instructions with simple def/use structure.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(rt, rs, imm)| Inst::Addiu { rt, rs, imm }),
+        (arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(rd, rs, rt)| Inst::Addu { rd, rs, rt }),
+        (arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(rt, base, off)| Inst::Lw { rt, base, off }),
+        (arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(rt, base, off)| Inst::Sw { rt, base, off }),
+        (arb_reg(), any::<u16>()).prop_map(|(rt, imm)| Inst::Lui { rt, imm }),
+        Just(Inst::Nop),
+    ]
+}
+
+fn straight_line_program(insts: Vec<Inst>) -> Program {
+    let mut all = insts;
+    all.push(Inst::Jr { rs: Reg::Ra });
+    let n = all.len();
+    let mut symbols = SymbolTable::new();
+    symbols.add_func("main", 0, n);
+    Program {
+        insts: all,
+        symbols,
+        data: Vec::new(),
+        entry: 0,
+    }
+}
+
+/// Naive reference: the definition of `reg` reaching instruction `at`
+/// in straight-line code is the closest preceding def.
+fn naive_reaching(program: &Program, at: usize, reg: Reg) -> DefSite {
+    for idx in (0..at).rev() {
+        if program.insts[idx].def() == Some(reg) {
+            return DefSite::Inst(idx);
+        }
+    }
+    DefSite::Entry(reg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn straight_line_matches_last_writer(insts in prop::collection::vec(arb_inst(), 0..40)) {
+        let program = straight_line_program(insts);
+        let func = program.symbols.func("main").expect("exists").clone();
+        let cfg = Cfg::build(&program, &func);
+        let rd = ReachingDefs::build(&program, &func, &cfg);
+        for at in 0..program.insts.len() {
+            for reg in [Reg::T0, Reg::T1, Reg::S0, Reg::Sp, Reg::A0] {
+                if reg == Reg::Zero {
+                    continue;
+                }
+                let got = rd.reaching(at, reg);
+                prop_assert_eq!(
+                    got.len(), 1,
+                    "straight-line code has exactly one reaching def (at {}, {:?})",
+                    at, reg
+                );
+                prop_assert_eq!(got[0], naive_reaching(&program, at, reg));
+            }
+        }
+    }
+
+    /// In a diamond, a register defined in both arms has exactly those
+    /// two defs reaching the join; one defined in neither has its entry
+    /// def.
+    #[test]
+    fn diamond_merges_exactly_the_arm_defs(a in any::<i16>(), b in any::<i16>()) {
+        use dl_mips::parse::parse_asm;
+        let src = format!(
+            "main:\n\
+             \tbeq $a0, $zero, .Le\n\
+             \taddiu $t0, $zero, {a}\n\
+             \tj .Lj\n\
+             .Le:\n\
+             \taddiu $t0, $zero, {b}\n\
+             .Lj:\n\
+             \tjr $ra\n"
+        );
+        let program = parse_asm(&src).expect("parses");
+        let func = program.symbols.func("main").expect("exists").clone();
+        let cfg = Cfg::build(&program, &func);
+        let rd = ReachingDefs::build(&program, &func, &cfg);
+        let join = program.insts.len() - 1;
+        let mut defs = rd.reaching(join, Reg::T0);
+        defs.sort_by_key(|d| match d {
+            DefSite::Inst(i) => *i,
+            _ => usize::MAX,
+        });
+        prop_assert_eq!(defs, vec![DefSite::Inst(1), DefSite::Inst(3)]);
+        prop_assert_eq!(rd.reaching(join, Reg::S3), vec![DefSite::Entry(Reg::S3)]);
+    }
+}

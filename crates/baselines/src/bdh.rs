@@ -1,0 +1,425 @@
+//! A static implementation of the BDH load classification
+//! (Burtscher, Diwan & Hauswirth, PLDI 2002), per the paper's §8.5.
+//!
+//! Each load is classified by a three-letter string:
+//!
+//! * **Region** — Stack (S), Heap (H), or Global (G): from the load's
+//!   base register (`$sp` → stack, `$gp` → global) and value
+//!   propagation (addresses derived from `malloc` results or loaded
+//!   pointers → heap).
+//! * **Kind** — Scalar (S), Array (A), or Field (F): from the address
+//!   pattern (index arithmetic → array; constant offset from a loaded
+//!   pointer → field) and the symbol table (global symbols larger than
+//!   a word → array).
+//! * **Type** — Pointer (P) or Non-pointer (N): a load whose result is
+//!   subsequently used as (part of) another memory address is assumed
+//!   to load a pointer.
+//!
+//! Loads in the classes **GAN, HSN, HFN, HAN, HFP, HAP** are reported
+//! as possibly delinquent, as the BDH authors suggest.
+
+use dl_analysis::extract::{LoadInfo, ProgramAnalysis};
+use dl_analysis::pattern::Ap;
+use dl_mips::inst::Inst;
+use dl_mips::layout::GP_VALUE;
+use dl_mips::program::Program;
+use dl_mips::reg::{BaseReg, Reg};
+
+/// The memory region a load is statically judged to access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Stack (S).
+    Stack,
+    /// Heap (H).
+    Heap,
+    /// Global/static data (G).
+    Global,
+}
+
+/// The reference kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// Scalar (S).
+    Scalar,
+    /// Array element (A).
+    Array,
+    /// Structure field (F).
+    Field,
+}
+
+/// A full BDH class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BdhClass {
+    /// Memory region accessed.
+    pub region: Region,
+    /// Reference kind.
+    pub kind: Kind,
+    /// `true` when the loaded value is a pointer.
+    pub pointer: bool,
+}
+
+impl BdhClass {
+    /// The three-letter class string (e.g. `"HFP"`).
+    #[must_use]
+    pub fn code(&self) -> String {
+        let r = match self.region {
+            Region::Stack => 'S',
+            Region::Heap => 'H',
+            Region::Global => 'G',
+        };
+        let k = match self.kind {
+            Kind::Scalar => 'S',
+            Kind::Array => 'A',
+            Kind::Field => 'F',
+        };
+        let t = if self.pointer { 'P' } else { 'N' };
+        format!("{r}{k}{t}")
+    }
+
+    /// Whether this class is in the BDH delinquent union
+    /// (GAN, HSN, HFN, HAN, HFP, HAP).
+    #[must_use]
+    pub fn is_delinquent(&self) -> bool {
+        matches!(
+            self.code().as_str(),
+            "GAN" | "HSN" | "HFN" | "HAN" | "HFP" | "HAP"
+        )
+    }
+}
+
+impl std::fmt::Display for BdhClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.code())
+    }
+}
+
+/// How far the pointer-use scan looks past a load before giving up.
+const POINTER_SCAN_WINDOW: usize = 64;
+
+/// Value propagation for the Type dimension: does the value loaded at
+/// `index` flow (through copies and address arithmetic) into the base
+/// register of a later memory access before being overwritten?
+fn loads_pointer(program: &Program, index: usize) -> bool {
+    let Some((rt, _, _, _)) = program.insts[index].as_load() else {
+        return false;
+    };
+    let func_end = program
+        .symbols
+        .func_at(index)
+        .map_or(program.insts.len(), |f| f.end);
+    let mut tainted = 1u32 << rt as u8;
+    let limit = func_end.min(index + 1 + POINTER_SCAN_WINDOW);
+    for idx in index + 1..limit {
+        let inst = program.insts[idx];
+        let is_tainted = |r: Reg| tainted & (1 << r as u8) != 0;
+        // A tainted register used as the base of a memory access means
+        // the original load produced (part of) an address.
+        if let Some((_, base, _, _)) = inst.as_load() {
+            if is_tainted(base) {
+                return true;
+            }
+        }
+        if let Some((_, base, _, _)) = inst.as_store() {
+            if is_tainted(base) {
+                return true;
+            }
+        }
+        // Address arithmetic propagates taint.
+        let propagates = match inst {
+            Inst::Addu { rs, rt: r2, .. } | Inst::Subu { rs, rt: r2, .. } => {
+                is_tainted(rs) || is_tainted(r2)
+            }
+            Inst::Addiu { rs, .. } => is_tainted(rs),
+            _ => false,
+        };
+        if let Some(def) = inst.def() {
+            if propagates {
+                tainted |= 1 << def as u8;
+            } else {
+                tainted &= !(1 << def as u8);
+            }
+        }
+        if inst.is_call() {
+            // Caller-saved taint dies at calls.
+            for r in [
+                Reg::At,
+                Reg::V0,
+                Reg::V1,
+                Reg::A0,
+                Reg::A1,
+                Reg::A2,
+                Reg::A3,
+                Reg::T0,
+                Reg::T1,
+                Reg::T2,
+                Reg::T3,
+                Reg::T4,
+                Reg::T5,
+                Reg::T6,
+                Reg::T7,
+                Reg::T8,
+                Reg::T9,
+            ] {
+                tainted &= !(1 << r as u8);
+            }
+        }
+        if tainted == 0 {
+            return false;
+        }
+    }
+    false
+}
+
+fn region_of(program: &Program, load: &LoadInfo) -> Region {
+    let (_, base, _, _) = program.insts[load.index]
+        .as_load()
+        .expect("LoadInfo indexes a load");
+    match base {
+        Reg::Sp | Reg::Fp => return Region::Stack,
+        Reg::Gp => return Region::Global,
+        _ => {}
+    }
+    // Value propagation through the patterns: malloc results and
+    // loaded pointers are heap; otherwise fall back on the pattern's
+    // root base register.
+    let any = |f: &dyn Fn(&Ap) -> bool| load.patterns.iter().any(f);
+    if any(&|p| p.count_base(BaseReg::Ret) > 0) || any(&|p| p.deref_nesting() >= 1) {
+        Region::Heap
+    } else if any(&|p| p.count_base(BaseReg::Param) > 0) {
+        // Pointer parameters: the paper notes these are ambiguous for a
+        // static classifier; heap is the common case in its benchmarks.
+        Region::Heap
+    } else if any(&|p| p.count_base(BaseReg::Sp) > 0) {
+        Region::Stack
+    } else {
+        Region::Global
+    }
+}
+
+fn kind_of(program: &Program, load: &LoadInfo) -> Kind {
+    let indexed = load
+        .patterns
+        .iter()
+        .any(|p| p.has_mul_or_shift() || p.stride().is_some());
+    if indexed {
+        return Kind::Array;
+    }
+    if load.patterns.iter().any(|p| p.deref_nesting() >= 1) {
+        return Kind::Field;
+    }
+    // Direct gp/sp-relative access: consult the symbol table — a
+    // symbol wider than one word is an array.
+    let (_, base, off, _) = program.insts[load.index]
+        .as_load()
+        .expect("LoadInfo indexes a load");
+    if base == Reg::Gp {
+        let addr = GP_VALUE.wrapping_add(off as i32 as u32);
+        if let Some(sym) = program.symbols.global_at(addr) {
+            if sym.size > 4 {
+                return Kind::Array;
+            }
+        }
+    }
+    Kind::Scalar
+}
+
+/// Classifies every load of a program under the static BDH scheme.
+///
+/// Returns `(instruction index, class)` pairs in program order.
+#[must_use]
+pub fn bdh_classify(program: &Program, analysis: &ProgramAnalysis) -> Vec<(usize, BdhClass)> {
+    analysis
+        .loads
+        .iter()
+        .map(|l| {
+            (
+                l.index,
+                BdhClass {
+                    region: region_of(program, l),
+                    kind: kind_of(program, l),
+                    pointer: loads_pointer(program, l.index),
+                },
+            )
+        })
+        .collect()
+}
+
+/// The BDH possibly-delinquent set: loads in GAN ∪ HSN ∪ HFN ∪ HAN ∪
+/// HFP ∪ HAP.
+///
+/// # Example
+///
+/// ```
+/// use dl_mips::parse::parse_asm;
+/// use dl_analysis::extract::{analyze_program, AnalysisConfig};
+/// use dl_baselines::bdh_delinquent_set;
+///
+/// // A heap pointer chase: flagged by BDH (class HFP / HFN).
+/// let p = parse_asm(
+///     "main:\n\
+///      \tli $a0, 64\n\
+///      \tli $v0, 9\n\
+///      \tsyscall\n\
+///      \tlw $t0, 0($v0)\n\
+///      \tlw $t1, 4($t0)\n\
+///      \tjr $ra\n",
+/// ).unwrap();
+/// let a = analyze_program(&p, &AnalysisConfig::default());
+/// let set = bdh_delinquent_set(&p, &a);
+/// assert!(set.contains(&4));
+/// ```
+#[must_use]
+pub fn bdh_delinquent_set(program: &Program, analysis: &ProgramAnalysis) -> Vec<usize> {
+    bdh_classify(program, analysis)
+        .into_iter()
+        .filter(|(_, c)| c.is_delinquent())
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_analysis::extract::{analyze_program, AnalysisConfig};
+    use dl_mips::parse::parse_asm;
+
+    fn classify(src: &str) -> (Program, Vec<(usize, BdhClass)>) {
+        let p = parse_asm(src).unwrap();
+        let a = analyze_program(&p, &AnalysisConfig::default());
+        let c = bdh_classify(&p, &a);
+        (p, c)
+    }
+
+    #[test]
+    fn stack_scalar_nonpointer() {
+        let (_, c) = classify("main:\n\tlw $t0, 8($sp)\n\tjr $ra\n");
+        assert_eq!(c[0].1.code(), "SSN");
+        assert!(!c[0].1.is_delinquent());
+    }
+
+    #[test]
+    fn stack_scalar_pointer_detected() {
+        // The loaded value is immediately used as a base address.
+        let (_, c) = classify(
+            "main:\n\
+             \tlw $t0, 8($sp)\n\
+             \tlw $t1, 0($t0)\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(c[0].1.code(), "SSP");
+        // The dependent load is a heap field access.
+        assert_eq!(c[1].1.region, Region::Heap);
+        assert_eq!(c[1].1.kind, Kind::Field);
+    }
+
+    #[test]
+    fn taint_propagates_through_address_arithmetic() {
+        let (_, c) = classify(
+            "main:\n\
+             \tlw $t0, 8($sp)\n\
+             \taddiu $t2, $t0, 16\n\
+             \tlw $t1, 0($t2)\n\
+             \tjr $ra\n",
+        );
+        assert!(c[0].1.pointer);
+    }
+
+    #[test]
+    fn taint_dies_on_redefinition() {
+        let (_, c) = classify(
+            "main:\n\
+             \tlw $t0, 8($sp)\n\
+             \tli $t0, 0\n\
+             \tlw $t1, 0($t0)\n\
+             \tjr $ra\n",
+        );
+        assert!(!c[0].1.pointer);
+    }
+
+    #[test]
+    fn global_word_scalar_vs_array() {
+        let (_, c) = classify(
+            "\t.data\n\
+             counter:\t.word 0\n\
+             table:\t.space 400\n\
+             \t.text\n\
+             main:\n\
+             \tlw $t0, -32768($gp)\n\
+             \tlw $t1, -32764($gp)\n\
+             \tjr $ra\n",
+        );
+        // counter is 4 bytes → scalar; table is 400 bytes → array.
+        assert_eq!(c[0].1.code(), "GSN");
+        assert_eq!(c[1].1.code(), "GAN");
+        assert!(!c[0].1.is_delinquent());
+        assert!(c[1].1.is_delinquent());
+    }
+
+    #[test]
+    fn heap_array_from_malloc_with_index() {
+        let (_, c) = classify(
+            "main:\n\
+             \tli $a0, 400\n\
+             \tli $v0, 9\n\
+             \tsyscall\n\
+             \tmove $s0, $v0\n\
+             \tli $t0, 0\n\
+             .Lloop:\n\
+             \tsll $t1, $t0, 2\n\
+             \taddu $t2, $s0, $t1\n\
+             \tlw $t3, 0($t2)\n\
+             \taddiu $t0, $t0, 1\n\
+             \tslti $t4, $t0, 100\n\
+             \tbne $t4, $zero, .Lloop\n\
+             \tjr $ra\n",
+        );
+        let (_, class) = c[0];
+        assert_eq!(class.region, Region::Heap);
+        assert_eq!(class.kind, Kind::Array);
+        assert!(class.is_delinquent()); // HAN
+    }
+
+    #[test]
+    fn delinquent_union_is_the_published_six() {
+        let mk = |region, kind, pointer| BdhClass {
+            region,
+            kind,
+            pointer,
+        };
+        let delinquent = [
+            mk(Region::Global, Kind::Array, false),
+            mk(Region::Heap, Kind::Scalar, false),
+            mk(Region::Heap, Kind::Field, false),
+            mk(Region::Heap, Kind::Array, false),
+            mk(Region::Heap, Kind::Field, true),
+            mk(Region::Heap, Kind::Array, true),
+        ];
+        for c in delinquent {
+            assert!(c.is_delinquent(), "{c} should be delinquent");
+        }
+        let benign = [
+            mk(Region::Stack, Kind::Scalar, false),
+            mk(Region::Stack, Kind::Array, true),
+            mk(Region::Global, Kind::Scalar, false),
+            mk(Region::Global, Kind::Array, true),
+            mk(Region::Heap, Kind::Scalar, true), // HSP not in the union
+        ];
+        for c in benign {
+            assert!(!c.is_delinquent(), "{c} should not be delinquent");
+        }
+    }
+
+    #[test]
+    fn set_extraction() {
+        let p = parse_asm(
+            "main:\n\
+             \tlw $t0, 8($sp)\n\
+             \tlw $t1, 0($t0)\n\
+             \tjr $ra\n",
+        )
+        .unwrap();
+        let a = analyze_program(&p, &AnalysisConfig::default());
+        let set = bdh_delinquent_set(&p, &a);
+        assert_eq!(set, vec![1]); // heap field access
+    }
+}

@@ -1,0 +1,101 @@
+//! Component throughput benchmarks: the substrates the reproduction is
+//! built on, measured in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use dl_analysis::extract::{analyze_program, AnalysisConfig};
+use dl_core::Heuristic;
+use dl_minic::{compile, OptLevel};
+use dl_sim::{run, Cache, CacheConfig, RunConfig};
+
+fn cache_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    let accesses: Vec<u32> = (0..10_000u32)
+        .map(|i| 0x1000_0000 + (i.wrapping_mul(2_654_435_761) % 262_144))
+        .collect();
+    group.throughput(Throughput::Elements(accesses.len() as u64));
+    for cfg in [CacheConfig::kb(8, 2), CacheConfig::paper_training()] {
+        group.bench_function(format!("access/{cfg}"), |b| {
+            b.iter_batched(
+                || Cache::new(cfg),
+                |mut cache| {
+                    for &a in &accesses {
+                        black_box(cache.access(a));
+                    }
+                    cache
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    // A ~1M-instruction kernel.
+    let source = "int a[4096];
+        int main() {
+            int i; int t; int s;
+            s = 0;
+            for (t = 0; t < 40; t = t + 1) {
+                for (i = 0; i < 4096; i = i + 1) { s = s + a[i]; }
+            }
+            print(s);
+            return 0;
+        }";
+    let program = compile(source, OptLevel::O0).expect("compiles");
+    let config = RunConfig::default();
+    let instructions = run(&program, &config).expect("runs").instructions;
+    group.throughput(Throughput::Elements(instructions));
+    group.sample_size(20);
+    group.bench_function("interpret+cache", |b| {
+        b.iter(|| black_box(run(&program, &config).expect("runs")));
+    });
+    group.finish();
+}
+
+fn compiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler");
+    let bench = dl_workloads::by_name("126.gcc").expect("exists");
+    let source = bench.full_source();
+    group.throughput(Throughput::Bytes(source.len() as u64));
+    for opt in [OptLevel::O0, OptLevel::O1] {
+        group.bench_function(format!("minic/{opt}"), |b| {
+            b.iter(|| black_box(compile(&source, opt).expect("compiles")));
+        });
+    }
+    group.finish();
+}
+
+fn analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    let bench = dl_workloads::by_name("181.mcf").expect("exists");
+    let program = bench.compile(OptLevel::O0).expect("compiles");
+    group.throughput(Throughput::Elements(program.static_load_count() as u64));
+    group.bench_function("address-patterns/mcf", |b| {
+        b.iter(|| black_box(analyze_program(&program, &AnalysisConfig::default())));
+    });
+    group.finish();
+}
+
+fn heuristic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristic");
+    let bench = dl_workloads::by_name("181.mcf").expect("exists");
+    let program = bench.compile(OptLevel::O0).expect("compiles");
+    let analysis = analyze_program(&program, &AnalysisConfig::default());
+    let config = RunConfig {
+        input: bench.input1.clone(),
+        ..RunConfig::default()
+    };
+    let result = run(&program, &config).expect("runs");
+    let h = Heuristic::default();
+    group.throughput(Throughput::Elements(analysis.loads.len() as u64));
+    group.bench_function("classify/mcf", |b| {
+        b.iter(|| black_box(h.classify(&analysis, &result.exec_counts)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cache_model, simulator, compiler, analysis, heuristic);
+criterion_main!(benches);

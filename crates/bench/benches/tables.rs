@@ -1,0 +1,50 @@
+//! One benchmark per reproduced paper table (Tables 1-14 plus the
+//! extensions and ablations): each measures regenerating that table
+//! over a *warmed* pipeline (simulations memoized), i.e. the analysis,
+//! classification, and metrics cost. A separate `pipeline/cold`
+//! benchmark measures the full compile-simulate-analyze path for one
+//! workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dl_experiments::pipeline::Pipeline;
+use dl_experiments::tables::all_tables;
+use dl_minic::OptLevel;
+use dl_sim::CacheConfig;
+
+fn table_regeneration(c: &mut Criterion) {
+    let pipeline = Pipeline::new();
+    // Warm every configuration the tables use.
+    for (_, f) in all_tables() {
+        let _ = f(&pipeline);
+    }
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    for (name, f) in all_tables() {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(f(&pipeline)));
+        });
+    }
+    group.finish();
+}
+
+fn cold_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let bench = dl_workloads::by_name("129.compress").expect("exists");
+    group.bench_function("cold/compress", |b| {
+        b.iter(|| {
+            let pipeline = Pipeline::new();
+            black_box(pipeline.run(
+                &bench,
+                OptLevel::O0,
+                1,
+                CacheConfig::paper_baseline(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table_regeneration, cold_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! # dl-bench
+//!
+//! Criterion benchmarks for the delinquent-loads reproduction:
+//!
+//! * `benches/components.rs` — throughput of each substrate component
+//!   (cache model, CPU interpreter, MiniC compiler, address-pattern
+//!   extraction, heuristic scoring).
+//! * `benches/tables.rs` — one benchmark per reproduced paper table
+//!   (Tables 1–14 plus the two ablations), measuring regeneration cost
+//!   over a warmed simulation cache, plus a cold end-to-end pipeline
+//!   benchmark.
+//!
+//! Run with `cargo bench --workspace`.
+
+#![warn(missing_docs)]

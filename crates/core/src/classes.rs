@@ -1,0 +1,318 @@
+//! Class membership: the aggregate classes AG1–AG9 (paper §7.3) and the
+//! fine-grained H1 register-usage classes (paper Table 3).
+
+use dl_analysis::pattern::Ap;
+use dl_mips::reg::BaseReg;
+
+/// The nine aggregate classes of the paper's heuristic (Table 5).
+///
+/// AG1–AG7 are structural (testable on a single address pattern);
+/// AG8/AG9 are execution-frequency classes (testable on a load's
+/// dynamic execution count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AgClass {
+    /// `sp` and `gp` both used at least once (from H1).
+    Ag1,
+    /// Only `sp` among the basic registers, used two or more times
+    /// (from H1).
+    Ag2,
+    /// Multiplication or shift present (from H2).
+    Ag3,
+    /// One level of dereferencing (from H3).
+    Ag4,
+    /// Two levels of dereferencing (from H3).
+    Ag5,
+    /// Three or more levels of dereferencing (from H3).
+    Ag6,
+    /// Recurrence present (from H4).
+    Ag7,
+    /// Seldom executed: 100–1000 dynamic executions (from H5).
+    Ag8,
+    /// Rarely executed: fewer than 100 dynamic executions (from H5).
+    Ag9,
+}
+
+impl AgClass {
+    /// All nine classes, in order.
+    pub const ALL: [AgClass; 9] = [
+        AgClass::Ag1,
+        AgClass::Ag2,
+        AgClass::Ag3,
+        AgClass::Ag4,
+        AgClass::Ag5,
+        AgClass::Ag6,
+        AgClass::Ag7,
+        AgClass::Ag8,
+        AgClass::Ag9,
+    ];
+
+    /// Zero-based position (AG1 = 0).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The paper's name for the class.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        ["AG1", "AG2", "AG3", "AG4", "AG5", "AG6", "AG7", "AG8", "AG9"][self.index()]
+    }
+
+    /// Short description of the class feature (mirrors Table 5).
+    #[must_use]
+    pub fn feature(self) -> &'static str {
+        [
+            "sp, gp",
+            "sp two or more times, alone",
+            "multiplication / shifts",
+            "dereferenced once",
+            "dereferenced twice",
+            "dereferenced thrice",
+            "recurrent",
+            "seldom executed",
+            "rarely executed",
+        ][self.index()]
+    }
+}
+
+impl std::fmt::Display for AgClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Execution-count boundaries of the H5 frequency classes.
+pub mod frequency {
+    /// Below this many executions a load is "rarely executed" (AG9).
+    pub const RARE_BELOW: u64 = 100;
+    /// Below this many executions (and at least [`RARE_BELOW`]) a load
+    /// is "seldom executed" (AG8).
+    pub const SELDOM_BELOW: u64 = 1000;
+}
+
+/// Structural classes (AG1–AG7) a single address pattern belongs to.
+///
+/// # Example
+///
+/// ```
+/// use dl_analysis::Ap;
+/// use dl_core::classes::{pattern_classes, AgClass};
+/// use dl_mips::reg::BaseReg;
+///
+/// // (sp+4) + ((sp+8) << 2): array indexing through stack slots.
+/// let ap = Ap::add(
+///     Ap::deref(Ap::add(Ap::Base(BaseReg::Sp), Ap::Const(4))),
+///     Ap::shl(Ap::deref(Ap::add(Ap::Base(BaseReg::Sp), Ap::Const(8))), Ap::Const(2)),
+/// );
+/// let cls = pattern_classes(&ap);
+/// assert!(cls.contains(&AgClass::Ag2)); // sp twice, alone
+/// assert!(cls.contains(&AgClass::Ag3)); // shift
+/// assert!(cls.contains(&AgClass::Ag4)); // one deref level
+/// ```
+#[must_use]
+pub fn pattern_classes(ap: &Ap) -> Vec<AgClass> {
+    let mut out = Vec::new();
+    let sp = ap.count_base(BaseReg::Sp);
+    let gp = ap.count_base(BaseReg::Gp);
+    let param = ap.count_base(BaseReg::Param);
+    let ret = ap.count_base(BaseReg::Ret);
+    if sp >= 1 && gp >= 1 {
+        out.push(AgClass::Ag1);
+    }
+    if sp >= 2 && gp == 0 && param == 0 && ret == 0 {
+        out.push(AgClass::Ag2);
+    }
+    if ap.has_mul_or_shift() {
+        out.push(AgClass::Ag3);
+    }
+    match ap.deref_nesting() {
+        0 => {}
+        1 => out.push(AgClass::Ag4),
+        2 => out.push(AgClass::Ag5),
+        _ => out.push(AgClass::Ag6),
+    }
+    if ap.has_recurrence() {
+        out.push(AgClass::Ag7);
+    }
+    out
+}
+
+/// The execution-frequency class (AG8/AG9) of a load executed
+/// `exec_count` times, if any.
+#[must_use]
+pub fn frequency_class(exec_count: u64) -> Option<AgClass> {
+    if exec_count < frequency::RARE_BELOW {
+        Some(AgClass::Ag9)
+    } else if exec_count < frequency::SELDOM_BELOW {
+        Some(AgClass::Ag8)
+    } else {
+        None
+    }
+}
+
+/// One of the fifteen fine-grained H1 register-usage classes
+/// (paper Table 3), identified by the exact occurrence counts of `sp`
+/// and `gp` in an address pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct H1Class(u8);
+
+impl H1Class {
+    /// Classifies a `(sp, gp)` occurrence pair per Table 3.
+    #[must_use]
+    pub fn of_counts(sp: u32, gp: u32) -> H1Class {
+        let n = match (sp, gp) {
+            (0, 1) => 1,
+            (0, 2) => 2,
+            (0, 3) => 3,
+            (1, 0) => 4,
+            (1, 1) => 5,
+            (1, 2) => 6,
+            (2, 0) => 7,
+            (2, 1) => 8,
+            (3, 0) => 9,
+            (3, 1) => 10,
+            (4, 0) => 11,
+            (4, 3) => 12,
+            (5, 0) => 13,
+            (6, 3) => 14,
+            _ => 15,
+        };
+        H1Class(n)
+    }
+
+    /// Classifies an address pattern.
+    #[must_use]
+    pub fn of_pattern(ap: &Ap) -> H1Class {
+        H1Class::of_counts(ap.count_base(BaseReg::Sp), ap.count_base(BaseReg::Gp))
+    }
+
+    /// The Table 3 class number (1–15).
+    #[must_use]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// All fifteen classes.
+    pub fn all() -> impl Iterator<Item = H1Class> {
+        (1..=15).map(H1Class)
+    }
+
+    /// The feature column of Table 3.
+    #[must_use]
+    pub fn feature(self) -> &'static str {
+        [
+            "gp=1",
+            "gp=2",
+            "gp=3",
+            "sp=1",
+            "sp=1, gp=1",
+            "sp=1, gp=2",
+            "sp=2",
+            "sp=2, gp=1",
+            "sp=3",
+            "sp=3, gp=1",
+            "sp=4",
+            "sp=4, gp=3",
+            "sp=5",
+            "sp=6, gp=3",
+            "any others",
+        ][self.0 as usize - 1]
+    }
+}
+
+impl std::fmt::Display for H1Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "H1.{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_analysis::Ap;
+
+    fn sp() -> Ap {
+        Ap::Base(BaseReg::Sp)
+    }
+    fn gp() -> Ap {
+        Ap::Base(BaseReg::Gp)
+    }
+
+    #[test]
+    fn ag1_needs_both_sp_and_gp() {
+        let both = Ap::add(sp(), gp());
+        assert!(pattern_classes(&both).contains(&AgClass::Ag1));
+        let only_sp = Ap::add(sp(), Ap::Const(4));
+        assert!(!pattern_classes(&only_sp).contains(&AgClass::Ag1));
+    }
+
+    #[test]
+    fn ag2_needs_sp_twice_alone() {
+        let twice = Ap::add(Ap::deref(Ap::add(sp(), Ap::Const(4))), sp());
+        assert!(pattern_classes(&twice).contains(&AgClass::Ag2));
+        let once = Ap::add(sp(), Ap::Const(4));
+        assert!(!pattern_classes(&once).contains(&AgClass::Ag2));
+        // sp twice but gp present: AG1, not AG2.
+        let mixed = Ap::add(Ap::add(sp(), sp()), gp());
+        let cls = pattern_classes(&mixed);
+        assert!(cls.contains(&AgClass::Ag1));
+        assert!(!cls.contains(&AgClass::Ag2));
+    }
+
+    #[test]
+    fn deref_levels_map_to_ag4_5_6() {
+        let l0 = Ap::add(sp(), Ap::Const(4));
+        let l1 = Ap::deref(l0.clone());
+        let l2 = Ap::deref(Ap::add(l1.clone(), Ap::Const(8)));
+        let l3 = Ap::deref(Ap::add(l2.clone(), Ap::Const(8)));
+        let l4 = Ap::deref(l3.clone());
+        let has = |ap: &Ap, c: AgClass| pattern_classes(ap).contains(&c);
+        assert!(!has(&l0, AgClass::Ag4));
+        assert!(has(&l1, AgClass::Ag4));
+        assert!(has(&l2, AgClass::Ag5));
+        assert!(has(&l3, AgClass::Ag6));
+        // Four or more levels clamp to AG6.
+        assert!(has(&l4, AgClass::Ag6));
+        assert!(!has(&l4, AgClass::Ag5));
+    }
+
+    #[test]
+    fn ag7_recurrence() {
+        let rec = Ap::add(Ap::Rec, Ap::Const(4));
+        assert!(pattern_classes(&rec).contains(&AgClass::Ag7));
+    }
+
+    #[test]
+    fn frequency_classes() {
+        assert_eq!(frequency_class(0), Some(AgClass::Ag9));
+        assert_eq!(frequency_class(99), Some(AgClass::Ag9));
+        assert_eq!(frequency_class(100), Some(AgClass::Ag8));
+        assert_eq!(frequency_class(999), Some(AgClass::Ag8));
+        assert_eq!(frequency_class(1000), None);
+        assert_eq!(frequency_class(1_000_000), None);
+    }
+
+    #[test]
+    fn h1_class_numbers() {
+        assert_eq!(H1Class::of_counts(1, 1).number(), 5);
+        assert_eq!(H1Class::of_counts(2, 0).number(), 7);
+        assert_eq!(H1Class::of_counts(0, 0).number(), 15);
+        assert_eq!(H1Class::of_counts(7, 2).number(), 15);
+        assert_eq!(H1Class::of_counts(6, 3).number(), 14);
+    }
+
+    #[test]
+    fn h1_of_pattern() {
+        let ap = Ap::add(Ap::deref(Ap::add(sp(), Ap::Const(4))), gp());
+        assert_eq!(H1Class::of_pattern(&ap).number(), 5);
+    }
+
+    #[test]
+    fn class_metadata() {
+        assert_eq!(AgClass::Ag3.name(), "AG3");
+        assert_eq!(AgClass::Ag6.index(), 5);
+        assert_eq!(AgClass::ALL.len(), 9);
+        assert_eq!(H1Class::all().count(), 15);
+        assert_eq!(H1Class::of_counts(0, 2).feature(), "gp=2");
+    }
+}

@@ -1,0 +1,55 @@
+//! # dl-core
+//!
+//! The paper's primary contribution: a *static heuristic* that
+//! classifies load instructions as possibly delinquent from the
+//! structure of their address patterns plus coarse execution-frequency
+//! information.
+//!
+//! ## Pipeline
+//!
+//! 1. `dl-analysis` extracts each load's address patterns.
+//! 2. [`classes`] tests each pattern's membership in the nine
+//!    *aggregate classes* AG1–AG9 (derived from decision criteria
+//!    H1–H5).
+//! 3. [`heuristic::Heuristic`] computes the score
+//!    `φ(i) = max_{j ∈ A_i} Σ_k W(k)·d(j,k)` and flags load `i` as
+//!    possibly delinquent when `φ(i) > δ` (default δ = 0.10).
+//! 4. [`training`] re-derives the class weights from simulation data
+//!    using the paper's `m_j`/`n_j`/strength-index machinery (§7), and
+//!    [`heuristic::Weights::paper`] carries the published Table 5
+//!    values.
+//! 5. [`combine`] sharpens a basic-block-profiling set with the
+//!    heuristic (§9, the ε-factor scheme).
+//!
+//! # Example
+//!
+//! ```
+//! use dl_mips::parse::parse_asm;
+//! use dl_analysis::extract::{analyze_program, AnalysisConfig};
+//! use dl_core::heuristic::Heuristic;
+//!
+//! // A two-level pointer chase: scores well above δ.
+//! let p = parse_asm(
+//!     "main:\n\
+//!      \tlw $t0, 16($sp)\n\
+//!      \tlw $t1, 8($t0)\n\
+//!      \tlw $t2, 12($t1)\n\
+//!      \tjr $ra\n",
+//! ).unwrap();
+//! let analysis = analyze_program(&p, &AnalysisConfig::default());
+//! let h = Heuristic::default();
+//! // Pretend every load executes often enough not to be filtered.
+//! let exec = vec![10_000u64; p.insts.len()];
+//! let delinquent = h.classify(&analysis, &exec);
+//! assert!(delinquent.contains(&2));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classes;
+pub mod combine;
+pub mod heuristic;
+pub mod training;
+
+pub use classes::{AgClass, H1Class};
+pub use heuristic::{Heuristic, Weights};

@@ -1,0 +1,31 @@
+//! Developer utility: run every workload at `-O0` on Input 1 and print
+//! one summary line per benchmark (instructions, loads, misses, output
+//! head, wall time). Useful when (re)tuning workload footprints.
+//!
+//! ```text
+//! cargo run --release -p dl-experiments --bin runcheck
+//! ```
+
+fn main() {
+    for b in dl_workloads::all() {
+        let p = b.compile(dl_minic::OptLevel::O0).expect("workload compiles");
+        let cfg = dl_sim::RunConfig {
+            input: b.input1.clone(),
+            ..Default::default()
+        };
+        let t0 = std::time::Instant::now();
+        match dl_sim::run(&p, &cfg) {
+            Ok(r) => println!(
+                "{:15} insts={:>10} loads={:>9} miss={:>8} ({:5.2}%) out={:?} {:?}ms",
+                b.name,
+                r.instructions,
+                r.loads,
+                r.load_misses_total,
+                100.0 * r.load_misses_total as f64 / r.loads.max(1) as f64,
+                &r.output[..r.output.len().min(2)],
+                t0.elapsed().as_millis()
+            ),
+            Err(e) => println!("{:15} TRAP: {e}", b.name),
+        }
+    }
+}

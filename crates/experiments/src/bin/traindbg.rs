@@ -1,0 +1,54 @@
+//! Developer utility: print per-benchmark (m, n, r) statistics for the
+//! seven structural aggregate classes over the training set — the raw
+//! numbers behind the class-nature decisions of Table 5.
+//!
+//! ```text
+//! cargo run --release -p dl-experiments --bin traindbg
+//! ```
+
+use dl_core::training::{
+    aggregate_class_defs, train_class, TrainingParams, TrainingRun,
+};
+use dl_experiments::pipeline::Pipeline;
+use dl_minic::OptLevel;
+use dl_sim::CacheConfig;
+
+fn main() {
+    let p = Pipeline::new();
+    let runs: Vec<_> = dl_workloads::training_set()
+        .into_iter()
+        .map(|b| {
+            (
+                b.name,
+                p.run(&b, OptLevel::O0, 1, CacheConfig::paper_baseline()),
+            )
+        })
+        .collect();
+    let views: Vec<TrainingRun<'_>> = runs
+        .iter()
+        .map(|(n, r)| TrainingRun {
+            name: n,
+            loads: &r.analysis.loads,
+            exec_counts: &r.result.exec_counts,
+            load_misses: &r.result.load_misses,
+            total_load_misses: r.result.load_misses_total,
+        })
+        .collect();
+    for def in aggregate_class_defs().iter().take(7) {
+        let t = train_class(def, &views, &TrainingParams::default());
+        println!("== {} ({:?})", def.name, t.nature);
+        for s in &t.stats {
+            if s.found {
+                let r = if s.n > 0.0 { s.m / s.n } else { f64::NAN };
+                println!(
+                    "  {:14} m={:8.4}% n={:8.3}% r={:7.4} {}",
+                    s.bench,
+                    s.m * 100.0,
+                    s.n * 100.0,
+                    r,
+                    if s.relevant { "REL" } else { "" }
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # dl-experiments
+//!
+//! The evaluation driver: compiles each synthetic benchmark, simulates
+//! it under a cache configuration, runs the static analysis and the
+//! delinquency heuristics, computes the paper's metrics (precision π,
+//! coverage ρ, false-positive impact ξ, the ideal and profiling sets),
+//! and regenerates every table of the paper's evaluation section.
+//!
+//! Regenerate everything with:
+//!
+//! ```text
+//! cargo run --release -p dl-experiments --bin repro -- all
+//! ```
+//!
+//! or a single table with `-- table11`, etc. `-- write-experiments`
+//! emits the full `EXPERIMENTS.md` comparison document.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dl_experiments::pipeline::Pipeline;
+//! use dl_experiments::metrics;
+//! use dl_core::Heuristic;
+//! use dl_minic::OptLevel;
+//! use dl_sim::CacheConfig;
+//!
+//! let pipeline = Pipeline::new();
+//! let bench = dl_workloads::by_name("181.mcf").unwrap();
+//! let run = pipeline.run(&bench, OptLevel::O0, 1, CacheConfig::paper_training());
+//! let delta = Heuristic::default().classify(&run.analysis, &run.result.exec_counts);
+//! println!("pi = {:.1}%", 100.0 * metrics::pi(delta.len(), run.lambda()));
+//! println!("rho = {:.0}%", 100.0 * metrics::rho(&run.result, &delta));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod pipeline;
+pub mod report;
+pub mod tables;
+
+pub use pipeline::{BenchRun, Pipeline};
+pub use report::Table;

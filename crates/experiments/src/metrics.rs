@@ -1,0 +1,233 @@
+//! The paper's evaluation metrics: precision π, coverage ρ,
+//! false-positive impact ξ, the greedy *ideal* set, the basic-block
+//! *profiling* set, and the random-selection control.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dl_analysis::cfg::program_blocks;
+use dl_mips::program::Program;
+use dl_sim::RunResult;
+
+/// π(H) = |Δ| / |Λ|: the fraction of static loads flagged.
+#[must_use]
+pub fn pi(delta_len: usize, lambda: usize) -> f64 {
+    if lambda == 0 {
+        0.0
+    } else {
+        delta_len as f64 / lambda as f64
+    }
+}
+
+/// ρ(H) = M_Δ / M(P(I), C): the fraction of all load misses that the
+/// flagged set accounts for.
+#[must_use]
+pub fn rho(result: &RunResult, delta: &[usize]) -> f64 {
+    if result.load_misses_total == 0 {
+        return 0.0;
+    }
+    result.misses_of_set(delta) as f64 / result.load_misses_total as f64
+}
+
+/// The *ideal* set: loads sorted by miss count descending, greedily
+/// taken until they cover at least `target_misses`. This is the
+/// minimal-cardinality set reaching that coverage (paper Table 1,
+/// third column).
+#[must_use]
+pub fn ideal_set(result: &RunResult, loads: &[usize], target_misses: u64) -> Vec<usize> {
+    let mut by_miss: Vec<usize> = loads
+        .iter()
+        .copied()
+        .filter(|&i| result.load_misses[i] > 0)
+        .collect();
+    by_miss.sort_by_key(|&i| std::cmp::Reverse(result.load_misses[i]));
+    let mut out = Vec::new();
+    let mut covered = 0u64;
+    for i in by_miss {
+        if covered >= target_misses {
+            break;
+        }
+        covered += result.load_misses[i];
+        out.push(i);
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The *profiling* set Δ_P (paper §4): all loads inside the basic
+/// blocks that cumulatively account for `fraction` of the program's
+/// executed instructions ("compute cycles").
+#[must_use]
+pub fn profiling_set(program: &Program, result: &RunResult, fraction: f64) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+    let blocks = program_blocks(program);
+    // Cycles per block = dynamic instructions executed inside it.
+    let mut weighted: Vec<(u64, usize)> = blocks
+        .iter()
+        .enumerate()
+        .map(|(bid, &(s, e))| {
+            let cycles: u64 = (s..e).map(|i| result.exec_counts[i]).sum();
+            (cycles, bid)
+        })
+        .collect();
+    weighted.sort_by_key(|&(c, _)| std::cmp::Reverse(c));
+    let total: u64 = weighted.iter().map(|&(c, _)| c).sum();
+    let target = (total as f64 * fraction) as u64;
+    let mut covered = 0u64;
+    let mut out = Vec::new();
+    for (cycles, bid) in weighted {
+        if covered >= target || cycles == 0 {
+            break;
+        }
+        covered += cycles;
+        let (s, e) = blocks[bid];
+        for i in s..e {
+            if program.insts[i].is_load() {
+                out.push(i);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// ξ: the percentage of *dynamic* load executions spent on loads that
+/// the heuristic flagged but the ideal set does not contain — the
+/// dynamic cost of false positives (paper Table 11).
+#[must_use]
+pub fn xi(result: &RunResult, loads: &[usize], delta: &[usize], ideal: &[usize]) -> f64 {
+    let total_dynamic: u64 = loads.iter().map(|&i| result.exec_counts[i]).sum();
+    if total_dynamic == 0 {
+        return 0.0;
+    }
+    let ideal_set: std::collections::BTreeSet<usize> = ideal.iter().copied().collect();
+    let wasted: u64 = delta
+        .iter()
+        .filter(|i| !ideal_set.contains(i))
+        .map(|&i| result.exec_counts[i])
+        .sum();
+    wasted as f64 / total_dynamic as f64
+}
+
+/// ρ\* — the random-selection control of Table 14: the mean coverage of
+/// `k` loads drawn uniformly from the hotspot loads, averaged over
+/// `trials` seeded draws.
+#[must_use]
+pub fn random_control(
+    result: &RunResult,
+    hot_loads: &[usize],
+    k: usize,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    if hot_loads.is_empty() || k == 0 || trials == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed ^ u64::from(t).wrapping_mul(0x9e37_79b9));
+        let mut pool: Vec<usize> = hot_loads.to_vec();
+        let take = k.min(pool.len());
+        // Partial Fisher-Yates for a uniform k-subset.
+        for i in 0..take {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        total += rho(result, &pool[..take]);
+    }
+    total / f64::from(trials)
+}
+
+/// Formats a fraction as a percentage with the given precision.
+#[must_use]
+pub fn pct(x: f64, decimals: usize) -> String {
+    format!("{:.*}%", decimals, x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_with(misses: Vec<u64>, execs: Vec<u64>) -> RunResult {
+        let n = misses.len();
+        let mut r = RunResult::with_len(n);
+        r.load_misses_total = misses.iter().sum();
+        r.load_misses = misses;
+        r.exec_counts = execs;
+        r
+    }
+
+    #[test]
+    fn pi_and_rho_basics() {
+        assert_eq!(pi(10, 100), 0.1);
+        assert_eq!(pi(0, 0), 0.0);
+        let r = result_with(vec![10, 0, 30, 60], vec![1; 4]);
+        assert!((rho(&r, &[3]) - 0.6).abs() < 1e-12);
+        assert!((rho(&r, &[0, 2, 3]) - 1.0).abs() < 1e-12);
+        assert_eq!(rho(&r, &[]), 0.0);
+    }
+
+    #[test]
+    fn ideal_set_is_greedy_minimal() {
+        let r = result_with(vec![10, 0, 30, 60], vec![1; 4]);
+        let loads = vec![0, 1, 2, 3];
+        // 90% of 100 = 90: needs 60 + 30 = 90.
+        let ideal = ideal_set(&r, &loads, 90);
+        assert_eq!(ideal, vec![2, 3]);
+        // 95 needs all three missing loads.
+        let ideal = ideal_set(&r, &loads, 95);
+        assert_eq!(ideal, vec![0, 2, 3]);
+        // Zero target: empty.
+        assert!(ideal_set(&r, &loads, 0).is_empty());
+    }
+
+    #[test]
+    fn xi_counts_dynamic_false_positives() {
+        let r = result_with(vec![0, 0, 50, 50], vec![100, 300, 100, 500]);
+        let loads = vec![0, 1, 2, 3];
+        // Heuristic flags 1 (false) and 3 (true); ideal = {2, 3}.
+        let x = xi(&r, &loads, &[1, 3], &[2, 3]);
+        assert!((x - 0.3).abs() < 1e-12);
+        // No false positives.
+        assert_eq!(xi(&r, &loads, &[2, 3], &[2, 3]), 0.0);
+    }
+
+    #[test]
+    fn random_control_is_deterministic_and_bounded() {
+        let r = result_with(vec![5, 10, 15, 70], vec![1; 4]);
+        let hot = vec![0, 1, 2, 3];
+        let a = random_control(&r, &hot, 2, 3, 42);
+        let b = random_control(&r, &hot, 2, 3, 42);
+        assert_eq!(a, b);
+        assert!(a > 0.0 && a < 1.0);
+        // Taking everything covers everything.
+        assert!((random_control(&r, &hot, 4, 2, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.1234, 1), "12.3%");
+        assert_eq!(pct(0.9, 0), "90%");
+    }
+
+    #[test]
+    fn profiling_set_picks_hot_block_loads() {
+        use dl_mips::parse::parse_asm;
+        // Hot loop block with a load, cold tail block with a load.
+        let p = parse_asm(
+            "main:\n\
+             \tli $t0, 1000\n\
+             .Lloop:\n\
+             \tlw $t1, 0($gp)\n\
+             \taddiu $t0, $t0, -1\n\
+             \tbgtz $t0, .Lloop\n\
+             \tlw $t2, 4($gp)\n\
+             \tjr $ra\n",
+        )
+        .unwrap();
+        let r = dl_sim::run(&p, &dl_sim::RunConfig::default()).unwrap();
+        let hot = profiling_set(&p, &r, 0.9);
+        assert!(hot.contains(&1), "hot-loop load selected");
+        assert!(!hot.contains(&4), "cold load excluded");
+    }
+}

@@ -1,0 +1,136 @@
+//! The compile → simulate → analyze pipeline, memoized per
+//! (benchmark, optimization level, input set, cache geometry).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dl_analysis::extract::{analyze_program, AnalysisConfig, ProgramAnalysis};
+use dl_minic::OptLevel;
+use dl_mips::program::Program;
+use dl_sim::{run as simulate, CacheConfig, RunConfig, RunResult};
+use dl_workloads::Benchmark;
+
+/// Everything produced by one end-to-end benchmark run.
+#[derive(Debug)]
+pub struct BenchRun {
+    /// Benchmark name.
+    pub name: String,
+    /// The compiled program.
+    pub program: Program,
+    /// Address-pattern analysis of every static load.
+    pub analysis: ProgramAnalysis,
+    /// Simulation measurements.
+    pub result: RunResult,
+}
+
+impl BenchRun {
+    /// Λ — the number of static load instructions.
+    #[must_use]
+    pub fn lambda(&self) -> usize {
+        self.analysis.loads.len()
+    }
+
+    /// Instruction indices of all static loads.
+    #[must_use]
+    pub fn load_indices(&self) -> Vec<usize> {
+        self.analysis.loads.iter().map(|l| l.index).collect()
+    }
+}
+
+type Key = (String, OptLevel, u8, CacheConfig);
+
+/// Memoizing pipeline executor.
+///
+/// Compilation + analysis are shared across cache geometries for the
+/// same `(benchmark, opt, input)`; simulation results are cached per
+/// full key, so tables that share configurations do not re-simulate.
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    runs: RefCell<HashMap<Key, Rc<BenchRun>>>,
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// Runs (or returns the memoized run of) one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark fails to compile or traps during
+    /// simulation — both indicate bugs in the bundled workloads and
+    /// are covered by tests.
+    #[must_use]
+    pub fn run(
+        &self,
+        bench: &Benchmark,
+        opt: OptLevel,
+        input_set: u8,
+        cache: CacheConfig,
+    ) -> Rc<BenchRun> {
+        let key = (bench.name.to_owned(), opt, input_set, cache);
+        if let Some(hit) = self.runs.borrow().get(&key) {
+            return Rc::clone(hit);
+        }
+        let program = bench
+            .compile(opt)
+            .unwrap_or_else(|e| panic!("{} does not compile at {opt}: {e}", bench.name));
+        let analysis = analyze_program(&program, &AnalysisConfig::default());
+        let config = RunConfig {
+            cache,
+            input: bench.input(input_set).to_vec(),
+            ..RunConfig::default()
+        };
+        let result = simulate(&program, &config)
+            .unwrap_or_else(|e| panic!("{} trapped at {opt}: {e}", bench.name));
+        let run = Rc::new(BenchRun {
+            name: bench.name.to_owned(),
+            program,
+            analysis,
+            result,
+        });
+        self.runs.borrow_mut().insert(key, Rc::clone(&run));
+        run
+    }
+
+    /// Number of distinct simulations performed so far.
+    #[must_use]
+    pub fn simulations(&self) -> usize {
+        self.runs.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoization_shares_runs() {
+        let p = Pipeline::new();
+        // A small benchmark keeps the test fast.
+        let mut b = dl_workloads::by_name("197.parser").expect("exists");
+        b.input1 = vec![500, 2];
+        let r1 = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
+        let r2 = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
+        assert!(Rc::ptr_eq(&r1, &r2));
+        assert_eq!(p.simulations(), 1);
+        let r3 = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_baseline());
+        assert!(!Rc::ptr_eq(&r1, &r3));
+        assert_eq!(p.simulations(), 2);
+    }
+
+    #[test]
+    fn run_produces_consistent_views() {
+        let p = Pipeline::new();
+        let mut b = dl_workloads::by_name("129.compress").expect("exists");
+        b.input1 = vec![2000, 3];
+        let r = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
+        assert_eq!(r.lambda(), r.program.static_load_count());
+        assert_eq!(r.result.exec_counts.len(), r.program.insts.len());
+        assert!(r.result.instructions > 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Table rendering for the reproduction reports.
+
+use std::fmt;
+
+/// One regenerated table: id, title, column headers, rows, and a note
+/// comparing against what the paper reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    /// Identifier matching the paper (e.g. `"table11"`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Comparison note: what the paper reports, and whether the shape
+    /// holds here.
+    pub note: String,
+}
+
+impl Table {
+    /// Creates a table with headers.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        header: &[&str],
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            note: String::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width mismatch in {}",
+            self.id
+        );
+        self.rows.push(row);
+    }
+
+    /// Sets the paper-comparison note.
+    pub fn set_note(&mut self, note: impl Into<String>) {
+        self.note = note.into();
+    }
+
+    /// Renders GitHub-flavored markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.header.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        if !self.note.is_empty() {
+            out.push_str(&format!("\n*{}*\n", self.note));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("table0", "demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.set_note("paper reports 3");
+        let md = t.to_markdown();
+        assert!(md.contains("### table0 — demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("*paper reports 3*"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

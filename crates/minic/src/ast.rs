@@ -1,0 +1,309 @@
+//! The MiniC abstract syntax tree and type language.
+
+/// A MiniC type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// No value (function returns only).
+    Void,
+    /// 32-bit signed integer.
+    Int,
+    /// 8-bit integer (byte).
+    Char,
+    /// Pointer to a pointee type.
+    Ptr(Box<Type>),
+    /// Fixed-size array.
+    Array(Box<Type>, usize),
+    /// A named structure.
+    Struct(String),
+}
+
+impl Type {
+    /// Builds a pointer to `self`.
+    #[must_use]
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// `true` for `int`/`char`.
+    #[must_use]
+    pub fn is_integral(&self) -> bool {
+        matches!(self, Type::Int | Type::Char)
+    }
+
+    /// `true` for pointer types.
+    #[must_use]
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// `true` for types a register can hold (int, char, pointer).
+    #[must_use]
+    pub fn is_scalar(&self) -> bool {
+        self.is_integral() || self.is_pointer()
+    }
+
+    /// The type this decays to in expression position (arrays decay to
+    /// pointers to their element type).
+    #[must_use]
+    pub fn decayed(&self) -> Type {
+        match self {
+            Type::Array(elem, _) => Type::Ptr(elem.clone()),
+            other => other.clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Void => f.write_str("void"),
+            Type::Int => f.write_str("int"),
+            Type::Char => f.write_str("char"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Array(t, n) => write!(f, "{t}[{n}]"),
+            Type::Struct(name) => write!(f, "struct {name}"),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x`.
+    Not,
+    /// Bitwise not `~x`.
+    BitNot,
+    /// Pointer dereference `*p`.
+    Deref,
+    /// Address-of `&x`.
+    Addr,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (pointer arithmetic scales by pointee size).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/` (signed).
+    Div,
+    /// `%` (signed).
+    Rem,
+    /// `<<`.
+    Shl,
+    /// `>>` (arithmetic).
+    Shr,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `&`.
+    BitAnd,
+    /// `|`.
+    BitOr,
+    /// `^`.
+    BitXor,
+    /// `&&` (short-circuit).
+    And,
+    /// `||` (short-circuit).
+    Or,
+}
+
+impl BinOp {
+    /// `true` for comparison operators (result is 0/1 `int`).
+    #[must_use]
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+}
+
+/// An expression node. `id` indexes the side tables produced by
+/// semantic analysis; `line` is for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Unique id within the translation unit.
+    pub id: u32,
+    /// 1-based source line.
+    pub line: u32,
+    /// The expression proper.
+    pub kind: ExprKind,
+}
+
+/// Expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Num(i64),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Assignment `lhs = rhs` (value is the assigned value).
+    Assign(Box<Expr>, Box<Expr>),
+    /// Array indexing `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Struct field access `value.field`.
+    Field(Box<Expr>, String),
+    /// Struct field through pointer `ptr->field`.
+    Arrow(Box<Expr>, String),
+    /// Function or intrinsic call.
+    Call(String, Vec<Expr>),
+    /// `sizeof(type)` — a compile-time constant.
+    SizeOf(Type),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local variable declaration (optionally initialized).
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) then else els`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        els: Vec<Stmt>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Initialization expression (evaluated once).
+        init: Option<Expr>,
+        /// Condition (absent = infinite).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr;`.
+    Return(Option<Expr>, u32),
+    /// `break;`.
+    Break(u32),
+    /// `continue;`.
+    Continue(u32),
+    /// `{ ... }`.
+    Block(Vec<Stmt>),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// Parameters in order (at most four).
+    pub params: Vec<(String, Type)>,
+    /// Return type.
+    pub ret: Type,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A structure definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Structure name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<(String, Type)>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional constant initializer (scalars only).
+    pub init: Option<i64>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Unit {
+    /// Structure definitions.
+    pub structs: Vec<StructDef>,
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Function definitions.
+    pub funcs: Vec<Func>,
+    /// Total number of expression ids handed out.
+    pub expr_count: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_predicates() {
+        assert!(Type::Int.is_integral());
+        assert!(Type::Char.is_scalar());
+        assert!(Type::Int.ptr_to().is_pointer());
+        assert!(!Type::Struct("s".into()).is_scalar());
+    }
+
+    #[test]
+    fn array_decay() {
+        let arr = Type::Array(Box::new(Type::Int), 10);
+        assert_eq!(arr.decayed(), Type::Int.ptr_to());
+        assert_eq!(Type::Int.decayed(), Type::Int);
+    }
+
+    #[test]
+    fn type_display() {
+        let t = Type::Array(Box::new(Type::Ptr(Box::new(Type::Char))), 8);
+        assert_eq!(t.to_string(), "char*[8]");
+        assert_eq!(Type::Struct("node".into()).to_string(), "struct node");
+    }
+
+    #[test]
+    fn comparison_ops() {
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+    }
+}

@@ -1,0 +1,1278 @@
+//! The MiniC code generator.
+//!
+//! At [`OptLevel::O0`] the output mirrors gcc `-O0`: every local and
+//! parameter lives in a stack slot and is reloaded around each use, so
+//! the address patterns the paper's heuristic consumes have their
+//! characteristic `sp`-relative dereference shapes. At
+//! [`OptLevel::O1`] scalar locals whose address is never taken are
+//! register-allocated into `$s0`–`$s7`, constants fold, and
+//! multiplications by powers of two become shifts.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dl_mips::asm::AsmBuilder;
+use dl_mips::inst::{Inst, Label};
+use dl_mips::program::Program;
+use dl_mips::reg::Reg;
+
+use crate::ast::{BinOp, Expr, ExprKind, Func, Stmt, Type, UnOp, Unit};
+use crate::sema::{intrinsic_signature, CompileError, SemaInfo};
+use crate::OptLevel;
+
+/// Temp-register spill area at the bottom of every frame: one word per
+/// temp register, used to keep expression temporaries alive across
+/// calls.
+const SPILL_WORDS: u32 = 10;
+
+/// Largest frame we allow (offsets must fit comfortably in i16).
+const MAX_FRAME: u32 = 30_000;
+
+/// Where a variable lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum VarLoc {
+    /// `offset($sp)`.
+    Slot(i16),
+    /// A callee-saved register (O1 scalars).
+    SReg(Reg),
+    /// Absolute data-segment address.
+    Global(u32),
+}
+
+/// Generates a program from a checked unit.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if a function frame exceeds the i16
+/// offset range or an expression needs more temporaries than the
+/// register pool provides.
+pub fn generate(unit: &Unit, info: &SemaInfo, opt: OptLevel) -> Result<Program, CompileError> {
+    let mut b = AsmBuilder::new();
+    let mut globals: BTreeMap<String, (u32, Type)> = BTreeMap::new();
+    for g in &unit.globals {
+        let size = info.size_of(&g.ty);
+        let align = info.align_of(&g.ty).max(if size >= 4 { 4 } else { 1 });
+        let addr = b.alloc_global(g.name.clone(), size, align);
+        if let Some(v) = g.init {
+            match info.size_of(&g.ty) {
+                1 => b.poke_byte(addr, v as u8),
+                _ => b.poke_word(addr, v as i32),
+            }
+        }
+        globals.insert(g.name.clone(), (addr, g.ty.clone()));
+    }
+    for f in &unit.funcs {
+        let plan = plan_frame(f, info, opt)?;
+        let mut fg = FuncGen {
+            b: &mut b,
+            info,
+            unit,
+            globals: &globals,
+            opt,
+            plan: &plan,
+            scopes: Vec::new(),
+            decl_cursor: 0,
+            free: Reg::TEMPS[..8].to_vec(),
+            live: Vec::new(),
+            loop_stack: Vec::new(),
+            epilogue: Label(0),
+            line: f.line,
+        };
+        fg.function(f)?;
+    }
+    b.finish("main")
+        .map_err(|e| CompileError::new(0, format!("assembly error: {e}")))
+}
+
+/// The frame plan of one function, computed before emission.
+#[derive(Debug)]
+struct FramePlan {
+    frame: u32,
+    param_locs: Vec<VarLoc>,
+    decl_locs: Vec<VarLoc>,
+    used_sregs: Vec<Reg>,
+    ra_off: i16,
+    sreg_base: i16,
+}
+
+/// Collects declarations in the deterministic traversal order the
+/// generator will also use, plus the set of address-taken names.
+fn collect_decls<'a>(body: &'a [Stmt], out: &mut Vec<(&'a str, &'a Type)>) {
+    for s in body {
+        match s {
+            Stmt::Decl { name, ty, .. } => out.push((name, ty)),
+            Stmt::If { then, els, .. } => {
+                collect_decls(then, out);
+                collect_decls(els, out);
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => collect_decls(body, out),
+            Stmt::Block(inner) => collect_decls(inner, out),
+            _ => {}
+        }
+    }
+}
+
+fn collect_addr_taken(e: &Expr, out: &mut BTreeSet<String>) {
+    match &e.kind {
+        ExprKind::Unary(UnOp::Addr, inner) => {
+            if let ExprKind::Var(name) = &inner.kind {
+                out.insert(name.clone());
+            }
+            collect_addr_taken(inner, out);
+        }
+        ExprKind::Unary(_, a) => collect_addr_taken(a, out),
+        ExprKind::Binary(_, a, b) | ExprKind::Assign(a, b) | ExprKind::Index(a, b) => {
+            collect_addr_taken(a, out);
+            collect_addr_taken(b, out);
+        }
+        ExprKind::Field(a, _) | ExprKind::Arrow(a, _) => collect_addr_taken(a, out),
+        ExprKind::Call(_, args) => {
+            for a in args {
+                collect_addr_taken(a, out);
+            }
+        }
+        ExprKind::Num(_) | ExprKind::Var(_) | ExprKind::SizeOf(_) => {}
+    }
+}
+
+fn collect_addr_taken_stmts(body: &[Stmt], out: &mut BTreeSet<String>) {
+    for s in body {
+        match s {
+            Stmt::Expr(e) => collect_addr_taken(e, out),
+            Stmt::Decl { init: Some(e), .. } => collect_addr_taken(e, out),
+            Stmt::Decl { .. } => {}
+            Stmt::If { cond, then, els } => {
+                collect_addr_taken(cond, out);
+                collect_addr_taken_stmts(then, out);
+                collect_addr_taken_stmts(els, out);
+            }
+            Stmt::While { cond, body } => {
+                collect_addr_taken(cond, out);
+                collect_addr_taken_stmts(body, out);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                for e in [init, cond, step].into_iter().flatten() {
+                    collect_addr_taken(e, out);
+                }
+                collect_addr_taken_stmts(body, out);
+            }
+            Stmt::Return(Some(e), _) => collect_addr_taken(e, out),
+            Stmt::Block(inner) => collect_addr_taken_stmts(inner, out),
+            Stmt::Return(None, _) | Stmt::Break(_) | Stmt::Continue(_) => {}
+        }
+    }
+}
+
+fn plan_frame(f: &Func, info: &SemaInfo, opt: OptLevel) -> Result<FramePlan, CompileError> {
+    let mut decls = Vec::new();
+    collect_decls(&f.body, &mut decls);
+    let mut addr_taken = BTreeSet::new();
+    collect_addr_taken_stmts(&f.body, &mut addr_taken);
+
+    let mut sregs = Reg::SAVED.iter().copied();
+    let mut used_sregs = Vec::new();
+    let mut offset = SPILL_WORDS * 4;
+    let mut place = |ty: &Type, name: &str| -> VarLoc {
+        if opt == OptLevel::O1 && ty.is_scalar() && !addr_taken.contains(name) {
+            if let Some(r) = sregs.next() {
+                used_sregs.push(r);
+                return VarLoc::SReg(r);
+            }
+        }
+        let align = info.align_of(ty).max(4); // slots are word-aligned
+        let size = info.size_of(ty).max(4);
+        offset = offset.div_ceil(align) * align;
+        let loc = VarLoc::Slot(offset as i16);
+        offset += size;
+        loc
+    };
+    let param_locs: Vec<VarLoc> = f
+        .params
+        .iter()
+        .map(|(name, ty)| place(ty, name))
+        .collect();
+    let decl_locs: Vec<VarLoc> = decls
+        .iter()
+        .map(|(name, ty)| place(ty, name))
+        .collect();
+    let sreg_base = offset.div_ceil(4) * 4;
+    offset = sreg_base + used_sregs.len() as u32 * 4;
+    let ra_off = offset;
+    offset += 4;
+    let frame = offset.div_ceil(8) * 8;
+    if frame > MAX_FRAME {
+        return Err(CompileError::new(
+            f.line,
+            format!(
+                "frame of `{}` is {frame} bytes; move large arrays to globals or the heap",
+                f.name
+            ),
+        ));
+    }
+    Ok(FramePlan {
+        frame,
+        param_locs,
+        decl_locs,
+        used_sregs,
+        ra_off: ra_off as i16,
+        sreg_base: sreg_base as i16,
+    })
+}
+
+struct FuncGen<'a> {
+    b: &'a mut AsmBuilder,
+    info: &'a SemaInfo,
+    unit: &'a Unit,
+    globals: &'a BTreeMap<String, (u32, Type)>,
+    opt: OptLevel,
+    plan: &'a FramePlan,
+    scopes: Vec<BTreeMap<String, (VarLoc, Type)>>,
+    decl_cursor: usize,
+    free: Vec<Reg>,
+    live: Vec<Reg>,
+    loop_stack: Vec<(Label, Label)>, // (continue target, break target)
+    epilogue: Label,
+    line: u32,
+}
+
+impl FuncGen<'_> {
+    fn err(&self, message: impl Into<String>) -> CompileError {
+        CompileError::new(self.line, message)
+    }
+
+    fn alloc(&mut self) -> Result<Reg, CompileError> {
+        let r = self
+            .free
+            .pop()
+            .ok_or_else(|| self.err("expression too deep: temporary registers exhausted"))?;
+        self.live.push(r);
+        Ok(r)
+    }
+
+    fn release(&mut self, r: Reg) {
+        if let Some(pos) = self.live.iter().position(|&x| x == r) {
+            self.live.remove(pos);
+            self.free.push(r);
+        }
+    }
+
+    fn spill_slot(r: Reg) -> i16 {
+        let idx = Reg::TEMPS
+            .iter()
+            .position(|&t| t == r)
+            .expect("spilled register is a temp");
+        (idx as i16) * 4
+    }
+
+    fn ty_of(&self, e: &Expr) -> &Type {
+        self.info.type_of(e)
+    }
+
+    fn is_aggregate(ty: &Type) -> bool {
+        matches!(ty, Type::Array(..) | Type::Struct(_))
+    }
+
+    fn lookup(&self, name: &str) -> Option<(VarLoc, Type)> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v.clone());
+            }
+        }
+        self.globals
+            .get(name)
+            .map(|(addr, ty)| (VarLoc::Global(*addr), ty.clone()))
+    }
+
+    fn function(&mut self, f: &Func) -> Result<(), CompileError> {
+        self.b.begin_func(f.name.clone());
+        self.epilogue = self.b.new_label();
+        let frame = self.plan.frame as i16;
+        self.b.push(Inst::Addiu {
+            rt: Reg::Sp,
+            rs: Reg::Sp,
+            imm: -frame,
+        });
+        self.b.push(Inst::Sw {
+            rt: Reg::Ra,
+            base: Reg::Sp,
+            off: self.plan.ra_off,
+        });
+        for (i, &r) in self.plan.used_sregs.iter().enumerate() {
+            self.b.push(Inst::Sw {
+                rt: r,
+                base: Reg::Sp,
+                off: self.plan.sreg_base + 4 * i as i16,
+            });
+        }
+        // Park parameters in their homes.
+        self.scopes.push(BTreeMap::new());
+        for (i, (name, ty)) in f.params.iter().enumerate() {
+            let loc = self.plan.param_locs[i].clone();
+            let arg = Reg::ARGS[i];
+            match &loc {
+                VarLoc::Slot(off) => {
+                    self.b.push(Inst::Sw {
+                        rt: arg,
+                        base: Reg::Sp,
+                        off: *off,
+                    });
+                }
+                VarLoc::SReg(r) => self.b.mv(*r, arg),
+                VarLoc::Global(_) => unreachable!("params are never global"),
+            }
+            self.scopes
+                .last_mut()
+                .expect("scope pushed")
+                .insert(name.clone(), (loc, ty.clone()));
+        }
+        self.stmts(&f.body)?;
+        // Implicit return (value 0 for non-void mains falling off).
+        self.b.li(Reg::V0, 0);
+        self.b.bind(self.epilogue);
+        for (i, &r) in self.plan.used_sregs.iter().enumerate() {
+            self.b.push(Inst::Lw {
+                rt: r,
+                base: Reg::Sp,
+                off: self.plan.sreg_base + 4 * i as i16,
+            });
+        }
+        self.b.push(Inst::Lw {
+            rt: Reg::Ra,
+            base: Reg::Sp,
+            off: self.plan.ra_off,
+        });
+        self.b.push(Inst::Addiu {
+            rt: Reg::Sp,
+            rs: Reg::Sp,
+            imm: frame,
+        });
+        self.b.push(Inst::Jr { rs: Reg::Ra });
+        self.scopes.pop();
+        self.b.end_func();
+        Ok(())
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(BTreeMap::new());
+        for s in body {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Expr(e) => {
+                self.line = e.line;
+                let r = self.rvalue(e)?;
+                self.release(r);
+                Ok(())
+            }
+            Stmt::Decl { name, ty, init, .. } => {
+                let loc = self.plan.decl_locs[self.decl_cursor].clone();
+                self.decl_cursor += 1;
+                self.scopes
+                    .last_mut()
+                    .expect("scope pushed")
+                    .insert(name.clone(), (loc.clone(), ty.clone()));
+                if let Some(e) = init {
+                    self.line = e.line;
+                    let r = self.rvalue(e)?;
+                    self.store_to(&loc, ty, r);
+                    self.release(r);
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then, els } => {
+                let else_l = self.b.new_label();
+                let end_l = self.b.new_label();
+                let c = self.rvalue(cond)?;
+                self.b.push(Inst::Beq {
+                    rs: c,
+                    rt: Reg::Zero,
+                    target: else_l,
+                });
+                self.release(c);
+                self.stmts(then)?;
+                if els.is_empty() {
+                    self.b.bind(else_l);
+                    // end_l unused but must be bound for the builder.
+                    self.b.bind(end_l);
+                } else {
+                    self.b.push(Inst::J { target: end_l });
+                    self.b.bind(else_l);
+                    self.stmts(els)?;
+                    self.b.bind(end_l);
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let top = self.b.new_label();
+                let end = self.b.new_label();
+                self.b.bind(top);
+                let c = self.rvalue(cond)?;
+                self.b.push(Inst::Beq {
+                    rs: c,
+                    rt: Reg::Zero,
+                    target: end,
+                });
+                self.release(c);
+                self.loop_stack.push((top, end));
+                self.stmts(body)?;
+                self.loop_stack.pop();
+                self.b.push(Inst::J { target: top });
+                self.b.bind(end);
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(e) = init {
+                    let r = self.rvalue(e)?;
+                    self.release(r);
+                }
+                let top = self.b.new_label();
+                let cont = self.b.new_label();
+                let end = self.b.new_label();
+                self.b.bind(top);
+                if let Some(c) = cond {
+                    let r = self.rvalue(c)?;
+                    self.b.push(Inst::Beq {
+                        rs: r,
+                        rt: Reg::Zero,
+                        target: end,
+                    });
+                    self.release(r);
+                }
+                self.loop_stack.push((cont, end));
+                self.stmts(body)?;
+                self.loop_stack.pop();
+                self.b.bind(cont);
+                if let Some(st) = step {
+                    let r = self.rvalue(st)?;
+                    self.release(r);
+                }
+                self.b.push(Inst::J { target: top });
+                self.b.bind(end);
+                Ok(())
+            }
+            Stmt::Return(value, line) => {
+                self.line = *line;
+                if let Some(e) = value {
+                    let r = self.rvalue(e)?;
+                    self.b.mv(Reg::V0, r);
+                    self.release(r);
+                }
+                self.b.push(Inst::J {
+                    target: self.epilogue,
+                });
+                Ok(())
+            }
+            Stmt::Break(line) => {
+                self.line = *line;
+                let (_, end) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| self.err("break outside loop"))?;
+                self.b.push(Inst::J { target: end });
+                Ok(())
+            }
+            Stmt::Continue(line) => {
+                self.line = *line;
+                let (cont, _) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| self.err("continue outside loop"))?;
+                self.b.push(Inst::J { target: cont });
+                Ok(())
+            }
+            Stmt::Block(inner) => self.stmts(inner),
+        }
+    }
+
+    /// Stores register `r` into a variable home.
+    fn store_to(&mut self, loc: &VarLoc, ty: &Type, r: Reg) {
+        match loc {
+            VarLoc::Slot(off) => {
+                let inst = if self.info.size_of(ty) == 1 {
+                    Inst::Sb {
+                        rt: r,
+                        base: Reg::Sp,
+                        off: *off,
+                    }
+                } else {
+                    Inst::Sw {
+                        rt: r,
+                        base: Reg::Sp,
+                        off: *off,
+                    }
+                };
+                self.b.push(inst);
+            }
+            VarLoc::SReg(s) => self.b.mv(*s, r),
+            VarLoc::Global(addr) => {
+                let gp_off = *addr as i64 - i64::from(dl_mips::layout::GP_VALUE);
+                if let Ok(off) = i16::try_from(gp_off) {
+                    let inst = if self.info.size_of(ty) == 1 {
+                        Inst::Sb {
+                            rt: r,
+                            base: Reg::Gp,
+                            off,
+                        }
+                    } else {
+                        Inst::Sw {
+                            rt: r,
+                            base: Reg::Gp,
+                            off,
+                        }
+                    };
+                    self.b.push(inst);
+                } else {
+                    let a = self.alloc().expect("scratch for far global");
+                    self.b.la(a, *addr);
+                    let inst = if self.info.size_of(ty) == 1 {
+                        Inst::Sb {
+                            rt: r,
+                            base: a,
+                            off: 0,
+                        }
+                    } else {
+                        Inst::Sw {
+                            rt: r,
+                            base: a,
+                            off: 0,
+                        }
+                    };
+                    self.b.push(inst);
+                    self.release(a);
+                }
+            }
+        }
+    }
+
+    /// Emits a load of `ty` from `off(base)` into a fresh temp.
+    fn emit_load(&mut self, base: Reg, off: i16, ty: &Type) -> Result<Reg, CompileError> {
+        let r = self.alloc()?;
+        let inst = if self.info.size_of(ty) == 1 {
+            Inst::Lb { rt: r, base, off }
+        } else {
+            Inst::Lw { rt: r, base, off }
+        };
+        self.b.push(inst);
+        Ok(r)
+    }
+
+    /// Compile-time constant evaluation (O1 only).
+    fn const_eval(&self, e: &Expr) -> Option<i64> {
+        if self.opt != OptLevel::O1 {
+            return None;
+        }
+        self.const_eval_always(e)
+    }
+
+    /// Compile-time evaluation at the machine's 32-bit width: every
+    /// intermediate result truncates to `i32`, exactly as the emitted
+    /// code would compute it.
+    fn const_eval_always(&self, e: &Expr) -> Option<i64> {
+        self.const_eval_i32(e).map(i64::from)
+    }
+
+    fn const_eval_i32(&self, e: &Expr) -> Option<i32> {
+        match &e.kind {
+            ExprKind::Num(n) => Some(*n as i32),
+            ExprKind::SizeOf(t) => Some(self.info.size_of(t) as i32),
+            ExprKind::Unary(UnOp::Neg, a) => {
+                self.const_eval_i32(a).map(i32::wrapping_neg)
+            }
+            ExprKind::Unary(UnOp::Not, a) => {
+                self.const_eval_i32(a).map(|v| i32::from(v == 0))
+            }
+            ExprKind::Unary(UnOp::BitNot, a) => self.const_eval_i32(a).map(|v| !v),
+            ExprKind::Binary(op, a, b) => {
+                let (x, y) = (self.const_eval_i32(a)?, self.const_eval_i32(b)?);
+                // Pointer-typed operands never fold (scaling applies).
+                if self.ty_of(a).decayed().is_pointer() || self.ty_of(b).decayed().is_pointer() {
+                    return None;
+                }
+                Some(match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => {
+                        if y == 0 {
+                            return None;
+                        }
+                        x.wrapping_div(y)
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            return None;
+                        }
+                        x.wrapping_rem(y)
+                    }
+                    // The hardware masks shift amounts to five bits.
+                    BinOp::Shl => x.wrapping_shl(y as u32 & 31),
+                    BinOp::Shr => x.wrapping_shr(y as u32 & 31),
+                    BinOp::Lt => i32::from(x < y),
+                    BinOp::Le => i32::from(x <= y),
+                    BinOp::Gt => i32::from(x > y),
+                    BinOp::Ge => i32::from(x >= y),
+                    BinOp::Eq => i32::from(x == y),
+                    BinOp::Ne => i32::from(x != y),
+                    BinOp::BitAnd => x & y,
+                    BinOp::BitOr => x | y,
+                    BinOp::BitXor => x ^ y,
+                    BinOp::And => i32::from(x != 0 && y != 0),
+                    BinOp::Or => i32::from(x != 0 || y != 0),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Evaluates an expression into a fresh temp register.
+    fn rvalue(&mut self, e: &Expr) -> Result<Reg, CompileError> {
+        self.line = e.line;
+        if let Some(v) = self.const_eval(e) {
+            let r = self.alloc()?;
+            self.b.li(r, v as i32);
+            return Ok(r);
+        }
+        match &e.kind {
+            ExprKind::Num(n) => {
+                let r = self.alloc()?;
+                self.b.li(r, *n as i32);
+                Ok(r)
+            }
+            ExprKind::SizeOf(t) => {
+                let r = self.alloc()?;
+                self.b.li(r, self.info.size_of(t) as i32);
+                Ok(r)
+            }
+            ExprKind::Var(name) => {
+                let (loc, ty) = self
+                    .lookup(name)
+                    .ok_or_else(|| self.err(format!("unknown variable `{name}`")))?;
+                if Self::is_aggregate(&ty) {
+                    // Arrays/structs decay to their address.
+                    return self.address_of_loc(&loc);
+                }
+                match loc {
+                    VarLoc::Slot(off) => self.emit_load(Reg::Sp, off, &ty),
+                    // Register variables are read in place: every
+                    // operation writes only to freshly allocated
+                    // temporaries, so the s-register is never
+                    // clobbered by its consumers.
+                    VarLoc::SReg(s) => Ok(s),
+                    VarLoc::Global(addr) => {
+                        let gp_off = addr as i64 - i64::from(dl_mips::layout::GP_VALUE);
+                        if let Ok(off) = i16::try_from(gp_off) {
+                            self.emit_load(Reg::Gp, off, &ty)
+                        } else {
+                            let a = self.alloc()?;
+                            self.b.la(a, addr);
+                            let r = self.emit_load(a, 0, &ty)?;
+                            self.release(a);
+                            Ok(r)
+                        }
+                    }
+                }
+            }
+            ExprKind::Unary(op, inner) => self.unary(*op, inner),
+            ExprKind::Binary(op, l, r) => self.binary(*op, l, r),
+            ExprKind::Assign(lhs, rhs) => self.assign(lhs, rhs),
+            ExprKind::Index(..) | ExprKind::Field(..) | ExprKind::Arrow(..) => {
+                let ty = self.ty_of(e).clone();
+                let addr = self.lvalue_addr(e)?;
+                if Self::is_aggregate(&ty) {
+                    return Ok(addr);
+                }
+                let r = self.emit_load(addr, 0, &ty)?;
+                self.release(addr);
+                Ok(r)
+            }
+            ExprKind::Call(name, args) => self.call(name, args),
+        }
+    }
+
+    fn address_of_loc(&mut self, loc: &VarLoc) -> Result<Reg, CompileError> {
+        let r = self.alloc()?;
+        match loc {
+            VarLoc::Slot(off) => {
+                self.b.push(Inst::Addiu {
+                    rt: r,
+                    rs: Reg::Sp,
+                    imm: *off,
+                });
+            }
+            VarLoc::Global(addr) => self.b.la(r, *addr),
+            VarLoc::SReg(_) => {
+                return Err(self.err("cannot take the address of a register variable"))
+            }
+        }
+        Ok(r)
+    }
+
+    /// Computes the address of an lvalue into a fresh temp register.
+    fn lvalue_addr(&mut self, e: &Expr) -> Result<Reg, CompileError> {
+        self.line = e.line;
+        match &e.kind {
+            ExprKind::Var(name) => {
+                let (loc, _) = self
+                    .lookup(name)
+                    .ok_or_else(|| self.err(format!("unknown variable `{name}`")))?;
+                self.address_of_loc(&loc)
+            }
+            ExprKind::Unary(UnOp::Deref, inner) => self.rvalue(inner),
+            ExprKind::Index(base, idx) => {
+                let elem = self.ty_of(e).clone();
+                let elem_size = self.info.size_of(&elem);
+                let b_reg = self.rvalue(base)?;
+                // Constant index folds into scaled displacement add.
+                if let Some(c) = self.const_eval(idx) {
+                    let disp = c * i64::from(elem_size);
+                    if let Ok(imm) = i16::try_from(disp) {
+                        let r = self.alloc()?;
+                        self.b.push(Inst::Addiu {
+                            rt: r,
+                            rs: b_reg,
+                            imm,
+                        });
+                        self.release(b_reg);
+                        return Ok(r);
+                    }
+                }
+                let i_reg = self.rvalue(idx)?;
+                let scaled = self.scale(i_reg, elem_size)?;
+                let r = self.alloc()?;
+                self.b.push(Inst::Addu {
+                    rd: r,
+                    rs: b_reg,
+                    rt: scaled,
+                });
+                self.release(scaled);
+                self.release(b_reg);
+                Ok(r)
+            }
+            ExprKind::Field(base, fname) => {
+                let Type::Struct(sname) = self.ty_of(base).clone() else {
+                    return Err(self.err("`.` on non-struct"));
+                };
+                let (off, _) = self.info.structs[&sname]
+                    .field(fname)
+                    .ok_or_else(|| self.err(format!("no field `{fname}`")))?;
+                let b_reg = self.lvalue_addr(base)?;
+                let r = self.alloc()?;
+                self.b.push(Inst::Addiu {
+                    rt: r,
+                    rs: b_reg,
+                    imm: off as i16,
+                });
+                self.release(b_reg);
+                Ok(r)
+            }
+            ExprKind::Arrow(base, fname) => {
+                let Type::Ptr(inner) = self.ty_of(base).decayed() else {
+                    return Err(self.err("`->` on non-pointer"));
+                };
+                let Type::Struct(sname) = *inner else {
+                    return Err(self.err("`->` on pointer to non-struct"));
+                };
+                let (off, _) = self.info.structs[&sname]
+                    .field(fname)
+                    .ok_or_else(|| self.err(format!("no field `{fname}`")))?;
+                let b_reg = self.rvalue(base)?;
+                let r = self.alloc()?;
+                self.b.push(Inst::Addiu {
+                    rt: r,
+                    rs: b_reg,
+                    imm: off as i16,
+                });
+                self.release(b_reg);
+                Ok(r)
+            }
+            _ => Err(self.err("expression is not an lvalue")),
+        }
+    }
+
+    /// Multiplies `r` by a constant size, strength-reducing powers of
+    /// two to shifts. Consumes `r`, returns a fresh register.
+    fn scale(&mut self, r: Reg, size: u32) -> Result<Reg, CompileError> {
+        if size == 1 {
+            return Ok(r);
+        }
+        let out = self.alloc()?;
+        if size.is_power_of_two() {
+            self.b.push(Inst::Sll {
+                rd: out,
+                rt: r,
+                shamt: size.trailing_zeros() as u8,
+            });
+        } else {
+            let c = self.alloc()?;
+            self.b.li(c, size as i32);
+            self.b.push(Inst::Mul {
+                rd: out,
+                rs: r,
+                rt: c,
+            });
+            self.release(c);
+        }
+        self.release(r);
+        Ok(out)
+    }
+
+    fn unary(&mut self, op: UnOp, inner: &Expr) -> Result<Reg, CompileError> {
+        match op {
+            UnOp::Neg => {
+                let r = self.rvalue(inner)?;
+                let out = self.alloc()?;
+                self.b.push(Inst::Subu {
+                    rd: out,
+                    rs: Reg::Zero,
+                    rt: r,
+                });
+                self.release(r);
+                Ok(out)
+            }
+            UnOp::Not => {
+                let r = self.rvalue(inner)?;
+                let out = self.alloc()?;
+                self.b.push(Inst::Sltiu {
+                    rt: out,
+                    rs: r,
+                    imm: 1,
+                });
+                self.release(r);
+                Ok(out)
+            }
+            UnOp::BitNot => {
+                let r = self.rvalue(inner)?;
+                let out = self.alloc()?;
+                self.b.push(Inst::Nor {
+                    rd: out,
+                    rs: r,
+                    rt: Reg::Zero,
+                });
+                self.release(r);
+                Ok(out)
+            }
+            UnOp::Deref => {
+                let ty = match self.ty_of(inner).decayed() {
+                    Type::Ptr(t) => *t,
+                    _ => return Err(self.err("dereference of non-pointer")),
+                };
+                let addr = self.rvalue(inner)?;
+                if Self::is_aggregate(&ty) {
+                    return Ok(addr);
+                }
+                let r = self.emit_load(addr, 0, &ty)?;
+                self.release(addr);
+                Ok(r)
+            }
+            UnOp::Addr => self.lvalue_addr(inner),
+        }
+    }
+
+    fn binary(&mut self, op: BinOp, l: &Expr, r: &Expr) -> Result<Reg, CompileError> {
+        // Short-circuit logic first.
+        if matches!(op, BinOp::And | BinOp::Or) {
+            let out = self.alloc()?;
+            let end = self.b.new_label();
+            let a = self.rvalue(l)?;
+            self.b.push(Inst::Sltu {
+                rd: out,
+                rs: Reg::Zero,
+                rt: a,
+            });
+            self.release(a);
+            match op {
+                BinOp::And => self.b.push(Inst::Beq {
+                    rs: out,
+                    rt: Reg::Zero,
+                    target: end,
+                }),
+                _ => self.b.push(Inst::Bne {
+                    rs: out,
+                    rt: Reg::Zero,
+                    target: end,
+                }),
+            };
+            let b2 = self.rvalue(r)?;
+            self.b.push(Inst::Sltu {
+                rd: out,
+                rs: Reg::Zero,
+                rt: b2,
+            });
+            self.release(b2);
+            self.b.bind(end);
+            return Ok(out);
+        }
+
+        let lt = self.ty_of(l).decayed();
+        let rt_ty = self.ty_of(r).decayed();
+
+        // Pointer arithmetic scaling.
+        if matches!(op, BinOp::Add | BinOp::Sub) {
+            match (&lt, &rt_ty) {
+                (Type::Ptr(elem), t) if t.is_integral() => {
+                    let size = self.info.size_of(elem);
+                    let a = self.rvalue(l)?;
+                    let b2 = self.rvalue(r)?;
+                    let scaled = self.scale(b2, size)?;
+                    let out = self.alloc()?;
+                    let inst = if op == BinOp::Add {
+                        Inst::Addu {
+                            rd: out,
+                            rs: a,
+                            rt: scaled,
+                        }
+                    } else {
+                        Inst::Subu {
+                            rd: out,
+                            rs: a,
+                            rt: scaled,
+                        }
+                    };
+                    self.b.push(inst);
+                    self.release(scaled);
+                    self.release(a);
+                    return Ok(out);
+                }
+                (t, Type::Ptr(elem)) if t.is_integral() && op == BinOp::Add => {
+                    let size = self.info.size_of(elem);
+                    let a = self.rvalue(l)?;
+                    let scaled = self.scale(a, size)?;
+                    let b2 = self.rvalue(r)?;
+                    let out = self.alloc()?;
+                    self.b.push(Inst::Addu {
+                        rd: out,
+                        rs: b2,
+                        rt: scaled,
+                    });
+                    self.release(scaled);
+                    self.release(b2);
+                    return Ok(out);
+                }
+                (Type::Ptr(elem), Type::Ptr(_)) if op == BinOp::Sub => {
+                    let size = self.info.size_of(elem);
+                    let a = self.rvalue(l)?;
+                    let b2 = self.rvalue(r)?;
+                    let diff = self.alloc()?;
+                    self.b.push(Inst::Subu {
+                        rd: diff,
+                        rs: a,
+                        rt: b2,
+                    });
+                    self.release(b2);
+                    self.release(a);
+                    if size <= 1 {
+                        return Ok(diff);
+                    }
+                    let out = self.alloc()?;
+                    if size.is_power_of_two() {
+                        self.b.push(Inst::Sra {
+                            rd: out,
+                            rt: diff,
+                            shamt: size.trailing_zeros() as u8,
+                        });
+                    } else {
+                        let c = self.alloc()?;
+                        self.b.li(c, size as i32);
+                        self.b.push(Inst::Div {
+                            rd: out,
+                            rs: diff,
+                            rt: c,
+                        });
+                        self.release(c);
+                    }
+                    self.release(diff);
+                    return Ok(out);
+                }
+                _ => {}
+            }
+        }
+
+        // O1: multiply by a power-of-two constant becomes a shift.
+        if self.opt == OptLevel::O1 && op == BinOp::Mul {
+            for (konst, var) in [(r, l), (l, r)] {
+                if let Some(c) = self.const_eval(konst) {
+                    if c > 0 && (c as u64).is_power_of_two() {
+                        let v = self.rvalue(var)?;
+                        let out = self.alloc()?;
+                        self.b.push(Inst::Sll {
+                            rd: out,
+                            rt: v,
+                            shamt: (c as u64).trailing_zeros() as u8,
+                        });
+                        self.release(v);
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+
+        let a = self.rvalue(l)?;
+        let b2 = self.rvalue(r)?;
+        let out = self.alloc()?;
+        match op {
+            BinOp::Add => {
+                self.b.push(Inst::Addu {
+                    rd: out,
+                    rs: a,
+                    rt: b2,
+                });
+            }
+            BinOp::Sub => {
+                self.b.push(Inst::Subu {
+                    rd: out,
+                    rs: a,
+                    rt: b2,
+                });
+            }
+            BinOp::Mul => {
+                self.b.push(Inst::Mul {
+                    rd: out,
+                    rs: a,
+                    rt: b2,
+                });
+            }
+            BinOp::Div => {
+                self.b.push(Inst::Div {
+                    rd: out,
+                    rs: a,
+                    rt: b2,
+                });
+            }
+            BinOp::Rem => {
+                self.b.push(Inst::Rem {
+                    rd: out,
+                    rs: a,
+                    rt: b2,
+                });
+            }
+            BinOp::Shl => {
+                self.b.push(Inst::Sllv {
+                    rd: out,
+                    rt: a,
+                    rs: b2,
+                });
+            }
+            BinOp::Shr => {
+                self.b.push(Inst::Srav {
+                    rd: out,
+                    rt: a,
+                    rs: b2,
+                });
+            }
+            BinOp::BitAnd => {
+                self.b.push(Inst::And {
+                    rd: out,
+                    rs: a,
+                    rt: b2,
+                });
+            }
+            BinOp::BitOr => {
+                self.b.push(Inst::Or {
+                    rd: out,
+                    rs: a,
+                    rt: b2,
+                });
+            }
+            BinOp::BitXor => {
+                self.b.push(Inst::Xor {
+                    rd: out,
+                    rs: a,
+                    rt: b2,
+                });
+            }
+            BinOp::Lt => {
+                self.b.push(Inst::Slt {
+                    rd: out,
+                    rs: a,
+                    rt: b2,
+                });
+            }
+            BinOp::Gt => {
+                self.b.push(Inst::Slt {
+                    rd: out,
+                    rs: b2,
+                    rt: a,
+                });
+            }
+            BinOp::Le => {
+                // a <= b  ==  !(b < a)
+                self.b.push(Inst::Slt {
+                    rd: out,
+                    rs: b2,
+                    rt: a,
+                });
+                self.b.push(Inst::Xori {
+                    rt: out,
+                    rs: out,
+                    imm: 1,
+                });
+            }
+            BinOp::Ge => {
+                self.b.push(Inst::Slt {
+                    rd: out,
+                    rs: a,
+                    rt: b2,
+                });
+                self.b.push(Inst::Xori {
+                    rt: out,
+                    rs: out,
+                    imm: 1,
+                });
+            }
+            BinOp::Eq => {
+                self.b.push(Inst::Subu {
+                    rd: out,
+                    rs: a,
+                    rt: b2,
+                });
+                self.b.push(Inst::Sltiu {
+                    rt: out,
+                    rs: out,
+                    imm: 1,
+                });
+            }
+            BinOp::Ne => {
+                self.b.push(Inst::Subu {
+                    rd: out,
+                    rs: a,
+                    rt: b2,
+                });
+                self.b.push(Inst::Sltu {
+                    rd: out,
+                    rs: Reg::Zero,
+                    rt: out,
+                });
+            }
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+        self.release(b2);
+        self.release(a);
+        Ok(out)
+    }
+
+    fn assign(&mut self, lhs: &Expr, rhs: &Expr) -> Result<Reg, CompileError> {
+        let val = self.rvalue(rhs)?;
+        // Direct variable homes avoid materializing an address.
+        if let ExprKind::Var(name) = &lhs.kind {
+            let (loc, ty) = self
+                .lookup(name)
+                .ok_or_else(|| self.err(format!("unknown variable `{name}`")))?;
+            self.store_to(&loc, &ty, val);
+            return Ok(val);
+        }
+        let ty = self.ty_of(lhs).clone();
+        let addr = self.lvalue_addr(lhs)?;
+        let inst = if self.info.size_of(&ty) == 1 {
+            Inst::Sb {
+                rt: val,
+                base: addr,
+                off: 0,
+            }
+        } else {
+            Inst::Sw {
+                rt: val,
+                base: addr,
+                off: 0,
+            }
+        };
+        self.b.push(inst);
+        self.release(addr);
+        Ok(val)
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr]) -> Result<Reg, CompileError> {
+        // Evaluate arguments left to right into temps.
+        let mut arg_regs = Vec::new();
+        for a in args {
+            arg_regs.push(self.rvalue(a)?);
+        }
+        if let Some((_, _ret)) = intrinsic_signature(name) {
+            // Intrinsics lower to syscalls; in this machine a syscall
+            // clobbers only $v0, so live temps survive.
+            if let Some(&a0) = arg_regs.first() {
+                self.b.mv(Reg::A0, a0);
+            }
+            let code = match name {
+                "print" => dl_sim_syscall::PRINT_INT,
+                "read" => dl_sim_syscall::READ_INT,
+                "malloc" => dl_sim_syscall::MALLOC,
+                "exit" => dl_sim_syscall::EXIT,
+                "rand" => dl_sim_syscall::RAND,
+                _ => unreachable!("intrinsic list matches sema"),
+            };
+            self.b.li(Reg::V0, code as i32);
+            self.b.push(Inst::Syscall);
+            for r in arg_regs {
+                self.release(r);
+            }
+            let out = self.alloc()?;
+            self.b.mv(out, Reg::V0);
+            return Ok(out);
+        }
+        // User call: spill every live temp, load args into $a0-$a3,
+        // call, restore survivors. Arguments living in callee-saved
+        // registers move directly (they survive the call anyway).
+        let live_before: Vec<Reg> = self.live.clone();
+        for &r in &live_before {
+            self.b.push(Inst::Sw {
+                rt: r,
+                base: Reg::Sp,
+                off: Self::spill_slot(r),
+            });
+        }
+        for (i, &r) in arg_regs.iter().enumerate() {
+            if Reg::TEMPS.contains(&r) {
+                self.b.push(Inst::Lw {
+                    rt: Reg::ARGS[i],
+                    base: Reg::Sp,
+                    off: Self::spill_slot(r),
+                });
+            } else {
+                self.b.mv(Reg::ARGS[i], r);
+            }
+        }
+        for r in arg_regs {
+            self.release(r);
+        }
+        self.b.call(name.to_owned());
+        let out = self.alloc()?;
+        self.b.mv(out, Reg::V0);
+        // Restore temps that are still live (excluding `out`).
+        for &r in &live_before {
+            if self.live.contains(&r) && r != out {
+                self.b.push(Inst::Lw {
+                    rt: r,
+                    base: Reg::Sp,
+                    off: Self::spill_slot(r),
+                });
+            }
+        }
+        let _ = self.unit;
+        Ok(out)
+    }
+}
+
+/// Syscall numbers shared with `dl-sim` (duplicated to avoid a
+/// dependency cycle; checked against `dl_sim::cpu::syscalls` in the
+/// integration tests).
+mod dl_sim_syscall {
+    pub const PRINT_INT: u32 = 1;
+    pub const READ_INT: u32 = 5;
+    pub const MALLOC: u32 = 9;
+    pub const EXIT: u32 = 10;
+    pub const RAND: u32 = 42;
+}

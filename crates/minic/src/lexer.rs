@@ -1,0 +1,431 @@
+//! The MiniC lexer.
+
+use std::fmt;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    /// Token payload.
+    pub kind: Tok,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal.
+    Num(i64),
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// `int`, `char`, `void`, `struct`, `if`, `else`, `while`, `for`,
+    /// `return`, `break`, `continue`, `sizeof` — kept as identifiers
+    /// would be ambiguous, so they are distinct variants.
+    KwInt,
+    /// `char`.
+    KwChar,
+    /// `void`.
+    KwVoid,
+    /// `struct`.
+    KwStruct,
+    /// `if`.
+    KwIf,
+    /// `else`.
+    KwElse,
+    /// `while`.
+    KwWhile,
+    /// `for`.
+    KwFor,
+    /// `return`.
+    KwReturn,
+    /// `break`.
+    KwBreak,
+    /// `continue`.
+    KwContinue,
+    /// `sizeof`.
+    KwSizeof,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `->`.
+    Arrow,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    Ne,
+    /// `=`.
+    Eq,
+    /// `&`.
+    Amp,
+    /// `&&`.
+    AmpAmp,
+    /// `|`.
+    Pipe,
+    /// `||`.
+    PipePipe,
+    /// `^`.
+    Caret,
+    /// `!`.
+    Bang,
+    /// `~`.
+    Tilde,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            other => {
+                let s = match other {
+                    Tok::KwInt => "int",
+                    Tok::KwChar => "char",
+                    Tok::KwVoid => "void",
+                    Tok::KwStruct => "struct",
+                    Tok::KwIf => "if",
+                    Tok::KwElse => "else",
+                    Tok::KwWhile => "while",
+                    Tok::KwFor => "for",
+                    Tok::KwReturn => "return",
+                    Tok::KwBreak => "break",
+                    Tok::KwContinue => "continue",
+                    Tok::KwSizeof => "sizeof",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Semi => ";",
+                    Tok::Comma => ",",
+                    Tok::Dot => ".",
+                    Tok::Arrow => "->",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Shl => "<<",
+                    Tok::Shr => ">>",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::EqEq => "==",
+                    Tok::Ne => "!=",
+                    Tok::Eq => "=",
+                    Tok::Amp => "&",
+                    Tok::AmpAmp => "&&",
+                    Tok::Pipe => "|",
+                    Tok::PipePipe => "||",
+                    Tok::Caret => "^",
+                    Tok::Bang => "!",
+                    Tok::Tilde => "~",
+                    Tok::Num(_) | Tok::Ident(_) => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes MiniC source. Supports `//` and `/* */` comments, decimal
+/// and hexadecimal integer literals, and character literals (which lex
+/// as their numeric value).
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on an unrecognized character or unterminated
+/// comment/literal.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let err = |line: u32, m: &str| LexError {
+        line,
+        message: m.to_owned(),
+    };
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(start, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text = &src[start + 2..i];
+                    let v = i64::from_str_radix(text, 16)
+                        .map_err(|_| err(line, "bad hex literal"))?;
+                    out.push(Token {
+                        line,
+                        kind: Tok::Num(v),
+                    });
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let v = src[start..i]
+                        .parse::<i64>()
+                        .map_err(|_| err(line, "bad integer literal"))?;
+                    out.push(Token {
+                        line,
+                        kind: Tok::Num(v),
+                    });
+                }
+            }
+            b'\'' => {
+                // Character literal: 'a' or '\n'.
+                let (v, len) = match (bytes.get(i + 1), bytes.get(i + 2), bytes.get(i + 3)) {
+                    (Some(b'\\'), Some(e), Some(b'\'')) => {
+                        let v = match e {
+                            b'n' => b'\n',
+                            b't' => b'\t',
+                            b'0' => 0,
+                            b'\\' => b'\\',
+                            b'\'' => b'\'',
+                            _ => return Err(err(line, "bad escape in char literal")),
+                        };
+                        (v, 4)
+                    }
+                    (Some(ch), Some(b'\''), _) if *ch != b'\\' => (*ch, 3),
+                    _ => return Err(err(line, "bad char literal")),
+                };
+                out.push(Token {
+                    line,
+                    kind: Tok::Num(i64::from(v)),
+                });
+                i += len;
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    "int" => Tok::KwInt,
+                    "char" => Tok::KwChar,
+                    "void" => Tok::KwVoid,
+                    "struct" => Tok::KwStruct,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    "sizeof" => Tok::KwSizeof,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                out.push(Token { line, kind });
+            }
+            _ => {
+                let two = |a: u8| bytes.get(i + 1) == Some(&a);
+                let (kind, len) = match c {
+                    b'(' => (Tok::LParen, 1),
+                    b')' => (Tok::RParen, 1),
+                    b'{' => (Tok::LBrace, 1),
+                    b'}' => (Tok::RBrace, 1),
+                    b'[' => (Tok::LBracket, 1),
+                    b']' => (Tok::RBracket, 1),
+                    b';' => (Tok::Semi, 1),
+                    b',' => (Tok::Comma, 1),
+                    b'.' => (Tok::Dot, 1),
+                    b'+' => (Tok::Plus, 1),
+                    b'-' if two(b'>') => (Tok::Arrow, 2),
+                    b'-' => (Tok::Minus, 1),
+                    b'*' => (Tok::Star, 1),
+                    b'/' => (Tok::Slash, 1),
+                    b'%' => (Tok::Percent, 1),
+                    b'<' if two(b'<') => (Tok::Shl, 2),
+                    b'<' if two(b'=') => (Tok::Le, 2),
+                    b'<' => (Tok::Lt, 1),
+                    b'>' if two(b'>') => (Tok::Shr, 2),
+                    b'>' if two(b'=') => (Tok::Ge, 2),
+                    b'>' => (Tok::Gt, 1),
+                    b'=' if two(b'=') => (Tok::EqEq, 2),
+                    b'=' => (Tok::Eq, 1),
+                    b'!' if two(b'=') => (Tok::Ne, 2),
+                    b'!' => (Tok::Bang, 1),
+                    b'&' if two(b'&') => (Tok::AmpAmp, 2),
+                    b'&' => (Tok::Amp, 1),
+                    b'|' if two(b'|') => (Tok::PipePipe, 2),
+                    b'|' => (Tok::Pipe, 1),
+                    b'^' => (Tok::Caret, 1),
+                    b'~' => (Tok::Tilde, 1),
+                    other => {
+                        return Err(err(line, &format!("unexpected character `{}`", other as char)))
+                    }
+                };
+                out.push(Token { line, kind });
+                i += len;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("int foo while whiles"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("foo".into()),
+                Tok::KwWhile,
+                Tok::Ident("whiles".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("0 42 0x1F"),
+            vec![Tok::Num(0), Tok::Num(42), Tok::Num(31)]
+        );
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(kinds("'a' '\\n' '\\0'"), vec![
+            Tok::Num(97),
+            Tok::Num(10),
+            Tok::Num(0)
+        ]);
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            kinds("<< >> <= >= == != && || ->"),
+            vec![
+                Tok::Shl,
+                Tok::Shr,
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::Arrow
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("a // comment\n/* multi\nline */ b").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("@").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("'ab'").is_err());
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(Tok::Arrow.to_string(), "->");
+        assert_eq!(Tok::Num(7).to_string(), "7");
+        assert_eq!(Tok::Ident("x".into()).to_string(), "x");
+    }
+}

@@ -1,0 +1,806 @@
+//! Semantic analysis: struct layout, name resolution, and type
+//! checking. Produces the side tables the code generator consumes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, ExprKind, Stmt, Type, UnOp, Unit};
+use crate::lexer::LexError;
+
+/// A compilation error with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line (0 when unknown).
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error.
+    #[must_use]
+    pub fn new(line: u32, message: impl Into<String>) -> Self {
+        CompileError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Wraps a lexer error.
+    #[must_use]
+    pub fn from_lex(e: LexError) -> Self {
+        CompileError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Memory layout of one struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructLayout {
+    /// Total size in bytes (padded to alignment).
+    pub size: u32,
+    /// Alignment in bytes.
+    pub align: u32,
+    /// `(name, byte offset, type)` per field, in declaration order.
+    pub fields: Vec<(String, u32, Type)>,
+}
+
+impl StructLayout {
+    /// Looks up a field by name.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<(u32, &Type)> {
+        self.fields
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, off, ty)| (*off, ty))
+    }
+}
+
+/// The semantic side tables for a checked [`Unit`].
+#[derive(Debug, Clone, Default)]
+pub struct SemaInfo {
+    /// Struct layouts by name.
+    pub structs: BTreeMap<String, StructLayout>,
+    /// Expression types, indexed by `Expr::id`.
+    pub expr_types: Vec<Type>,
+    /// Function signatures: name → (parameter types, return type).
+    pub funcs: BTreeMap<String, (Vec<Type>, Type)>,
+}
+
+impl SemaInfo {
+    /// The checked type of an expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression was not part of the checked unit.
+    #[must_use]
+    pub fn type_of(&self, e: &Expr) -> &Type {
+        &self.expr_types[e.id as usize]
+    }
+
+    /// Size in bytes of a type under these struct layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `void` or an unknown struct (checked earlier).
+    #[must_use]
+    pub fn size_of(&self, ty: &Type) -> u32 {
+        match ty {
+            Type::Void => panic!("void has no size"),
+            Type::Char => 1,
+            Type::Int | Type::Ptr(_) => 4,
+            Type::Array(elem, n) => self.size_of(elem) * *n as u32,
+            Type::Struct(name) => self.structs[name].size,
+        }
+    }
+
+    /// Alignment in bytes of a type.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `void` or an unknown struct.
+    #[must_use]
+    pub fn align_of(&self, ty: &Type) -> u32 {
+        match ty {
+            Type::Void => panic!("void has no alignment"),
+            Type::Char => 1,
+            Type::Int | Type::Ptr(_) => 4,
+            Type::Array(elem, _) => self.align_of(elem),
+            Type::Struct(name) => self.structs[name].align,
+        }
+    }
+}
+
+/// The built-in intrinsic functions.
+#[must_use]
+pub fn intrinsic_signature(name: &str) -> Option<(Vec<Type>, Type)> {
+    match name {
+        "malloc" => Some((vec![Type::Int], Type::Char.ptr_to())),
+        "print" => Some((vec![Type::Int], Type::Void)),
+        "read" => Some((vec![], Type::Int)),
+        "rand" => Some((vec![Type::Int], Type::Int)),
+        "exit" => Some((vec![Type::Int], Type::Void)),
+        _ => None,
+    }
+}
+
+/// Checks a unit, producing its semantic side tables.
+///
+/// # Errors
+///
+/// Returns the first semantic error found (unknown names, type
+/// mismatches, recursive struct values, duplicate definitions, …).
+pub fn check(unit: &Unit) -> Result<SemaInfo, CompileError> {
+    let mut info = SemaInfo {
+        expr_types: vec![Type::Void; unit.expr_count as usize],
+        ..SemaInfo::default()
+    };
+    layout_structs(unit, &mut info)?;
+    // Function signatures (intrinsics are reserved).
+    for f in &unit.funcs {
+        if intrinsic_signature(&f.name).is_some() {
+            return Err(CompileError::new(
+                f.line,
+                format!("`{}` is a reserved intrinsic name", f.name),
+            ));
+        }
+        if info
+            .funcs
+            .insert(
+                f.name.clone(),
+                (f.params.iter().map(|(_, t)| t.clone()).collect(), f.ret.clone()),
+            )
+            .is_some()
+        {
+            return Err(CompileError::new(
+                f.line,
+                format!("duplicate function `{}`", f.name),
+            ));
+        }
+    }
+    if !info.funcs.contains_key("main") {
+        return Err(CompileError::new(0, "no `main` function defined"));
+    }
+    let mut globals: BTreeMap<String, Type> = BTreeMap::new();
+    for g in &unit.globals {
+        validate_type(&g.ty, &info, g.line)?;
+        if g.ty == Type::Void {
+            return Err(CompileError::new(g.line, "global cannot be void"));
+        }
+        if g.init.is_some() && !g.ty.is_scalar() {
+            return Err(CompileError::new(
+                g.line,
+                "only scalar globals may have initializers",
+            ));
+        }
+        if globals.insert(g.name.clone(), g.ty.clone()).is_some() {
+            return Err(CompileError::new(
+                g.line,
+                format!("duplicate global `{}`", g.name),
+            ));
+        }
+    }
+    for f in &unit.funcs {
+        let mut ck = Checker {
+            info: &mut info,
+            globals: &globals,
+            scopes: vec![BTreeMap::new()],
+            ret: f.ret.clone(),
+            loop_depth: 0,
+        };
+        for (name, ty) in &f.params {
+            validate_type(ty, ck.info, f.line)?;
+            if !ty.is_scalar() {
+                return Err(CompileError::new(
+                    f.line,
+                    format!("parameter `{name}` must be scalar"),
+                ));
+            }
+            ck.declare(name, ty.clone(), f.line)?;
+        }
+        ck.stmts(&f.body)?;
+    }
+    Ok(info)
+}
+
+fn validate_type(ty: &Type, info: &SemaInfo, line: u32) -> Result<(), CompileError> {
+    match ty {
+        Type::Struct(name) if !info.structs.contains_key(name) => Err(CompileError::new(
+            line,
+            format!("unknown struct `{name}`"),
+        )),
+        Type::Ptr(inner) => match inner.as_ref() {
+            // Pointers to not-yet-known structs are fine (checked on use).
+            Type::Struct(_) => Ok(()),
+            other => validate_type(other, info, line),
+        },
+        Type::Array(elem, _) => validate_type(elem, info, line),
+        _ => Ok(()),
+    }
+}
+
+fn layout_structs(unit: &Unit, info: &mut SemaInfo) -> Result<(), CompileError> {
+    // Iterate until all structs are laid out; a full pass with no
+    // progress means a value-recursive (or unknown-field) struct.
+    let mut pending: Vec<&crate::ast::StructDef> = unit.structs.iter().collect();
+    // Duplicate detection first.
+    {
+        let mut seen = BTreeMap::new();
+        for s in &pending {
+            if seen.insert(&s.name, s.line).is_some() {
+                return Err(CompileError::new(
+                    s.line,
+                    format!("duplicate struct `{}`", s.name),
+                ));
+            }
+        }
+    }
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|s| {
+            let ready = s.fields.iter().all(|(_, t)| struct_deps_ready(t, info));
+            if !ready {
+                return true;
+            }
+            let mut offset = 0u32;
+            let mut align = 1u32;
+            let mut fields = Vec::new();
+            for (name, ty) in &s.fields {
+                let a = info.align_of(ty);
+                let sz = info.size_of(ty);
+                offset = offset.div_ceil(a) * a;
+                fields.push((name.clone(), offset, ty.clone()));
+                offset += sz;
+                align = align.max(a);
+            }
+            let size = offset.div_ceil(align) * align;
+            info.structs.insert(
+                s.name.clone(),
+                StructLayout {
+                    size: size.max(1),
+                    align,
+                    fields,
+                },
+            );
+            false
+        });
+        if pending.len() == before {
+            let s = pending[0];
+            return Err(CompileError::new(
+                s.line,
+                format!(
+                    "struct `{}` is recursive by value or uses an unknown struct",
+                    s.name
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn struct_deps_ready(ty: &Type, info: &SemaInfo) -> bool {
+    match ty {
+        Type::Struct(name) => info.structs.contains_key(name),
+        Type::Array(elem, _) => struct_deps_ready(elem, info),
+        // Pointers never require the pointee's layout.
+        _ => true,
+    }
+}
+
+struct Checker<'a> {
+    info: &'a mut SemaInfo,
+    globals: &'a BTreeMap<String, Type>,
+    scopes: Vec<BTreeMap<String, Type>>,
+    ret: Type,
+    loop_depth: u32,
+}
+
+impl Checker<'_> {
+    fn declare(&mut self, name: &str, ty: Type, line: u32) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("scope stack nonempty");
+        if scope.insert(name.to_owned(), ty).is_some() {
+            return Err(CompileError::new(
+                line,
+                format!("duplicate declaration of `{name}` in this scope"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Type> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .or_else(|| self.globals.get(name))
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(BTreeMap::new());
+        for s in body {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                Ok(())
+            }
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                line,
+            } => {
+                validate_type(ty, self.info, *line)?;
+                if *ty == Type::Void {
+                    return Err(CompileError::new(*line, "variable cannot be void"));
+                }
+                if let Some(init) = init {
+                    if !ty.is_scalar() {
+                        return Err(CompileError::new(
+                            *line,
+                            "only scalar locals may have initializers",
+                        ));
+                    }
+                    let it = self.expr(init)?;
+                    self.check_assignable(ty, &it, *line)?;
+                }
+                self.declare(name, ty.clone(), *line)
+            }
+            Stmt::If { cond, then, els } => {
+                self.condition(cond)?;
+                self.stmts(then)?;
+                self.stmts(els)
+            }
+            Stmt::While { cond, body } => {
+                self.condition(cond)?;
+                self.loop_depth += 1;
+                let r = self.stmts(body);
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    self.expr(i)?;
+                }
+                if let Some(c) = cond {
+                    self.condition(c)?;
+                }
+                if let Some(st) = step {
+                    self.expr(st)?;
+                }
+                self.loop_depth += 1;
+                let r = self.stmts(body);
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::Return(value, line) => match (value, &self.ret) {
+                (None, Type::Void) => Ok(()),
+                (None, other) => Err(CompileError::new(
+                    *line,
+                    format!("missing return value of type {other}"),
+                )),
+                (Some(_), Type::Void) => {
+                    Err(CompileError::new(*line, "void function returns a value"))
+                }
+                (Some(e), ret) => {
+                    let ret = ret.clone();
+                    let t = self.expr(e)?;
+                    self.check_assignable(&ret, &t, *line)
+                }
+            },
+            Stmt::Break(line) | Stmt::Continue(line) if self.loop_depth == 0 => Err(
+                CompileError::new(*line, "break/continue outside of a loop"),
+            ),
+            Stmt::Break(_) | Stmt::Continue(_) => Ok(()),
+            Stmt::Block(body) => self.stmts(body),
+        }
+    }
+
+    fn condition(&mut self, e: &Expr) -> Result<(), CompileError> {
+        let t = self.expr(e)?;
+        if t.decayed().is_scalar() {
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                e.line,
+                format!("condition has non-scalar type {t}"),
+            ))
+        }
+    }
+
+    /// Assignment compatibility: integral↔integral, pointer↔pointer
+    /// (C-style laxness, no casts in the language), and integral→
+    /// pointer for null-style constants.
+    fn check_assignable(&self, dst: &Type, src: &Type, line: u32) -> Result<(), CompileError> {
+        let s = src.decayed();
+        let ok = match (dst, &s) {
+            (d, s) if d.is_integral() && s.is_integral() => true,
+            (Type::Ptr(_), Type::Ptr(_)) => true,
+            (Type::Ptr(_), s) if s.is_integral() => true, // null constants
+            (d, Type::Ptr(_)) if d.is_integral() => true, // ptr comparisons/diffs
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                line,
+                format!("cannot assign {src} to {dst}"),
+            ))
+        }
+    }
+
+    fn is_lvalue(e: &Expr) -> bool {
+        matches!(
+            e.kind,
+            ExprKind::Var(_)
+                | ExprKind::Index(_, _)
+                | ExprKind::Field(_, _)
+                | ExprKind::Arrow(_, _)
+                | ExprKind::Unary(UnOp::Deref, _)
+        )
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Type, CompileError> {
+        let t = self.expr_inner(e)?;
+        self.info.expr_types[e.id as usize] = t.clone();
+        Ok(t)
+    }
+
+    fn expr_inner(&mut self, e: &Expr) -> Result<Type, CompileError> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::Num(_) => Ok(Type::Int),
+            ExprKind::SizeOf(t) => {
+                validate_type(t, self.info, line)?;
+                Ok(Type::Int)
+            }
+            ExprKind::Var(name) => self.lookup(name).cloned().ok_or_else(|| {
+                CompileError::new(line, format!("unknown variable `{name}`"))
+            }),
+            ExprKind::Unary(op, inner) => {
+                let it = self.expr(inner)?;
+                match op {
+                    UnOp::Neg | UnOp::Not | UnOp::BitNot => {
+                        if it.decayed().is_scalar() {
+                            Ok(Type::Int)
+                        } else {
+                            Err(CompileError::new(line, format!("bad operand type {it}")))
+                        }
+                    }
+                    UnOp::Deref => match it.decayed() {
+                        Type::Ptr(t) if *t != Type::Void => Ok(*t),
+                        other => Err(CompileError::new(
+                            line,
+                            format!("cannot dereference {other}"),
+                        )),
+                    },
+                    UnOp::Addr => {
+                        if Self::is_lvalue(inner) {
+                            Ok(it.ptr_to())
+                        } else {
+                            Err(CompileError::new(line, "cannot take address of rvalue"))
+                        }
+                    }
+                }
+            }
+            ExprKind::Binary(op, l, r) => {
+                let lt = self.expr(l)?.decayed();
+                let rt = self.expr(r)?.decayed();
+                if !lt.is_scalar() || !rt.is_scalar() {
+                    return Err(CompileError::new(
+                        line,
+                        format!("bad operand types {lt} and {rt}"),
+                    ));
+                }
+                match op {
+                    BinOp::Add | BinOp::Sub => match (&lt, &rt) {
+                        (Type::Ptr(_), Type::Ptr(_)) => {
+                            if *op == BinOp::Sub {
+                                Ok(Type::Int)
+                            } else {
+                                Err(CompileError::new(line, "cannot add two pointers"))
+                            }
+                        }
+                        (Type::Ptr(_), _) => Ok(lt.clone()),
+                        (_, Type::Ptr(_)) => {
+                            if *op == BinOp::Add {
+                                Ok(rt.clone())
+                            } else {
+                                Err(CompileError::new(line, "cannot subtract pointer from int"))
+                            }
+                        }
+                        _ => Ok(Type::Int),
+                    },
+                    _ => Ok(Type::Int),
+                }
+            }
+            ExprKind::Assign(lhs, rhs) => {
+                if !Self::is_lvalue(lhs) {
+                    return Err(CompileError::new(line, "assignment to rvalue"));
+                }
+                let lt = self.expr(lhs)?;
+                if !lt.is_scalar() {
+                    return Err(CompileError::new(
+                        line,
+                        format!("cannot assign to value of type {lt}"),
+                    ));
+                }
+                let rt = self.expr(rhs)?;
+                self.check_assignable(&lt, &rt, line)?;
+                Ok(lt)
+            }
+            ExprKind::Index(base, idx) => {
+                let bt = self.expr(base)?.decayed();
+                let it = self.expr(idx)?;
+                if !it.decayed().is_integral() {
+                    return Err(CompileError::new(line, "array index must be integral"));
+                }
+                match bt {
+                    Type::Ptr(elem) if *elem != Type::Void => Ok(*elem),
+                    other => Err(CompileError::new(line, format!("cannot index {other}"))),
+                }
+            }
+            ExprKind::Field(base, fname) => {
+                let bt = self.expr(base)?;
+                let Type::Struct(sname) = &bt else {
+                    return Err(CompileError::new(
+                        line,
+                        format!("`.` on non-struct type {bt}"),
+                    ));
+                };
+                self.field_type(sname, fname, line)
+            }
+            ExprKind::Arrow(base, fname) => {
+                let bt = self.expr(base)?.decayed();
+                let Type::Ptr(inner) = &bt else {
+                    return Err(CompileError::new(
+                        line,
+                        format!("`->` on non-pointer type {bt}"),
+                    ));
+                };
+                let Type::Struct(sname) = inner.as_ref() else {
+                    return Err(CompileError::new(
+                        line,
+                        format!("`->` on pointer to non-struct {inner}"),
+                    ));
+                };
+                let sname = sname.clone();
+                self.field_type(&sname, fname, line)
+            }
+            ExprKind::Call(name, args) => {
+                let (params, ret) = intrinsic_signature(name)
+                    .or_else(|| self.info.funcs.get(name).cloned())
+                    .ok_or_else(|| {
+                        CompileError::new(line, format!("unknown function `{name}`"))
+                    })?;
+                if args.len() != params.len() {
+                    return Err(CompileError::new(
+                        line,
+                        format!(
+                            "`{name}` expects {} arguments, got {}",
+                            params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                for (a, p) in args.iter().zip(&params) {
+                    let at = self.expr(a)?;
+                    self.check_assignable(p, &at, line)?;
+                }
+                Ok(ret)
+            }
+        }
+    }
+
+    fn field_type(&self, sname: &str, fname: &str, line: u32) -> Result<Type, CompileError> {
+        let layout = self.info.structs.get(sname).ok_or_else(|| {
+            CompileError::new(line, format!("unknown struct `{sname}`"))
+        })?;
+        layout
+            .field(fname)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| {
+                CompileError::new(
+                    line,
+                    format!("struct `{sname}` has no field `{fname}`"),
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<SemaInfo, CompileError> {
+        check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn simple_program_checks() {
+        let info = check_src(
+            "int g;\n\
+             int add(int a, int b) { return a + b; }\n\
+             int main() { g = add(1, 2); return g; }",
+        )
+        .unwrap();
+        assert!(info.funcs.contains_key("add"));
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let e = check_src("int f() { return 0; }").unwrap_err();
+        assert!(e.message.contains("main"));
+    }
+
+    #[test]
+    fn struct_layout_with_padding() {
+        let info = check_src(
+            "struct mix { char c; int x; char d; };\n\
+             int main() { return sizeof(struct mix); }",
+        )
+        .unwrap();
+        let l = &info.structs["mix"];
+        assert_eq!(l.field("c").unwrap().0, 0);
+        assert_eq!(l.field("x").unwrap().0, 4);
+        assert_eq!(l.field("d").unwrap().0, 8);
+        assert_eq!(l.size, 12);
+        assert_eq!(l.align, 4);
+    }
+
+    #[test]
+    fn nested_struct_layout() {
+        let info = check_src(
+            "struct inner { int a; int b; };\n\
+             struct outer { struct inner i; char c; };\n\
+             int main() { return 0; }",
+        )
+        .unwrap();
+        assert_eq!(info.structs["outer"].size, 12);
+    }
+
+    #[test]
+    fn recursive_struct_by_value_rejected() {
+        let e = check_src("struct n { struct n inner; }; int main() { return 0; }").unwrap_err();
+        assert!(e.message.contains("recursive"));
+    }
+
+    #[test]
+    fn recursive_struct_by_pointer_ok() {
+        let info = check_src(
+            "struct node { int v; struct node* next; };\n\
+             int main() { return sizeof(struct node); }",
+        )
+        .unwrap();
+        assert_eq!(info.structs["node"].size, 8);
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let e = check_src("int main() { return nope; }").unwrap_err();
+        assert!(e.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn pointer_arithmetic_types() {
+        let info = check_src(
+            "int main() {\n\
+               int* p; int a[10];\n\
+               p = a;\n\
+               p = p + 3;\n\
+               return *(p + 1) + a[2];\n\
+             }",
+        )
+        .unwrap();
+        // Every expression got a type.
+        assert!(info.expr_types.iter().any(|t| t.is_pointer()));
+    }
+
+    #[test]
+    fn deref_non_pointer_rejected() {
+        let e = check_src("int main() { int x; return *x; }").unwrap_err();
+        assert!(e.message.contains("dereference"));
+    }
+
+    #[test]
+    fn arrow_on_non_pointer_rejected() {
+        let e = check_src(
+            "struct s { int f; }; int main() { struct s v; return v->f; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("->"));
+    }
+
+    #[test]
+    fn field_on_pointer_rejected() {
+        let e = check_src(
+            "struct s { int f; }; int main() { struct s* v; v = 0; return v.f; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains('.'));
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let e = check_src(
+            "struct s { int f; }; int main() { struct s v; return v.g; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("no field"));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let e = check_src(
+            "int f(int a) { return a; } int main() { return f(1, 2); }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("expects 1"));
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let e = check_src("int main() { break; return 0; }").unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+
+    #[test]
+    fn intrinsics_are_reserved() {
+        let e = check_src("int malloc(int n) { return n; } int main() { return 0; }")
+            .unwrap_err();
+        assert!(e.message.contains("reserved"));
+    }
+
+    #[test]
+    fn assign_struct_rejected() {
+        let e = check_src(
+            "struct s { int f; }; int main() { struct s a; struct s b; a = b; return 0; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("assign"));
+    }
+
+    #[test]
+    fn malloc_assigns_to_any_pointer() {
+        check_src(
+            "struct s { int f; };\n\
+             int main() { struct s* p; p = malloc(sizeof(struct s)); return p->f; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let e = check_src("int main() { int x; int x; return 0; }").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope_ok() {
+        check_src("int main() { int x; x = 1; { int x; x = 2; } return x; }").unwrap();
+    }
+}

@@ -1,0 +1,600 @@
+//! End-to-end tests: compile MiniC, simulate, check observable output
+//! at both optimization levels.
+
+use dl_minic::{compile, OptLevel};
+use dl_sim::{run, RunConfig};
+
+/// Compiles and runs at the given level, returning printed output.
+fn run_with(src: &str, opt: OptLevel, input: Vec<i32>) -> Vec<i32> {
+    let program = compile(src, opt).unwrap_or_else(|e| panic!("compile error: {e}"));
+    let cfg = RunConfig {
+        input,
+        ..RunConfig::default()
+    };
+    let result = run(&program, &cfg).unwrap_or_else(|e| panic!("runtime trap ({opt}): {e}"));
+    result.output
+}
+
+/// Runs at both levels and checks they agree with the expectation.
+fn expect_output(src: &str, expected: &[i32]) {
+    for opt in [OptLevel::O0, OptLevel::O1] {
+        let got = run_with(src, opt, vec![]);
+        assert_eq!(got, expected, "wrong output at {opt}");
+    }
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    expect_output(
+        "int main() { print(1 + 2 * 3); print((1 + 2) * 3); print(10 / 3); print(10 % 3); return 0; }",
+        &[7, 9, 3, 1],
+    );
+}
+
+#[test]
+fn comparisons_and_logic() {
+    expect_output(
+        "int main() {
+            print(3 < 4); print(4 < 3); print(3 <= 3); print(4 >= 5);
+            print(3 == 3); print(3 != 3);
+            print(1 && 0); print(1 && 2); print(0 || 0); print(0 || 5);
+            print(!0); print(!7);
+            return 0;
+         }",
+        &[1, 0, 1, 0, 1, 0, 0, 1, 0, 1, 1, 0],
+    );
+}
+
+#[test]
+fn short_circuit_side_effects() {
+    expect_output(
+        "int g;
+         int bump() { g = g + 1; return 1; }
+         int main() {
+            g = 0;
+            0 && bump();
+            print(g);
+            1 || bump();
+            print(g);
+            1 && bump();
+            print(g);
+            return 0;
+         }",
+        &[0, 0, 1],
+    );
+}
+
+#[test]
+fn bitwise_and_shifts() {
+    expect_output(
+        "int main() {
+            print(12 & 10); print(12 | 10); print(12 ^ 10);
+            print(1 << 5); print(-16 >> 2); print(~0);
+            return 0;
+         }",
+        &[8, 14, 6, 32, -4, -1],
+    );
+}
+
+#[test]
+fn while_and_for_loops() {
+    expect_output(
+        "int main() {
+            int i; int s;
+            s = 0;
+            for (i = 1; i <= 100; i = i + 1) { s = s + i; }
+            print(s);
+            while (s > 1000) { s = s - 1000; }
+            print(s);
+            return 0;
+         }",
+        &[5050, 50],
+    );
+}
+
+#[test]
+fn break_and_continue() {
+    expect_output(
+        "int main() {
+            int i; int s;
+            s = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                if (i == 3) { continue; }
+                if (i == 7) { break; }
+                s = s + i;
+            }
+            print(s);
+            return 0;
+         }",
+        &[1 + 2 + 4 + 5 + 6],
+    );
+}
+
+#[test]
+fn functions_and_recursion() {
+    expect_output(
+        "int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+         }
+         int main() { print(fib(15)); return 0; }",
+        &[610],
+    );
+}
+
+#[test]
+fn four_args_and_nested_calls() {
+    expect_output(
+        "int f(int a, int b, int c, int d) { return a * 1000 + b * 100 + c * 10 + d; }
+         int g(int x) { return x + 1; }
+         int main() { print(f(g(0), g(1), g(2), g(3))); return 0; }",
+        &[1234],
+    );
+}
+
+#[test]
+fn global_arrays_and_locals() {
+    expect_output(
+        "int table[10];
+         int main() {
+            int i;
+            for (i = 0; i < 10; i = i + 1) { table[i] = i * i; }
+            print(table[7]);
+            int local[8];
+            for (i = 0; i < 8; i = i + 1) { local[i] = table[i] + 1; }
+            print(local[5]);
+            return 0;
+         }",
+        &[49, 26],
+    );
+}
+
+#[test]
+fn multi_dimensional_arrays() {
+    expect_output(
+        "int grid[8][8];
+         int main() {
+            int i; int j;
+            for (i = 0; i < 8; i = i + 1) {
+                for (j = 0; j < 8; j = j + 1) { grid[i][j] = i * 8 + j; }
+            }
+            print(grid[3][4]);
+            print(grid[7][7]);
+            return 0;
+         }",
+        &[28, 63],
+    );
+}
+
+#[test]
+fn pointers_and_address_of() {
+    expect_output(
+        "int main() {
+            int x; int* p;
+            x = 41;
+            p = &x;
+            *p = *p + 1;
+            print(x);
+            print(*p);
+            return 0;
+         }",
+        &[42, 42],
+    );
+}
+
+#[test]
+fn pointer_arithmetic_scales() {
+    expect_output(
+        "int a[5];
+         int main() {
+            int* p; int i;
+            for (i = 0; i < 5; i = i + 1) { a[i] = i * 10; }
+            p = a;
+            print(*(p + 3));
+            p = p + 1;
+            print(*p);
+            print(p - a);
+            return 0;
+         }",
+        &[30, 10, 1],
+    );
+}
+
+#[test]
+fn structs_fields_and_arrow() {
+    expect_output(
+        "struct point { int x; int y; };
+         struct point origin;
+         int main() {
+            struct point* p;
+            origin.x = 3;
+            origin.y = 4;
+            p = &origin;
+            print(p->x * p->x + p->y * p->y);
+            p->y = 12;
+            print(origin.y);
+            return 0;
+         }",
+        &[25, 12],
+    );
+}
+
+#[test]
+fn linked_list_on_heap() {
+    expect_output(
+        "struct node { int value; struct node* next; };
+         int main() {
+            struct node* head; struct node* n; int i; int sum;
+            head = 0;
+            for (i = 1; i <= 5; i = i + 1) {
+                n = malloc(sizeof(struct node));
+                n->value = i;
+                n->next = head;
+                head = n;
+            }
+            sum = 0;
+            for (n = head; n != 0; n = n->next) { sum = sum + n->value; }
+            print(sum);
+            return 0;
+         }",
+        &[15],
+    );
+}
+
+#[test]
+fn char_buffers_use_byte_accesses() {
+    expect_output(
+        "char buf[16];
+         int main() {
+            int i;
+            for (i = 0; i < 16; i = i + 1) { buf[i] = i * 3; }
+            print(buf[5]);
+            print(buf[15]);
+            return 0;
+         }",
+        &[15, 45],
+    );
+}
+
+#[test]
+fn char_sign_extension() {
+    expect_output(
+        "char c;
+         int main() { c = 200; print(c); return 0; }",
+        &[-56], // 200 as signed byte
+    );
+}
+
+#[test]
+fn read_input_and_rand_determinism() {
+    let src = "int main() { print(read() + read()); print(rand(100)); return 0; }";
+    for opt in [OptLevel::O0, OptLevel::O1] {
+        let out = run_with(src, opt, vec![20, 22]);
+        assert_eq!(out[0], 42);
+        assert!((0..100).contains(&out[1]));
+    }
+}
+
+#[test]
+fn exit_intrinsic_stops_execution() {
+    let src = "int main() { print(1); exit(7); print(2); return 0; }";
+    let program = compile(src, OptLevel::O0).unwrap();
+    let result = run(&program, &RunConfig::default()).unwrap();
+    assert_eq!(result.output, vec![1]);
+    assert_eq!(result.exit_code, 7);
+}
+
+#[test]
+fn global_scalar_initializers() {
+    expect_output(
+        "int a = 7; int b = -3; char c = 65;
+         int main() { print(a); print(b); print(c); return 0; }",
+        &[7, -3, 65],
+    );
+}
+
+#[test]
+fn sizeof_values() {
+    expect_output(
+        "struct pair { int a; int b; };
+         struct padded { char c; int x; };
+         int main() {
+            print(sizeof(int)); print(sizeof(char)); print(sizeof(int*));
+            print(sizeof(struct pair)); print(sizeof(struct padded));
+            print(sizeof(int[10]));
+            return 0;
+         }",
+        &[4, 1, 4, 8, 8, 40],
+    );
+}
+
+#[test]
+fn o1_is_smaller_than_o0() {
+    let src = "int main() {
+        int i; int s;
+        s = 0;
+        for (i = 0; i < 10; i = i + 1) { s = s + i * 4; }
+        print(s);
+        return 0;
+    }";
+    let p0 = compile(src, OptLevel::O0).unwrap();
+    let p1 = compile(src, OptLevel::O1).unwrap();
+    assert!(
+        p1.insts.len() < p0.insts.len(),
+        "O1 ({}) not smaller than O0 ({})",
+        p1.insts.len(),
+        p0.insts.len()
+    );
+}
+
+#[test]
+fn o0_keeps_locals_on_stack_o1_in_registers() {
+    use dl_mips::inst::Inst;
+    use dl_mips::reg::Reg;
+    let src = "int main() {
+        int i; int s;
+        s = 0;
+        for (i = 0; i < 100; i = i + 1) { s = s + i; }
+        print(s);
+        return 0;
+    }";
+    let p0 = compile(src, OptLevel::O0).unwrap();
+    // O0: loop body reloads i and s from sp slots.
+    let sp_loads = p0
+        .insts
+        .iter()
+        .filter(|i| matches!(i, Inst::Lw { base: Reg::Sp, .. }))
+        .count();
+    assert!(sp_loads >= 4, "expected sp reloads at O0, found {sp_loads}");
+    let p1 = compile(src, OptLevel::O1).unwrap();
+    // O1: i and s live in s-registers; the only sp traffic is
+    // prologue/epilogue saves.
+    let sp_loads1 = p1
+        .insts
+        .iter()
+        .filter(|i| matches!(i, Inst::Lw { base: Reg::Sp, .. }))
+        .count();
+    assert!(sp_loads1 <= 3, "unexpected sp reloads at O1: {sp_loads1}");
+    let output0 = run(&p0, &RunConfig::default()).unwrap().output;
+    let output1 = run(&p1, &RunConfig::default()).unwrap().output;
+    assert_eq!(output0, output1);
+}
+
+#[test]
+fn o1_strength_reduces_mul_by_pow2() {
+    use dl_mips::inst::Inst;
+    let src = "int main() { int x; x = read(); print(x * 8); return 0; }";
+    let p1 = compile(src, OptLevel::O1).unwrap();
+    assert!(p1.insts.iter().any(|i| matches!(i, Inst::Sll { .. })));
+    assert!(!p1.insts.iter().any(|i| matches!(i, Inst::Mul { .. })));
+    let out = run(
+        &p1,
+        &RunConfig {
+            input: vec![5],
+            ..RunConfig::default()
+        },
+    )
+    .unwrap()
+    .output;
+    assert_eq!(out, vec![40]);
+}
+
+#[test]
+fn o1_constant_folding() {
+    use dl_mips::inst::Inst;
+    let src = "int main() { print(2 * 3 + 4 * 5); return 0; }";
+    let p1 = compile(src, OptLevel::O1).unwrap();
+    // No multiplies survive: the whole expression folds to 26.
+    assert!(!p1.insts.iter().any(|i| matches!(i, Inst::Mul { .. })));
+    expect_output(src, &[26]);
+}
+
+#[test]
+fn shadowing_scopes() {
+    expect_output(
+        "int main() {
+            int x; x = 1;
+            { int x; x = 2; print(x); }
+            print(x);
+            return 0;
+         }",
+        &[2, 1],
+    );
+}
+
+#[test]
+fn matrix_multiply_integration() {
+    // A denser numeric kernel exercising nested loops + 2-D indexing.
+    expect_output(
+        "int a[4][4]; int b[4][4]; int c[4][4];
+         int main() {
+            int i; int j; int k; int s;
+            for (i = 0; i < 4; i = i + 1) {
+                for (j = 0; j < 4; j = j + 1) {
+                    a[i][j] = i + j;
+                    b[i][j] = i - j;
+                }
+            }
+            for (i = 0; i < 4; i = i + 1) {
+                for (j = 0; j < 4; j = j + 1) {
+                    s = 0;
+                    for (k = 0; k < 4; k = k + 1) { s = s + a[i][k] * b[k][j]; }
+                    c[i][j] = s;
+                }
+            }
+            print(c[0][0]); print(c[1][2]); print(c[3][3]);
+            return 0;
+         }",
+        // c[0][0] = Σ k·k = 14; c[1][2] = Σ (1+k)(k−2) = 0;
+        // c[3][3] = Σ (3+k)(k−3) = −22.
+        &[14, 0, -22],
+    );
+}
+
+#[test]
+fn compile_errors_do_not_panic() {
+    assert!(compile("int main() { return undeclared; }", OptLevel::O0).is_err());
+    assert!(compile("int main() { return 1 +; }", OptLevel::O0).is_err());
+    assert!(compile("int f() { return 0; }", OptLevel::O0).is_err()); // no main
+}
+
+#[test]
+fn large_local_array_rejected_with_hint() {
+    let e = compile(
+        "int main() { int big[20000]; big[0] = 1; return big[0]; }",
+        OptLevel::O0,
+    )
+    .unwrap_err();
+    assert!(e.message.contains("frame"), "message: {}", e.message);
+}
+
+#[test]
+fn syscall_numbers_match_sim() {
+    // The generator duplicates the syscall numbers to avoid a
+    // dependency cycle; they must stay in sync with dl-sim.
+    use dl_sim::cpu::syscalls;
+    assert_eq!(syscalls::PRINT_INT, 1);
+    assert_eq!(syscalls::READ_INT, 5);
+    assert_eq!(syscalls::MALLOC, 9);
+    assert_eq!(syscalls::EXIT, 10);
+    assert_eq!(syscalls::RAND, 42);
+}
+
+#[test]
+fn deep_expression_spills_across_calls() {
+    // Nested calls force temp spilling around jal.
+    expect_output(
+        "int id(int x) { return x; }
+         int main() {
+            print(id(1) + id(2) + id(3) + id(4) + id(5));
+            print(id(id(id(10))) * id(2));
+            return 0;
+         }",
+        &[15, 20],
+    );
+}
+
+#[test]
+fn unoptimized_array_access_has_paper_shape() {
+    // The -O0 address pattern for a stack-array access must be the
+    // "(sp+A) + ((sp+i) << 2)" shape the heuristic keys on.
+    use dl_analysis::extract::{analyze_program, AnalysisConfig};
+    let src = "int main() {
+        int a[16]; int i; int s;
+        s = 0;
+        for (i = 0; i < 16; i = i + 1) { a[i] = i; }
+        for (i = 0; i < 16; i = i + 1) { s = s + a[i]; }
+        print(s);
+        return 0;
+    }";
+    let p = compile(src, OptLevel::O0).unwrap();
+    let analysis = analyze_program(&p, &AnalysisConfig::default());
+    let has_indexed_shape = analysis.loads.iter().any(|l| {
+        l.patterns.iter().any(|ap| {
+            ap.deref_nesting() >= 1 && ap.has_mul_or_shift()
+        })
+    });
+    assert!(has_indexed_shape, "no indexed sp-relative pattern found");
+    assert_eq!(run(&p, &RunConfig::default()).unwrap().output, vec![120]);
+}
+
+#[test]
+fn o1_spills_beyond_eight_scalars() {
+    // Twelve live scalars: only eight fit in s-registers; the rest
+    // must fall back to stack slots without miscompiling.
+    expect_output(
+        "int main() {
+            int a; int b; int c; int d; int e; int f;
+            int g; int h; int i; int j; int k; int l;
+            a = 1; b = 2; c = 3; d = 4; e = 5; f = 6;
+            g = 7; h = 8; i = 9; j = 10; k = 11; l = 12;
+            print(a + b + c + d + e + f + g + h + i + j + k + l);
+            print(l * a - k * b);
+            return 0;
+         }",
+        &[78, -10],
+    );
+}
+
+#[test]
+fn o1_address_taken_scalar_stays_in_memory() {
+    // &x forces x out of registers even at O1; writes through the
+    // pointer must be visible to direct reads.
+    expect_output(
+        "int set(int* p) { *p = 42; return 0; }
+         int main() {
+            int x;
+            x = 1;
+            set(&x);
+            print(x);
+            return 0;
+         }",
+        &[42],
+    );
+}
+
+#[test]
+fn recursion_with_register_locals() {
+    // Callee-saved registers must be preserved across recursion at O1.
+    expect_output(
+        "int sum(int n) {
+            int half;
+            if (n <= 0) { return 0; }
+            half = n / 2;
+            return n + sum(n - 1) - half + half;
+         }
+         int main() { print(sum(20)); return 0; }",
+        &[210],
+    );
+}
+
+#[test]
+fn nested_struct_access() {
+    expect_output(
+        "struct inner { int a; int b; };
+         struct outer { int tag; struct inner in; };
+         struct outer g;
+         int main() {
+            g.tag = 1;
+            g.in.a = 20;
+            g.in.b = 22;
+            print(g.in.a + g.in.b);
+            return 0;
+         }",
+        &[42],
+    );
+}
+
+#[test]
+fn array_of_structs_on_heap() {
+    expect_output(
+        "struct pt { int x; int y; };
+         int main() {
+            struct pt* pts; int i; int s;
+            pts = malloc(10 * sizeof(struct pt));
+            for (i = 0; i < 10; i = i + 1) {
+                pts[i].x = i;
+                pts[i].y = i * i;
+            }
+            s = 0;
+            for (i = 0; i < 10; i = i + 1) { s = s + pts[i].y - pts[i].x; }
+            print(s);
+            return 0;
+         }",
+        &[285 - 45],
+    );
+}
+
+#[test]
+fn while_with_complex_condition() {
+    expect_output(
+        "int main() {
+            int i; int j;
+            i = 0; j = 100;
+            while (i < 10 && j > 50) { i = i + 1; j = j - 7; }
+            print(i); print(j);
+            return 0;
+         }",
+        &[8, 44],
+    );
+}

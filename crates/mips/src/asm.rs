@@ -1,0 +1,456 @@
+//! [`AsmBuilder`]: a programmatic assembler with symbolic labels,
+//! function bookkeeping, and data-segment allocation.
+//!
+//! The MiniC code generator and hand-written test programs use this to
+//! construct [`Program`]s. Labels handed out by [`AsmBuilder::new_label`]
+//! are symbolic until [`AsmBuilder::finish`] patches every branch/jump
+//! target to a concrete instruction index.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::inst::{Inst, Label};
+use crate::layout;
+use crate::program::{Program, SymbolTable};
+use crate::reg::Reg;
+
+/// Errors produced when finalizing an [`AsmBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound with [`AsmBuilder::bind`].
+    UnboundLabel(u32),
+    /// A call referenced a function that was never defined.
+    UndefinedFunction(String),
+    /// The requested entry function does not exist.
+    NoEntry(String),
+    /// `begin_func`/`end_func` were not properly paired.
+    UnclosedFunction(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(id) => write!(f, "label {id} was never bound"),
+            AsmError::UndefinedFunction(n) => write!(f, "call to undefined function `{n}`"),
+            AsmError::NoEntry(n) => write!(f, "entry function `{n}` not found"),
+            AsmError::UnclosedFunction(n) => write!(f, "function `{n}` was never closed"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Incrementally builds a [`Program`].
+///
+/// # Example
+///
+/// ```
+/// use dl_mips::{asm::AsmBuilder, inst::Inst, reg::Reg};
+///
+/// let mut b = AsmBuilder::new();
+/// b.begin_func("main");
+/// let done = b.new_label();
+/// b.li(Reg::T0, 3);
+/// b.push(Inst::Blez { rs: Reg::T0, target: done });
+/// b.push(Inst::Addiu { rt: Reg::T0, rs: Reg::T0, imm: -1 });
+/// b.bind(done);
+/// b.push(Inst::Jr { rs: Reg::Ra });
+/// b.end_func();
+/// let p = b.finish("main").unwrap();
+/// assert!(p.insts.len() >= 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct AsmBuilder {
+    insts: Vec<Inst>,
+    // Symbolic label id -> bound instruction index.
+    bindings: BTreeMap<u32, usize>,
+    next_label: u32,
+    // Instruction indices whose `target` is a symbolic label id.
+    label_fixups: Vec<usize>,
+    // Call sites awaiting function resolution.
+    call_fixups: Vec<(usize, String)>,
+    funcs: Vec<(String, usize, usize)>,
+    open_func: Option<(String, usize)>,
+    data: Vec<u8>,
+    globals: Vec<(String, u32, u32)>,
+}
+
+impl AsmBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if no instructions have been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Starts a new function named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another function is still open.
+    pub fn begin_func(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        assert!(
+            self.open_func.is_none(),
+            "begin_func(`{name}`) while another function is open"
+        );
+        self.open_func = Some((name, self.insts.len()));
+    }
+
+    /// Closes the currently open function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function is open.
+    pub fn end_func(&mut self) {
+        let (name, start) = self.open_func.take().expect("end_func without begin_func");
+        self.funcs.push((name, start, self.insts.len()));
+    }
+
+    /// Allocates a fresh, unbound symbolic label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the next instruction to be emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let prev = self.bindings.insert(label.0, self.insts.len());
+        assert!(prev.is_none(), "label {label} bound twice");
+    }
+
+    /// Emits one instruction, returning its index. Branch/jump targets
+    /// inside `inst` must be labels from [`Self::new_label`]; use
+    /// [`Self::call`] for direct calls.
+    pub fn push(&mut self, inst: Inst) -> usize {
+        let idx = self.insts.len();
+        if inst.target().is_some() {
+            self.label_fixups.push(idx);
+        }
+        self.insts.push(inst);
+        idx
+    }
+
+    /// Emits a `jal` to the named function (resolved at finish time).
+    pub fn call(&mut self, func: impl Into<String>) -> usize {
+        let idx = self.insts.len();
+        self.insts.push(Inst::Jal { target: Label(0) });
+        self.call_fixups.push((idx, func.into()));
+        idx
+    }
+
+    /// Emits the shortest sequence loading the 32-bit constant `value`
+    /// into `rt` (`addiu`, `lui`, or `lui`+`ori`).
+    pub fn li(&mut self, rt: Reg, value: i32) {
+        if let Ok(imm) = i16::try_from(value) {
+            self.push(Inst::Addiu {
+                rt,
+                rs: Reg::Zero,
+                imm,
+            });
+        } else {
+            let v = value as u32;
+            let hi = (v >> 16) as u16;
+            let lo = (v & 0xffff) as u16;
+            self.push(Inst::Lui { rt, imm: hi });
+            if lo != 0 {
+                self.push(Inst::Ori { rt, rs: rt, imm: lo });
+            }
+        }
+    }
+
+    /// Emits `move rt, rs` (as `addu rt, rs, $zero`).
+    pub fn mv(&mut self, rt: Reg, rs: Reg) {
+        self.push(Inst::Addu {
+            rd: rt,
+            rs,
+            rt: Reg::Zero,
+        });
+    }
+
+    /// Emits code computing the address of a global into `rt`,
+    /// preferring `$gp`-relative addressing when the offset fits in a
+    /// signed 16-bit immediate (as gcc does for small data).
+    pub fn la(&mut self, rt: Reg, addr: u32) {
+        let gp_off = addr as i64 - i64::from(layout::GP_VALUE);
+        if let Ok(imm) = i16::try_from(gp_off) {
+            self.push(Inst::Addiu {
+                rt,
+                rs: Reg::Gp,
+                imm,
+            });
+        } else {
+            self.li(rt, addr as i32);
+        }
+    }
+
+    /// Reserves `size` bytes of zeroed global data (aligned to `align`),
+    /// records the symbol, and returns its absolute address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc_global(&mut self, name: impl Into<String>, size: u32, align: u32) -> u32 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let pad = (align - (self.data.len() as u32 % align)) % align;
+        self.data.extend(std::iter::repeat_n(0, pad as usize));
+        let addr = layout::DATA_BASE + self.data.len() as u32;
+        self.data.extend(std::iter::repeat_n(0, size as usize));
+        self.globals.push((name.into(), addr, size));
+        addr
+    }
+
+    /// Reserves and initializes a global array of words, returning its
+    /// address.
+    pub fn global_words(&mut self, name: impl Into<String>, words: &[i32]) -> u32 {
+        let addr = self.alloc_global(name, (words.len() * 4) as u32, 4);
+        let start = (addr - layout::DATA_BASE) as usize;
+        for (i, w) in words.iter().enumerate() {
+            self.data[start + 4 * i..start + 4 * i + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Writes a 32-bit word into already-allocated global data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the allocated data segment or
+    /// misaligned.
+    pub fn poke_word(&mut self, addr: u32, value: i32) {
+        assert!(addr.is_multiple_of(4), "poke_word at misaligned {addr:#x}");
+        let off = (addr - layout::DATA_BASE) as usize;
+        self.data[off..off + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes one byte into already-allocated global data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the allocated data segment.
+    pub fn poke_byte(&mut self, addr: u32, value: u8) {
+        let off = (addr - layout::DATA_BASE) as usize;
+        self.data[off] = value;
+    }
+
+    /// Finalizes the program with `entry` as the start function.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a referenced label is unbound, a called
+    /// function is undefined, a function is still open, or the entry
+    /// function does not exist.
+    pub fn finish(mut self, entry: &str) -> Result<Program, AsmError> {
+        if let Some((name, _)) = &self.open_func {
+            return Err(AsmError::UnclosedFunction(name.clone()));
+        }
+        // Patch symbolic labels to instruction indices.
+        for &idx in &self.label_fixups {
+            let sym = self.insts[idx].target().expect("fixup on non-branch");
+            let bound = *self
+                .bindings
+                .get(&sym.0)
+                .ok_or(AsmError::UnboundLabel(sym.0))?;
+            self.insts[idx].set_target(Label(bound as u32));
+        }
+        // Patch calls to function entry points.
+        for (idx, name) in &self.call_fixups {
+            let func = self
+                .funcs
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .ok_or_else(|| AsmError::UndefinedFunction(name.clone()))?;
+            self.insts[*idx].set_target(Label(func.1 as u32));
+        }
+        let mut symbols = SymbolTable::new();
+        let mut funcs = self.funcs.clone();
+        funcs.sort_by_key(|(_, s, _)| *s);
+        for (name, start, end) in funcs {
+            symbols.add_func(name, start, end);
+        }
+        for (name, addr, size) in self.globals {
+            symbols.add_global(name, addr, size);
+        }
+        let entry_idx = symbols
+            .func(entry)
+            .ok_or_else(|| AsmError::NoEntry(entry.to_owned()))?
+            .start;
+        Ok(Program {
+            insts: self.insts,
+            symbols,
+            data: self.data,
+            entry: entry_idx,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_patching() {
+        let mut b = AsmBuilder::new();
+        b.begin_func("main");
+        let top = b.new_label();
+        b.bind(top);
+        b.push(Inst::Addiu {
+            rt: Reg::T0,
+            rs: Reg::T0,
+            imm: -1,
+        });
+        b.push(Inst::Bgtz {
+            rs: Reg::T0,
+            target: top,
+        });
+        b.push(Inst::Jr { rs: Reg::Ra });
+        b.end_func();
+        let p = b.finish("main").unwrap();
+        assert_eq!(p.insts[1].target(), Some(Label(0)));
+    }
+
+    #[test]
+    fn unbound_label_is_error() {
+        let mut b = AsmBuilder::new();
+        b.begin_func("main");
+        let l = b.new_label();
+        b.push(Inst::J { target: l });
+        b.end_func();
+        assert_eq!(b.finish("main"), Err(AsmError::UnboundLabel(0)));
+    }
+
+    #[test]
+    fn call_patching() {
+        let mut b = AsmBuilder::new();
+        b.begin_func("main");
+        b.call("helper");
+        b.push(Inst::Jr { rs: Reg::Ra });
+        b.end_func();
+        b.begin_func("helper");
+        b.push(Inst::Jr { rs: Reg::Ra });
+        b.end_func();
+        let p = b.finish("main").unwrap();
+        assert_eq!(p.insts[0].target(), Some(Label(2)));
+    }
+
+    #[test]
+    fn undefined_call_is_error() {
+        let mut b = AsmBuilder::new();
+        b.begin_func("main");
+        b.call("ghost");
+        b.end_func();
+        assert_eq!(
+            b.finish("main"),
+            Err(AsmError::UndefinedFunction("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn li_small_and_large() {
+        let mut b = AsmBuilder::new();
+        b.begin_func("main");
+        b.li(Reg::T0, 42);
+        b.li(Reg::T1, 0x12345678);
+        b.li(Reg::T2, 0x70000); // lo half is zero after shift? 0x70000 = hi 7, lo 0
+        b.end_func();
+        let p = b.finish("main").unwrap();
+        assert_eq!(
+            p.insts[0],
+            Inst::Addiu {
+                rt: Reg::T0,
+                rs: Reg::Zero,
+                imm: 42
+            }
+        );
+        assert_eq!(
+            p.insts[1],
+            Inst::Lui {
+                rt: Reg::T1,
+                imm: 0x1234
+            }
+        );
+        assert_eq!(
+            p.insts[2],
+            Inst::Ori {
+                rt: Reg::T1,
+                rs: Reg::T1,
+                imm: 0x5678
+            }
+        );
+        assert_eq!(
+            p.insts[3],
+            Inst::Lui {
+                rt: Reg::T2,
+                imm: 7
+            }
+        );
+        assert_eq!(p.insts.len(), 4);
+    }
+
+    #[test]
+    fn la_uses_gp_when_close() {
+        let mut b = AsmBuilder::new();
+        let addr = b.alloc_global("g", 16, 4);
+        b.begin_func("main");
+        b.la(Reg::T0, addr);
+        b.end_func();
+        let p = b.finish("main").unwrap();
+        match p.insts[0] {
+            Inst::Addiu { rs: Reg::Gp, .. } => {}
+            other => panic!("expected gp-relative la, got {other}"),
+        }
+    }
+
+    #[test]
+    fn global_alignment_and_init() {
+        let mut b = AsmBuilder::new();
+        b.alloc_global("pad", 3, 1);
+        let addr = b.global_words("tbl", &[1, -2, 3]);
+        assert_eq!(addr % 4, 0);
+        b.begin_func("main");
+        b.push(Inst::Jr { rs: Reg::Ra });
+        b.end_func();
+        let p = b.finish("main").unwrap();
+        let start = (addr - layout::DATA_BASE) as usize;
+        assert_eq!(
+            i32::from_le_bytes(p.data[start + 4..start + 8].try_into().unwrap()),
+            -2
+        );
+        assert_eq!(p.symbols.global("tbl").unwrap().size, 12);
+    }
+
+    #[test]
+    fn unclosed_function_is_error() {
+        let mut b = AsmBuilder::new();
+        b.begin_func("main");
+        assert!(matches!(
+            b.finish("main"),
+            Err(AsmError::UnclosedFunction(_))
+        ));
+    }
+
+    #[test]
+    fn missing_entry_is_error() {
+        let mut b = AsmBuilder::new();
+        b.begin_func("f");
+        b.push(Inst::Jr { rs: Reg::Ra });
+        b.end_func();
+        assert_eq!(b.finish("main"), Err(AsmError::NoEntry("main".into())));
+    }
+}

@@ -1,0 +1,509 @@
+//! The MIPS-like instruction set.
+//!
+//! Instructions are held unencoded (no binary form): the simulator
+//! interprets them directly and the analysis walks them structurally,
+//! exactly as the paper walks `objdump` output. Branch and jump targets
+//! are resolved instruction indices wrapped in [`Label`].
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// A resolved control-flow target: an index into [`crate::Program::insts`].
+///
+/// # Example
+///
+/// ```
+/// use dl_mips::inst::Label;
+/// let l = Label(7);
+/// assert_eq!(l.index(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The target instruction index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".L{}", self.0)
+    }
+}
+
+/// The width/signedness of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 8-bit, sign-extended on load (`lb`/`sb`).
+    Byte,
+    /// 8-bit, zero-extended on load (`lbu`).
+    ByteUnsigned,
+    /// 16-bit, sign-extended on load (`lh`/`sh`).
+    Half,
+    /// 16-bit, zero-extended on load (`lhu`).
+    HalfUnsigned,
+    /// 32-bit (`lw`/`sw`).
+    Word,
+}
+
+impl MemWidth {
+    /// The number of bytes accessed.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Byte | MemWidth::ByteUnsigned => 1,
+            MemWidth::Half | MemWidth::HalfUnsigned => 2,
+            MemWidth::Word => 4,
+        }
+    }
+}
+
+/// A MIPS-like instruction.
+///
+/// The subset covers everything the MiniC code generator emits and the
+/// paper's analysis distinguishes: loads/stores of all widths, `lui`
+/// constant synthesis, three-operand ALU ops (with `mul`/`div`/`rem`
+/// folded into single instructions rather than HI/LO pairs), immediate
+/// ALU ops, shifts, compares, branches, jumps, and `syscall` for the
+/// runtime intrinsics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // operand fields follow MIPS naming (rd/rs/rt/base/off/imm/shamt/target)
+pub enum Inst {
+    /// Load: `rt <- mem[base + off]`.
+    Lw { rt: Reg, base: Reg, off: i16 },
+    /// Load byte (sign-extended).
+    Lb { rt: Reg, base: Reg, off: i16 },
+    /// Load byte (zero-extended).
+    Lbu { rt: Reg, base: Reg, off: i16 },
+    /// Load half (sign-extended).
+    Lh { rt: Reg, base: Reg, off: i16 },
+    /// Load half (zero-extended).
+    Lhu { rt: Reg, base: Reg, off: i16 },
+    /// Store word: `mem[base + off] <- rt`.
+    Sw { rt: Reg, base: Reg, off: i16 },
+    /// Store byte.
+    Sb { rt: Reg, base: Reg, off: i16 },
+    /// Store half.
+    Sh { rt: Reg, base: Reg, off: i16 },
+    /// Load upper immediate: `rt <- imm << 16`.
+    Lui { rt: Reg, imm: u16 },
+
+    /// `rd <- rs + rt` (wrapping; no overflow traps, like `addu`).
+    Addu { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs - rt` (wrapping).
+    Subu { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs * rt` (wrapping low 32 bits; pseudo for `mult`+`mflo`).
+    Mul { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs / rt` (signed; pseudo for `div`+`mflo`).
+    Div { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs % rt` (signed; pseudo for `div`+`mfhi`).
+    Rem { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs & rt`.
+    And { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs | rt`.
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs ^ rt`.
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- !(rs | rt)`.
+    Nor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- (rs < rt)` signed.
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- (rs < rt)` unsigned.
+    Sltu { rd: Reg, rs: Reg, rt: Reg },
+
+    /// `rt <- rs + imm` (wrapping, sign-extended immediate).
+    Addiu { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt <- rs & imm` (zero-extended immediate).
+    Andi { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt <- rs | imm` (zero-extended immediate).
+    Ori { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt <- rs ^ imm` (zero-extended immediate).
+    Xori { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt <- (rs < imm)` signed.
+    Slti { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt <- (rs < imm)` unsigned comparison of sign-extended imm.
+    Sltiu { rt: Reg, rs: Reg, imm: i16 },
+
+    /// `rd <- rt << shamt`.
+    Sll { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd <- rt >> shamt` (logical).
+    Srl { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd <- rt >> shamt` (arithmetic).
+    Sra { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd <- rt << (rs & 31)`.
+    Sllv { rd: Reg, rt: Reg, rs: Reg },
+    /// `rd <- rt >> (rs & 31)` (logical).
+    Srlv { rd: Reg, rt: Reg, rs: Reg },
+    /// `rd <- rt >> (rs & 31)` (arithmetic).
+    Srav { rd: Reg, rt: Reg, rs: Reg },
+
+    /// Branch if `rs == rt`.
+    Beq { rs: Reg, rt: Reg, target: Label },
+    /// Branch if `rs != rt`.
+    Bne { rs: Reg, rt: Reg, target: Label },
+    /// Branch if `rs <= 0` (signed).
+    Blez { rs: Reg, target: Label },
+    /// Branch if `rs > 0` (signed).
+    Bgtz { rs: Reg, target: Label },
+    /// Branch if `rs < 0` (signed).
+    Bltz { rs: Reg, target: Label },
+    /// Branch if `rs >= 0` (signed).
+    Bgez { rs: Reg, target: Label },
+
+    /// Unconditional jump.
+    J { target: Label },
+    /// Jump and link: `ra <- return address; pc <- target`.
+    Jal { target: Label },
+    /// Jump register (returns, indirect calls).
+    Jr { rs: Reg },
+    /// Jump and link register.
+    Jalr { rd: Reg, rs: Reg },
+
+    /// Environment call; `$v0` selects the service (see `dl-sim`).
+    Syscall,
+    /// No operation.
+    Nop,
+}
+
+impl Inst {
+    /// Returns the register this instruction writes, if any.
+    #[must_use]
+    pub fn def(&self) -> Option<Reg> {
+        use Inst::*;
+        let d = match *self {
+            Lw { rt, .. } | Lb { rt, .. } | Lbu { rt, .. } | Lh { rt, .. } | Lhu { rt, .. }
+            | Lui { rt, .. } => rt,
+            Addu { rd, .. } | Subu { rd, .. } | Mul { rd, .. } | Div { rd, .. }
+            | Rem { rd, .. } | And { rd, .. } | Or { rd, .. } | Xor { rd, .. } | Nor { rd, .. }
+            | Slt { rd, .. } | Sltu { rd, .. } => rd,
+            Addiu { rt, .. } | Andi { rt, .. } | Ori { rt, .. } | Xori { rt, .. }
+            | Slti { rt, .. } | Sltiu { rt, .. } => rt,
+            Sll { rd, .. } | Srl { rd, .. } | Sra { rd, .. } | Sllv { rd, .. }
+            | Srlv { rd, .. } | Srav { rd, .. } => rd,
+            Jal { .. } => Reg::Ra,
+            Jalr { rd, .. } => rd,
+            Sw { .. } | Sb { .. } | Sh { .. } | Beq { .. } | Bne { .. } | Blez { .. }
+            | Bgtz { .. } | Bltz { .. } | Bgez { .. } | J { .. } | Jr { .. } | Syscall | Nop => {
+                return None
+            }
+        };
+        // Writes to $zero are architectural no-ops.
+        (d != Reg::Zero).then_some(d)
+    }
+
+    /// Returns the registers this instruction reads (up to two).
+    #[must_use]
+    pub fn uses(&self) -> Vec<Reg> {
+        use Inst::*;
+        match *self {
+            Lw { base, .. } | Lb { base, .. } | Lbu { base, .. } | Lh { base, .. }
+            | Lhu { base, .. } => vec![base],
+            Sw { rt, base, .. } | Sb { rt, base, .. } | Sh { rt, base, .. } => vec![rt, base],
+            Lui { .. } => vec![],
+            Addu { rs, rt, .. } | Subu { rs, rt, .. } | Mul { rs, rt, .. } | Div { rs, rt, .. }
+            | Rem { rs, rt, .. } | And { rs, rt, .. } | Or { rs, rt, .. } | Xor { rs, rt, .. }
+            | Nor { rs, rt, .. } | Slt { rs, rt, .. } | Sltu { rs, rt, .. } => vec![rs, rt],
+            Addiu { rs, .. } | Andi { rs, .. } | Ori { rs, .. } | Xori { rs, .. }
+            | Slti { rs, .. } | Sltiu { rs, .. } => vec![rs],
+            Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => vec![rt],
+            Sllv { rt, rs, .. } | Srlv { rt, rs, .. } | Srav { rt, rs, .. } => vec![rt, rs],
+            Beq { rs, rt, .. } | Bne { rs, rt, .. } => vec![rs, rt],
+            Blez { rs, .. } | Bgtz { rs, .. } | Bltz { rs, .. } | Bgez { rs, .. } => vec![rs],
+            Jr { rs } | Jalr { rs, .. } => vec![rs],
+            J { .. } | Jal { .. } | Nop => vec![],
+            Syscall => vec![Reg::V0, Reg::A0, Reg::A1],
+        }
+    }
+
+    /// Returns `(dest, base, offset, width)` if this is a load.
+    #[must_use]
+    pub fn as_load(&self) -> Option<(Reg, Reg, i16, MemWidth)> {
+        use Inst::*;
+        match *self {
+            Lw { rt, base, off } => Some((rt, base, off, MemWidth::Word)),
+            Lb { rt, base, off } => Some((rt, base, off, MemWidth::Byte)),
+            Lbu { rt, base, off } => Some((rt, base, off, MemWidth::ByteUnsigned)),
+            Lh { rt, base, off } => Some((rt, base, off, MemWidth::Half)),
+            Lhu { rt, base, off } => Some((rt, base, off, MemWidth::HalfUnsigned)),
+            _ => None,
+        }
+    }
+
+    /// Returns `(src, base, offset, width)` if this is a store.
+    #[must_use]
+    pub fn as_store(&self) -> Option<(Reg, Reg, i16, MemWidth)> {
+        use Inst::*;
+        match *self {
+            Sw { rt, base, off } => Some((rt, base, off, MemWidth::Word)),
+            Sb { rt, base, off } => Some((rt, base, off, MemWidth::Byte)),
+            Sh { rt, base, off } => Some((rt, base, off, MemWidth::Half)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is a load instruction.
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        self.as_load().is_some()
+    }
+
+    /// Returns `true` if this is a store instruction.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        self.as_store().is_some()
+    }
+
+    /// Returns the static control-flow target for branches and direct
+    /// jumps (`j`/`jal` included).
+    #[must_use]
+    pub fn target(&self) -> Option<Label> {
+        use Inst::*;
+        match *self {
+            Beq { target, .. } | Bne { target, .. } | Blez { target, .. } | Bgtz { target, .. }
+            | Bltz { target, .. } | Bgez { target, .. } | J { target } | Jal { target } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for conditional branches.
+    #[must_use]
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Inst::Beq { .. }
+                | Inst::Bne { .. }
+                | Inst::Blez { .. }
+                | Inst::Bgtz { .. }
+                | Inst::Bltz { .. }
+                | Inst::Bgez { .. }
+        )
+    }
+
+    /// Returns `true` for instructions that never fall through to the
+    /// next instruction (`j`, `jr`).
+    ///
+    /// Calls (`jal`/`jalr`) are treated as falling through: control
+    /// returns to the following instruction, which is how the paper's
+    /// intra-procedural CFG treats them.
+    #[must_use]
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::J { .. } | Inst::Jr { .. })
+    }
+
+    /// Returns `true` for call instructions (`jal`/`jalr`).
+    #[must_use]
+    pub fn is_call(&self) -> bool {
+        matches!(self, Inst::Jal { .. } | Inst::Jalr { .. })
+    }
+
+    /// Rewrites the branch/jump target, if this instruction has one.
+    pub fn set_target(&mut self, new: Label) {
+        use Inst::*;
+        match self {
+            Beq { target, .. } | Bne { target, .. } | Blez { target, .. } | Bgtz { target, .. }
+            | Bltz { target, .. } | Bgez { target, .. } | J { target } | Jal { target } => {
+                *target = new;
+            }
+            _ => {}
+        }
+    }
+
+    /// The assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        use Inst::*;
+        match self {
+            Lw { .. } => "lw",
+            Lb { .. } => "lb",
+            Lbu { .. } => "lbu",
+            Lh { .. } => "lh",
+            Lhu { .. } => "lhu",
+            Sw { .. } => "sw",
+            Sb { .. } => "sb",
+            Sh { .. } => "sh",
+            Lui { .. } => "lui",
+            Addu { .. } => "addu",
+            Subu { .. } => "subu",
+            Mul { .. } => "mul",
+            Div { .. } => "div",
+            Rem { .. } => "rem",
+            And { .. } => "and",
+            Or { .. } => "or",
+            Xor { .. } => "xor",
+            Nor { .. } => "nor",
+            Slt { .. } => "slt",
+            Sltu { .. } => "sltu",
+            Addiu { .. } => "addiu",
+            Andi { .. } => "andi",
+            Ori { .. } => "ori",
+            Xori { .. } => "xori",
+            Slti { .. } => "slti",
+            Sltiu { .. } => "sltiu",
+            Sll { .. } => "sll",
+            Srl { .. } => "srl",
+            Sra { .. } => "sra",
+            Sllv { .. } => "sllv",
+            Srlv { .. } => "srlv",
+            Srav { .. } => "srav",
+            Beq { .. } => "beq",
+            Bne { .. } => "bne",
+            Blez { .. } => "blez",
+            Bgtz { .. } => "bgtz",
+            Bltz { .. } => "bltz",
+            Bgez { .. } => "bgez",
+            J { .. } => "j",
+            Jal { .. } => "jal",
+            Jr { .. } => "jr",
+            Jalr { .. } => "jalr",
+            Syscall => "syscall",
+            Nop => "nop",
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Inst::*;
+        let m = self.mnemonic();
+        match *self {
+            Lw { rt, base, off } | Lb { rt, base, off } | Lbu { rt, base, off }
+            | Lh { rt, base, off } | Lhu { rt, base, off } | Sw { rt, base, off }
+            | Sb { rt, base, off } | Sh { rt, base, off } => {
+                write!(f, "{m} {rt}, {off}({base})")
+            }
+            Lui { rt, imm } => write!(f, "{m} {rt}, {imm:#x}"),
+            Addu { rd, rs, rt } | Subu { rd, rs, rt } | Mul { rd, rs, rt } | Div { rd, rs, rt }
+            | Rem { rd, rs, rt } | And { rd, rs, rt } | Or { rd, rs, rt } | Xor { rd, rs, rt }
+            | Nor { rd, rs, rt } | Slt { rd, rs, rt } | Sltu { rd, rs, rt } => {
+                write!(f, "{m} {rd}, {rs}, {rt}")
+            }
+            Addiu { rt, rs, imm } | Slti { rt, rs, imm } | Sltiu { rt, rs, imm } => {
+                write!(f, "{m} {rt}, {rs}, {imm}")
+            }
+            Andi { rt, rs, imm } | Ori { rt, rs, imm } | Xori { rt, rs, imm } => {
+                write!(f, "{m} {rt}, {rs}, {imm:#x}")
+            }
+            Sll { rd, rt, shamt } | Srl { rd, rt, shamt } | Sra { rd, rt, shamt } => {
+                write!(f, "{m} {rd}, {rt}, {shamt}")
+            }
+            Sllv { rd, rt, rs } | Srlv { rd, rt, rs } | Srav { rd, rt, rs } => {
+                write!(f, "{m} {rd}, {rt}, {rs}")
+            }
+            Beq { rs, rt, target } | Bne { rs, rt, target } => {
+                write!(f, "{m} {rs}, {rt}, {target}")
+            }
+            Blez { rs, target } | Bgtz { rs, target } | Bltz { rs, target }
+            | Bgez { rs, target } => write!(f, "{m} {rs}, {target}"),
+            J { target } | Jal { target } => write!(f, "{m} {target}"),
+            Jr { rs } => write!(f, "{m} {rs}"),
+            Jalr { rd, rs } => write!(f, "{m} {rd}, {rs}"),
+            Syscall | Nop => write!(f, "{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_and_uses() {
+        let i = Inst::Lw {
+            rt: Reg::T0,
+            base: Reg::Sp,
+            off: 8,
+        };
+        assert_eq!(i.def(), Some(Reg::T0));
+        assert_eq!(i.uses(), vec![Reg::Sp]);
+        assert!(i.is_load());
+        assert!(!i.is_store());
+
+        let s = Inst::Sw {
+            rt: Reg::T1,
+            base: Reg::Gp,
+            off: -4,
+        };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![Reg::T1, Reg::Gp]);
+        assert!(s.is_store());
+    }
+
+    #[test]
+    fn writes_to_zero_are_not_defs() {
+        let i = Inst::Addu {
+            rd: Reg::Zero,
+            rs: Reg::T0,
+            rt: Reg::T1,
+        };
+        assert_eq!(i.def(), None);
+    }
+
+    #[test]
+    fn jal_defines_ra() {
+        let i = Inst::Jal { target: Label(3) };
+        assert_eq!(i.def(), Some(Reg::Ra));
+        assert!(i.is_call());
+        assert_eq!(i.target(), Some(Label(3)));
+    }
+
+    #[test]
+    fn branch_classification() {
+        let b = Inst::Bne {
+            rs: Reg::T0,
+            rt: Reg::Zero,
+            target: Label(10),
+        };
+        assert!(b.is_branch());
+        assert!(!b.is_terminator());
+        assert_eq!(b.target(), Some(Label(10)));
+
+        let j = Inst::J { target: Label(0) };
+        assert!(!j.is_branch());
+        assert!(j.is_terminator());
+
+        let jr = Inst::Jr { rs: Reg::Ra };
+        assert!(jr.is_terminator());
+        assert_eq!(jr.target(), None);
+    }
+
+    #[test]
+    fn set_target_rewrites() {
+        let mut b = Inst::Beq {
+            rs: Reg::T0,
+            rt: Reg::T1,
+            target: Label(1),
+        };
+        b.set_target(Label(42));
+        assert_eq!(b.target(), Some(Label(42)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Inst::Lw {
+            rt: Reg::T0,
+            base: Reg::Sp,
+            off: 45,
+        };
+        assert_eq!(i.to_string(), "lw $t0, 45($sp)");
+        let b = Inst::Beq {
+            rs: Reg::T0,
+            rt: Reg::Zero,
+            target: Label(9),
+        };
+        assert_eq!(b.to_string(), "beq $t0, $zero, .L9");
+        assert_eq!(Inst::Nop.to_string(), "nop");
+    }
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(MemWidth::Byte.bytes(), 1);
+        assert_eq!(MemWidth::HalfUnsigned.bytes(), 2);
+        assert_eq!(MemWidth::Word.bytes(), 4);
+    }
+}

@@ -1,0 +1,93 @@
+//! The memory map shared by the code generator, simulator, and analysis.
+//!
+//! Matches the conventional SimpleScalar/MIPS segment layout closely
+//! enough for the paper's region reasoning (stack vs global vs heap) to
+//! carry over.
+
+/// Base address of the text (code) segment. `pc(i) = TEXT_BASE + 4*i`.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+
+/// Base address of the static data segment (globals).
+pub const DATA_BASE: u32 = 0x1000_0000;
+
+/// Value of `$gp` at startup: points 32 KiB into the data segment so
+/// that 16-bit signed offsets reach the whole small-data area, per MIPS
+/// convention.
+pub const GP_VALUE: u32 = DATA_BASE + 0x8000;
+
+/// Base address of the heap; `malloc` bump-allocates upward from here.
+pub const HEAP_BASE: u32 = 0x2000_0000;
+
+/// Initial `$sp`: top of the stack, growing downward.
+pub const STACK_TOP: u32 = 0x7fff_fff0;
+
+/// Converts an instruction index into its program counter.
+#[must_use]
+pub fn pc_of_index(index: usize) -> u32 {
+    TEXT_BASE + 4 * index as u32
+}
+
+/// Converts a program counter back into an instruction index.
+///
+/// Returns `None` if `pc` is below [`TEXT_BASE`] or misaligned.
+#[must_use]
+pub fn index_of_pc(pc: u32) -> Option<usize> {
+    if pc < TEXT_BASE || !pc.is_multiple_of(4) {
+        return None;
+    }
+    Some(((pc - TEXT_BASE) / 4) as usize)
+}
+
+/// The memory region an address falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Text segment (code).
+    Text,
+    /// Static data (globals).
+    Global,
+    /// Heap (dynamic allocation).
+    Heap,
+    /// Stack.
+    Stack,
+}
+
+/// Classifies an address by segment.
+#[must_use]
+pub fn region_of(addr: u32) -> Region {
+    if addr >= HEAP_BASE + 0x1000_0000 {
+        Region::Stack
+    } else if addr >= HEAP_BASE {
+        Region::Heap
+    } else if addr >= DATA_BASE {
+        Region::Global
+    } else {
+        Region::Text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_round_trip() {
+        for i in [0usize, 1, 100, 65535] {
+            assert_eq!(index_of_pc(pc_of_index(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn pc_rejects_bad_addresses() {
+        assert_eq!(index_of_pc(TEXT_BASE + 2), None);
+        assert_eq!(index_of_pc(TEXT_BASE - 4), None);
+    }
+
+    #[test]
+    fn regions() {
+        assert_eq!(region_of(TEXT_BASE), Region::Text);
+        assert_eq!(region_of(DATA_BASE + 100), Region::Global);
+        assert_eq!(region_of(GP_VALUE), Region::Global);
+        assert_eq!(region_of(HEAP_BASE + 8), Region::Heap);
+        assert_eq!(region_of(STACK_TOP - 64), Region::Stack);
+    }
+}

@@ -1,0 +1,46 @@
+//! # dl-mips
+//!
+//! A MIPS-like 32-bit instruction set and program container used as the
+//! compilation target and analysis substrate for the delinquent-load
+//! reproduction.
+//!
+//! The paper ("Static Identification of Delinquent Loads", CGO 2004)
+//! performs its analysis on the MIPS assembly output of the SimpleScalar
+//! GNU C compiler, obtained by disassembling the executable with
+//! `objdump`. This crate plays the role of that toolchain layer: it
+//! defines the instruction set, the register file (including the *basic
+//! registers* `$gp`, `$sp`, parameter registers and return-value
+//! registers that the paper's address patterns bottom out in), a
+//! [`Program`] container with a symbol table, a textual assembly
+//! printer/parser, and an [`asm::AsmBuilder`] used by the MiniC code
+//! generator.
+//!
+//! # Example
+//!
+//! ```
+//! use dl_mips::{asm::AsmBuilder, inst::Inst, reg::Reg};
+//!
+//! let mut b = AsmBuilder::new();
+//! b.begin_func("main");
+//! b.push(Inst::Addiu { rt: Reg::Sp, rs: Reg::Sp, imm: -32 });
+//! b.push(Inst::Lw { rt: Reg::T0, base: Reg::Sp, off: 8 });
+//! b.push(Inst::Jr { rs: Reg::Ra });
+//! b.end_func();
+//! let program = b.finish("main").unwrap();
+//! assert_eq!(program.insts.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod encode;
+pub mod inst;
+pub mod layout;
+pub mod parse;
+pub mod program;
+pub mod reg;
+
+pub use asm::AsmBuilder;
+pub use inst::{Inst, Label};
+pub use program::{FuncSym, GlobalSym, Program, SymbolTable};
+pub use reg::Reg;

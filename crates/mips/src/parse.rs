@@ -1,0 +1,688 @@
+//! A parser for the textual assembly format produced by
+//! [`crate::Program::to_asm`], also suitable for hand-written programs
+//! in tests and examples.
+//!
+//! This is the "disassembler" entry point of the paper's pipeline: the
+//! analysis can start from assembly text exactly as the original system
+//! starts from `objdump` output.
+//!
+//! # Syntax
+//!
+//! ```text
+//!         .entry main          # optional; defaults to first function
+//!         .text
+//! main:                        # function label (no leading dot)
+//!         addiu $sp, $sp, -16
+//! .Lloop:                      # local label (leading dot)
+//!         lw    $t0, 4($sp)
+//!         bgtz  $t0, .Lloop
+//!         jr    $ra
+//!         .data
+//! table:  .word 1, 2, 3        # named, initialized global
+//! buf:    .space 400           # named, zeroed global
+//!         .global sym 0x10000000 64   # pre-placed symbol (to_asm form)
+//! ```
+//!
+//! Comments run from `#` to end of line.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::inst::{Inst, Label};
+use crate::layout;
+use crate::program::{Program, SymbolTable};
+use crate::reg::Reg;
+
+/// A parse failure, with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+#[derive(PartialEq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// Parses assembly text into a [`Program`].
+///
+/// The entry point is the function named by a `.entry` directive, or
+/// the first function if there is none.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed syntax, unknown mnemonics or
+/// registers, out-of-range immediates, duplicate or undefined labels.
+///
+/// # Example
+///
+/// ```
+/// let p = dl_mips::parse::parse_asm(
+///     "main:\n  addiu $t0, $zero, 7\n  jr $ra\n",
+/// ).unwrap();
+/// assert_eq!(p.insts.len(), 2);
+/// assert_eq!(p.symbols.func("main").unwrap().start, 0);
+/// ```
+pub fn parse_asm(text: &str) -> Result<Program, ParseError> {
+    let mut insts: Vec<Inst> = Vec::new();
+    let mut labels: BTreeMap<String, usize> = BTreeMap::new();
+    let mut fixups: Vec<(usize, String, usize)> = Vec::new(); // (inst idx, label, line)
+    let mut funcs: Vec<(String, usize)> = Vec::new();
+    let mut data: Vec<u8> = Vec::new();
+    let mut globals: Vec<(String, u32, u32)> = Vec::new();
+    // Pending data label waiting for its first directive to size it.
+    let mut pending_data_label: Option<(String, u32)> = None;
+    let mut entry_name: Option<String> = None;
+    let mut section = Section::Text;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let mut s = raw;
+        if let Some(pos) = s.find('#') {
+            s = &s[..pos];
+        }
+        let mut s = s.trim();
+        if s.is_empty() {
+            continue;
+        }
+        // Labels (possibly followed by more on the same line).
+        while let Some(colon) = s.find(':') {
+            let (name, rest) = s.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !is_label_name(name) {
+                break;
+            }
+            match section {
+                Section::Text => {
+                    if labels.insert(name.to_owned(), insts.len()).is_some() {
+                        return Err(err(line, format!("duplicate label `{name}`")));
+                    }
+                    if !name.starts_with('.') {
+                        funcs.push((name.to_owned(), insts.len()));
+                    }
+                }
+                Section::Data => {
+                    close_pending(&mut pending_data_label, &mut globals, &data);
+                    pending_data_label =
+                        Some((name.to_owned(), layout::DATA_BASE + data.len() as u32));
+                }
+            }
+            s = rest[1..].trim();
+        }
+        if s.is_empty() {
+            continue;
+        }
+        if let Some(directive) = s.strip_prefix('.') {
+            let mut parts = directive.split_whitespace();
+            let kind = parts.next().unwrap_or("");
+            let rest: Vec<&str> = parts.collect();
+            match kind {
+                "text" => section = Section::Text,
+                "data" => {
+                    section = Section::Data;
+                }
+                "entry" => {
+                    entry_name = Some(
+                        rest.first()
+                            .ok_or_else(|| err(line, ".entry requires a name"))?
+                            .to_string(),
+                    );
+                }
+                "word" => {
+                    let args = rest.join(" ");
+                    for v in args.split(',') {
+                        let v = v.trim();
+                        if v.is_empty() {
+                            continue;
+                        }
+                        let n = parse_int(v).ok_or_else(|| {
+                            err(line, format!("bad .word operand `{v}`"))
+                        })?;
+                        data.extend_from_slice(&(n as i32).to_le_bytes());
+                    }
+                }
+                "space" => {
+                    let n = rest
+                        .first()
+                        .and_then(|v| parse_int(v))
+                        .ok_or_else(|| err(line, ".space requires a size"))?;
+                    data.extend(std::iter::repeat_n(0, n as usize));
+                }
+                "align" => {
+                    let a = rest
+                        .first()
+                        .and_then(|v| parse_int(v))
+                        .ok_or_else(|| err(line, ".align requires a power"))? as u32;
+                    let align = 1u32 << a;
+                    while !(data.len() as u32).is_multiple_of(align) {
+                        data.push(0);
+                    }
+                }
+                "global" => {
+                    // `.global name addr size` — pre-placed symbol from to_asm.
+                    if rest.len() != 3 {
+                        return Err(err(line, ".global requires name, addr, size"));
+                    }
+                    let addr = parse_int(rest[1])
+                        .ok_or_else(|| err(line, "bad .global addr"))?
+                        as u32;
+                    let size = parse_int(rest[2])
+                        .ok_or_else(|| err(line, "bad .global size"))?
+                        as u32;
+                    let end = (addr + size).saturating_sub(layout::DATA_BASE) as usize;
+                    if data.len() < end {
+                        data.resize(end, 0);
+                    }
+                    globals.push((rest[0].to_owned(), addr, size));
+                }
+                "globl" => { /* accepted and ignored, like gas */ }
+                other => return Err(err(line, format!("unknown directive `.{other}`"))),
+            }
+            continue;
+        }
+        if section == Section::Data {
+            return Err(err(line, "instruction in .data section"));
+        }
+        let inst = parse_inst(s, line, insts.len(), &mut fixups)?;
+        insts.push(inst);
+    }
+    close_pending(&mut pending_data_label, &mut globals, &data);
+
+    // Resolve label fixups.
+    for (idx, name, line) in fixups {
+        let target = *labels
+            .get(&name)
+            .ok_or_else(|| err(line, format!("undefined label `{name}`")))?;
+        insts[idx].set_target(Label(target as u32));
+    }
+    // Build symbol table: each function runs to the start of the next.
+    let mut symbols = SymbolTable::new();
+    funcs.sort_by_key(|&(_, s)| s);
+    for (i, (name, start)) in funcs.iter().enumerate() {
+        let end = funcs.get(i + 1).map_or(insts.len(), |&(_, s)| s);
+        symbols.add_func(name.clone(), *start, end);
+    }
+    for (name, addr, size) in globals {
+        symbols.add_global(name, addr, size);
+    }
+    let entry = match &entry_name {
+        Some(n) => symbols
+            .func(n)
+            .ok_or_else(|| err(0, format!("entry function `{n}` not found")))?
+            .start,
+        None => symbols.funcs().first().map_or(0, |f| f.start),
+    };
+    Ok(Program {
+        insts,
+        symbols,
+        data,
+        entry,
+    })
+}
+
+fn close_pending(
+    pending: &mut Option<(String, u32)>,
+    globals: &mut Vec<(String, u32, u32)>,
+    data: &[u8],
+) {
+    if let Some((name, addr)) = pending.take() {
+        let size = (layout::DATA_BASE + data.len() as u32).saturating_sub(addr);
+        globals.push((name, addr, size));
+    }
+}
+
+fn is_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
+    s.trim()
+        .parse::<Reg>()
+        .map_err(|e| err(line, e.to_string()))
+}
+
+fn parse_i16(s: &str, line: usize) -> Result<i16, ParseError> {
+    let v = parse_int(s).ok_or_else(|| err(line, format!("bad immediate `{s}`")))?;
+    i16::try_from(v).map_err(|_| err(line, format!("immediate `{s}` out of i16 range")))
+}
+
+fn parse_u16(s: &str, line: usize) -> Result<u16, ParseError> {
+    let v = parse_int(s).ok_or_else(|| err(line, format!("bad immediate `{s}`")))?;
+    u16::try_from(v).map_err(|_| err(line, format!("immediate `{s}` out of u16 range")))
+}
+
+/// Parses `off(reg)` memory operands.
+fn parse_mem(s: &str, line: usize) -> Result<(Reg, i16), ParseError> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(line, format!("bad memory operand `{s}`")))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("bad memory operand `{s}`")))?;
+    let off = if s[..open].trim().is_empty() {
+        0
+    } else {
+        parse_i16(&s[..open], line)?
+    };
+    let base = parse_reg(&s[open + 1..close], line)?;
+    Ok((base, off))
+}
+
+fn parse_inst(
+    s: &str,
+    line: usize,
+    idx: usize,
+    fixups: &mut Vec<(usize, String, usize)>,
+) -> Result<Inst, ParseError> {
+    let (mnem, rest) = match s.find(char::is_whitespace) {
+        Some(p) => (&s[..p], s[p..].trim()),
+        None => (s, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), ParseError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("`{mnem}` expects {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+    let mut deferred = |name: &str| {
+        fixups.push((idx, name.to_owned(), line));
+        Label(u32::MAX)
+    };
+    macro_rules! mem {
+        ($variant:ident) => {{
+            want(2)?;
+            let rt = parse_reg(ops[0], line)?;
+            let (base, off) = parse_mem(ops[1], line)?;
+            Inst::$variant { rt, base, off }
+        }};
+    }
+    macro_rules! rrr {
+        ($variant:ident) => {{
+            want(3)?;
+            Inst::$variant {
+                rd: parse_reg(ops[0], line)?,
+                rs: parse_reg(ops[1], line)?,
+                rt: parse_reg(ops[2], line)?,
+            }
+        }};
+    }
+    macro_rules! rri {
+        ($variant:ident, $p:ident) => {{
+            want(3)?;
+            Inst::$variant {
+                rt: parse_reg(ops[0], line)?,
+                rs: parse_reg(ops[1], line)?,
+                imm: $p(ops[2], line)?,
+            }
+        }};
+    }
+    macro_rules! shift_imm {
+        ($variant:ident) => {{
+            want(3)?;
+            let shamt = parse_int(ops[2])
+                .filter(|&v| (0..32).contains(&v))
+                .ok_or_else(|| err(line, "shift amount must be 0..=31"))?
+                as u8;
+            Inst::$variant {
+                rd: parse_reg(ops[0], line)?,
+                rt: parse_reg(ops[1], line)?,
+                shamt,
+            }
+        }};
+    }
+    macro_rules! shift_var {
+        ($variant:ident) => {{
+            want(3)?;
+            Inst::$variant {
+                rd: parse_reg(ops[0], line)?,
+                rt: parse_reg(ops[1], line)?,
+                rs: parse_reg(ops[2], line)?,
+            }
+        }};
+    }
+    macro_rules! branch2 {
+        ($variant:ident) => {{
+            want(3)?;
+            Inst::$variant {
+                rs: parse_reg(ops[0], line)?,
+                rt: parse_reg(ops[1], line)?,
+                target: deferred(ops[2]),
+            }
+        }};
+    }
+    macro_rules! branch1 {
+        ($variant:ident) => {{
+            want(2)?;
+            Inst::$variant {
+                rs: parse_reg(ops[0], line)?,
+                target: deferred(ops[1]),
+            }
+        }};
+    }
+    let inst = match mnem {
+        "lw" => mem!(Lw),
+        "lb" => mem!(Lb),
+        "lbu" => mem!(Lbu),
+        "lh" => mem!(Lh),
+        "lhu" => mem!(Lhu),
+        "sw" => mem!(Sw),
+        "sb" => mem!(Sb),
+        "sh" => mem!(Sh),
+        "lui" => {
+            want(2)?;
+            Inst::Lui {
+                rt: parse_reg(ops[0], line)?,
+                imm: parse_u16(ops[1], line)?,
+            }
+        }
+        "addu" | "add" => rrr!(Addu),
+        "subu" | "sub" => rrr!(Subu),
+        "mul" => rrr!(Mul),
+        "div" => rrr!(Div),
+        "rem" => rrr!(Rem),
+        "and" => rrr!(And),
+        "or" => rrr!(Or),
+        "xor" => rrr!(Xor),
+        "nor" => rrr!(Nor),
+        "slt" => rrr!(Slt),
+        "sltu" => rrr!(Sltu),
+        "addiu" | "addi" => rri!(Addiu, parse_i16),
+        "andi" => rri!(Andi, parse_u16),
+        "ori" => rri!(Ori, parse_u16),
+        "xori" => rri!(Xori, parse_u16),
+        "slti" => rri!(Slti, parse_i16),
+        "sltiu" => rri!(Sltiu, parse_i16),
+        "sll" => shift_imm!(Sll),
+        "srl" => shift_imm!(Srl),
+        "sra" => shift_imm!(Sra),
+        "sllv" => shift_var!(Sllv),
+        "srlv" => shift_var!(Srlv),
+        "srav" => shift_var!(Srav),
+        "beq" => branch2!(Beq),
+        "bne" => branch2!(Bne),
+        "blez" => branch1!(Blez),
+        "bgtz" => branch1!(Bgtz),
+        "bltz" => branch1!(Bltz),
+        "bgez" => branch1!(Bgez),
+        "j" => {
+            want(1)?;
+            Inst::J {
+                target: deferred(ops[0]),
+            }
+        }
+        "jal" => {
+            want(1)?;
+            Inst::Jal {
+                target: deferred(ops[0]),
+            }
+        }
+        "jr" => {
+            want(1)?;
+            Inst::Jr {
+                rs: parse_reg(ops[0], line)?,
+            }
+        }
+        "jalr" => {
+            want(2)?;
+            Inst::Jalr {
+                rd: parse_reg(ops[0], line)?,
+                rs: parse_reg(ops[1], line)?,
+            }
+        }
+        "move" => {
+            want(2)?;
+            Inst::Addu {
+                rd: parse_reg(ops[0], line)?,
+                rs: parse_reg(ops[1], line)?,
+                rt: Reg::Zero,
+            }
+        }
+        "li" => {
+            want(2)?;
+            let rt = parse_reg(ops[0], line)?;
+            let imm = parse_i16(ops[1], line)?;
+            Inst::Addiu {
+                rt,
+                rs: Reg::Zero,
+                imm,
+            }
+        }
+        "syscall" => {
+            want(0)?;
+            Inst::Syscall
+        }
+        "nop" => {
+            want(0)?;
+            Inst::Nop
+        }
+        other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_function() {
+        let p = parse_asm(
+            "main:\n\
+             \taddiu $sp, $sp, -16\n\
+             \tsw $ra, 12($sp)\n\
+             \tlw $t0, 0($gp)\n\
+             \tjr $ra\n",
+        )
+        .unwrap();
+        assert_eq!(p.insts.len(), 4);
+        assert_eq!(p.symbols.func("main").unwrap().end, 4);
+        assert_eq!(p.static_load_count(), 1);
+    }
+
+    #[test]
+    fn parse_branches_and_labels() {
+        let p = parse_asm(
+            "main:\n\
+             \tli $t0, 10\n\
+             .Lloop:\n\
+             \taddiu $t0, $t0, -1\n\
+             \tbgtz $t0, .Lloop\n\
+             \tjr $ra\n",
+        )
+        .unwrap();
+        assert_eq!(p.insts[2].target(), Some(Label(1)));
+    }
+
+    #[test]
+    fn parse_forward_reference() {
+        let p = parse_asm(
+            "main:\n\
+             \tbeq $t0, $t1, .Lout\n\
+             \tnop\n\
+             .Lout:\n\
+             \tjr $ra\n",
+        )
+        .unwrap();
+        assert_eq!(p.insts[0].target(), Some(Label(2)));
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let e = parse_asm("main:\n\tj .Lnowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let e = parse_asm("main:\n\tnop\nmain:\n\tnop\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn data_section_words_and_space() {
+        let p = parse_asm(
+            "\t.data\n\
+             tbl:\t.word 1, 2, -3\n\
+             buf:\t.space 8\n\
+             \t.text\n\
+             main:\n\
+             \tjr $ra\n",
+        )
+        .unwrap();
+        let tbl = p.symbols.global("tbl").unwrap();
+        assert_eq!(tbl.size, 12);
+        let buf = p.symbols.global("buf").unwrap();
+        assert_eq!(buf.size, 8);
+        assert_eq!(buf.addr, tbl.addr + 12);
+        let off = (tbl.addr - layout::DATA_BASE) as usize;
+        assert_eq!(
+            i32::from_le_bytes(p.data[off + 8..off + 12].try_into().unwrap()),
+            -3
+        );
+    }
+
+    #[test]
+    fn entry_directive() {
+        let p = parse_asm(
+            "\t.entry helper\n\
+             main:\n\tjr $ra\n\
+             helper:\n\tjr $ra\n",
+        )
+        .unwrap();
+        assert_eq!(p.entry, 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = parse_asm(
+            "# leading comment\n\
+             main:  # trailing\n\
+             \n\
+             \tnop # another\n\
+             \tjr $ra\n",
+        )
+        .unwrap();
+        assert_eq!(p.insts.len(), 2);
+    }
+
+    #[test]
+    fn round_trip_through_to_asm() {
+        let src = "main:\n\
+                   \taddiu $sp, $sp, -32\n\
+                   \tsw $ra, 28($sp)\n\
+                   .Lloop:\n\
+                   \tlw $t0, 8($sp)\n\
+                   \tsll $t1, $t0, 2\n\
+                   \taddu $t1, $t1, $gp\n\
+                   \tlw $t2, 0($t1)\n\
+                   \tbgtz $t2, .Lloop\n\
+                   \tlw $ra, 28($sp)\n\
+                   \taddiu $sp, $sp, 32\n\
+                   \tjr $ra\n";
+        let p1 = parse_asm(src).unwrap();
+        let p2 = parse_asm(&p1.to_asm()).unwrap();
+        assert_eq!(p1.insts, p2.insts);
+        assert_eq!(
+            p1.symbols.func("main").unwrap(),
+            p2.symbols.func("main").unwrap()
+        );
+        assert_eq!(p1.entry, p2.entry);
+    }
+
+    #[test]
+    fn pseudo_ops() {
+        let p = parse_asm("main:\n\tmove $t0, $t1\n\tli $t2, -5\n").unwrap();
+        assert_eq!(
+            p.insts[0],
+            Inst::Addu {
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::Zero
+            }
+        );
+        assert_eq!(
+            p.insts[1],
+            Inst::Addiu {
+                rt: Reg::T2,
+                rs: Reg::Zero,
+                imm: -5
+            }
+        );
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let p = parse_asm("main:\n\tlw $t0, ($sp)\n\tlw $t1, -4($fp)\n").unwrap();
+        assert_eq!(
+            p.insts[0],
+            Inst::Lw {
+                rt: Reg::T0,
+                base: Reg::Sp,
+                off: 0
+            }
+        );
+        assert_eq!(
+            p.insts[1],
+            Inst::Lw {
+                rt: Reg::T1,
+                base: Reg::Fp,
+                off: -4
+            }
+        );
+    }
+
+    #[test]
+    fn bad_mnemonic_and_operands() {
+        assert!(parse_asm("main:\n\tfrobnicate $t0\n").is_err());
+        assert!(parse_asm("main:\n\tlw $t0\n").is_err());
+        assert!(parse_asm("main:\n\taddiu $t0, $t1, 99999\n").is_err());
+        assert!(parse_asm("main:\n\tsll $t0, $t1, 40\n").is_err());
+    }
+}

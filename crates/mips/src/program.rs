@@ -1,0 +1,329 @@
+//! The [`Program`] container: instructions, symbol table, and the
+//! initial data segment image.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::layout;
+
+/// A function symbol: a named, contiguous range of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSym {
+    /// Function name.
+    pub name: String,
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the index of the last instruction.
+    pub end: usize,
+}
+
+impl FuncSym {
+    /// Returns `true` if instruction `index` belongs to this function.
+    #[must_use]
+    pub fn contains(&self, index: usize) -> bool {
+        (self.start..self.end).contains(&index)
+    }
+}
+
+/// A global data symbol in the static data segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalSym {
+    /// Symbol name.
+    pub name: String,
+    /// Absolute address (within the data segment).
+    pub addr: u32,
+    /// Size in bytes.
+    pub size: u32,
+}
+
+/// Function and data symbols for a [`Program`].
+///
+/// Plays the role of the executable's symbol table, which the paper's
+/// static BDH implementation consults for type/offset information.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    funcs: Vec<FuncSym>,
+    globals: Vec<GlobalSym>,
+    by_name: BTreeMap<String, usize>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a function symbol. Functions must be added in program order
+    /// with non-overlapping ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already present or the range overlaps the
+    /// previous function.
+    pub fn add_func(&mut self, name: impl Into<String>, start: usize, end: usize) {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate function symbol `{name}`"
+        );
+        if let Some(prev) = self.funcs.last() {
+            assert!(
+                start >= prev.end,
+                "function `{name}` overlaps `{}`",
+                prev.name
+            );
+        }
+        self.by_name.insert(name.clone(), self.funcs.len());
+        self.funcs.push(FuncSym { name, start, end });
+    }
+
+    /// Adds a global data symbol.
+    pub fn add_global(&mut self, name: impl Into<String>, addr: u32, size: u32) {
+        self.globals.push(GlobalSym {
+            name: name.into(),
+            addr,
+            size,
+        });
+    }
+
+    /// All function symbols, in program order.
+    #[must_use]
+    pub fn funcs(&self) -> &[FuncSym] {
+        &self.funcs
+    }
+
+    /// All global symbols.
+    #[must_use]
+    pub fn globals(&self) -> &[GlobalSym] {
+        &self.globals
+    }
+
+    /// Looks up a function by name.
+    #[must_use]
+    pub fn func(&self, name: &str) -> Option<&FuncSym> {
+        self.by_name.get(name).map(|&i| &self.funcs[i])
+    }
+
+    /// Finds the function containing instruction `index`.
+    #[must_use]
+    pub fn func_at(&self, index: usize) -> Option<&FuncSym> {
+        // Functions are sorted by range; binary-search the start points.
+        let pos = self.funcs.partition_point(|f| f.start <= index);
+        pos.checked_sub(1)
+            .map(|p| &self.funcs[p])
+            .filter(|f| f.contains(index))
+    }
+
+    /// Looks up a global by name.
+    #[must_use]
+    pub fn global(&self, name: &str) -> Option<&GlobalSym> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Finds the global containing address `addr`, if any.
+    #[must_use]
+    pub fn global_at(&self, addr: u32) -> Option<&GlobalSym> {
+        self.globals
+            .iter()
+            .find(|g| addr >= g.addr && addr < g.addr + g.size.max(1))
+    }
+}
+
+/// A complete executable program: text, symbols, and the initial data
+/// image.
+///
+/// # Example
+///
+/// ```
+/// use dl_mips::{AsmBuilder, Inst, Reg};
+/// let mut b = AsmBuilder::new();
+/// b.begin_func("main");
+/// b.push(Inst::Jr { rs: Reg::Ra });
+/// b.end_func();
+/// let p = b.finish("main").unwrap();
+/// assert_eq!(p.symbols.func("main").unwrap().start, 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The instruction stream (index `i` lives at `pc_of_index(i)`).
+    pub insts: Vec<Inst>,
+    /// Function and global symbols.
+    pub symbols: SymbolTable,
+    /// Initial contents of the data segment, loaded at
+    /// [`layout::DATA_BASE`].
+    pub data: Vec<u8>,
+    /// Instruction index where execution starts.
+    pub entry: usize,
+}
+
+impl Program {
+    /// Total number of static load instructions (the paper's Λ).
+    #[must_use]
+    pub fn static_load_count(&self) -> usize {
+        self.insts.iter().filter(|i| i.is_load()).count()
+    }
+
+    /// Indices of all static load instructions.
+    #[must_use]
+    pub fn load_sites(&self) -> Vec<usize> {
+        self.insts
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_load())
+            .map(|(idx, _)| idx)
+            .collect()
+    }
+
+    /// The program counter of instruction `index`.
+    #[must_use]
+    pub fn pc(&self, index: usize) -> u32 {
+        layout::pc_of_index(index)
+    }
+
+    /// Renders the program as assembly text (the `objdump`-style view
+    /// that the analysis conceptually consumes). Parseable back with
+    /// [`crate::parse::parse_asm`].
+    #[must_use]
+    pub fn to_asm(&self) -> String {
+        let mut out = String::new();
+        if let Some(f) = self.symbols.func_at(self.entry) {
+            out.push_str(&format!("\t.entry {}\n", f.name));
+        }
+        out.push_str("\t.text\n");
+        // Collect label targets so we can emit local labels.
+        let mut is_target = vec![false; self.insts.len() + 1];
+        for inst in &self.insts {
+            if let Some(t) = inst.target() {
+                if t.index() <= self.insts.len() {
+                    is_target[t.index()] = true;
+                }
+            }
+        }
+        for (idx, inst) in self.insts.iter().enumerate() {
+            if let Some(f) = self.symbols.funcs().iter().find(|f| f.start == idx) {
+                out.push_str(&format!("{}:\n", f.name));
+            }
+            if is_target[idx] {
+                out.push_str(&format!(".L{idx}:\n"));
+            }
+            out.push_str(&format!("\t{inst}\n"));
+        }
+        if is_target[self.insts.len()] {
+            out.push_str(&format!(".L{}:\n", self.insts.len()));
+        }
+        if !self.symbols.globals().is_empty() {
+            out.push_str("\t.data\n");
+            for g in self.symbols.globals() {
+                out.push_str(&format!("\t.global {} {:#x} {}\n", g.name, g.addr, g.size));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_asm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Label;
+    use crate::reg::Reg;
+
+    fn sample() -> Program {
+        let insts = vec![
+            Inst::Addiu {
+                rt: Reg::T0,
+                rs: Reg::Zero,
+                imm: 5,
+            },
+            Inst::Lw {
+                rt: Reg::T1,
+                base: Reg::Sp,
+                off: 4,
+            },
+            Inst::Bne {
+                rs: Reg::T0,
+                rt: Reg::Zero,
+                target: Label(1),
+            },
+            Inst::Jr { rs: Reg::Ra },
+            Inst::Lw {
+                rt: Reg::V0,
+                base: Reg::Gp,
+                off: 0,
+            },
+            Inst::Jr { rs: Reg::Ra },
+        ];
+        let mut symbols = SymbolTable::new();
+        symbols.add_func("main", 0, 4);
+        symbols.add_func("helper", 4, 6);
+        symbols.add_global("table", layout::DATA_BASE, 64);
+        Program {
+            insts,
+            symbols,
+            data: vec![0; 64],
+            entry: 0,
+        }
+    }
+
+    #[test]
+    fn load_counting() {
+        let p = sample();
+        assert_eq!(p.static_load_count(), 2);
+        assert_eq!(p.load_sites(), vec![1, 4]);
+    }
+
+    #[test]
+    fn func_lookup() {
+        let p = sample();
+        assert_eq!(p.symbols.func("main").unwrap().start, 0);
+        assert_eq!(p.symbols.func_at(3).unwrap().name, "main");
+        assert_eq!(p.symbols.func_at(4).unwrap().name, "helper");
+        assert_eq!(p.symbols.func_at(5).unwrap().name, "helper");
+        assert!(p.symbols.func_at(6).is_none());
+    }
+
+    #[test]
+    fn global_lookup() {
+        let p = sample();
+        assert_eq!(p.symbols.global("table").unwrap().size, 64);
+        assert_eq!(
+            p.symbols.global_at(layout::DATA_BASE + 63).unwrap().name,
+            "table"
+        );
+        assert!(p.symbols.global_at(layout::DATA_BASE + 64).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function symbol")]
+    fn duplicate_function_panics() {
+        let mut s = SymbolTable::new();
+        s.add_func("f", 0, 1);
+        s.add_func("f", 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_function_panics() {
+        let mut s = SymbolTable::new();
+        s.add_func("f", 0, 4);
+        s.add_func("g", 2, 6);
+    }
+
+    #[test]
+    fn asm_text_contains_labels_and_symbols() {
+        let p = sample();
+        let asm = p.to_asm();
+        assert!(asm.contains("main:"));
+        assert!(asm.contains("helper:"));
+        assert!(asm.contains(".L1:"));
+        assert!(asm.contains("lw $t1, 4($sp)"));
+        assert!(asm.contains(".global table"));
+    }
+}

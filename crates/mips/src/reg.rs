@@ -1,0 +1,316 @@
+//! The MIPS register file and calling conventions.
+//!
+//! The paper's address patterns are expressed in terms of *basic
+//! registers* (`BR → gp | sp | reg_param | reg_ret`); [`Reg::base_reg`]
+//! maps each architectural register to that classification.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the 32 MIPS general-purpose registers, by conventional name.
+///
+/// The numeric encoding matches the MIPS o32 convention
+/// (`$zero` = 0 … `$ra` = 31).
+///
+/// # Example
+///
+/// ```
+/// use dl_mips::reg::Reg;
+/// assert_eq!(Reg::Sp.number(), 29);
+/// assert_eq!("$sp".parse::<Reg>().unwrap(), Reg::Sp);
+/// assert_eq!(Reg::Sp.to_string(), "$sp");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// `$zero` — hard-wired zero.
+    Zero = 0,
+    /// `$at` — assembler temporary.
+    At = 1,
+    /// `$v0` — first return-value register.
+    V0 = 2,
+    /// `$v1` — second return-value register.
+    V1 = 3,
+    /// `$a0` — first argument register.
+    A0 = 4,
+    /// `$a1` — second argument register.
+    A1 = 5,
+    /// `$a2` — third argument register.
+    A2 = 6,
+    /// `$a3` — fourth argument register.
+    A3 = 7,
+    /// `$t0` — caller-saved temporary.
+    T0 = 8,
+    /// `$t1` — caller-saved temporary.
+    T1 = 9,
+    /// `$t2` — caller-saved temporary.
+    T2 = 10,
+    /// `$t3` — caller-saved temporary.
+    T3 = 11,
+    /// `$t4` — caller-saved temporary.
+    T4 = 12,
+    /// `$t5` — caller-saved temporary.
+    T5 = 13,
+    /// `$t6` — caller-saved temporary.
+    T6 = 14,
+    /// `$t7` — caller-saved temporary.
+    T7 = 15,
+    /// `$s0` — callee-saved register.
+    S0 = 16,
+    /// `$s1` — callee-saved register.
+    S1 = 17,
+    /// `$s2` — callee-saved register.
+    S2 = 18,
+    /// `$s3` — callee-saved register.
+    S3 = 19,
+    /// `$s4` — callee-saved register.
+    S4 = 20,
+    /// `$s5` — callee-saved register.
+    S5 = 21,
+    /// `$s6` — callee-saved register.
+    S6 = 22,
+    /// `$s7` — callee-saved register.
+    S7 = 23,
+    /// `$t8` — caller-saved temporary.
+    T8 = 24,
+    /// `$t9` — caller-saved temporary.
+    T9 = 25,
+    /// `$k0` — reserved for kernel.
+    K0 = 26,
+    /// `$k1` — reserved for kernel.
+    K1 = 27,
+    /// `$gp` — global pointer (base of the global data area).
+    Gp = 28,
+    /// `$sp` — stack pointer.
+    Sp = 29,
+    /// `$fp` — frame pointer.
+    Fp = 30,
+    /// `$ra` — return address.
+    Ra = 31,
+}
+
+/// The paper's *basic register* classes: the registers an address
+/// pattern may bottom out in after intermediate registers have been
+/// eliminated (`BR → gp | sp | reg_param | reg_ret`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BaseReg {
+    /// The global pointer `$gp` — globals / static data.
+    Gp,
+    /// The stack pointer `$sp` (and `$fp`, which frames off the stack).
+    Sp,
+    /// A parameter register `$a0`–`$a3` — values flowing in from the caller.
+    Param,
+    /// A return-value register `$v0`/`$v1` — values flowing back from a call
+    /// (in particular, `malloc` results).
+    Ret,
+}
+
+impl Reg {
+    /// All 32 registers in numeric order.
+    pub const ALL: [Reg; 32] = [
+        Reg::Zero,
+        Reg::At,
+        Reg::V0,
+        Reg::V1,
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+        Reg::T7,
+        Reg::S0,
+        Reg::S1,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+        Reg::T8,
+        Reg::T9,
+        Reg::K0,
+        Reg::K1,
+        Reg::Gp,
+        Reg::Sp,
+        Reg::Fp,
+        Reg::Ra,
+    ];
+
+    /// The caller-saved temporaries available to code generators.
+    pub const TEMPS: [Reg; 10] = [
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+        Reg::T7,
+        Reg::T8,
+        Reg::T9,
+    ];
+
+    /// The callee-saved registers available to register allocators.
+    pub const SAVED: [Reg; 8] = [
+        Reg::S0,
+        Reg::S1,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+    ];
+
+    /// The argument-passing registers.
+    pub const ARGS: [Reg; 4] = [Reg::A0, Reg::A1, Reg::A2, Reg::A3];
+
+    /// Returns the architectural register number (0–31).
+    #[must_use]
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Constructs a register from its architectural number.
+    ///
+    /// Returns `None` if `n >= 32`.
+    #[must_use]
+    pub fn from_number(n: u8) -> Option<Reg> {
+        Reg::ALL.get(n as usize).copied()
+    }
+
+    /// The conventional assembly name, without the leading `$`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
+            "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1",
+            "gp", "sp", "fp", "ra",
+        ];
+        NAMES[self as usize]
+    }
+
+    /// Classifies this register as one of the paper's basic registers,
+    /// or `None` if it is an intermediate register that address-pattern
+    /// construction must substitute away.
+    ///
+    /// `$fp` is treated as `Sp`-class: it frames off the stack pointer
+    /// and addresses the same region.
+    #[must_use]
+    pub fn base_reg(self) -> Option<BaseReg> {
+        match self {
+            Reg::Gp => Some(BaseReg::Gp),
+            Reg::Sp | Reg::Fp => Some(BaseReg::Sp),
+            Reg::A0 | Reg::A1 | Reg::A2 | Reg::A3 => Some(BaseReg::Param),
+            Reg::V0 | Reg::V1 => Some(BaseReg::Ret),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for `$zero`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == Reg::Zero
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.name())
+    }
+}
+
+impl fmt::Display for BaseReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseReg::Gp => write!(f, "gp"),
+            BaseReg::Sp => write!(f, "sp"),
+            BaseReg::Param => write!(f, "param"),
+            BaseReg::Ret => write!(f, "ret"),
+        }
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses `$name`, `name`, `$N`, or `N` forms (`$t0`, `t0`, `$8`, `8`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s.strip_prefix('$').unwrap_or(s);
+        if let Ok(n) = body.parse::<u8>() {
+            return Reg::from_number(n).ok_or_else(|| ParseRegError { text: s.to_owned() });
+        }
+        Reg::ALL
+            .iter()
+            .copied()
+            .find(|r| r.name() == body)
+            .ok_or_else(|| ParseRegError { text: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_round_trip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_number(r.number()), Some(r));
+        }
+        assert_eq!(Reg::from_number(32), None);
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for r in Reg::ALL {
+            assert_eq!(r.to_string().parse::<Reg>().unwrap(), r);
+            assert_eq!(r.name().parse::<Reg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn numeric_parse() {
+        assert_eq!("$29".parse::<Reg>().unwrap(), Reg::Sp);
+        assert_eq!("28".parse::<Reg>().unwrap(), Reg::Gp);
+        assert!("$32".parse::<Reg>().is_err());
+        assert!("$bogus".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn basic_register_classification() {
+        assert_eq!(Reg::Gp.base_reg(), Some(BaseReg::Gp));
+        assert_eq!(Reg::Sp.base_reg(), Some(BaseReg::Sp));
+        assert_eq!(Reg::Fp.base_reg(), Some(BaseReg::Sp));
+        assert_eq!(Reg::A2.base_reg(), Some(BaseReg::Param));
+        assert_eq!(Reg::V0.base_reg(), Some(BaseReg::Ret));
+        assert_eq!(Reg::T3.base_reg(), None);
+        assert_eq!(Reg::Zero.base_reg(), None);
+        assert_eq!(Reg::Ra.base_reg(), None);
+    }
+
+    #[test]
+    fn display_uses_dollar_names() {
+        assert_eq!(Reg::Zero.to_string(), "$zero");
+        assert_eq!(Reg::Ra.to_string(), "$ra");
+    }
+}

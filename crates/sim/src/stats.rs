@@ -1,0 +1,102 @@
+//! Per-run measurement results: the raw material for the paper's
+//! training phase and evaluation metrics.
+
+/// Everything measured during one simulated run.
+///
+/// Vectors are indexed by static instruction index (parallel to
+/// `Program::insts`). `M(i, C)` from the paper is `load_misses[i]`;
+/// `E(i)` is `exec_counts[i]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunResult {
+    /// Total dynamic instructions executed.
+    pub instructions: u64,
+    /// Total D-cache accesses (loads + stores).
+    pub dcache_accesses: u64,
+    /// Total D-cache misses (loads + stores; write-allocate).
+    pub dcache_misses: u64,
+    /// Dynamic load count.
+    pub loads: u64,
+    /// Dynamic store count.
+    pub stores: u64,
+    /// Total load misses — the paper's `M(P(I), C)` denominator.
+    pub load_misses_total: u64,
+    /// Per-instruction execution counts (`E(i)`).
+    pub exec_counts: Vec<u64>,
+    /// Per-instruction load miss counts (`M(i, C)`; zero for non-loads).
+    pub load_misses: Vec<u64>,
+    /// Per-instruction load hit counts (zero for non-loads).
+    pub load_hits: Vec<u64>,
+    /// Prefetch requests issued by instrumented load sites.
+    pub prefetches_issued: u64,
+    /// Values printed via the `print_int` syscall.
+    pub output: Vec<i32>,
+    /// Exit code passed to the `exit` syscall (or `$v0` on fallthrough
+    /// return from the entry function).
+    pub exit_code: i32,
+}
+
+impl RunResult {
+    /// Creates a zeroed result sized for `n` static instructions.
+    #[must_use]
+    pub fn with_len(n: usize) -> Self {
+        RunResult {
+            exec_counts: vec![0; n],
+            load_misses: vec![0; n],
+            load_hits: vec![0; n],
+            ..RunResult::default()
+        }
+    }
+
+    /// The miss count of static load `index` (`M(i, C)`).
+    #[must_use]
+    pub fn misses_of(&self, index: usize) -> u64 {
+        self.load_misses[index]
+    }
+
+    /// Sum of `M(i, C)` over a set of static instruction indices.
+    #[must_use]
+    pub fn misses_of_set(&self, set: &[usize]) -> u64 {
+        set.iter().map(|&i| self.load_misses[i]).sum()
+    }
+
+    /// Miss rate of static load `index`, or 0 if never executed.
+    #[must_use]
+    pub fn miss_rate_of(&self, index: usize) -> f64 {
+        let total = self.load_misses[index] + self.load_hits[index];
+        if total == 0 {
+            0.0
+        } else {
+            self.load_misses[index] as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_len_sizes_vectors() {
+        let r = RunResult::with_len(5);
+        assert_eq!(r.exec_counts.len(), 5);
+        assert_eq!(r.load_misses.len(), 5);
+        assert_eq!(r.load_hits.len(), 5);
+    }
+
+    #[test]
+    fn set_miss_sum() {
+        let mut r = RunResult::with_len(4);
+        r.load_misses = vec![5, 0, 3, 2];
+        assert_eq!(r.misses_of_set(&[0, 2]), 8);
+        assert_eq!(r.misses_of_set(&[]), 0);
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut r = RunResult::with_len(2);
+        r.load_misses[0] = 3;
+        r.load_hits[0] = 1;
+        assert!((r.miss_rate_of(0) - 0.75).abs() < 1e-12);
+        assert_eq!(r.miss_rate_of(1), 0.0);
+    }
+}

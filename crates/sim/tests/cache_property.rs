@@ -1,0 +1,111 @@
+//! Property tests: the optimized cache model agrees with a naive
+//! reference implementation of set-associative LRU on arbitrary access
+//! streams, and basic conservation laws hold.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use dl_sim::{Cache, CacheConfig};
+
+/// A transparently-correct LRU model: one deque of tags per set,
+/// most-recent at the front.
+struct RefCache {
+    sets: Vec<VecDeque<u64>>,
+    assoc: usize,
+    block_shift: u32,
+    set_mask: u64,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> Self {
+        RefCache {
+            sets: vec![VecDeque::new(); cfg.sets() as usize],
+            assoc: cfg.assoc() as usize,
+            block_shift: cfg.block_bytes().trailing_zeros(),
+            set_mask: u64::from(cfg.sets()) - 1,
+        }
+    }
+
+    fn access(&mut self, addr: u32) -> bool {
+        let block = u64::from(addr) >> self.block_shift;
+        let set = (block & self.set_mask) as usize;
+        let tag = block >> self.set_mask.count_ones();
+        let q = &mut self.sets[set];
+        if let Some(pos) = q.iter().position(|&t| t == tag) {
+            let t = q.remove(pos).expect("found above");
+            q.push_front(t);
+            true
+        } else {
+            q.push_front(tag);
+            if q.len() > self.assoc {
+                q.pop_back();
+            }
+            false
+        }
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (0u32..3, 0u32..4, 0u32..3).prop_map(|(s, a, b)| {
+        let size = 1024 << s; // 1-4 KiB keeps conflict pressure high
+        let assoc = 1 << a;
+        let block = 16 << b;
+        CacheConfig::new(size, assoc, block).expect("valid geometry")
+    })
+}
+
+/// Address streams biased toward reuse (small pool of hot addresses
+/// plus random ones) to exercise both hits and evictions.
+fn arb_stream() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..64).prop_map(|i| 0x1000_0000 + i * 4),
+            (0u32..100_000).prop_map(|i| 0x2000_0000 + i * 4),
+        ],
+        1..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matches_reference_lru(cfg in arb_config(), stream in arb_stream()) {
+        let mut fast = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for &addr in &stream {
+            prop_assert_eq!(fast.access(addr), reference.access(addr), "at {:#x}", addr);
+        }
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_accesses(cfg in arb_config(), stream in arb_stream()) {
+        let mut c = Cache::new(cfg);
+        for &addr in &stream {
+            c.access(addr);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), stream.len() as u64);
+    }
+
+    #[test]
+    fn first_touch_of_each_block_misses(cfg in arb_config(), stream in arb_stream()) {
+        let mut c = Cache::new(cfg);
+        let mut seen = std::collections::BTreeSet::new();
+        for &addr in &stream {
+            let block = addr / cfg.block_bytes();
+            let hit = c.access(addr);
+            if seen.insert(block) {
+                prop_assert!(!hit, "cold access hit at {:#x}", addr);
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_access_always_hits(cfg in arb_config(), addr in 0u32..0x4000_0000) {
+        let mut c = Cache::new(cfg);
+        c.access(addr);
+        prop_assert!(c.access(addr));
+        prop_assert!(c.access(addr));
+    }
+}

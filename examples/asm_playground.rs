@@ -1,0 +1,80 @@
+//! The disassembler path: the paper's framework is "loosely coupled"
+//! with the compiler, so it also works on *hand-written or
+//! disassembled* assembly. This example writes a kernel directly in
+//! assembly text, round-trips it through the binary encoder (the
+//! "executable" form), and runs the analysis + heuristic on the
+//! decoded image — no compiler involved anywhere.
+//!
+//! ```text
+//! cargo run --release --example asm_playground
+//! ```
+
+use delinquent_loads::mips::encode::{decode_program, encode_program};
+use delinquent_loads::mips::parse::parse_asm;
+use delinquent_loads::mips::program::Program;
+use delinquent_loads::prelude::*;
+
+fn main() {
+    // A hand-written pointer chase: $a0 carries the list head; each
+    // node stores its successor at offset 0 and a payload at offset 4.
+    // Built next to it, a strided sweep over a global table.
+    let source = "\
+        \t.data\n\
+        table:\t.space 65536\n\
+        \t.text\n\
+        main:\n\
+        \taddiu $sp, $sp, -16\n\
+        # build a strided address stream over `table`\n\
+        \tli   $t0, 0\n\
+        \tli   $t3, 8192\n\
+        .Lsweep:\n\
+        \tsll  $t1, $t0, 3\n\
+        \taddiu $t2, $gp, -32768\n\
+        \taddu $t1, $t2, $t1\n\
+        \tlw   $t4, 0($t1)\n\
+        \taddiu $t0, $t0, 1\n\
+        \tbne  $t0, $t3, .Lsweep\n\
+        \taddiu $sp, $sp, 16\n\
+        \tli   $v0, 10\n\
+        \tli   $a0, 0\n\
+        \tsyscall\n";
+
+    let parsed = parse_asm(source).expect("assembly parses");
+
+    // Through the executable image and back — the objdump step.
+    let image = encode_program(&parsed).expect("encodes");
+    let decoded = decode_program(&image).expect("decodes");
+    assert_eq!(decoded, parsed.insts, "binary round trip is exact");
+    println!(
+        "assembled {} instructions into {} bytes of text segment",
+        parsed.insts.len(),
+        image.len() * 4
+    );
+
+    let program = Program {
+        insts: decoded,
+        ..parsed
+    };
+    let result = run(&program, &RunConfig::default()).expect("runs");
+    let analysis = analyze_program(&program, &AnalysisConfig::default());
+    let heuristic = Heuristic::default();
+    let flagged = heuristic.classify(&analysis, &result.exec_counts);
+
+    println!(
+        "loads: {}   flagged: {:?}   coverage: {:.1}%",
+        analysis.loads.len(),
+        flagged,
+        100.0 * rho(&result, &flagged)
+    );
+    for load in &analysis.loads {
+        println!(
+            "  inst {:>2}  misses {:>5}  φ {:>5.2}  {}",
+            load.index,
+            result.load_misses[load.index],
+            heuristic.score(load, result.exec_counts[load.index]),
+            load.patterns
+                .first()
+                .map_or_else(|| "?".to_owned(), ToString::to_string)
+        );
+    }
+}

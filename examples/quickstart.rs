@@ -1,0 +1,79 @@
+//! Quickstart: compile a MiniC kernel, simulate it, and ask the
+//! heuristic which loads are possibly delinquent.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use delinquent_loads::prelude::*;
+
+fn main() {
+    // Two kinds of memory behaviour side by side: a cache-friendly
+    // running sum over a small array, and a pointer chase over a heap
+    // list far bigger than the cache.
+    let source = r#"
+        struct node { int value; struct node* next; int pad1; int pad2; };
+        int small[64];
+        int main() {
+            struct node* head; struct node* p;
+            int i; int sum;
+            head = 0;
+            for (i = 0; i < 8000; i = i + 1) {
+                p = malloc(sizeof(struct node));
+                p->value = i;
+                p->next = head;
+                head = p;
+            }
+            sum = 0;
+            for (i = 0; i < 8000; i = i + 1) {
+                sum = sum + small[i & 63];          // cache-friendly
+            }
+            for (p = head; p != 0; p = p->next) {
+                sum = sum + p->value;               // delinquent chase
+            }
+            print(sum);
+            return 0;
+        }
+    "#;
+
+    let program = compile(source, OptLevel::O0).expect("kernel compiles");
+    let result = run(&program, &RunConfig::default()).expect("kernel runs");
+    let analysis = analyze_program(&program, &AnalysisConfig::default());
+
+    let heuristic = Heuristic::default();
+    let delinquent = heuristic.classify(&analysis, &result.exec_counts);
+
+    println!(
+        "static loads: {}   flagged: {} (π = {:.1}%)   coverage ρ = {:.1}%",
+        analysis.loads.len(),
+        delinquent.len(),
+        100.0 * pi(delinquent.len(), analysis.loads.len()),
+        100.0 * rho(&result, &delinquent),
+    );
+    println!();
+    println!("{:>6} {:>10} {:>9} {:>7}  pattern", "inst", "execs", "misses", "phi");
+    for load in &analysis.loads {
+        let execs = result.exec_counts[load.index];
+        let misses = result.load_misses[load.index];
+        if execs == 0 {
+            continue;
+        }
+        let phi = heuristic.score(load, execs);
+        let mark = if delinquent.contains(&load.index) {
+            " <== delinquent"
+        } else {
+            ""
+        };
+        println!(
+            "{:>6} {:>10} {:>9} {:>7.2}  {}{}",
+            load.index,
+            execs,
+            misses,
+            phi,
+            load.patterns
+                .first()
+                .map_or_else(|| "?".to_owned(), ToString::to_string),
+            mark
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! `dlc` — the delinquent-loads compiler driver.
+//!
+//! A small command-line front end over the whole pipeline:
+//!
+//! ```text
+//! dlc build  prog.mc [-O1] [--emit asm|bin|words]   # compile, print assembly or binary
+//! dlc run    prog.mc [-O1] [--input 1,2,3]          # compile and simulate
+//! dlc analyze prog.mc [-O1] [--input 1,2,3] [--delta 0.1]
+//!                                                   # flag possibly-delinquent loads
+//! ```
+//!
+//! `analyze` runs the full paper pipeline: compile → simulate (for the
+//! frequency classes and ground-truth misses) → address patterns →
+//! heuristic, then prints each flagged load with its φ score, pattern,
+//! and measured misses.
+
+use std::process::ExitCode;
+
+use delinquent_loads::heuristic::Heuristic;
+use delinquent_loads::minic::{compile, OptLevel};
+use delinquent_loads::mips::encode::encode_program;
+use dl_analysis::extract::{analyze_program, AnalysisConfig};
+use dl_experiments::metrics::{pi, rho};
+use dl_sim::{run, RunConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("dlc: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Options {
+    path: String,
+    opt: OptLevel,
+    input: Vec<i32>,
+    emit: String,
+    delta: f64,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        path: String::new(),
+        opt: OptLevel::O0,
+        input: Vec::new(),
+        emit: "asm".to_owned(),
+        delta: 0.10,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-O0" => options.opt = OptLevel::O0,
+            "-O1" | "-O" => options.opt = OptLevel::O1,
+            "--emit" => {
+                options.emit = it
+                    .next()
+                    .ok_or("--emit requires asm|bin|words")?
+                    .clone();
+            }
+            "--input" => {
+                let list = it.next().ok_or("--input requires a comma list")?;
+                options.input = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse::<i32>().map_err(|e| e.to_string()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--delta" => {
+                options.delta = it
+                    .next()
+                    .ok_or("--delta requires a number")?
+                    .parse::<f64>()
+                    .map_err(|e| e.to_string())?;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            path => {
+                if !options.path.is_empty() {
+                    return Err("multiple input files given".into());
+                }
+                options.path = path.to_owned();
+            }
+        }
+    }
+    if options.path.is_empty() {
+        return Err("no input file".into());
+    }
+    Ok(options)
+}
+
+fn load_program(
+    options: &Options,
+) -> Result<dl_mips::program::Program, String> {
+    let source = std::fs::read_to_string(&options.path)
+        .map_err(|e| format!("{}: {e}", options.path))?;
+    compile(&source, options.opt).map_err(|e| format!("{}: {e}", options.path))
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(
+            "usage: dlc <build|run|analyze> prog.mc [-O1] [--emit asm|bin|words] \
+             [--input 1,2,3] [--delta 0.1]"
+                .into(),
+        );
+    };
+    let options = parse_options(rest)?;
+    match command.as_str() {
+        "build" => {
+            let program = load_program(&options)?;
+            match options.emit.as_str() {
+                "asm" => print!("{}", program.to_asm()),
+                "words" => {
+                    let words =
+                        encode_program(&program).map_err(|e| e.to_string())?;
+                    for (i, w) in words.iter().enumerate() {
+                        println!("{:#010x}: {w:#010x}  {}", program.pc(i), program.insts[i]);
+                    }
+                }
+                "bin" => {
+                    use std::io::Write;
+                    let words =
+                        encode_program(&program).map_err(|e| e.to_string())?;
+                    let mut out = std::io::stdout().lock();
+                    for w in words {
+                        out.write_all(&w.to_le_bytes()).map_err(|e| e.to_string())?;
+                    }
+                }
+                other => return Err(format!("unknown emit kind `{other}`")),
+            }
+            Ok(())
+        }
+        "run" => {
+            let program = load_program(&options)?;
+            let config = RunConfig {
+                input: options.input.clone(),
+                ..RunConfig::default()
+            };
+            let result = run(&program, &config).map_err(|e| e.to_string())?;
+            for v in &result.output {
+                println!("{v}");
+            }
+            eprintln!(
+                "[{} instructions, {} loads, {} load misses, exit {}]",
+                result.instructions, result.loads, result.load_misses_total, result.exit_code
+            );
+            Ok(())
+        }
+        "analyze" => {
+            let program = load_program(&options)?;
+            let config = RunConfig {
+                input: options.input.clone(),
+                ..RunConfig::default()
+            };
+            let result = run(&program, &config).map_err(|e| e.to_string())?;
+            let analysis = analyze_program(&program, &AnalysisConfig::default());
+            let heuristic = Heuristic::default().with_threshold(options.delta);
+            let delinquent = heuristic.classify(&analysis, &result.exec_counts);
+            println!(
+                "Λ = {}   |Δ| = {}   π = {:.2}%   ρ = {:.1}%   (δ = {})",
+                analysis.loads.len(),
+                delinquent.len(),
+                100.0 * pi(delinquent.len(), analysis.loads.len()),
+                100.0 * rho(&result, &delinquent),
+                options.delta
+            );
+            println!(
+                "{:>6} {:>8} {:>10} {:>9}  pattern",
+                "inst", "phi", "execs", "misses"
+            );
+            for &idx in &delinquent {
+                let load = analysis.load_at(idx).expect("flagged load exists");
+                let phi = heuristic.score(load, result.exec_counts[idx]);
+                println!(
+                    "{:>6} {:>8.2} {:>10} {:>9}  {}",
+                    idx,
+                    phi,
+                    result.exec_counts[idx],
+                    result.load_misses[idx],
+                    load.patterns
+                        .first()
+                        .map_or_else(|| "?".to_owned(), ToString::to_string)
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Options, String> {
+        parse_options(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let o = opts(&["prog.mc"]).unwrap();
+        assert_eq!(o.path, "prog.mc");
+        assert_eq!(o.opt, OptLevel::O0);
+        assert_eq!(o.emit, "asm");
+        assert!(o.input.is_empty());
+        assert!((o.delta - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let o = opts(&[
+            "prog.mc", "-O1", "--emit", "words", "--input", "1,2, 3", "--delta", "0.25",
+        ])
+        .unwrap();
+        assert_eq!(o.opt, OptLevel::O1);
+        assert_eq!(o.emit, "words");
+        assert_eq!(o.input, vec![1, 2, 3]);
+        assert!((o.delta - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(opts(&[]).is_err());
+        assert!(opts(&["a.mc", "b.mc"]).is_err());
+        assert!(opts(&["a.mc", "--bogus"]).is_err());
+        assert!(opts(&["a.mc", "--input", "x"]).is_err());
+        assert!(opts(&["a.mc", "--emit"]).is_err());
+    }
+
+    #[test]
+    fn dispatch_reports_unknown_command() {
+        let e = dispatch(&["frobnicate".into(), "x.mc".into()]).unwrap_err();
+        assert!(e.contains("unknown command"));
+    }
+
+    #[test]
+    fn dispatch_reports_missing_file() {
+        let e = dispatch(&["run".into(), "/nonexistent/x.mc".into()]).unwrap_err();
+        assert!(e.contains("x.mc"));
+    }
+}

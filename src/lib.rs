@@ -1,0 +1,78 @@
+//! # delinquent-loads
+//!
+//! A full reproduction of **"Static Identification of Delinquent
+//! Loads"** (Panait, Sasturkar & Wong, CGO 2004): a post-compilation
+//! static heuristic that flags the ~10% of load instructions
+//! responsible for ~90% of L1 data-cache misses, plus the entire
+//! substrate needed to evaluate it — a small C-like compiler, a
+//! MIPS-like ISA, a cache simulator, 18 synthetic SPEC-like workloads,
+//! the OKN and BDH comparison methods, and a harness regenerating
+//! every table in the paper.
+//!
+//! This crate is a façade re-exporting the workspace members:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`mips`] | `dl-mips` | instruction set, programs, assembly text |
+//! | [`minic`] | `dl-minic` | the MiniC language and compiler (O0/O1) |
+//! | [`sim`] | `dl-sim` | CPU interpreter + L1 D-cache model |
+//! | [`analysis`] | `dl-analysis` | CFG, reaching defs, address patterns |
+//! | [`heuristic`] | `dl-core` | the paper's classifier (AG1–AG9, φ, δ) |
+//! | [`baselines`] | `dl-baselines` | OKN and BDH comparison methods |
+//! | [`workloads`] | `dl-workloads` | 18 synthetic SPEC-like benchmarks |
+//! | [`experiments`] | `dl-experiments` | metrics (π, ρ, ξ) and table harness |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use delinquent_loads::prelude::*;
+//!
+//! // A pointer-chasing kernel: the chase load should be flagged.
+//! let source = r#"
+//!     struct node { int value; struct node* next; };
+//!     int main() {
+//!         struct node* head; struct node* p; int i; int sum;
+//!         head = 0;
+//!         for (i = 0; i < 2000; i = i + 1) {
+//!             p = malloc(sizeof(struct node));
+//!             p->value = i;
+//!             p->next = head;
+//!             head = p;
+//!         }
+//!         sum = 0;
+//!         for (p = head; p != 0; p = p->next) { sum = sum + p->value; }
+//!         print(sum);
+//!         return 0;
+//!     }
+//! "#;
+//! let program = compile(source, OptLevel::O0)?;
+//! let result = run(&program, &RunConfig::default()).unwrap();
+//! let analysis = analyze_program(&program, &AnalysisConfig::default());
+//! let delinquent = Heuristic::default().classify(&analysis, &result.exec_counts);
+//! assert!(!delinquent.is_empty());
+//! # Ok::<(), delinquent_loads::minic::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dl_analysis as analysis;
+pub use dl_baselines as baselines;
+pub use dl_core as heuristic;
+pub use dl_experiments as experiments;
+pub use dl_minic as minic;
+pub use dl_mips as mips;
+pub use dl_sim as sim;
+pub use dl_workloads as workloads;
+
+/// The most common imports for end-to-end use.
+pub mod prelude {
+    pub use dl_analysis::extract::{analyze_program, AnalysisConfig, ProgramAnalysis};
+    pub use dl_baselines::{bdh_delinquent_set, okn_delinquent_set};
+    pub use dl_core::combine::combine_with_profiling;
+    pub use dl_core::{AgClass, Heuristic, Weights};
+    pub use dl_experiments::metrics::{ideal_set, pi, profiling_set, rho};
+    pub use dl_experiments::pipeline::Pipeline;
+    pub use dl_minic::{compile, OptLevel};
+    pub use dl_mips::program::Program;
+    pub use dl_sim::{run, CacheConfig, RunConfig, RunResult};
+}

@@ -1,0 +1,184 @@
+//! Differential property test of the compiler + simulator: random
+//! integer expressions must evaluate to the same value as native Rust
+//! wrapping arithmetic, at both optimization levels.
+//!
+//! This pins down codegen semantics (wrapping ops, signed division,
+//! shift masking, comparison lowering) and guarantees O0 and O1 agree
+//! — the property the paper's "insensitive to compiler optimization"
+//! claim silently depends on.
+
+use proptest::prelude::*;
+
+use delinquent_loads::prelude::*;
+
+/// A random expression with a computable reference value.
+#[derive(Debug, Clone)]
+enum E {
+    Const(i32),
+    /// The runtime input variable (defeats constant folding at O1).
+    Input,
+    Neg(Box<E>),
+    Not(Box<E>),
+    BitNot(Box<E>),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    /// Division by a guaranteed-nonzero denominator `(d & 15) + 1`.
+    DivSafe(Box<E>, Box<E>),
+    RemSafe(Box<E>, Box<E>),
+    ShlK(Box<E>, u8),
+    ShrK(Box<E>, u8),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Lt(Box<E>, Box<E>),
+    Le(Box<E>, Box<E>),
+    Eq(Box<E>, Box<E>),
+}
+
+impl E {
+    fn to_source(&self) -> String {
+        match self {
+            E::Const(c) => {
+                if *c < 0 {
+                    // MiniC has no negative literals; parenthesize.
+                    format!("(0 - {})", (i64::from(*c)).abs())
+                } else {
+                    c.to_string()
+                }
+            }
+            E::Input => "x".into(),
+            E::Neg(a) => format!("(-{})", a.to_source()),
+            E::Not(a) => format!("(!{})", a.to_source()),
+            E::BitNot(a) => format!("(~{})", a.to_source()),
+            E::Add(a, b) => format!("({} + {})", a.to_source(), b.to_source()),
+            E::Sub(a, b) => format!("({} - {})", a.to_source(), b.to_source()),
+            E::Mul(a, b) => format!("({} * {})", a.to_source(), b.to_source()),
+            E::DivSafe(a, b) => {
+                format!("({} / (({} & 15) + 1))", a.to_source(), b.to_source())
+            }
+            E::RemSafe(a, b) => {
+                format!("({} % (({} & 15) + 1))", a.to_source(), b.to_source())
+            }
+            E::ShlK(a, k) => format!("({} << {k})", a.to_source()),
+            E::ShrK(a, k) => format!("({} >> {k})", a.to_source()),
+            E::And(a, b) => format!("({} & {})", a.to_source(), b.to_source()),
+            E::Or(a, b) => format!("({} | {})", a.to_source(), b.to_source()),
+            E::Xor(a, b) => format!("({} ^ {})", a.to_source(), b.to_source()),
+            E::Lt(a, b) => format!("({} < {})", a.to_source(), b.to_source()),
+            E::Le(a, b) => format!("({} <= {})", a.to_source(), b.to_source()),
+            E::Eq(a, b) => format!("({} == {})", a.to_source(), b.to_source()),
+        }
+    }
+
+    fn eval(&self, x: i32) -> i32 {
+        match self {
+            E::Const(c) => *c,
+            E::Input => x,
+            E::Neg(a) => a.eval(x).wrapping_neg(),
+            E::Not(a) => i32::from(a.eval(x) == 0),
+            E::BitNot(a) => !a.eval(x),
+            E::Add(a, b) => a.eval(x).wrapping_add(b.eval(x)),
+            E::Sub(a, b) => a.eval(x).wrapping_sub(b.eval(x)),
+            E::Mul(a, b) => a.eval(x).wrapping_mul(b.eval(x)),
+            E::DivSafe(a, b) => {
+                let d = (b.eval(x) & 15) + 1;
+                a.eval(x).wrapping_div(d)
+            }
+            E::RemSafe(a, b) => {
+                let d = (b.eval(x) & 15) + 1;
+                a.eval(x).wrapping_rem(d)
+            }
+            E::ShlK(a, k) => a.eval(x) << k,
+            E::ShrK(a, k) => a.eval(x) >> k,
+            E::And(a, b) => a.eval(x) & b.eval(x),
+            E::Or(a, b) => a.eval(x) | b.eval(x),
+            E::Xor(a, b) => a.eval(x) ^ b.eval(x),
+            E::Lt(a, b) => i32::from(a.eval(x) < b.eval(x)),
+            E::Le(a, b) => i32::from(a.eval(x) <= b.eval(x)),
+            E::Eq(a, b) => i32::from(a.eval(x) == b.eval(x)),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-1_000_000i32..1_000_000).prop_map(E::Const),
+        Just(E::Input),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        let b = inner.clone();
+        prop_oneof![
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            inner.clone().prop_map(|a| E::Not(Box::new(a))),
+            inner.clone().prop_map(|a| E::BitNot(Box::new(a))),
+            (inner.clone(), b.clone()).prop_map(|(a, c)| E::Add(Box::new(a), Box::new(c))),
+            (inner.clone(), b.clone()).prop_map(|(a, c)| E::Sub(Box::new(a), Box::new(c))),
+            (inner.clone(), b.clone()).prop_map(|(a, c)| E::Mul(Box::new(a), Box::new(c))),
+            (inner.clone(), b.clone())
+                .prop_map(|(a, c)| E::DivSafe(Box::new(a), Box::new(c))),
+            (inner.clone(), b.clone())
+                .prop_map(|(a, c)| E::RemSafe(Box::new(a), Box::new(c))),
+            (inner.clone(), 0u8..16).prop_map(|(a, k)| E::ShlK(Box::new(a), k)),
+            (inner.clone(), 0u8..16).prop_map(|(a, k)| E::ShrK(Box::new(a), k)),
+            (inner.clone(), b.clone()).prop_map(|(a, c)| E::And(Box::new(a), Box::new(c))),
+            (inner.clone(), b.clone()).prop_map(|(a, c)| E::Or(Box::new(a), Box::new(c))),
+            (inner.clone(), b.clone()).prop_map(|(a, c)| E::Xor(Box::new(a), Box::new(c))),
+            (inner.clone(), b.clone()).prop_map(|(a, c)| E::Lt(Box::new(a), Box::new(c))),
+            (inner.clone(), b.clone()).prop_map(|(a, c)| E::Le(Box::new(a), Box::new(c))),
+            (inner, b).prop_map(|(a, c)| E::Eq(Box::new(a), Box::new(c))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn compiled_expressions_match_reference(e in arb_expr(), x in -100_000i32..100_000) {
+        let source = format!(
+            "int main() {{ int x; x = read(); print({}); return 0; }}",
+            e.to_source()
+        );
+        let expected = e.eval(x);
+        for opt in [OptLevel::O0, OptLevel::O1] {
+            let program = compile(&source, opt)
+                .unwrap_or_else(|err| panic!("compile failed at {opt}: {err}\n{source}"));
+            let config = RunConfig {
+                input: vec![x],
+                ..RunConfig::default()
+            };
+            let result = run(&program, &config)
+                .unwrap_or_else(|err| panic!("trap at {opt}: {err}\n{source}"));
+            prop_assert_eq!(
+                result.output[0], expected,
+                "mismatch at {} for x={}\nsource: {}", opt, x, source
+            );
+        }
+    }
+
+    /// Looping accumulation agrees with a Rust reference loop.
+    #[test]
+    fn compiled_loops_match_reference(n in 1i32..200, step in 1i32..9, seed in 0i32..1000) {
+        let source = format!(
+            "int main() {{
+                int i; int s;
+                s = {seed};
+                for (i = 0; i < {n}; i = i + {step}) {{ s = s + i * 3 - (s >> 5); }}
+                print(s);
+                return 0;
+             }}"
+        );
+        let mut s = seed;
+        let mut i = 0;
+        while i < n {
+            s = s.wrapping_add(i.wrapping_mul(3)).wrapping_sub(s >> 5);
+            i += step;
+        }
+        for opt in [OptLevel::O0, OptLevel::O1] {
+            let program = compile(&source, opt).expect("compiles");
+            let result = run(&program, &RunConfig::default()).expect("runs");
+            prop_assert_eq!(result.output[0], s, "at {}", opt);
+        }
+    }
+}

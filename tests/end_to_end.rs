@@ -1,0 +1,254 @@
+//! Cross-crate integration tests: source → compiler → simulator →
+//! analysis → heuristic, exercising the whole reproduction pipeline on
+//! purpose-built kernels where the ground truth is known.
+
+use delinquent_loads::prelude::*;
+
+/// Compiles, runs, and analyzes a source at O0 with the given cache.
+fn full_pipeline(
+    source: &str,
+    cache: CacheConfig,
+) -> (Program, RunResult, ProgramAnalysis) {
+    let program = compile(source, OptLevel::O0).expect("compiles");
+    let config = RunConfig {
+        cache,
+        ..RunConfig::default()
+    };
+    let result = run(&program, &config).expect("runs");
+    let analysis = analyze_program(&program, &AnalysisConfig::default());
+    (program, result, analysis)
+}
+
+/// A heap pointer chase with a cache-friendly side loop: the heuristic
+/// must flag the loads that actually miss and skip the friendly ones.
+#[test]
+fn heuristic_flags_the_actual_delinquent_loads() {
+    let source = r#"
+        struct node { int value; struct node* next; int p1; int p2;
+                      int p3; int p4; int p5; int p6; };
+        int small[32];
+        int main() {
+            struct node* head; struct node* p; int i; int s;
+            head = 0;
+            for (i = 0; i < 4000; i = i + 1) {
+                p = malloc(sizeof(struct node));
+                p->value = i;
+                p->next = head;
+                head = p;
+            }
+            s = 0;
+            for (i = 0; i < 50000; i = i + 1) { s = s + small[i & 31]; }
+            for (p = head; p != 0; p = p->next) { s = s + p->value; }
+            print(s);
+            return 0;
+        }
+    "#;
+    let (_, result, analysis) = full_pipeline(source, CacheConfig::paper_baseline());
+    let delinquent = Heuristic::default().classify(&analysis, &result.exec_counts);
+
+    // Coverage: the flagged set must account for nearly all misses.
+    assert!(
+        rho(&result, &delinquent) > 0.9,
+        "coverage {:.2} too low",
+        rho(&result, &delinquent)
+    );
+    // Precision: far fewer loads than Λ are flagged.
+    assert!(pi(delinquent.len(), analysis.loads.len()) < 0.5);
+    // The top-missing load is flagged.
+    let top = analysis
+        .loads
+        .iter()
+        .map(|l| l.index)
+        .max_by_key(|&i| result.load_misses[i])
+        .expect("has loads");
+    assert!(result.load_misses[top] > 1000, "chase must miss a lot");
+    assert!(delinquent.contains(&top), "top miss source not flagged");
+}
+
+/// A purely cache-friendly program: the heuristic should flag little,
+/// and what it flags must barely matter (there are almost no misses).
+#[test]
+fn friendly_program_has_few_misses_to_cover() {
+    let source = r#"
+        int a[32];
+        int main() {
+            int i; int s;
+            s = 0;
+            for (i = 0; i < 100000; i = i + 1) { s = s + a[i & 31]; }
+            print(s);
+            return 0;
+        }
+    "#;
+    let (_, result, _) = full_pipeline(source, CacheConfig::paper_baseline());
+    // Whole array fits one or two cache sets' worth of blocks.
+    assert!(
+        result.load_misses_total < 100,
+        "unexpected misses: {}",
+        result.load_misses_total
+    );
+}
+
+/// O0 and O1 compilations of the same program produce the same
+/// observable behaviour, and the heuristic stays stable across them
+/// (the paper's compiler-optimization stability claim).
+#[test]
+fn heuristic_is_stable_across_optimization_levels() {
+    let mut bench = delinquent_loads::workloads::by_name("183.equake").expect("exists");
+    bench.input1 = vec![900, 8, 3]; // mid-size: meaningful misses, fast in debug
+    let mut outputs = Vec::new();
+    let mut rhos = Vec::new();
+    for opt in [OptLevel::O0, OptLevel::O1] {
+        let program = bench.compile(opt).expect("compiles");
+        let config = RunConfig {
+            cache: CacheConfig::paper_training(),
+            input: bench.input1.clone(),
+            ..RunConfig::default()
+        };
+        let result = run(&program, &config).expect("runs");
+        let analysis = analyze_program(&program, &AnalysisConfig::default());
+        let delta = Heuristic::default().classify(&analysis, &result.exec_counts);
+        outputs.push(result.output.clone());
+        rhos.push(rho(&result, &delta));
+    }
+    assert_eq!(outputs[0], outputs[1], "O0/O1 outputs diverge");
+    assert!(
+        (rhos[0] - rhos[1]).abs() < 0.15,
+        "coverage unstable across optimization: {rhos:?}"
+    );
+}
+
+/// The heuristic's coverage must be stable across cache geometries on
+/// a miss-heavy workload (Tables 8 and 9 in miniature).
+#[test]
+fn coverage_stable_across_cache_geometries() {
+    let mut bench = delinquent_loads::workloads::by_name("181.mcf").expect("exists");
+    bench.input1 = vec![900, 1800, 3];
+    let program = bench.compile(OptLevel::O0).expect("compiles");
+    let analysis = analyze_program(&program, &AnalysisConfig::default());
+    let mut rhos = Vec::new();
+    for cache in [
+        CacheConfig::kb(8, 2),
+        CacheConfig::kb(8, 8),
+        CacheConfig::kb(64, 4),
+    ] {
+        let config = RunConfig {
+            cache,
+            input: bench.input1.clone(),
+            ..RunConfig::default()
+        };
+        let result = run(&program, &config).expect("runs");
+        let delta = Heuristic::default().classify(&analysis, &result.exec_counts);
+        rhos.push(rho(&result, &delta));
+    }
+    let spread = rhos
+        .iter()
+        .fold(0.0f64, |m, &r| m.max(r))
+        - rhos.iter().fold(1.0f64, |m, &r| m.min(r));
+    assert!(spread < 0.1, "coverage spread {spread:.3} across caches: {rhos:?}");
+}
+
+/// OKN and BDH reach comparable coverage but flag more loads than the
+/// heuristic — the paper's central comparison (Table 12 in miniature).
+#[test]
+fn baselines_are_less_precise_at_similar_coverage() {
+    let mut bench = delinquent_loads::workloads::by_name("147.vortex").expect("exists");
+    bench.input1 = vec![900, 3];
+    let program = bench.compile(OptLevel::O0).expect("compiles");
+    let config = RunConfig {
+        cache: CacheConfig::paper_baseline(),
+        input: bench.input1.clone(),
+        ..RunConfig::default()
+    };
+    let result = run(&program, &config).expect("runs");
+    let analysis = analyze_program(&program, &AnalysisConfig::default());
+
+    let ours = Heuristic::default().classify(&analysis, &result.exec_counts);
+    let okn = okn_delinquent_set(&analysis);
+    let bdh = bdh_delinquent_set(&program, &analysis);
+
+    assert!(rho(&result, &ours) > 0.85);
+    assert!(rho(&result, &okn) > 0.80);
+    assert!(rho(&result, &bdh) > 0.80);
+    assert!(
+        ours.len() < okn.len(),
+        "heuristic ({}) should flag fewer than OKN ({})",
+        ours.len(),
+        okn.len()
+    );
+    assert!(
+        ours.len() < bdh.len(),
+        "heuristic ({}) should flag fewer than BDH ({})",
+        ours.len(),
+        bdh.len()
+    );
+}
+
+/// Combining with profiling sharpens precision at modest coverage cost
+/// (§9 / Table 14 in miniature), and beats random selection.
+#[test]
+fn profiling_combination_sharpens_precision() {
+    let mut bench = delinquent_loads::workloads::by_name("022.li").expect("exists");
+    bench.input1 = vec![4000, 5, 5];
+    let program = bench.compile(OptLevel::O0).expect("compiles");
+    let config = RunConfig {
+        cache: CacheConfig::paper_training(),
+        input: bench.input1.clone(),
+        ..RunConfig::default()
+    };
+    let result = run(&program, &config).expect("runs");
+    let analysis = analyze_program(&program, &AnalysisConfig::default());
+    let h = Heuristic::default();
+
+    let delta_h = h.classify(&analysis, &result.exec_counts);
+    let delta_p = profiling_set(&program, &result, 0.9);
+    let scored = h.score_all(&analysis, &result.exec_counts);
+    let combined = combine_with_profiling(&delta_p, &scored, &delta_h, 0.0);
+
+    assert!(combined.len() < delta_p.len(), "intersection must shrink Δ_P");
+    assert!(combined.len() <= delta_h.len());
+    assert!(
+        rho(&result, &combined) > 0.75,
+        "combined coverage {:.2}",
+        rho(&result, &combined)
+    );
+    // Dominates random selection of the same size from the hotspots.
+    let star = delinquent_loads::experiments::metrics::random_control(
+        &result, &delta_p, combined.len(), 3, 7,
+    );
+    assert!(
+        rho(&result, &combined) > star,
+        "combined {:.2} vs random {:.2}",
+        rho(&result, &combined),
+        star
+    );
+}
+
+/// The assembly round-trip holds for real compiled workloads: parsing
+/// `to_asm()` output reproduces the exact instruction stream.
+#[test]
+fn compiled_workloads_round_trip_through_assembly() {
+    for name in ["129.compress", "101.tomcatv"] {
+        let bench = delinquent_loads::workloads::by_name(name).expect("exists");
+        let program = bench.compile(OptLevel::O1).expect("compiles");
+        let reparsed =
+            delinquent_loads::mips::parse::parse_asm(&program.to_asm()).expect("parses");
+        assert_eq!(program.insts, reparsed.insts, "{name} instruction mismatch");
+        assert_eq!(program.entry, reparsed.entry, "{name} entry mismatch");
+    }
+}
+
+/// Determinism: the same benchmark + input + cache produces bit-equal
+/// measurements (the simulator's RNG is seeded).
+#[test]
+fn simulation_is_deterministic() {
+    let mut bench = delinquent_loads::workloads::by_name("197.parser").expect("exists");
+    bench.input2 = vec![1500, 4];
+    let program = bench.compile(OptLevel::O0).expect("compiles");
+    let config = RunConfig {
+        input: bench.input2.clone(),
+        ..RunConfig::default()
+    };
+    let a = run(&program, &config).expect("runs");
+    let b = run(&program, &config).expect("runs");
+    assert_eq!(a, b);
+}

@@ -1,0 +1,93 @@
+//! Every bundled workload, compiled at both optimization levels and
+//! run end-to-end on reduced inputs: no traps, deterministic output,
+//! O0/O1 agreement.
+
+use delinquent_loads::prelude::*;
+use delinquent_loads::workloads::Benchmark;
+
+/// Reduced inputs so the whole suite runs in seconds even unoptimized.
+fn small_inputs(b: &Benchmark) -> Vec<i32> {
+    match b.name {
+        "008.espresso" => vec![48, 24, 1],
+        "022.li" => vec![400, 2, 5],
+        "072.sc" => vec![12, 10, 2],
+        "099.go" => vec![2, 2, 3],
+        "101.tomcatv" => vec![16, 2],
+        "124.m88ksim" => vec![2000, 7],
+        "126.gcc" => vec![8, 6, 2],
+        "129.compress" => vec![2000, 3],
+        "132.ijpeg" => vec![3, 2],
+        "147.vortex" => vec![128, 2],
+        "164.gzip" => vec![2000, 3],
+        "175.vpr" => vec![10, 500, 3],
+        "179.art" => vec![8, 1000, 3],
+        "181.mcf" => vec![64, 128, 2],
+        "183.equake" => vec![64, 4, 2],
+        "188.ammp" => vec![64, 4, 2],
+        "197.parser" => vec![400, 3],
+        "300.twolf" => vec![10, 500, 2],
+        other => panic!("unknown benchmark {other}"),
+    }
+}
+
+#[test]
+fn all_workloads_run_clean_at_both_levels() {
+    for b in delinquent_loads::workloads::all() {
+        let input = small_inputs(&b);
+        let mut outputs = Vec::new();
+        for opt in [OptLevel::O0, OptLevel::O1] {
+            let program = b
+                .compile(opt)
+                .unwrap_or_else(|e| panic!("{} fails to compile at {opt}: {e}", b.name));
+            let config = RunConfig {
+                input: input.clone(),
+                max_steps: 200_000_000,
+                ..RunConfig::default()
+            };
+            let result = run(&program, &config)
+                .unwrap_or_else(|e| panic!("{} trapped at {opt}: {e}", b.name));
+            assert!(
+                !result.output.is_empty(),
+                "{} printed nothing at {opt}",
+                b.name
+            );
+            assert!(result.loads > 0, "{} did no loads", b.name);
+            outputs.push(result.output);
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "{}: O0 and O1 outputs diverge",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn all_workloads_have_analyzable_loads() {
+    for b in delinquent_loads::workloads::all() {
+        let program = b.compile(OptLevel::O0).expect("compiles");
+        let analysis = analyze_program(&program, &AnalysisConfig::default());
+        assert_eq!(
+            analysis.loads.len(),
+            program.static_load_count(),
+            "{}: analysis covers every load",
+            b.name
+        );
+        // Every load got at least one pattern.
+        for load in &analysis.loads {
+            assert!(
+                !load.patterns.is_empty(),
+                "{}: load {} has no patterns",
+                b.name,
+                load.index
+            );
+        }
+        // The cold library gives every workload some pointer-shaped
+        // patterns (what OKN/BDH and the heuristic key on).
+        assert!(
+            analysis.loads.iter().any(|l| l.max_deref_nesting() >= 2),
+            "{}: no deep dereference patterns at all",
+            b.name
+        );
+    }
+}
