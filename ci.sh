@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Offline CI for the delinquent-loads reproduction.
+#
+#   ./ci.sh          # full gate: fmt, build, test, bench smoke
+#
+# Everything here must pass with no network access.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test -q =="
+cargo test -q --workspace
+
+echo "== bench smoke =="
+./target/release/bench --smoke --jobs 2
+test -s BENCH_pipeline.json
+
+# Validate the benchmark JSON is well-formed and has the agreed keys.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_pipeline.json"))
+for key in ("jobs", "sequential_secs", "parallel_secs", "speedup", "sim_insts_per_sec"):
+    assert key in doc, f"BENCH_pipeline.json missing {key}"
+assert doc["sequential_secs"] > 0 and doc["parallel_secs"] > 0
+print("BENCH_pipeline.json OK:", json.dumps(doc))
+EOF
+elif command -v jq >/dev/null 2>&1; then
+  jq -e '.jobs and .sequential_secs > 0 and .parallel_secs > 0 and .speedup and .sim_insts_per_sec' \
+    BENCH_pipeline.json >/dev/null
+  echo "BENCH_pipeline.json OK"
+else
+  echo "warning: neither python3 nor jq available; skipped JSON validation"
+fi
+
+echo "== repro determinism check =="
+./target/release/repro --jobs 1 table3 > /tmp/ci_seq.out 2>/dev/null
+./target/release/repro --jobs 4 table3 > /tmp/ci_par.out 2>/dev/null
+cmp /tmp/ci_seq.out /tmp/ci_par.out
+echo "parallel output byte-identical"
+
+echo "CI green"

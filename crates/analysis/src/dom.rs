@@ -118,12 +118,7 @@ impl Dominators {
     }
 }
 
-fn intersect(
-    idom: &[Option<usize>],
-    rpo_index: &[usize],
-    mut a: usize,
-    mut b: usize,
-) -> usize {
+fn intersect(idom: &[Option<usize>], rpo_index: &[usize], mut a: usize, mut b: usize) -> usize {
     while a != b {
         while rpo_index[a] > rpo_index[b] {
             a = idom[a].expect("processed block has idom");
@@ -151,9 +146,7 @@ mod tests {
 
     #[test]
     fn straight_line_chain() {
-        let (_, cfg, dom) = build(
-            "main:\n\tjal main\n\tjal main\n\tjr $ra\n",
-        );
+        let (_, cfg, dom) = build("main:\n\tjal main\n\tjal main\n\tjr $ra\n");
         assert_eq!(cfg.blocks().len(), 3);
         assert_eq!(dom.idom(0), None);
         assert_eq!(dom.idom(1), Some(0));

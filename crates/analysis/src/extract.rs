@@ -59,7 +59,11 @@ impl LoadInfo {
     /// Maximum [`Ap::deref_nesting`] over all patterns.
     #[must_use]
     pub fn max_deref_nesting(&self) -> u32 {
-        self.patterns.iter().map(Ap::deref_nesting).max().unwrap_or(0)
+        self.patterns
+            .iter()
+            .map(Ap::deref_nesting)
+            .max()
+            .unwrap_or(0)
     }
 
     /// `true` if any pattern contains a recurrence.
@@ -212,9 +216,7 @@ impl Expander<'_> {
                 unary(self, rt, &move |p| Ap::shr(p, Ap::Const(i64::from(shamt))))
             }
             Inst::Sllv { rt, rs, .. } => binary(self, rt, rs, &Ap::shl),
-            Inst::Srlv { rt, rs, .. } | Inst::Srav { rt, rs, .. } => {
-                binary(self, rt, rs, &Ap::shr)
-            }
+            Inst::Srlv { rt, rs, .. } | Inst::Srav { rt, rs, .. } => binary(self, rt, rs, &Ap::shr),
             // Bitwise ops with immediates: constants fold (lui/ori
             // constant synthesis); otherwise the mask is *transparent*
             // — `x & 1023` keeps `x`'s structure. The paper's grammar
@@ -234,15 +236,9 @@ impl Expander<'_> {
                 Some(c) => Ap::Const(c ^ i64::from(imm)),
                 None => p,
             }),
-            Inst::Or { rs, rt, .. } => {
-                binary(self, rs, rt, &|a, b| Ap::bitop(a, b, |x, y| x | y))
-            }
-            Inst::And { rs, rt, .. } => {
-                binary(self, rs, rt, &|a, b| Ap::bitop(a, b, |x, y| x & y))
-            }
-            Inst::Xor { rs, rt, .. } => {
-                binary(self, rs, rt, &|a, b| Ap::bitop(a, b, |x, y| x ^ y))
-            }
+            Inst::Or { rs, rt, .. } => binary(self, rs, rt, &|a, b| Ap::bitop(a, b, |x, y| x | y)),
+            Inst::And { rs, rt, .. } => binary(self, rs, rt, &|a, b| Ap::bitop(a, b, |x, y| x & y)),
+            Inst::Xor { rs, rt, .. } => binary(self, rs, rt, &|a, b| Ap::bitop(a, b, |x, y| x ^ y)),
             // Division, comparisons, nor: not expressible in the grammar.
             _ => vec![Ap::Unknown],
         }
@@ -306,10 +302,10 @@ mod tests {
     #[test]
     fn local_scalar_is_sp_plus_offset() {
         let a = analyze("main:\n\tlw $t0, 16($sp)\n\tjr $ra\n");
-        assert_eq!(a.loads[0].patterns, vec![Ap::add(
-            Ap::Base(BaseReg::Sp),
-            Ap::Const(16)
-        )]);
+        assert_eq!(
+            a.loads[0].patterns,
+            vec![Ap::add(Ap::Base(BaseReg::Sp), Ap::Const(16))]
+        );
         assert_eq!(a.loads[0].max_deref_nesting(), 0);
     }
 

@@ -130,8 +130,11 @@ pub fn estimate_frequencies(program: &Program) -> FreqEstimate {
         });
     }
     // Entry frequencies via fixpoint over the call graph.
-    let index_of_start: BTreeMap<usize, usize> =
-        infos.iter().enumerate().map(|(i, f)| (f.start, i)).collect();
+    let index_of_start: BTreeMap<usize, usize> = infos
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.start, i))
+        .collect();
     let mut entry_freq = vec![0.0f64; infos.len()];
     if let Some(&e) = index_of_start.get(&program.entry) {
         entry_freq[e] = 1.0;
@@ -147,8 +150,7 @@ pub fn estimate_frequencies(program: &Program) -> FreqEstimate {
                 let Some(&callee) = index_of_start.get(&callee_start) else {
                     continue;
                 };
-                let contribution =
-                    (entry_freq[ci] * info.block_freq[block]).min(FREQ_CAP);
+                let contribution = (entry_freq[ci] * info.block_freq[block]).min(FREQ_CAP);
                 if contribution > next[callee] {
                     // Take the dominant call chain rather than summing:
                     // keeps recursion from diverging while preserving

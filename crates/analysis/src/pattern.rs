@@ -212,18 +212,12 @@ impl Ap {
             match ap {
                 Ap::Rec => Some(0),
                 Ap::Add(a, b) => match (a.has_recurrence(), b.has_recurrence()) {
-                    (true, false) => {
-                        walk(a).map(|s| s.wrapping_add(b.as_const().unwrap_or(0)))
-                    }
-                    (false, true) => {
-                        walk(b).map(|s| s.wrapping_add(a.as_const().unwrap_or(0)))
-                    }
+                    (true, false) => walk(a).map(|s| s.wrapping_add(b.as_const().unwrap_or(0))),
+                    (false, true) => walk(b).map(|s| s.wrapping_add(a.as_const().unwrap_or(0))),
                     _ => None,
                 },
                 Ap::Sub(a, b) => match (a.has_recurrence(), b.has_recurrence()) {
-                    (true, false) => {
-                        walk(a).map(|s| s.wrapping_sub(b.as_const().unwrap_or(0)))
-                    }
+                    (true, false) => walk(a).map(|s| s.wrapping_sub(b.as_const().unwrap_or(0))),
                     (false, true) => {
                         walk(b).map(|s| s.wrapping_neg().wrapping_add(a.as_const().unwrap_or(0)))
                     }
@@ -235,9 +229,7 @@ impl Ap {
                     _ => None,
                 },
                 Ap::Shl(a, b) => match b.as_const() {
-                    Some(c) if (0..32).contains(&c) && a.has_recurrence() => {
-                        Some(walk(a)? << c)
-                    }
+                    Some(c) if (0..32).contains(&c) && a.has_recurrence() => Some(walk(a)? << c),
                     _ => None,
                 },
                 _ => None,

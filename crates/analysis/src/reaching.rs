@@ -126,7 +126,11 @@ impl ReachingDefs {
                 v
             }
             Inst::Syscall => vec![(Reg::V0, DefSite::CallRet(idx))],
-            _ => inst.def().map(|r| (r, DefSite::Inst(idx))).into_iter().collect(),
+            _ => inst
+                .def()
+                .map(|r| (r, DefSite::Inst(idx)))
+                .into_iter()
+                .collect(),
         }
     }
 
@@ -135,10 +139,8 @@ impl ReachingDefs {
     pub fn build(program: &Program, func: &FuncSym, cfg: &Cfg) -> ReachingDefs {
         let (lo, hi) = (func.start, func.end);
         // Enumerate definitions: 32 entry defs, then instruction defs.
-        let mut defs: Vec<(DefSite, Reg)> = Reg::ALL
-            .iter()
-            .map(|&r| (DefSite::Entry(r), r))
-            .collect();
+        let mut defs: Vec<(DefSite, Reg)> =
+            Reg::ALL.iter().map(|&r| (DefSite::Entry(r), r)).collect();
         let mut defs_of_reg: Vec<Vec<u32>> = (0..32).map(|r| vec![r as u32]).collect();
         // Per-instruction gen lists as def ids.
         let mut inst_gens: Vec<Vec<(Reg, u32)>> = Vec::with_capacity(hi - lo);

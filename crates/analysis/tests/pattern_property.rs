@@ -1,124 +1,165 @@
 //! Property tests over the address-pattern algebra: the structural
 //! features the decision criteria read must obey compositional laws.
 
-use proptest::prelude::*;
-
 use dl_analysis::Ap;
 use dl_mips::reg::BaseReg;
+use dl_testkit::{cases, Rng};
 
-fn arb_base() -> impl Strategy<Value = BaseReg> {
-    prop_oneof![
-        Just(BaseReg::Gp),
-        Just(BaseReg::Sp),
-        Just(BaseReg::Param),
-        Just(BaseReg::Ret),
-    ]
+const BASES: [BaseReg; 4] = [BaseReg::Gp, BaseReg::Sp, BaseReg::Param, BaseReg::Ret];
+
+fn arb_leaf(rng: &mut Rng) -> Ap {
+    match rng.index(4) {
+        0 => Ap::Const(rng.range_i64(-1000, 1000)),
+        1 => Ap::Base(*rng.pick(&BASES)),
+        2 => Ap::Unknown,
+        _ => Ap::Rec,
+    }
 }
 
-fn arb_ap() -> impl Strategy<Value = Ap> {
-    let leaf = prop_oneof![
-        (-1000i64..1000).prop_map(Ap::Const),
-        arb_base().prop_map(Ap::Base),
-        Just(Ap::Unknown),
-        Just(Ap::Rec),
-    ];
-    leaf.prop_recursive(4, 48, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Ap::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Ap::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Ap::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Ap::Shl(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| Ap::Deref(Box::new(a))),
-        ]
-    })
+/// A random pattern tree of bounded depth.
+fn arb_ap_depth(rng: &mut Rng, depth: usize) -> Ap {
+    if depth == 0 || rng.chance(0.3) {
+        return arb_leaf(rng);
+    }
+    match rng.index(5) {
+        0 => Ap::Add(
+            Box::new(arb_ap_depth(rng, depth - 1)),
+            Box::new(arb_ap_depth(rng, depth - 1)),
+        ),
+        1 => Ap::Sub(
+            Box::new(arb_ap_depth(rng, depth - 1)),
+            Box::new(arb_ap_depth(rng, depth - 1)),
+        ),
+        2 => Ap::Mul(
+            Box::new(arb_ap_depth(rng, depth - 1)),
+            Box::new(arb_ap_depth(rng, depth - 1)),
+        ),
+        3 => Ap::Shl(
+            Box::new(arb_ap_depth(rng, depth - 1)),
+            Box::new(arb_ap_depth(rng, depth - 1)),
+        ),
+        _ => Ap::Deref(Box::new(arb_ap_depth(rng, depth - 1))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn arb_ap(rng: &mut Rng) -> Ap {
+    arb_ap_depth(rng, 4)
+}
 
-    #[test]
-    fn base_counts_are_additive_over_binary_ops(a in arb_ap(), b in arb_ap()) {
+#[test]
+fn base_counts_are_additive_over_binary_ops() {
+    cases(512, 0xa9_1, |rng| {
+        let a = arb_ap(rng);
+        let b = arb_ap(rng);
         let sum = Ap::Add(Box::new(a.clone()), Box::new(b.clone()));
-        for reg in [BaseReg::Gp, BaseReg::Sp, BaseReg::Param, BaseReg::Ret] {
-            prop_assert_eq!(
-                sum.count_base(reg),
-                a.count_base(reg) + b.count_base(reg)
-            );
+        for reg in BASES {
+            assert_eq!(sum.count_base(reg), a.count_base(reg) + b.count_base(reg));
         }
-    }
+    });
+}
 
-    #[test]
-    fn deref_increments_nesting_by_exactly_one(a in arb_ap()) {
+#[test]
+fn deref_increments_nesting_by_exactly_one() {
+    cases(512, 0xa9_2, |rng| {
+        let a = arb_ap(rng);
         let d = Ap::deref(a.clone());
-        prop_assert_eq!(d.deref_nesting(), a.deref_nesting() + 1);
-    }
+        assert_eq!(d.deref_nesting(), a.deref_nesting() + 1);
+    });
+}
 
-    #[test]
-    fn binary_nesting_is_max_of_children(a in arb_ap(), b in arb_ap()) {
+#[test]
+fn binary_nesting_is_max_of_children() {
+    cases(512, 0xa9_3, |rng| {
+        let a = arb_ap(rng);
+        let b = arb_ap(rng);
         let m = Ap::Mul(Box::new(a.clone()), Box::new(b.clone()));
-        prop_assert_eq!(m.deref_nesting(), a.deref_nesting().max(b.deref_nesting()));
-    }
+        assert_eq!(m.deref_nesting(), a.deref_nesting().max(b.deref_nesting()));
+    });
+}
 
-    #[test]
-    fn recurrence_and_unknown_propagate_upward(a in arb_ap(), b in arb_ap()) {
+#[test]
+fn recurrence_and_unknown_propagate_upward() {
+    cases(512, 0xa9_4, |rng| {
+        let a = arb_ap(rng);
+        let b = arb_ap(rng);
         let combined = Ap::Sub(Box::new(a.clone()), Box::new(b.clone()));
-        prop_assert_eq!(
+        assert_eq!(
             combined.has_recurrence(),
             a.has_recurrence() || b.has_recurrence()
         );
-        prop_assert_eq!(
-            combined.has_unknown(),
-            a.has_unknown() || b.has_unknown()
-        );
-    }
+        assert_eq!(combined.has_unknown(), a.has_unknown() || b.has_unknown());
+    });
+}
 
-    #[test]
-    fn smart_constructors_never_increase_features(a in arb_ap(), b in arb_ap()) {
+#[test]
+fn smart_constructors_never_increase_features() {
+    cases(512, 0xa9_5, |rng| {
+        let a = arb_ap(rng);
+        let b = arb_ap(rng);
         // Folding may simplify but must not invent structure.
         let smart = Ap::add(a.clone(), b.clone());
         let raw = Ap::Add(Box::new(a), Box::new(b));
-        prop_assert!(smart.size() <= raw.size());
-        prop_assert!(smart.deref_nesting() <= raw.deref_nesting());
-        for reg in [BaseReg::Gp, BaseReg::Sp, BaseReg::Param, BaseReg::Ret] {
-            prop_assert!(smart.count_base(reg) <= raw.count_base(reg));
+        assert!(smart.size() <= raw.size());
+        assert!(smart.deref_nesting() <= raw.deref_nesting());
+        for reg in BASES {
+            assert!(smart.count_base(reg) <= raw.count_base(reg));
         }
-    }
+    });
+}
 
-    #[test]
-    fn constant_folding_is_exact(x in -10_000i64..10_000, y in -10_000i64..10_000) {
-        prop_assert_eq!(Ap::add(Ap::Const(x), Ap::Const(y)), Ap::Const(x + y));
-        prop_assert_eq!(Ap::sub(Ap::Const(x), Ap::Const(y)), Ap::Const(x - y));
-        prop_assert_eq!(Ap::mul(Ap::Const(x), Ap::Const(y)), Ap::Const(x * y));
-    }
+#[test]
+fn constant_folding_is_exact() {
+    cases(512, 0xa9_6, |rng| {
+        let x = rng.range_i64(-10_000, 10_000);
+        let y = rng.range_i64(-10_000, 10_000);
+        assert_eq!(Ap::add(Ap::Const(x), Ap::Const(y)), Ap::Const(x + y));
+        assert_eq!(Ap::sub(Ap::Const(x), Ap::Const(y)), Ap::Const(x - y));
+        assert_eq!(Ap::mul(Ap::Const(x), Ap::Const(y)), Ap::Const(x * y));
+    });
+}
 
-    #[test]
-    fn stride_requires_recurrence(a in arb_ap()) {
+#[test]
+fn stride_requires_recurrence() {
+    cases(512, 0xa9_7, |rng| {
+        let a = arb_ap(rng);
         if a.stride().is_some() {
-            prop_assert!(a.has_recurrence());
+            assert!(a.has_recurrence());
         }
-    }
+    });
+}
 
-    #[test]
-    fn display_never_panics_and_is_nonempty(a in arb_ap()) {
-        prop_assert!(!a.to_string().is_empty());
-    }
+#[test]
+fn display_never_panics_and_is_nonempty() {
+    cases(512, 0xa9_8, |rng| {
+        let a = arb_ap(rng);
+        assert!(!a.to_string().is_empty());
+    });
+}
 
-    #[test]
-    fn size_is_positive_and_bounded_by_construction(a in arb_ap()) {
-        prop_assert!(a.size() >= 1);
-    }
+#[test]
+fn size_is_positive_and_bounded_by_construction() {
+    cases(512, 0xa9_9, |rng| {
+        let a = arb_ap(rng);
+        assert!(a.size() >= 1);
+    });
+}
 
-    #[test]
-    fn linear_recurrence_stride_is_the_step(step in 1i64..512, offset in -512i64..512) {
-        let ap = Ap::add(Ap::Add(Box::new(Ap::Rec), Box::new(Ap::Const(step))), Ap::Const(offset));
+#[test]
+fn linear_recurrence_stride_is_the_step() {
+    cases(512, 0xa9_a, |rng| {
+        let step = rng.range_i64(1, 512);
+        let offset = rng.range_i64(-512, 512);
+        let ap = Ap::add(
+            Ap::Add(Box::new(Ap::Rec), Box::new(Ap::Const(step))),
+            Ap::Const(offset),
+        );
         // A net-zero step is not a stride (the address never moves).
         let expected = (step + offset != 0).then_some(step + offset);
-        prop_assert_eq!(ap.stride(), expected);
-        let scaled = Ap::Shl(Box::new(Ap::add(Ap::Rec, Ap::Const(step))), Box::new(Ap::Const(2)));
-        prop_assert_eq!(scaled.stride(), Some(step << 2));
-    }
+        assert_eq!(ap.stride(), expected);
+        let scaled = Ap::Shl(
+            Box::new(Ap::add(Ap::Rec, Ap::Const(step))),
+            Box::new(Ap::Const(2)),
+        );
+        assert_eq!(scaled.stride(), Some(step << 2));
+    });
 }

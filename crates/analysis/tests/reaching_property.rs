@@ -2,32 +2,50 @@
 //! straight-line code, the dataflow solution must agree with a naive
 //! last-writer scan for every register at every instruction.
 
-use proptest::prelude::*;
-
 use dl_analysis::reaching::{DefSite, ReachingDefs};
 use dl_analysis::Cfg;
 use dl_mips::inst::Inst;
 use dl_mips::program::{Program, SymbolTable};
 use dl_mips::reg::Reg;
+use dl_testkit::{cases, Rng};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|n| Reg::from_number(n).expect("in range"))
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::from_number(rng.range_i32(0, 32) as u8).expect("in range")
+}
+
+fn arb_i16(rng: &mut Rng) -> i16 {
+    rng.range_i32(i32::from(i16::MIN), i32::from(i16::MAX) + 1) as i16
 }
 
 /// Straight-line instructions with simple def/use structure.
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(rt, rs, imm)| Inst::Addiu { rt, rs, imm }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rs, rt)| Inst::Addu { rd, rs, rt }),
-        (arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(rt, base, off)| Inst::Lw { rt, base, off }),
-        (arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(rt, base, off)| Inst::Sw { rt, base, off }),
-        (arb_reg(), any::<u16>()).prop_map(|(rt, imm)| Inst::Lui { rt, imm }),
-        Just(Inst::Nop),
-    ]
+fn arb_inst(rng: &mut Rng) -> Inst {
+    match rng.index(6) {
+        0 => Inst::Addiu {
+            rt: arb_reg(rng),
+            rs: arb_reg(rng),
+            imm: arb_i16(rng),
+        },
+        1 => Inst::Addu {
+            rd: arb_reg(rng),
+            rs: arb_reg(rng),
+            rt: arb_reg(rng),
+        },
+        2 => Inst::Lw {
+            rt: arb_reg(rng),
+            base: arb_reg(rng),
+            off: arb_i16(rng),
+        },
+        3 => Inst::Sw {
+            rt: arb_reg(rng),
+            base: arb_reg(rng),
+            off: arb_i16(rng),
+        },
+        4 => Inst::Lui {
+            rt: arb_reg(rng),
+            imm: rng.range_u32(0, 0x1_0000) as u16,
+        },
+        _ => Inst::Nop,
+    }
 }
 
 fn straight_line_program(insts: Vec<Inst>) -> Program {
@@ -55,11 +73,10 @@ fn naive_reaching(program: &Program, at: usize, reg: Reg) -> DefSite {
     DefSite::Entry(reg)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn straight_line_matches_last_writer(insts in prop::collection::vec(arb_inst(), 0..40)) {
+#[test]
+fn straight_line_matches_last_writer() {
+    cases(256, 0x4ea_1, |rng| {
+        let insts = rng.vec_of(0, 40, arb_inst);
         let program = straight_line_program(insts);
         let func = program.symbols.func("main").expect("exists").clone();
         let cfg = Cfg::build(&program, &func);
@@ -70,22 +87,26 @@ proptest! {
                     continue;
                 }
                 let got = rd.reaching(at, reg);
-                prop_assert_eq!(
-                    got.len(), 1,
-                    "straight-line code has exactly one reaching def (at {}, {:?})",
-                    at, reg
+                assert_eq!(
+                    got.len(),
+                    1,
+                    "straight-line code has exactly one reaching def (at {at}, {reg:?})"
                 );
-                prop_assert_eq!(got[0], naive_reaching(&program, at, reg));
+                assert_eq!(got[0], naive_reaching(&program, at, reg));
             }
         }
-    }
+    });
+}
 
-    /// In a diamond, a register defined in both arms has exactly those
-    /// two defs reaching the join; one defined in neither has its entry
-    /// def.
-    #[test]
-    fn diamond_merges_exactly_the_arm_defs(a in any::<i16>(), b in any::<i16>()) {
+/// In a diamond, a register defined in both arms has exactly those
+/// two defs reaching the join; one defined in neither has its entry
+/// def.
+#[test]
+fn diamond_merges_exactly_the_arm_defs() {
+    cases(64, 0x4ea_2, |rng| {
         use dl_mips::parse::parse_asm;
+        let a = arb_i16(rng);
+        let b = arb_i16(rng);
         let src = format!(
             "main:\n\
              \tbeq $a0, $zero, .Le\n\
@@ -106,7 +127,7 @@ proptest! {
             DefSite::Inst(i) => *i,
             _ => usize::MAX,
         });
-        prop_assert_eq!(defs, vec![DefSite::Inst(1), DefSite::Inst(3)]);
-        prop_assert_eq!(rd.reaching(join, Reg::S3), vec![DefSite::Entry(Reg::S3)]);
-    }
+        assert_eq!(defs, vec![DefSite::Inst(1), DefSite::Inst(3)]);
+        assert_eq!(rd.reaching(join, Reg::S3), vec![DefSite::Entry(Reg::S3)]);
+    });
 }

@@ -1,0 +1,104 @@
+//! Component throughput timings: the substrates the reproduction is
+//! built on, measured in isolation with plain `Instant` timing.
+
+use std::hint::black_box;
+
+use dl_analysis::extract::{analyze_program, AnalysisConfig};
+use dl_bench::{bench, iters_arg};
+use dl_core::Heuristic;
+use dl_minic::{compile, OptLevel};
+use dl_sim::{run, Cache, CacheConfig, RunConfig};
+
+fn cache_model(iters: u64) {
+    let accesses: Vec<u32> = (0..10_000u32)
+        .map(|i| 0x1000_0000 + (i.wrapping_mul(2_654_435_761) % 262_144))
+        .collect();
+    for cfg in [CacheConfig::kb(8, 2), CacheConfig::paper_training()] {
+        bench(
+            &format!("cache/access/{cfg}"),
+            iters,
+            Some(accesses.len() as u64),
+            || {
+                let mut cache = Cache::new(cfg);
+                for &a in &accesses {
+                    black_box(cache.access(a));
+                }
+                cache
+            },
+        );
+    }
+}
+
+fn simulator(iters: u64) {
+    // A ~1M-instruction kernel.
+    let source = "int a[4096];
+        int main() {
+            int i; int t; int s;
+            s = 0;
+            for (t = 0; t < 40; t = t + 1) {
+                for (i = 0; i < 4096; i = i + 1) { s = s + a[i]; }
+            }
+            print(s);
+            return 0;
+        }";
+    let program = compile(source, OptLevel::O0).expect("compiles");
+    let config = RunConfig::default();
+    let instructions = run(&program, &config).expect("runs").instructions;
+    bench(
+        "simulator/interpret+cache",
+        iters.min(20),
+        Some(instructions),
+        || run(&program, &config).expect("runs"),
+    );
+}
+
+fn compiler(iters: u64) {
+    let bench_wl = dl_workloads::by_name("126.gcc").expect("exists");
+    let source = bench_wl.full_source();
+    for opt in [OptLevel::O0, OptLevel::O1] {
+        bench(
+            &format!("compiler/minic/{opt}"),
+            iters,
+            Some(source.len() as u64),
+            || compile(&source, opt).expect("compiles"),
+        );
+    }
+}
+
+fn analysis(iters: u64) {
+    let bench_wl = dl_workloads::by_name("181.mcf").expect("exists");
+    let program = bench_wl.compile(OptLevel::O0).expect("compiles");
+    bench(
+        "analysis/address-patterns/mcf",
+        iters,
+        Some(program.static_load_count() as u64),
+        || analyze_program(&program, &AnalysisConfig::default()),
+    );
+}
+
+fn heuristic(iters: u64) {
+    let bench_wl = dl_workloads::by_name("181.mcf").expect("exists");
+    let program = bench_wl.compile(OptLevel::O0).expect("compiles");
+    let analysis = analyze_program(&program, &AnalysisConfig::default());
+    let config = RunConfig {
+        input: bench_wl.input1.clone(),
+        ..RunConfig::default()
+    };
+    let result = run(&program, &config).expect("runs");
+    let h = Heuristic::default();
+    bench(
+        "heuristic/classify/mcf",
+        iters,
+        Some(analysis.loads.len() as u64),
+        || h.classify(&analysis, &result.exec_counts),
+    );
+}
+
+fn main() {
+    let iters = iters_arg(50);
+    cache_model(iters);
+    simulator(iters);
+    compiler(iters);
+    analysis(iters);
+    heuristic(iters);
+}

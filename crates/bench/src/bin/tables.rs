@@ -1,0 +1,31 @@
+//! One timing per reproduced paper table (Tables 1-14 plus the
+//! extensions and ablations): each measures regenerating that table
+//! over a *warmed* pipeline (simulations memoized), i.e. the analysis,
+//! classification, and metrics cost. A separate `pipeline/cold`
+//! timing measures the full compile-simulate-analyze path for one
+//! workload.
+
+use dl_bench::{bench, iters_arg};
+use dl_experiments::pipeline::Pipeline;
+use dl_experiments::tables::all_tables;
+use dl_minic::OptLevel;
+use dl_sim::CacheConfig;
+
+fn main() {
+    let iters = iters_arg(10);
+
+    let pipeline = Pipeline::new();
+    // Warm every configuration the tables use.
+    for (_, f) in all_tables() {
+        let _ = f(&pipeline);
+    }
+    for (name, f) in all_tables() {
+        bench(&format!("tables/{name}"), iters, None, || f(&pipeline));
+    }
+
+    let wl = dl_workloads::by_name("129.compress").expect("exists");
+    bench("pipeline/cold/compress", iters, None, || {
+        let pipeline = Pipeline::new();
+        pipeline.run(&wl, OptLevel::O0, 1, CacheConfig::paper_baseline())
+    });
+}

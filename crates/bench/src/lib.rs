@@ -1,15 +1,104 @@
 //! # dl-bench
 //!
-//! Criterion benchmarks for the delinquent-loads reproduction:
+//! Plain timing binaries for the delinquent-loads reproduction — no
+//! external benchmarking framework, so everything builds and runs
+//! offline:
 //!
-//! * `benches/components.rs` — throughput of each substrate component
+//! * `src/bin/components.rs` — throughput of each substrate component
 //!   (cache model, CPU interpreter, MiniC compiler, address-pattern
 //!   extraction, heuristic scoring).
-//! * `benches/tables.rs` — one benchmark per reproduced paper table
-//!   (Tables 1–14 plus the two ablations), measuring regeneration cost
-//!   over a warmed simulation cache, plus a cold end-to-end pipeline
-//!   benchmark.
+//! * `src/bin/tables.rs` — one timing per reproduced paper table
+//!   (Tables 1–14 plus the extensions and ablations), measuring
+//!   regeneration cost over a warmed simulation cache, plus a cold
+//!   end-to-end pipeline timing.
 //!
-//! Run with `cargo bench --workspace`.
+//! Run with `cargo run --release -p dl-bench --bin components` (or
+//! `--bin tables`). Pass `--iters N` to scale the per-measurement
+//! iteration count. The pipeline-level sequential-vs-parallel
+//! benchmark lives in `dl-experiments` (`--bin bench`) and writes
+//! `BENCH_pipeline.json`.
 
 #![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured result: wall-clock per iteration plus derived
+/// per-element throughput when the element count is known.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Iterations timed.
+    pub iters: u64,
+    /// Total wall-clock across all iterations.
+    pub total_secs: f64,
+    /// Work elements per iteration (for throughput), if meaningful.
+    pub elements: Option<u64>,
+}
+
+impl Measurement {
+    /// Seconds per iteration.
+    #[must_use]
+    pub fn secs_per_iter(&self) -> f64 {
+        self.total_secs / self.iters as f64
+    }
+
+    /// Elements processed per second, when `elements` is known.
+    #[must_use]
+    pub fn throughput(&self) -> Option<f64> {
+        self.elements
+            .map(|e| e as f64 * self.iters as f64 / self.total_secs)
+    }
+}
+
+/// Times `f` for `iters` iterations after one untimed warmup run,
+/// prints a one-line summary, and returns the measurement.
+pub fn bench<T>(
+    name: &str,
+    iters: u64,
+    elements: Option<u64>,
+    mut f: impl FnMut() -> T,
+) -> Measurement {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let total_secs = start.elapsed().as_secs_f64();
+    let m = Measurement {
+        name: name.to_owned(),
+        iters,
+        total_secs,
+        elements,
+    };
+    report(&m);
+    m
+}
+
+/// Prints a one-line, aligned summary of a measurement.
+pub fn report(m: &Measurement) {
+    let per = m.secs_per_iter();
+    let human = if per >= 1.0 {
+        format!("{per:10.3} s/iter")
+    } else if per >= 1e-3 {
+        format!("{:10.3} ms/iter", per * 1e3)
+    } else {
+        format!("{:10.3} us/iter", per * 1e6)
+    };
+    match m.throughput() {
+        Some(tp) => println!("{:<44} {human}  {tp:>14.0} elems/s", m.name),
+        None => println!("{:<44} {human}", m.name),
+    }
+}
+
+/// Parses `--iters N` from argv, falling back to `default`.
+#[must_use]
+pub fn iters_arg(default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

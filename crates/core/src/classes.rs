@@ -55,7 +55,9 @@ impl AgClass {
     /// The paper's name for the class.
     #[must_use]
     pub fn name(self) -> &'static str {
-        ["AG1", "AG2", "AG3", "AG4", "AG5", "AG6", "AG7", "AG8", "AG9"][self.index()]
+        [
+            "AG1", "AG2", "AG3", "AG4", "AG5", "AG6", "AG7", "AG8", "AG9",
+        ][self.index()]
     }
 
     /// Short description of the class feature (mirrors Table 5).

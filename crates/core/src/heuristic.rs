@@ -279,10 +279,7 @@ mod tests {
             Box::new(Ap::add(Ap::Rec, Ap::Const(1))),
             Box::new(Ap::Const(2)),
         );
-        let ap = Ap::add(
-            Ap::add(Ap::deref(Ap::add(sp(), Ap::Const(4))), idx),
-            sp(),
-        );
+        let ap = Ap::add(Ap::add(Ap::deref(Ap::add(sp(), Ap::Const(4))), idx), sp());
         let l = load_with(vec![ap]);
         let h = Heuristic::new();
         let s = h.score(&l, 1_000_000);

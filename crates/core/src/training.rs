@@ -256,10 +256,7 @@ pub fn train_class(
 #[must_use]
 pub fn train_weights(runs: &[TrainingRun<'_>], params: &TrainingParams) -> Weights {
     let defs = aggregate_class_defs();
-    let trained: Vec<TrainedClass> = defs
-        .iter()
-        .map(|d| train_class(d, runs, params))
-        .collect();
+    let trained: Vec<TrainedClass> = defs.iter().map(|d| train_class(d, runs, params)).collect();
     let mut positive: Vec<f64> = trained
         .iter()
         .take(7) // structural classes AG1–AG7
@@ -325,7 +322,11 @@ mod tests {
                 truncated: false,
             });
             let e = 10_000u64;
-            let m = if chase { e * chase_missrate_pct / 100 } else { 5 };
+            let m = if chase {
+                e * chase_missrate_pct / 100
+            } else {
+                5
+            };
             exec.push(e);
             miss.push(m);
             total += m;
@@ -366,7 +367,11 @@ mod tests {
         let s2 = synth(3, 10, 60);
         let runs = [run_of("b1", &s1), run_of("b2", &s2)];
         let defs = aggregate_class_defs();
-        let t = train_class(&defs[AgClass::Ag5.index()], &runs, &TrainingParams::default());
+        let t = train_class(
+            &defs[AgClass::Ag5.index()],
+            &runs,
+            &TrainingParams::default(),
+        );
         assert_eq!(t.nature, ClassNature::Positive);
         assert!(t.weight.expect("positive has weight") > 0.0);
         assert_eq!(t.found_in(), 2);
@@ -379,7 +384,11 @@ mod tests {
         let runs = [run_of("b1", &s1)];
         let defs = aggregate_class_defs();
         // No recurrences anywhere: AG7 accounts for ~0% of misses.
-        let t = train_class(&defs[AgClass::Ag7.index()], &runs, &TrainingParams::default());
+        let t = train_class(
+            &defs[AgClass::Ag7.index()],
+            &runs,
+            &TrainingParams::default(),
+        );
         assert_eq!(t.nature, ClassNature::Negative);
         assert_eq!(t.weight, None);
     }
@@ -438,7 +447,13 @@ mod tests {
     fn paper_weight_example_formula() {
         // Reproduce the W(F5) computation from §7.2: the mean of m/n
         // over the five relevant benchmarks ≈ 0.47.
-        let ratios: [f64; 5] = [4.34 / 48.19, 6.27 / 25.14, 30.44 / 67.17, 6.83 / 6.72, 8.07 / 13.17];
+        let ratios: [f64; 5] = [
+            4.34 / 48.19,
+            6.27 / 25.14,
+            30.44 / 67.17,
+            6.83 / 6.72,
+            8.07 / 13.17,
+        ];
         let w: f64 = ratios.iter().sum::<f64>() / 5.0;
         assert!((w - 0.47).abs() < 0.02, "computed {w}");
     }

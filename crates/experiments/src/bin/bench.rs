@@ -1,0 +1,148 @@
+//! Pipeline-level benchmark: sequential vs. parallel memo-table
+//! prewarming over a fixed table subset, plus raw simulator
+//! throughput. Writes `BENCH_pipeline.json` in the current directory
+//! (run from the repo root).
+//!
+//! ```text
+//! bench [--jobs N] [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the workload (one table, one throughput run) so
+//! CI can validate the harness in seconds; the JSON shape is the same.
+
+use std::time::Instant;
+
+use dl_experiments::pipeline::Pipeline;
+use dl_experiments::schedule::{default_jobs, prewarm, union_specs};
+use dl_minic::{compile, OptLevel};
+use dl_sim::{run as simulate, RunConfig};
+
+/// Tables whose union of configurations the full benchmark times.
+/// Chosen to span opt levels, both input sets, and several cache
+/// geometries while staying a few minutes of work.
+const FULL_TABLES: &[&str] = &["table3", "table7", "table8", "table9"];
+const SMOKE_TABLES: &[&str] = &["table3"];
+
+struct Args {
+    jobs: usize,
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        jobs: default_jobs(),
+        smoke: false,
+        out: "BENCH_pipeline.json".into(),
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                args.jobs = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--smoke" => args.smoke = true,
+            "--out" => {
+                i += 1;
+                args.out = argv.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args.jobs = args.jobs.max(1);
+    args
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench [--jobs N] [--smoke] [--out PATH]");
+    std::process::exit(2);
+}
+
+/// Times one full prewarm of `tables` across `jobs` workers.
+fn time_prewarm(tables: &[&str], jobs: usize) -> (f64, usize) {
+    let pipeline = Pipeline::new();
+    let specs = union_specs(tables.iter().copied());
+    let start = Instant::now();
+    let n = prewarm(&pipeline, &specs, jobs);
+    (start.elapsed().as_secs_f64(), n)
+}
+
+/// Raw simulator throughput on a cache-resident reduction kernel.
+fn sim_throughput(smoke: bool) -> (u64, f64) {
+    let reps = if smoke { 8 } else { 200 };
+    let source = format!(
+        "int a[4096];
+         int main() {{
+             int i; int t; int s;
+             s = 0;
+             for (t = 0; t < {reps}; t = t + 1) {{
+                 for (i = 0; i < 4096; i = i + 1) {{ s = s + a[i]; }}
+             }}
+             print(s);
+             return 0;
+         }}"
+    );
+    let program = compile(&source, OptLevel::O0).expect("kernel compiles");
+    let config = RunConfig::default();
+    // Warmup.
+    let _ = simulate(&program, &config).expect("kernel runs");
+    let start = Instant::now();
+    let result = simulate(&program, &config).expect("kernel runs");
+    (result.instructions, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args = parse_args();
+    let tables = if args.smoke {
+        SMOKE_TABLES
+    } else {
+        FULL_TABLES
+    };
+
+    eprintln!("[simulator throughput]");
+    let (insts, sim_secs) = sim_throughput(args.smoke);
+    let insts_per_sec = insts as f64 / sim_secs;
+    eprintln!("  {insts} instructions in {sim_secs:.3}s = {insts_per_sec:.0} insts/s");
+
+    eprintln!("[sequential prewarm: {}]", tables.join(", "));
+    let (seq_secs, configs) = time_prewarm(tables, 1);
+    eprintln!("  {configs} configurations in {seq_secs:.2}s");
+
+    eprintln!("[parallel prewarm: {} jobs]", args.jobs);
+    let (par_secs, _) = time_prewarm(tables, args.jobs);
+    eprintln!("  {configs} configurations in {par_secs:.2}s");
+
+    let speedup = seq_secs / par_secs.max(1e-9);
+    eprintln!("  speedup: {speedup:.2}x");
+
+    let table_list = tables
+        .iter()
+        .map(|t| format!("\"{t}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"smoke\": {},\n  \"jobs\": {},\n  \"tables\": [{}],\n  \
+         \"configurations\": {},\n  \"sequential_secs\": {:.6},\n  \
+         \"parallel_secs\": {:.6},\n  \"speedup\": {:.4},\n  \
+         \"sim_instructions\": {},\n  \"sim_secs\": {:.6},\n  \
+         \"sim_insts_per_sec\": {:.0}\n}}\n",
+        args.smoke,
+        args.jobs,
+        table_list,
+        configs,
+        seq_secs,
+        par_secs,
+        speedup,
+        insts,
+        sim_secs,
+        insts_per_sec
+    );
+    std::fs::write(&args.out, json).expect("write benchmark JSON");
+    eprintln!("wrote {}", args.out);
+}

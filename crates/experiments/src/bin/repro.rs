@@ -6,17 +6,52 @@
 //! repro write-experiments PATH # emit the EXPERIMENTS.md document
 //! repro list                   # list available targets
 //! ```
+//!
+//! `--jobs N` (or the `DL_JOBS` environment variable) sets the worker
+//! count used to pre-warm the simulation memo table before tables are
+//! assembled; the default is the machine's available parallelism.
+//! Output is byte-identical for every worker count — table assembly
+//! is always sequential over the warmed memo table.
 
 use std::time::Instant;
 
+use dl_experiments::document::experiments_doc;
 use dl_experiments::pipeline::Pipeline;
-use dl_experiments::tables::{all_tables, TableFn};
+use dl_experiments::schedule::{default_jobs, prewarm, union_specs};
+use dl_experiments::tables::all_tables;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--jobs N] <all | list | table1..table14 | ablation-classes | \
+         ablation-patterns | write-experiments [PATH]>"
+    );
+    std::process::exit(2);
+}
+
+/// Parses `--jobs N` out of the argument list (removing it), falling
+/// back to `DL_JOBS`, then to available parallelism.
+fn parse_jobs(args: &mut Vec<String>) -> usize {
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        if i + 1 >= args.len() {
+            usage();
+        }
+        let n: usize = args[i + 1].parse().unwrap_or_else(|_| usage());
+        args.drain(i..=i + 1);
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("DL_JOBS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    default_jobs()
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = parse_jobs(&mut args);
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: repro <all | list | table1..table14 | ablation-classes | ablation-patterns | write-experiments [PATH]>");
-        std::process::exit(2);
+        usage();
     }
     let tables = all_tables();
     if args[0] == "list" {
@@ -26,13 +61,20 @@ fn main() {
         return;
     }
     let pipeline = Pipeline::new();
+    let total = Instant::now();
     if args[0] == "write-experiments" {
         let path = args.get(1).map_or("EXPERIMENTS.md", |s| s.as_str());
-        let doc = build_experiments_doc(&pipeline, &tables);
+        let names: Vec<&str> = tables.iter().map(|(n, _)| *n).collect();
+        warm(&pipeline, &names, jobs);
+        let doc = experiments_doc(&pipeline, &tables, |name, secs| {
+            eprintln!("[{name} in {secs:.1}s]");
+        });
         std::fs::write(path, doc).expect("write EXPERIMENTS.md");
         eprintln!(
-            "wrote {path} ({} simulations)",
-            pipeline.simulations()
+            "wrote {path} ({} simulations, {} jobs, {:.1}s total)",
+            pipeline.simulations(),
+            jobs,
+            total.elapsed().as_secs_f64()
         );
         return;
     }
@@ -41,55 +83,43 @@ fn main() {
     } else {
         args.iter().map(String::as_str).collect()
     };
-    for name in wanted {
-        let Some((_, f)) = tables.iter().find(|(n, _)| *n == name) else {
+    for name in &wanted {
+        if !tables.iter().any(|(n, _)| n == name) {
             eprintln!("unknown target `{name}` (try `repro list`)");
             std::process::exit(2);
-        };
+        }
+    }
+    warm(&pipeline, &wanted, jobs);
+    for name in &wanted {
+        let (_, f) = tables
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("validated above");
         let start = Instant::now();
         let table = f(&pipeline);
         println!("{table}");
         eprintln!("[{name} in {:.1}s]", start.elapsed().as_secs_f64());
     }
+    eprintln!(
+        "[{} table(s), {} simulations, {} jobs, {:.1}s total]",
+        wanted.len(),
+        pipeline.simulations(),
+        jobs,
+        total.elapsed().as_secs_f64()
+    );
 }
 
-fn build_experiments_doc(pipeline: &Pipeline, tables: &[(&'static str, TableFn)]) -> String {
-    let mut doc = String::new();
-    doc.push_str(
-        "# EXPERIMENTS — paper vs. measured\n\n\
-         Reproduction of every table in *Static Identification of Delinquent\n\
-         Loads* (CGO 2004) on the synthetic substrate described in DESIGN.md.\n\
-         Absolute numbers are not expected to match the paper (different\n\
-         compiler, ISA, simulator scale, and workloads); the *shape* claims in\n\
-         each table's note are what must hold, and each note states the\n\
-         paper's own numbers for comparison.\n\n\
-         Regenerate this file with:\n\n\
-         ```\n\
-         cargo run --release -p dl-experiments --bin repro -- write-experiments\n\
-         ```\n\n\
-         ## Shape-claim checklist\n\n\
-         | # | Claim (paper) | Where | Holds here? |\n\
-         |---|---|---|---|\n\
-         | 1 | ~10% of static loads cover >90% of D-cache misses | Table 11 | yes — 8.8% cover 97.5% |\n\
-         | 2 | Dropping AG8/AG9 roughly doubles π at unchanged ρ | Table 11 | yes — 8.8% → 17.1%, ρ flat |\n\
-         | 3 | Stable across inputs | Table 7 | yes — identical averages on both input sets |\n\
-         | 4 | Stable across associativity and capacity | Tables 8, 9 | yes — ρ flat from 2- to 8-way and 8 to 64 KiB |\n\
-         | 5 | Generalizes to unseen benchmarks with a small gap | Table 10 | yes — 8.9% / 93.9% (paper 9.1% / 88.3%) |\n\
-         | 6 | OKN/BDH reach similar ρ only with far larger Δ | Table 12 | yes in direction — both flag 1.4–2x more loads; the paper's 5x gap is compiler-dependent (see note) |\n\
-         | 7 | Raising δ lowers both π and ρ with per-benchmark cliffs | Table 13 | yes — 22/100 → 3/84 across δ = 0.1 → 0.4 |\n\
-         | 8 | Profiling ∩ heuristic pinpoints ~1.3% of loads at ~82% ρ, ≫ random | Table 14 | yes — 1.6% at 97%, random control 19% |\n\
-         | 9 | Trained weights: AG6 strongest, AG4 weakest positive, AG9 = 2·AG8 < 0 | Table 5 | yes (AG2/AG7 train negative here; see note) |\n\n",
-    );
-    for (name, f) in tables {
-        let start = Instant::now();
-        let table = f(pipeline);
-        doc.push_str(&table.to_markdown());
-        doc.push('\n');
-        eprintln!("[{name} in {:.1}s]", start.elapsed().as_secs_f64());
+/// Pre-warms the memo table for the requested tables across `jobs`
+/// workers.
+fn warm(pipeline: &Pipeline, tables: &[&str], jobs: usize) {
+    let specs = union_specs(tables.iter().copied());
+    if specs.is_empty() {
+        return;
     }
-    doc.push_str(&format!(
-        "---\n\nTotal distinct simulations: {}\n",
-        pipeline.simulations()
-    ));
-    doc
+    let start = Instant::now();
+    let n = prewarm(pipeline, &specs, jobs);
+    eprintln!(
+        "[warmed {n} configurations on {jobs} worker(s) in {:.1}s]",
+        start.elapsed().as_secs_f64()
+    );
 }

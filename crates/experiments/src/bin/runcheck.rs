@@ -8,7 +8,9 @@
 
 fn main() {
     for b in dl_workloads::all() {
-        let p = b.compile(dl_minic::OptLevel::O0).expect("workload compiles");
+        let p = b
+            .compile(dl_minic::OptLevel::O0)
+            .expect("workload compiles");
         let cfg = dl_sim::RunConfig {
             input: b.input1.clone(),
             ..Default::default()

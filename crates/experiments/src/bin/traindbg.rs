@@ -6,9 +6,7 @@
 //! cargo run --release -p dl-experiments --bin traindbg
 //! ```
 
-use dl_core::training::{
-    aggregate_class_defs, train_class, TrainingParams, TrainingRun,
-};
+use dl_core::training::{aggregate_class_defs, train_class, TrainingParams, TrainingRun};
 use dl_experiments::pipeline::Pipeline;
 use dl_minic::OptLevel;
 use dl_sim::CacheConfig;

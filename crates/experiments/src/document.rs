@@ -1,0 +1,63 @@
+//! Assembly of the `EXPERIMENTS.md` comparison document.
+//!
+//! Lives in the library (rather than the `repro` binary) so tests can
+//! assert that a parallel-prewarmed pipeline renders a byte-identical
+//! document to a sequential one.
+
+use std::time::Instant;
+
+use crate::pipeline::Pipeline;
+use crate::tables::TableFn;
+
+/// The document preamble: purpose, regeneration command, and the
+/// shape-claim checklist.
+const PREAMBLE: &str = "# EXPERIMENTS — paper vs. measured\n\n\
+    Reproduction of every table in *Static Identification of Delinquent\n\
+    Loads* (CGO 2004) on the synthetic substrate described in DESIGN.md.\n\
+    Absolute numbers are not expected to match the paper (different\n\
+    compiler, ISA, simulator scale, and workloads); the *shape* claims in\n\
+    each table's note are what must hold, and each note states the\n\
+    paper's own numbers for comparison.\n\n\
+    Regenerate this file with:\n\n\
+    ```\n\
+    cargo run --release -p dl-experiments --bin repro -- write-experiments\n\
+    ```\n\n\
+    ## Shape-claim checklist\n\n\
+    | # | Claim (paper) | Where | Holds here? |\n\
+    |---|---|---|---|\n\
+    | 1 | ~10% of static loads cover >90% of D-cache misses | Table 11 | yes — 8.8% cover 97.5% |\n\
+    | 2 | Dropping AG8/AG9 roughly doubles π at unchanged ρ | Table 11 | yes — 8.8% → 17.1%, ρ flat |\n\
+    | 3 | Stable across inputs | Table 7 | yes — identical averages on both input sets |\n\
+    | 4 | Stable across associativity and capacity | Tables 8, 9 | yes — ρ flat from 2- to 8-way and 8 to 64 KiB |\n\
+    | 5 | Generalizes to unseen benchmarks with a small gap | Table 10 | yes — 8.9% / 93.9% (paper 9.1% / 88.3%) |\n\
+    | 6 | OKN/BDH reach similar ρ only with far larger Δ | Table 12 | yes in direction — both flag 1.4–2x more loads; the paper's 5x gap is compiler-dependent (see note) |\n\
+    | 7 | Raising δ lowers both π and ρ with per-benchmark cliffs | Table 13 | yes — 22/100 → 3/84 across δ = 0.1 → 0.4 |\n\
+    | 8 | Profiling ∩ heuristic pinpoints ~1.3% of loads at ~82% ρ, ≫ random | Table 14 | yes — 1.6% at 97%, random control 26% |\n\
+    | 9 | Trained weights: AG6 strongest, AG4 weakest positive, AG9 = 2·AG8 < 0 | Table 5 | yes (AG2/AG7 train negative here; see note) |\n\n";
+
+/// Builds the full `EXPERIMENTS.md` document, invoking `progress`
+/// with each table's name and generation wall-clock as it completes.
+///
+/// The output depends only on the tables' contents — never on the
+/// worker count used to warm `pipeline` — because tables are rendered
+/// here, sequentially, in registry order.
+pub fn experiments_doc(
+    pipeline: &Pipeline,
+    tables: &[(&'static str, TableFn)],
+    mut progress: impl FnMut(&str, f64),
+) -> String {
+    let mut doc = String::new();
+    doc.push_str(PREAMBLE);
+    for (name, f) in tables {
+        let start = Instant::now();
+        let table = f(pipeline);
+        doc.push_str(&table.to_markdown());
+        doc.push('\n');
+        progress(name, start.elapsed().as_secs_f64());
+    }
+    doc.push_str(&format!(
+        "---\n\nTotal distinct simulations: {}\n",
+        pipeline.simulations()
+    ));
+    doc
+}

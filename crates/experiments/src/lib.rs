@@ -34,10 +34,13 @@
 
 #![warn(missing_docs)]
 
+pub mod document;
 pub mod metrics;
 pub mod pipeline;
 pub mod report;
+pub mod schedule;
 pub mod tables;
 
 pub use pipeline::{BenchRun, Pipeline};
 pub use report::Table;
+pub use schedule::{default_jobs, prewarm, table_specs, union_specs, RunSpec};

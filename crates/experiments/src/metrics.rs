@@ -2,12 +2,10 @@
 //! false-positive impact ξ, the greedy *ideal* set, the basic-block
 //! *profiling* set, and the random-selection control.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use dl_analysis::cfg::program_blocks;
 use dl_mips::program::Program;
 use dl_sim::RunResult;
+use dl_testkit::Rng;
 
 /// π(H) = |Δ| / |Λ|: the fraction of static loads flagged.
 #[must_use]
@@ -125,12 +123,12 @@ pub fn random_control(
     }
     let mut total = 0.0;
     for t in 0..trials {
-        let mut rng = StdRng::seed_from_u64(seed ^ u64::from(t).wrapping_mul(0x9e37_79b9));
+        let mut rng = Rng::new(seed ^ u64::from(t).wrapping_mul(0x9e37_79b9));
         let mut pool: Vec<usize> = hot_loads.to_vec();
         let take = k.min(pool.len());
         // Partial Fisher-Yates for a uniform k-subset.
         for i in 0..take {
-            let j = rng.gen_range(i..pool.len());
+            let j = i + rng.index(pool.len() - i);
             pool.swap(i, j);
         }
         total += rho(result, &pool[..take]);

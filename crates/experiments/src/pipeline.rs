@@ -1,9 +1,16 @@
 //! The compile → simulate → analyze pipeline, memoized per
 //! (benchmark, optimization level, input set, cache geometry).
+//!
+//! The memo table is thread-safe: any number of threads may call
+//! [`Pipeline::run`] concurrently. Requests for the same key are
+//! deduplicated *in flight* — the first thread to claim a key runs the
+//! simulation while every other thread requesting it blocks on a
+//! condition variable and receives the shared result, so a
+//! configuration is simulated exactly once no matter how many threads
+//! race for it.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Condvar, Mutex};
 
 use dl_analysis::extract::{analyze_program, AnalysisConfig, ProgramAnalysis};
 use dl_minic::OptLevel;
@@ -40,14 +47,48 @@ impl BenchRun {
 
 type Key = (String, OptLevel, u8, CacheConfig);
 
-/// Memoizing pipeline executor.
+/// State of one memo-table entry.
+#[derive(Debug)]
+enum Slot {
+    /// A thread is currently computing this configuration.
+    InFlight,
+    /// The finished run, shared by every requester.
+    Ready(Arc<BenchRun>),
+}
+
+/// Removes an in-flight claim if the owning thread unwinds, so
+/// waiters wake up and one of them re-claims the key instead of
+/// deadlocking.
+struct InFlightGuard<'a> {
+    pipeline: &'a Pipeline,
+    key: Key,
+    armed: bool,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut runs = self.pipeline.runs.lock().expect("pipeline lock");
+            if matches!(runs.get(&self.key), Some(Slot::InFlight)) {
+                runs.remove(&self.key);
+            }
+            drop(runs);
+            self.pipeline.ready.notify_all();
+        }
+    }
+}
+
+/// Memoizing, thread-safe pipeline executor.
 ///
 /// Compilation + analysis are shared across cache geometries for the
 /// same `(benchmark, opt, input)`; simulation results are cached per
 /// full key, so tables that share configurations do not re-simulate.
+/// Concurrent requests for the same key block until the single
+/// in-flight computation finishes and then share its result.
 #[derive(Debug, Default)]
 pub struct Pipeline {
-    runs: RefCell<HashMap<Key, Rc<BenchRun>>>,
+    runs: Mutex<HashMap<Key, Slot>>,
+    ready: Condvar,
 }
 
 impl Pipeline {
@@ -63,7 +104,8 @@ impl Pipeline {
     ///
     /// Panics if the benchmark fails to compile or traps during
     /// simulation — both indicate bugs in the bundled workloads and
-    /// are covered by tests.
+    /// are covered by tests. A panic releases the in-flight claim so
+    /// concurrent waiters do not deadlock.
     #[must_use]
     pub fn run(
         &self,
@@ -71,11 +113,48 @@ impl Pipeline {
         opt: OptLevel,
         input_set: u8,
         cache: CacheConfig,
-    ) -> Rc<BenchRun> {
-        let key = (bench.name.to_owned(), opt, input_set, cache);
-        if let Some(hit) = self.runs.borrow().get(&key) {
-            return Rc::clone(hit);
+    ) -> Arc<BenchRun> {
+        let key: Key = (bench.name.to_owned(), opt, input_set, cache);
+        {
+            let mut runs = self.runs.lock().expect("pipeline lock");
+            loop {
+                match runs.get(&key) {
+                    Some(Slot::Ready(run)) => return Arc::clone(run),
+                    Some(Slot::InFlight) => {
+                        // Another thread is computing this key; wait
+                        // for it to finish (or unwind) and re-check.
+                        runs = self.ready.wait(runs).expect("pipeline lock");
+                    }
+                    None => {
+                        runs.insert(key.clone(), Slot::InFlight);
+                        break;
+                    }
+                }
+            }
         }
+        // We own the in-flight claim; compute outside the lock.
+        let mut guard = InFlightGuard {
+            pipeline: self,
+            key: key.clone(),
+            armed: true,
+        };
+        let run = Arc::new(self.compute(bench, opt, input_set, cache));
+        guard.armed = false;
+        let mut runs = self.runs.lock().expect("pipeline lock");
+        runs.insert(key, Slot::Ready(Arc::clone(&run)));
+        drop(runs);
+        self.ready.notify_all();
+        run
+    }
+
+    /// The uncached compile → analyze → simulate path.
+    fn compute(
+        &self,
+        bench: &Benchmark,
+        opt: OptLevel,
+        input_set: u8,
+        cache: CacheConfig,
+    ) -> BenchRun {
         let program = bench
             .compile(opt)
             .unwrap_or_else(|e| panic!("{} does not compile at {opt}: {e}", bench.name));
@@ -87,20 +166,23 @@ impl Pipeline {
         };
         let result = simulate(&program, &config)
             .unwrap_or_else(|e| panic!("{} trapped at {opt}: {e}", bench.name));
-        let run = Rc::new(BenchRun {
+        BenchRun {
             name: bench.name.to_owned(),
             program,
             analysis,
             result,
-        });
-        self.runs.borrow_mut().insert(key, Rc::clone(&run));
-        run
+        }
     }
 
-    /// Number of distinct simulations performed so far.
+    /// Number of distinct simulations completed so far.
     #[must_use]
     pub fn simulations(&self) -> usize {
-        self.runs.borrow().len()
+        self.runs
+            .lock()
+            .expect("pipeline lock")
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
     }
 }
 
@@ -116,10 +198,10 @@ mod tests {
         b.input1 = vec![500, 2];
         let r1 = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
         let r2 = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
-        assert!(Rc::ptr_eq(&r1, &r2));
+        assert!(Arc::ptr_eq(&r1, &r2));
         assert_eq!(p.simulations(), 1);
         let r3 = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_baseline());
-        assert!(!Rc::ptr_eq(&r1, &r3));
+        assert!(!Arc::ptr_eq(&r1, &r3));
         assert_eq!(p.simulations(), 2);
     }
 
@@ -132,5 +214,50 @@ mod tests {
         assert_eq!(r.lambda(), r.program.static_load_count());
         assert_eq!(r.result.exec_counts.len(), r.program.insts.len());
         assert!(r.result.instructions > 0);
+    }
+
+    #[test]
+    fn racing_threads_share_one_simulation() {
+        let p = Pipeline::new();
+        let mut b = dl_workloads::by_name("197.parser").expect("exists");
+        b.input1 = vec![500, 2];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let p = &p;
+                    let b = &b;
+                    scope.spawn(move || p.run(b, OptLevel::O0, 1, CacheConfig::paper_training()))
+                })
+                .collect();
+            let runs: Vec<Arc<BenchRun>> = handles
+                .into_iter()
+                .map(|h| h.join().expect("joins"))
+                .collect();
+            for pair in runs.windows(2) {
+                assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+            }
+        });
+        assert_eq!(p.simulations(), 1);
+    }
+
+    #[test]
+    fn panic_releases_in_flight_claim() {
+        let p = Pipeline::new();
+        // A benchmark guaranteed to fail: nonexistent source.
+        let mut b = dl_workloads::by_name("197.parser").expect("exists");
+        b.name = "bogus";
+        b.source = "int main( {";
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
+        }));
+        assert!(result.is_err());
+        // The claim must be gone: a fresh (valid) run on the same key
+        // shape must not deadlock, and the table holds no ready entry.
+        assert_eq!(p.simulations(), 0);
+        let good = dl_workloads::by_name("197.parser").expect("exists");
+        let mut good = good;
+        good.input1 = vec![500, 2];
+        let _ = p.run(&good, OptLevel::O0, 1, CacheConfig::paper_training());
+        assert_eq!(p.simulations(), 1);
     }
 }

@@ -22,11 +22,7 @@ pub struct Table {
 impl Table {
     /// Creates a table with headers.
     #[must_use]
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        header: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, header: &[&str]) -> Self {
         Table {
             id: id.into(),
             title: title.into(),
@@ -62,10 +58,7 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
         out.push_str(&format!("| {} |\n", self.header.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.header.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }

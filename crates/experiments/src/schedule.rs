@@ -1,0 +1,246 @@
+//! Work scheduling for the experiment pipeline: enumerate the
+//! simulation configurations a set of tables needs, then pre-warm the
+//! [`Pipeline`] memo table by fanning those configurations across a
+//! scoped worker pool.
+//!
+//! Table *assembly* stays sequential and deterministic — the workers
+//! only populate the memo table, so the rendered output is
+//! byte-identical to a fully sequential run regardless of the worker
+//! count or completion order. In-flight deduplication inside
+//! [`Pipeline::run`] guarantees that overlapping specs (most tables
+//! share configurations) still simulate exactly once.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dl_minic::OptLevel;
+use dl_sim::CacheConfig;
+use dl_workloads::Benchmark;
+
+use crate::pipeline::Pipeline;
+
+/// One simulation configuration a table needs: the full memo key.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The workload to compile and simulate.
+    pub bench: Benchmark,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Input set (1 or 2).
+    pub input_set: u8,
+    /// Cache geometry.
+    pub cache: CacheConfig,
+}
+
+impl RunSpec {
+    fn key(&self) -> (String, OptLevel, u8, CacheConfig) {
+        (
+            self.bench.name.to_owned(),
+            self.opt,
+            self.input_set,
+            self.cache,
+        )
+    }
+}
+
+fn specs(
+    benches: Vec<Benchmark>,
+    opt: OptLevel,
+    input_set: u8,
+    cache: CacheConfig,
+) -> Vec<RunSpec> {
+    benches
+        .into_iter()
+        .map(|bench| RunSpec {
+            bench,
+            opt,
+            input_set,
+            cache,
+        })
+        .collect()
+}
+
+/// The simulation configurations one named table consumes through the
+/// pipeline. Unknown names (and `table6`, which simulates nothing)
+/// yield an empty list — prewarming simply does nothing for them.
+///
+/// This mirrors the `p.run(...)` calls in [`crate::tables`]; the
+/// `specs_cover_every_table` test pins the two in sync.
+#[must_use]
+pub fn table_specs(table: &str) -> Vec<RunSpec> {
+    let o0 = OptLevel::O0;
+    let o1 = OptLevel::O1;
+    let training = CacheConfig::paper_training();
+    let baseline = CacheConfig::paper_baseline();
+    match table {
+        "table1" | "table2" | "table14" | "ablation-profile-fidelity" => {
+            specs(dl_workloads::all(), o0, 1, training)
+        }
+        "table3" | "table4" | "table5" => specs(dl_workloads::training_set(), o0, 1, baseline),
+        "table7" => {
+            let mut v = specs(dl_workloads::training_set(), o0, 1, training);
+            v.extend(specs(dl_workloads::training_set(), o0, 2, training));
+            v
+        }
+        "table8" => [2u32, 4, 8]
+            .into_iter()
+            .flat_map(|assoc| {
+                specs(
+                    dl_workloads::training_set(),
+                    o1,
+                    1,
+                    CacheConfig::kb(8, assoc),
+                )
+            })
+            .collect(),
+        "table9" => [8u32, 16, 32, 64]
+            .into_iter()
+            .flat_map(|kb| specs(dl_workloads::training_set(), o1, 1, CacheConfig::kb(kb, 4)))
+            .collect(),
+        "table10" => specs(dl_workloads::test_set(), o0, 1, training),
+        "table11"
+        | "table12"
+        | "ablation-classes"
+        | "ablation-patterns"
+        | "extension-static-frequency"
+        | "ablation-delta-tuning" => specs(dl_workloads::all(), o0, 1, baseline),
+        "table13" => specs(dl_workloads::training_set(), o1, 1, CacheConfig::kb(16, 4)),
+        "extension-prefetch" => {
+            let benches = ["181.mcf", "183.equake", "179.art", "164.gzip"]
+                .into_iter()
+                .map(|n| dl_workloads::by_name(n).expect("known benchmark"))
+                .collect();
+            specs(benches, o0, 1, baseline)
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// The deduplicated union of configurations needed by `tables`, in
+/// first-seen order.
+#[must_use]
+pub fn union_specs<'a>(tables: impl IntoIterator<Item = &'a str>) -> Vec<RunSpec> {
+    let mut seen = std::collections::HashSet::new();
+    let mut union = Vec::new();
+    for table in tables {
+        for spec in table_specs(table) {
+            if seen.insert(spec.key()) {
+                union.push(spec);
+            }
+        }
+    }
+    union
+}
+
+/// The default worker count: available hardware parallelism, or 1 if
+/// it cannot be determined.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Runs every spec through the pipeline across `jobs` worker threads,
+/// populating the memo table. Returns the number of specs processed.
+///
+/// Work is claimed from a shared atomic index, so long-running
+/// simulations do not stall the queue behind them. With `jobs <= 1`
+/// the specs run on the calling thread in order — exactly the
+/// sequential behaviour.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (a benchmark failing to compile
+/// or trapping — the same conditions that panic [`Pipeline::run`]).
+pub fn prewarm(pipeline: &Pipeline, specs: &[RunSpec], jobs: usize) -> usize {
+    if jobs <= 1 || specs.len() <= 1 {
+        for spec in specs {
+            let _ = pipeline.run(&spec.bench, spec.opt, spec.input_set, spec.cache);
+        }
+        return specs.len();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(specs.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let _ = pipeline.run(&spec.bench, spec.opt, spec.input_set, spec.cache);
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(panic) = h.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+    specs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::all_tables;
+
+    /// Prewarming a table's specs then generating it must add zero new
+    /// simulations — i.e. the spec registry covers everything each
+    /// table asks the pipeline for.
+    ///
+    /// Runs on shrunk inputs to keep it fast: the spec registry only
+    /// depends on names/opt/input/cache, not input values.
+    #[test]
+    fn specs_cover_every_table() {
+        for (name, f) in all_tables() {
+            let pipeline = Pipeline::new();
+            let mut specs = table_specs(name);
+            for spec in &mut specs {
+                shrink(&mut spec.bench);
+            }
+            prewarm(&pipeline, &specs, 1);
+            let warmed = pipeline.simulations();
+            // The memo key is (name, opt, input-set, cache) — not the
+            // input *values* — so the generator hits the shrunk
+            // prewarmed entries and must simulate nothing new.
+            let _ = f(&pipeline);
+            assert_eq!(
+                pipeline.simulations(),
+                warmed,
+                "{name} simulated configurations its spec registry misses"
+            );
+        }
+    }
+
+    /// `table_specs` keys must be unique per table after union-ing.
+    #[test]
+    fn union_deduplicates_shared_configs() {
+        let union = union_specs(["table1", "table2", "table14"]);
+        // All three tables need exactly the same configurations.
+        assert_eq!(union.len(), table_specs("table1").len());
+        let keys: std::collections::HashSet<_> = union.iter().map(RunSpec::key).collect();
+        assert_eq!(keys.len(), union.len());
+    }
+
+    #[test]
+    fn parallel_prewarm_matches_sequential_simulation_count() {
+        let mut specs = table_specs("table3");
+        for spec in &mut specs {
+            shrink(&mut spec.bench);
+        }
+        let sequential = Pipeline::new();
+        prewarm(&sequential, &specs, 1);
+        let parallel = Pipeline::new();
+        prewarm(&parallel, &specs, 4);
+        assert_eq!(sequential.simulations(), parallel.simulations());
+        assert_eq!(parallel.simulations(), specs.len());
+    }
+
+    /// Shrinks a benchmark's inputs so tests stay fast.
+    fn shrink(b: &mut Benchmark) {
+        for v in b.input1.iter_mut().chain(b.input2.iter_mut()) {
+            *v = (*v).clamp(1, 64);
+        }
+    }
+}

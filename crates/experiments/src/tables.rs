@@ -7,22 +7,18 @@
 //! uses the published Table 5 weights and δ = 0.10 unless a table
 //! varies them.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dl_analysis::extract::{analyze_program, AnalysisConfig};
 use dl_baselines::{bdh_delinquent_set, okn_delinquent_set};
 use dl_core::combine::combine_with_profiling;
-use dl_core::training::{
-    h1_class_defs, train_class, train_weights, TrainingParams, TrainingRun,
-};
+use dl_core::training::{h1_class_defs, train_class, train_weights, TrainingParams, TrainingRun};
 use dl_core::{AgClass, Heuristic, Weights};
 use dl_minic::OptLevel;
 use dl_sim::CacheConfig;
 use dl_workloads::Benchmark;
 
-use crate::metrics::{
-    ideal_set, pct, pi, profiling_set, random_control, rho, xi,
-};
+use crate::metrics::{ideal_set, pct, pi, profiling_set, random_control, rho, xi};
 use crate::pipeline::{BenchRun, Pipeline};
 use crate::report::Table;
 
@@ -102,7 +98,12 @@ pub fn table2(p: &Pipeline) -> Table {
     let mut t = Table::new(
         "table2",
         "runtime characteristics (scaled-down synthetic workloads)",
-        &["Benchmark", "Instr executed", "L1 D accesses", "L1 D misses"],
+        &[
+            "Benchmark",
+            "Instr executed",
+            "L1 D accesses",
+            "L1 D misses",
+        ],
     );
     for b in dl_workloads::all() {
         let run = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
@@ -125,7 +126,7 @@ pub fn table2(p: &Pipeline) -> Table {
 /// sets are scaled down ~100x from SPEC, so the cache whose miss
 /// probabilities match the paper's training regime is the scaled-down
 /// one (DESIGN.md discusses this substitution).
-fn training_runs(p: &Pipeline) -> Vec<(Benchmark, Rc<BenchRun>)> {
+fn training_runs(p: &Pipeline) -> Vec<(Benchmark, Arc<BenchRun>)> {
     dl_workloads::training_set()
         .into_iter()
         .map(|b| {
@@ -140,10 +141,7 @@ fn training_runs(p: &Pipeline) -> Vec<(Benchmark, Rc<BenchRun>)> {
 #[must_use]
 pub fn table3(p: &Pipeline) -> Table {
     let runs = training_runs(p);
-    let views: Vec<TrainingRun<'_>> = runs
-        .iter()
-        .map(|(b, r)| training_run(r, b.name))
-        .collect();
+    let views: Vec<TrainingRun<'_>> = runs.iter().map(|(b, r)| training_run(r, b.name)).collect();
     let mut t = Table::new(
         "table3",
         "criterion H1 applied to the eleven training benchmarks",
@@ -171,10 +169,7 @@ pub fn table3(p: &Pipeline) -> Table {
 #[must_use]
 pub fn table4(p: &Pipeline) -> Table {
     let runs = training_runs(p);
-    let views: Vec<TrainingRun<'_>> = runs
-        .iter()
-        .map(|(b, r)| training_run(r, b.name))
-        .collect();
+    let views: Vec<TrainingRun<'_>> = runs.iter().map(|(b, r)| training_run(r, b.name)).collect();
     let def = h1_class_defs().remove(4); // H1.5
     let trained = train_class(&def, &views, &TrainingParams::default());
     let mut t = Table::new(
@@ -202,10 +197,7 @@ pub fn table4(p: &Pipeline) -> Table {
 #[must_use]
 pub fn table5(p: &Pipeline) -> Table {
     let runs = training_runs(p);
-    let views: Vec<TrainingRun<'_>> = runs
-        .iter()
-        .map(|(b, r)| training_run(r, b.name))
-        .collect();
+    let views: Vec<TrainingRun<'_>> = runs.iter().map(|(b, r)| training_run(r, b.name)).collect();
     let trained = train_weights(&views, &TrainingParams::default());
     let paper = Weights::paper();
     let mut t = Table::new(
@@ -419,7 +411,14 @@ pub fn table11(p: &Pipeline) -> Table {
     let mut t = Table::new(
         "table11",
         "performance summary (8 KiB baseline, unoptimized)",
-        &["Benchmark", "π (with AG8/9)", "ρ", "ξ", "π (without)", "ρ (without)"],
+        &[
+            "Benchmark",
+            "π (with AG8/9)",
+            "ρ",
+            "ξ",
+            "π (without)",
+            "ρ (without)",
+        ],
     );
     let mut acc = [vec![], vec![], vec![], vec![], vec![]];
     for b in dl_workloads::all() {
@@ -430,11 +429,7 @@ pub fn table11(p: &Pipeline) -> Table {
         // ξ is measured against the Table-1-style ideal set: the
         // minimal set covering what hot-block profiling covers.
         let prof = profiling_set(&run.program, &run.result, HOT_FRACTION);
-        let ideal = ideal_set(
-            &run.result,
-            &loads,
-            run.result.misses_of_set(&prof),
-        );
+        let ideal = ideal_set(&run.result, &loads, run.result.misses_of_set(&prof));
         let vals = [
             pi(delta_w.len(), run.lambda()),
             rho(&run.result, &delta_w),
@@ -522,7 +517,13 @@ pub fn table13(p: &Pipeline) -> Table {
     let mut t = Table::new(
         "table13",
         "varying the delinquency threshold δ (optimized, 16 KiB)",
-        &["Benchmark", "δ=0.10 π/ρ", "δ=0.20 π/ρ", "δ=0.30 π/ρ", "δ=0.40 π/ρ"],
+        &[
+            "Benchmark",
+            "δ=0.10 π/ρ",
+            "δ=0.20 π/ρ",
+            "δ=0.30 π/ρ",
+            "δ=0.40 π/ρ",
+        ],
     );
     let mut acc: Vec<(Vec<f64>, Vec<f64>)> = vec![(vec![], vec![]); deltas.len()];
     for b in dl_workloads::training_set() {
@@ -632,7 +633,7 @@ pub fn ablation_classes(p: &Pipeline) -> Table {
         "per-class ablation: zero one AG weight at a time (8 KiB baseline)",
         &["Dropped class", "avg π", "avg ρ", "Δπ", "Δρ"],
     );
-    let runs: Vec<Rc<BenchRun>> = dl_workloads::all()
+    let runs: Vec<Arc<BenchRun>> = dl_workloads::all()
         .iter()
         .map(|b| p.run(b, OptLevel::O0, 1, CacheConfig::paper_baseline()))
         .collect();
@@ -683,7 +684,7 @@ pub fn ablation_patterns(p: &Pipeline) -> Table {
         "pattern-extraction bounds: π/ρ under tighter analysis caps",
         &["max_patterns", "max_depth", "avg π", "avg ρ"],
     );
-    let runs: Vec<Rc<BenchRun>> = dl_workloads::all()
+    let runs: Vec<Arc<BenchRun>> = dl_workloads::all()
         .iter()
         .map(|b| p.run(b, OptLevel::O0, 1, CacheConfig::paper_baseline()))
         .collect();
@@ -786,12 +787,7 @@ pub fn ablation_profile_fidelity(p: &Pipeline) -> Table {
         let (mut pis, mut rhos) = (vec![], vec![]);
         for b in dl_workloads::all() {
             let run = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
-            let sampled: Vec<u64> = run
-                .result
-                .exec_counts
-                .iter()
-                .map(|&e| e / n * n)
-                .collect();
+            let sampled: Vec<u64> = run.result.exec_counts.iter().map(|&e| e / n * n).collect();
             // Rebuild both the hot-block profile and the frequency
             // classes from the degraded counts.
             let mut degraded = run.result.clone();

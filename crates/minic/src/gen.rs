@@ -190,15 +190,8 @@ fn plan_frame(f: &Func, info: &SemaInfo, opt: OptLevel) -> Result<FramePlan, Com
         offset += size;
         loc
     };
-    let param_locs: Vec<VarLoc> = f
-        .params
-        .iter()
-        .map(|(name, ty)| place(ty, name))
-        .collect();
-    let decl_locs: Vec<VarLoc> = decls
-        .iter()
-        .map(|(name, ty)| place(ty, name))
-        .collect();
+    let param_locs: Vec<VarLoc> = f.params.iter().map(|(name, ty)| place(ty, name)).collect();
+    let decl_locs: Vec<VarLoc> = decls.iter().map(|(name, ty)| place(ty, name)).collect();
     let sreg_base = offset.div_ceil(4) * 4;
     offset = sreg_base + used_sregs.len() as u32 * 4;
     let ra_off = offset;
@@ -589,12 +582,8 @@ impl FuncGen<'_> {
         match &e.kind {
             ExprKind::Num(n) => Some(*n as i32),
             ExprKind::SizeOf(t) => Some(self.info.size_of(t) as i32),
-            ExprKind::Unary(UnOp::Neg, a) => {
-                self.const_eval_i32(a).map(i32::wrapping_neg)
-            }
-            ExprKind::Unary(UnOp::Not, a) => {
-                self.const_eval_i32(a).map(|v| i32::from(v == 0))
-            }
+            ExprKind::Unary(UnOp::Neg, a) => self.const_eval_i32(a).map(i32::wrapping_neg),
+            ExprKind::Unary(UnOp::Not, a) => self.const_eval_i32(a).map(|v| i32::from(v == 0)),
             ExprKind::Unary(UnOp::BitNot, a) => self.const_eval_i32(a).map(|v| !v),
             ExprKind::Binary(op, a, b) => {
                 let (x, y) = (self.const_eval_i32(a)?, self.const_eval_i32(b)?);

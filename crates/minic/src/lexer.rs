@@ -238,8 +238,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         i += 1;
                     }
                     let text = &src[start + 2..i];
-                    let v = i64::from_str_radix(text, 16)
-                        .map_err(|_| err(line, "bad hex literal"))?;
+                    let v =
+                        i64::from_str_radix(text, 16).map_err(|_| err(line, "bad hex literal"))?;
                     out.push(Token {
                         line,
                         kind: Tok::Num(v),
@@ -282,9 +282,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -340,7 +338,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     b'^' => (Tok::Caret, 1),
                     b'~' => (Tok::Tilde, 1),
                     other => {
-                        return Err(err(line, &format!("unexpected character `{}`", other as char)))
+                        return Err(err(
+                            line,
+                            &format!("unexpected character `{}`", other as char),
+                        ))
                     }
                 };
                 out.push(Token { line, kind });
@@ -382,11 +383,10 @@ mod tests {
 
     #[test]
     fn char_literals() {
-        assert_eq!(kinds("'a' '\\n' '\\0'"), vec![
-            Tok::Num(97),
-            Tok::Num(10),
-            Tok::Num(0)
-        ]);
+        assert_eq!(
+            kinds("'a' '\\n' '\\0'"),
+            vec![Tok::Num(97), Tok::Num(10), Tok::Num(0)]
+        );
     }
 
     #[test]

@@ -65,7 +65,8 @@ impl Parser<'_> {
         } else {
             Err(self.err(format!(
                 "expected `{tok}`, found {}",
-                self.peek().map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                self.peek()
+                    .map_or("end of input".to_owned(), |t| format!("`{t}`"))
             )))
         }
     }
@@ -175,7 +176,10 @@ impl Parser<'_> {
     /// `struct S* f(...)`.
     fn is_struct_def(&self) -> bool {
         matches!(self.peek2(), Some(Tok::Ident(_)))
-            && matches!(self.toks.get(self.pos + 2).map(|t| &t.kind), Some(Tok::LBrace))
+            && matches!(
+                self.toks.get(self.pos + 2).map(|t| &t.kind),
+                Some(Tok::LBrace)
+            )
     }
 
     fn struct_def(&mut self) -> Result<StructDef, CompileError> {
@@ -585,10 +589,7 @@ mod tests {
         );
         assert_eq!(u.structs.len(), 1);
         assert_eq!(u.structs[0].fields.len(), 2);
-        assert_eq!(
-            u.globals[0].ty,
-            Type::Struct("node".into()).ptr_to()
-        );
+        assert_eq!(u.globals[0].ty, Type::Struct("node".into()).ptr_to());
     }
 
     #[test]

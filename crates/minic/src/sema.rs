@@ -158,7 +158,10 @@ pub fn check(unit: &Unit) -> Result<SemaInfo, CompileError> {
             .funcs
             .insert(
                 f.name.clone(),
-                (f.params.iter().map(|(_, t)| t.clone()).collect(), f.ret.clone()),
+                (
+                    f.params.iter().map(|(_, t)| t.clone()).collect(),
+                    f.ret.clone(),
+                ),
             )
             .is_some()
         {
@@ -215,10 +218,9 @@ pub fn check(unit: &Unit) -> Result<SemaInfo, CompileError> {
 
 fn validate_type(ty: &Type, info: &SemaInfo, line: u32) -> Result<(), CompileError> {
     match ty {
-        Type::Struct(name) if !info.structs.contains_key(name) => Err(CompileError::new(
-            line,
-            format!("unknown struct `{name}`"),
-        )),
+        Type::Struct(name) if !info.structs.contains_key(name) => {
+            Err(CompileError::new(line, format!("unknown struct `{name}`")))
+        }
         Type::Ptr(inner) => match inner.as_ref() {
             // Pointers to not-yet-known structs are fine (checked on use).
             Type::Struct(_) => Ok(()),
@@ -409,9 +411,9 @@ impl Checker<'_> {
                     self.check_assignable(&ret, &t, *line)
                 }
             },
-            Stmt::Break(line) | Stmt::Continue(line) if self.loop_depth == 0 => Err(
-                CompileError::new(*line, "break/continue outside of a loop"),
-            ),
+            Stmt::Break(line) | Stmt::Continue(line) if self.loop_depth == 0 => {
+                Err(CompileError::new(*line, "break/continue outside of a loop"))
+            }
             Stmt::Break(_) | Stmt::Continue(_) => Ok(()),
             Stmt::Block(body) => self.stmts(body),
         }
@@ -476,9 +478,10 @@ impl Checker<'_> {
                 validate_type(t, self.info, line)?;
                 Ok(Type::Int)
             }
-            ExprKind::Var(name) => self.lookup(name).cloned().ok_or_else(|| {
-                CompileError::new(line, format!("unknown variable `{name}`"))
-            }),
+            ExprKind::Var(name) => self
+                .lookup(name)
+                .cloned()
+                .ok_or_else(|| CompileError::new(line, format!("unknown variable `{name}`"))),
             ExprKind::Unary(op, inner) => {
                 let it = self.expr(inner)?;
                 match op {
@@ -592,9 +595,7 @@ impl Checker<'_> {
             ExprKind::Call(name, args) => {
                 let (params, ret) = intrinsic_signature(name)
                     .or_else(|| self.info.funcs.get(name).cloned())
-                    .ok_or_else(|| {
-                        CompileError::new(line, format!("unknown function `{name}`"))
-                    })?;
+                    .ok_or_else(|| CompileError::new(line, format!("unknown function `{name}`")))?;
                 if args.len() != params.len() {
                     return Err(CompileError::new(
                         line,
@@ -615,18 +616,14 @@ impl Checker<'_> {
     }
 
     fn field_type(&self, sname: &str, fname: &str, line: u32) -> Result<Type, CompileError> {
-        let layout = self.info.structs.get(sname).ok_or_else(|| {
-            CompileError::new(line, format!("unknown struct `{sname}`"))
-        })?;
-        layout
-            .field(fname)
-            .map(|(_, t)| t.clone())
-            .ok_or_else(|| {
-                CompileError::new(
-                    line,
-                    format!("struct `{sname}` has no field `{fname}`"),
-                )
-            })
+        let layout = self
+            .info
+            .structs
+            .get(sname)
+            .ok_or_else(|| CompileError::new(line, format!("unknown struct `{sname}`")))?;
+        layout.field(fname).map(|(_, t)| t.clone()).ok_or_else(|| {
+            CompileError::new(line, format!("struct `{sname}` has no field `{fname}`"))
+        })
     }
 }
 
@@ -728,37 +725,28 @@ mod tests {
 
     #[test]
     fn arrow_on_non_pointer_rejected() {
-        let e = check_src(
-            "struct s { int f; }; int main() { struct s v; return v->f; }",
-        )
-        .unwrap_err();
+        let e =
+            check_src("struct s { int f; }; int main() { struct s v; return v->f; }").unwrap_err();
         assert!(e.message.contains("->"));
     }
 
     #[test]
     fn field_on_pointer_rejected() {
-        let e = check_src(
-            "struct s { int f; }; int main() { struct s* v; v = 0; return v.f; }",
-        )
-        .unwrap_err();
+        let e = check_src("struct s { int f; }; int main() { struct s* v; v = 0; return v.f; }")
+            .unwrap_err();
         assert!(e.message.contains('.'));
     }
 
     #[test]
     fn unknown_field_rejected() {
-        let e = check_src(
-            "struct s { int f; }; int main() { struct s v; return v.g; }",
-        )
-        .unwrap_err();
+        let e =
+            check_src("struct s { int f; }; int main() { struct s v; return v.g; }").unwrap_err();
         assert!(e.message.contains("no field"));
     }
 
     #[test]
     fn call_arity_checked() {
-        let e = check_src(
-            "int f(int a) { return a; } int main() { return f(1, 2); }",
-        )
-        .unwrap_err();
+        let e = check_src("int f(int a) { return a; } int main() { return f(1, 2); }").unwrap_err();
         assert!(e.message.contains("expects 1"));
     }
 
@@ -770,8 +758,7 @@ mod tests {
 
     #[test]
     fn intrinsics_are_reserved() {
-        let e = check_src("int malloc(int n) { return n; } int main() { return 0; }")
-            .unwrap_err();
+        let e = check_src("int malloc(int n) { return n; } int main() { return 0; }").unwrap_err();
         assert!(e.message.contains("reserved"));
     }
 

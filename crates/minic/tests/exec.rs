@@ -490,9 +490,9 @@ fn unoptimized_array_access_has_paper_shape() {
     let p = compile(src, OptLevel::O0).unwrap();
     let analysis = analyze_program(&p, &AnalysisConfig::default());
     let has_indexed_shape = analysis.loads.iter().any(|l| {
-        l.patterns.iter().any(|ap| {
-            ap.deref_nesting() >= 1 && ap.has_mul_or_shift()
-        })
+        l.patterns
+            .iter()
+            .any(|ap| ap.deref_nesting() >= 1 && ap.has_mul_or_shift())
     });
     assert!(has_indexed_shape, "no indexed sp-relative pattern found");
     assert_eq!(run(&p, &RunConfig::default()).unwrap().output, vec![120]);

@@ -2,84 +2,91 @@
 //! the lexer, parser, or semantic analysis — they either succeed or
 //! return a structured error with a line number.
 
-use proptest::prelude::*;
-
 use dl_minic::{compile, OptLevel};
+use dl_testkit::{cases, Rng};
 
 /// Fragments likely to stress the grammar when concatenated.
-fn arb_fragment() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("int ".to_owned()),
-        Just("char ".to_owned()),
-        Just("void ".to_owned()),
-        Just("struct ".to_owned()),
-        Just("if ".to_owned()),
-        Just("else ".to_owned()),
-        Just("while ".to_owned()),
-        Just("for ".to_owned()),
-        Just("return ".to_owned()),
-        Just("break; ".to_owned()),
-        Just("continue; ".to_owned()),
-        Just("sizeof".to_owned()),
-        Just("main".to_owned()),
-        Just("x".to_owned()),
-        Just("yy".to_owned()),
-        Just("( ".to_owned()),
-        Just(") ".to_owned()),
-        Just("{ ".to_owned()),
-        Just("} ".to_owned()),
-        Just("[ ".to_owned()),
-        Just("] ".to_owned()),
-        Just("; ".to_owned()),
-        Just(", ".to_owned()),
-        Just("= ".to_owned()),
-        Just("== ".to_owned()),
-        Just("-> ".to_owned()),
-        Just(". ".to_owned()),
-        Just("* ".to_owned()),
-        Just("& ".to_owned()),
-        Just("+ ".to_owned()),
-        Just("- ".to_owned()),
-        Just("/ ".to_owned()),
-        Just("% ".to_owned()),
-        Just("<< ".to_owned()),
-        Just(">> ".to_owned()),
-        Just("&& ".to_owned()),
-        Just("|| ".to_owned()),
-        Just("! ".to_owned()),
-        Just("~ ".to_owned()),
-        (0i64..1000).prop_map(|n| format!("{n} ")),
-        Just("0x1f ".to_owned()),
-        Just("'a' ".to_owned()),
-        Just("// comment\n".to_owned()),
-        Just("/* block */ ".to_owned()),
-        Just("\n".to_owned()),
-    ]
+const FRAGMENTS: &[&str] = &[
+    "int ",
+    "char ",
+    "void ",
+    "struct ",
+    "if ",
+    "else ",
+    "while ",
+    "for ",
+    "return ",
+    "break; ",
+    "continue; ",
+    "sizeof",
+    "main",
+    "x",
+    "yy",
+    "( ",
+    ") ",
+    "{ ",
+    "} ",
+    "[ ",
+    "] ",
+    "; ",
+    ", ",
+    "= ",
+    "== ",
+    "-> ",
+    ". ",
+    "* ",
+    "& ",
+    "+ ",
+    "- ",
+    "/ ",
+    "% ",
+    "<< ",
+    ">> ",
+    "&& ",
+    "|| ",
+    "! ",
+    "~ ",
+    "0x1f ",
+    "'a' ",
+    "// comment\n",
+    "/* block */ ",
+    "\n",
+];
+
+fn arb_fragment(rng: &mut Rng) -> String {
+    // One extra slot for a random integer literal.
+    if rng.index(FRAGMENTS.len() + 1) == FRAGMENTS.len() {
+        format!("{} ", rng.range_i64(0, 1000))
+    } else {
+        (*rng.pick(FRAGMENTS)).to_owned()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn token_soup_never_panics(frags in prop::collection::vec(arb_fragment(), 0..60)) {
-        let src: String = frags.concat();
+#[test]
+fn token_soup_never_panics() {
+    cases(512, 0xf7a9_1, |rng| {
+        let src: String = rng.vec_of(0, 60, arb_fragment).concat();
         // Must not panic; errors are fine.
         let _ = compile(&src, OptLevel::O0);
         let _ = compile(&src, OptLevel::O1);
-    }
+    });
+}
 
-    #[test]
-    fn valid_skeleton_with_random_body_never_panics(
-        frags in prop::collection::vec(arb_fragment(), 0..30)
-    ) {
-        let src = format!("int main() {{ {} return 0; }}", frags.concat());
+#[test]
+fn valid_skeleton_with_random_body_never_panics() {
+    cases(512, 0xf7a9_2, |rng| {
+        let body: String = rng.vec_of(0, 30, arb_fragment).concat();
+        let src = format!("int main() {{ {body} return 0; }}");
         let _ = compile(&src, OptLevel::O0);
-    }
+    });
+}
 
-    #[test]
-    fn arbitrary_bytes_never_panic_the_lexer(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+#[test]
+fn arbitrary_bytes_never_panic_the_lexer() {
+    cases(512, 0xf7a9_3, |rng| {
+        let bytes = rng.vec_of(0, 200, |r| r.range_u32(0, 256) as u8);
         if let Ok(s) = std::str::from_utf8(&bytes) {
             let _ = dl_minic::lexer::lex(s);
         }
-    }
+    });
 }

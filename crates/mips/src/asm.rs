@@ -170,7 +170,11 @@ impl AsmBuilder {
             let lo = (v & 0xffff) as u16;
             self.push(Inst::Lui { rt, imm: hi });
             if lo != 0 {
-                self.push(Inst::Ori { rt, rs: rt, imm: lo });
+                self.push(Inst::Ori {
+                    rt,
+                    rs: rt,
+                    imm: lo,
+                });
             }
         }
     }

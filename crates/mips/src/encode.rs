@@ -78,7 +78,11 @@ pub struct DecodeError {
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cannot decode word {:#010x} at index {}", self.word, self.at)
+        write!(
+            f,
+            "cannot decode word {:#010x} at index {}",
+            self.word, self.at
+        )
     }
 }
 
@@ -106,10 +110,7 @@ fn special2(funct: u32, rd: Reg, rs: Reg, rt: Reg) -> u32 {
 }
 
 fn i_type(op: u32, rs: Reg, rt: Reg, imm: u16) -> u32 {
-    (op << 26)
-        | (u32::from(rs.number()) << 21)
-        | (u32::from(rt.number()) << 16)
-        | u32::from(imm)
+    (op << 26) | (u32::from(rs.number()) << 21) | (u32::from(rt.number()) << 16) | u32::from(imm)
 }
 
 /// Encodes a single instruction located at instruction index `at`.
@@ -182,9 +183,7 @@ pub fn encode_inst(inst: &Inst, at: usize) -> Result<u32, EncodeError> {
         Bne { rs, rt, target } => i_type(0x05, rs, rt, branch_off(target)?),
         Blez { rs, target } => i_type(0x06, rs, Reg::Zero, branch_off(target)?),
         Bgtz { rs, target } => i_type(0x07, rs, Reg::Zero, branch_off(target)?),
-        Bltz { rs, target } => {
-            i_type(REGIMM, rs, Reg::Zero, branch_off(target)?)
-        }
+        Bltz { rs, target } => i_type(REGIMM, rs, Reg::Zero, branch_off(target)?),
         Bgez { rs, target } => i_type(REGIMM, rs, Reg::At, branch_off(target)?),
         J { target } => (0x02 << 26) | jump_index(target)?,
         Jal { target } => (0x03 << 26) | jump_index(target)?,
@@ -211,7 +210,9 @@ pub fn decode_inst(word: u32, at: usize) -> Result<Inst, DecodeError> {
     // come from the encoder; reject it.
     let branch_target = |at: usize| -> Result<Label, DecodeError> {
         let idx = at as i64 + 1 + i64::from(simm);
-        u32::try_from(idx).map(Label).map_err(|_| DecodeError { at, word })
+        u32::try_from(idx)
+            .map(Label)
+            .map_err(|_| DecodeError { at, word })
     };
     // Fields that must be zero for a well-formed encoding (reserved in
     // real MIPS); rejecting them keeps decode a partial inverse of
@@ -295,14 +296,46 @@ pub fn decode_inst(word: u32, at: usize) -> Result<Inst, DecodeError> {
         0x0d => Ori { rt, rs, imm },
         0x0e => Xori { rt, rs, imm },
         0x0f if rs_zero => Lui { rt, imm },
-        0x20 => Lb { rt, base: rs, off: simm },
-        0x21 => Lh { rt, base: rs, off: simm },
-        0x23 => Lw { rt, base: rs, off: simm },
-        0x24 => Lbu { rt, base: rs, off: simm },
-        0x25 => Lhu { rt, base: rs, off: simm },
-        0x28 => Sb { rt, base: rs, off: simm },
-        0x29 => Sh { rt, base: rs, off: simm },
-        0x2b => Sw { rt, base: rs, off: simm },
+        0x20 => Lb {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        0x21 => Lh {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        0x23 => Lw {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        0x24 => Lbu {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        0x25 => Lhu {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        0x28 => Sb {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        0x29 => Sh {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        0x2b => Sw {
+            rt,
+            base: rs,
+            off: simm,
+        },
         _ => return Err(err()),
     })
 }
@@ -366,10 +399,7 @@ mod tests {
     #[test]
     fn branch_offsets_are_relative_to_delay_slot() {
         // beq $t0, $zero, +2 from index 0: offset = target - (at+1) = 1.
-        let p = parse_asm(
-            "main:\n\tbeq $t0, $zero, .L\n\tnop\n.L:\n\tjr $ra\n",
-        )
-        .unwrap();
+        let p = parse_asm("main:\n\tbeq $t0, $zero, .L\n\tnop\n.L:\n\tjr $ra\n").unwrap();
         let w = encode_inst(&p.insts[0], 0).unwrap();
         assert_eq!(w & 0xffff, 1);
         // Backward branch encodes a negative offset.

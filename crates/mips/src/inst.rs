@@ -175,21 +175,50 @@ impl Inst {
     pub fn def(&self) -> Option<Reg> {
         use Inst::*;
         let d = match *self {
-            Lw { rt, .. } | Lb { rt, .. } | Lbu { rt, .. } | Lh { rt, .. } | Lhu { rt, .. }
+            Lw { rt, .. }
+            | Lb { rt, .. }
+            | Lbu { rt, .. }
+            | Lh { rt, .. }
+            | Lhu { rt, .. }
             | Lui { rt, .. } => rt,
-            Addu { rd, .. } | Subu { rd, .. } | Mul { rd, .. } | Div { rd, .. }
-            | Rem { rd, .. } | And { rd, .. } | Or { rd, .. } | Xor { rd, .. } | Nor { rd, .. }
-            | Slt { rd, .. } | Sltu { rd, .. } => rd,
-            Addiu { rt, .. } | Andi { rt, .. } | Ori { rt, .. } | Xori { rt, .. }
-            | Slti { rt, .. } | Sltiu { rt, .. } => rt,
-            Sll { rd, .. } | Srl { rd, .. } | Sra { rd, .. } | Sllv { rd, .. }
-            | Srlv { rd, .. } | Srav { rd, .. } => rd,
+            Addu { rd, .. }
+            | Subu { rd, .. }
+            | Mul { rd, .. }
+            | Div { rd, .. }
+            | Rem { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Nor { rd, .. }
+            | Slt { rd, .. }
+            | Sltu { rd, .. } => rd,
+            Addiu { rt, .. }
+            | Andi { rt, .. }
+            | Ori { rt, .. }
+            | Xori { rt, .. }
+            | Slti { rt, .. }
+            | Sltiu { rt, .. } => rt,
+            Sll { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. }
+            | Sllv { rd, .. }
+            | Srlv { rd, .. }
+            | Srav { rd, .. } => rd,
             Jal { .. } => Reg::Ra,
             Jalr { rd, .. } => rd,
-            Sw { .. } | Sb { .. } | Sh { .. } | Beq { .. } | Bne { .. } | Blez { .. }
-            | Bgtz { .. } | Bltz { .. } | Bgez { .. } | J { .. } | Jr { .. } | Syscall | Nop => {
-                return None
-            }
+            Sw { .. }
+            | Sb { .. }
+            | Sh { .. }
+            | Beq { .. }
+            | Bne { .. }
+            | Blez { .. }
+            | Bgtz { .. }
+            | Bltz { .. }
+            | Bgez { .. }
+            | J { .. }
+            | Jr { .. }
+            | Syscall
+            | Nop => return None,
         };
         // Writes to $zero are architectural no-ops.
         (d != Reg::Zero).then_some(d)
@@ -200,15 +229,30 @@ impl Inst {
     pub fn uses(&self) -> Vec<Reg> {
         use Inst::*;
         match *self {
-            Lw { base, .. } | Lb { base, .. } | Lbu { base, .. } | Lh { base, .. }
+            Lw { base, .. }
+            | Lb { base, .. }
+            | Lbu { base, .. }
+            | Lh { base, .. }
             | Lhu { base, .. } => vec![base],
             Sw { rt, base, .. } | Sb { rt, base, .. } | Sh { rt, base, .. } => vec![rt, base],
             Lui { .. } => vec![],
-            Addu { rs, rt, .. } | Subu { rs, rt, .. } | Mul { rs, rt, .. } | Div { rs, rt, .. }
-            | Rem { rs, rt, .. } | And { rs, rt, .. } | Or { rs, rt, .. } | Xor { rs, rt, .. }
-            | Nor { rs, rt, .. } | Slt { rs, rt, .. } | Sltu { rs, rt, .. } => vec![rs, rt],
-            Addiu { rs, .. } | Andi { rs, .. } | Ori { rs, .. } | Xori { rs, .. }
-            | Slti { rs, .. } | Sltiu { rs, .. } => vec![rs],
+            Addu { rs, rt, .. }
+            | Subu { rs, rt, .. }
+            | Mul { rs, rt, .. }
+            | Div { rs, rt, .. }
+            | Rem { rs, rt, .. }
+            | And { rs, rt, .. }
+            | Or { rs, rt, .. }
+            | Xor { rs, rt, .. }
+            | Nor { rs, rt, .. }
+            | Slt { rs, rt, .. }
+            | Sltu { rs, rt, .. } => vec![rs, rt],
+            Addiu { rs, .. }
+            | Andi { rs, .. }
+            | Ori { rs, .. }
+            | Xori { rs, .. }
+            | Slti { rs, .. }
+            | Sltiu { rs, .. } => vec![rs],
             Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => vec![rt],
             Sllv { rt, rs, .. } | Srlv { rt, rs, .. } | Srav { rt, rs, .. } => vec![rt, rs],
             Beq { rs, rt, .. } | Bne { rs, rt, .. } => vec![rs, rt],
@@ -263,10 +307,14 @@ impl Inst {
     pub fn target(&self) -> Option<Label> {
         use Inst::*;
         match *self {
-            Beq { target, .. } | Bne { target, .. } | Blez { target, .. } | Bgtz { target, .. }
-            | Bltz { target, .. } | Bgez { target, .. } | J { target } | Jal { target } => {
-                Some(target)
-            }
+            Beq { target, .. }
+            | Bne { target, .. }
+            | Blez { target, .. }
+            | Bgtz { target, .. }
+            | Bltz { target, .. }
+            | Bgez { target, .. }
+            | J { target }
+            | Jal { target } => Some(target),
             _ => None,
         }
     }
@@ -306,8 +354,14 @@ impl Inst {
     pub fn set_target(&mut self, new: Label) {
         use Inst::*;
         match self {
-            Beq { target, .. } | Bne { target, .. } | Blez { target, .. } | Bgtz { target, .. }
-            | Bltz { target, .. } | Bgez { target, .. } | J { target } | Jal { target } => {
+            Beq { target, .. }
+            | Bne { target, .. }
+            | Blez { target, .. }
+            | Bgtz { target, .. }
+            | Bltz { target, .. }
+            | Bgez { target, .. }
+            | J { target }
+            | Jal { target } => {
                 *target = new;
             }
             _ => {}
@@ -372,15 +426,28 @@ impl fmt::Display for Inst {
         use Inst::*;
         let m = self.mnemonic();
         match *self {
-            Lw { rt, base, off } | Lb { rt, base, off } | Lbu { rt, base, off }
-            | Lh { rt, base, off } | Lhu { rt, base, off } | Sw { rt, base, off }
-            | Sb { rt, base, off } | Sh { rt, base, off } => {
+            Lw { rt, base, off }
+            | Lb { rt, base, off }
+            | Lbu { rt, base, off }
+            | Lh { rt, base, off }
+            | Lhu { rt, base, off }
+            | Sw { rt, base, off }
+            | Sb { rt, base, off }
+            | Sh { rt, base, off } => {
                 write!(f, "{m} {rt}, {off}({base})")
             }
             Lui { rt, imm } => write!(f, "{m} {rt}, {imm:#x}"),
-            Addu { rd, rs, rt } | Subu { rd, rs, rt } | Mul { rd, rs, rt } | Div { rd, rs, rt }
-            | Rem { rd, rs, rt } | And { rd, rs, rt } | Or { rd, rs, rt } | Xor { rd, rs, rt }
-            | Nor { rd, rs, rt } | Slt { rd, rs, rt } | Sltu { rd, rs, rt } => {
+            Addu { rd, rs, rt }
+            | Subu { rd, rs, rt }
+            | Mul { rd, rs, rt }
+            | Div { rd, rs, rt }
+            | Rem { rd, rs, rt }
+            | And { rd, rs, rt }
+            | Or { rd, rs, rt }
+            | Xor { rd, rs, rt }
+            | Nor { rd, rs, rt }
+            | Slt { rd, rs, rt }
+            | Sltu { rd, rs, rt } => {
                 write!(f, "{m} {rd}, {rs}, {rt}")
             }
             Addiu { rt, rs, imm } | Slti { rt, rs, imm } | Sltiu { rt, rs, imm } => {
@@ -398,7 +465,9 @@ impl fmt::Display for Inst {
             Beq { rs, rt, target } | Bne { rs, rt, target } => {
                 write!(f, "{m} {rs}, {rt}, {target}")
             }
-            Blez { rs, target } | Bgtz { rs, target } | Bltz { rs, target }
+            Blez { rs, target }
+            | Bgtz { rs, target }
+            | Bltz { rs, target }
             | Bgez { rs, target } => write!(f, "{m} {rs}, {target}"),
             J { target } | Jal { target } => write!(f, "{m} {target}"),
             Jr { rs } => write!(f, "{m} {rs}"),

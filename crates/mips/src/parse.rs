@@ -154,9 +154,8 @@ pub fn parse_asm(text: &str) -> Result<Program, ParseError> {
                         if v.is_empty() {
                             continue;
                         }
-                        let n = parse_int(v).ok_or_else(|| {
-                            err(line, format!("bad .word operand `{v}`"))
-                        })?;
+                        let n = parse_int(v)
+                            .ok_or_else(|| err(line, format!("bad .word operand `{v}`")))?;
                         data.extend_from_slice(&(n as i32).to_le_bytes());
                     }
                 }
@@ -171,7 +170,8 @@ pub fn parse_asm(text: &str) -> Result<Program, ParseError> {
                     let a = rest
                         .first()
                         .and_then(|v| parse_int(v))
-                        .ok_or_else(|| err(line, ".align requires a power"))? as u32;
+                        .ok_or_else(|| err(line, ".align requires a power"))?
+                        as u32;
                     let align = 1u32 << a;
                     while !(data.len() as u32).is_multiple_of(align) {
                         data.push(0);
@@ -182,12 +182,10 @@ pub fn parse_asm(text: &str) -> Result<Program, ParseError> {
                     if rest.len() != 3 {
                         return Err(err(line, ".global requires name, addr, size"));
                     }
-                    let addr = parse_int(rest[1])
-                        .ok_or_else(|| err(line, "bad .global addr"))?
-                        as u32;
-                    let size = parse_int(rest[2])
-                        .ok_or_else(|| err(line, "bad .global size"))?
-                        as u32;
+                    let addr =
+                        parse_int(rest[1]).ok_or_else(|| err(line, "bad .global addr"))? as u32;
+                    let size =
+                        parse_int(rest[2]).ok_or_else(|| err(line, "bad .global size"))? as u32;
                     let end = (addr + size).saturating_sub(layout::DATA_BASE) as usize;
                     if data.len() < end {
                         data.resize(end, 0);
@@ -225,10 +223,12 @@ pub fn parse_asm(text: &str) -> Result<Program, ParseError> {
         symbols.add_global(name, addr, size);
     }
     let entry = match &entry_name {
-        Some(n) => symbols
-            .func(n)
-            .ok_or_else(|| err(0, format!("entry function `{n}` not found")))?
-            .start,
+        Some(n) => {
+            symbols
+                .func(n)
+                .ok_or_else(|| err(0, format!("entry function `{n}` not found")))?
+                .start
+        }
         None => symbols.funcs().first().map_or(0, |f| f.start),
     };
     Ok(Program {
@@ -368,8 +368,7 @@ fn parse_inst(
             want(3)?;
             let shamt = parse_int(ops[2])
                 .filter(|&v| (0..32).contains(&v))
-                .ok_or_else(|| err(line, "shift amount must be 0..=31"))?
-                as u8;
+                .ok_or_else(|| err(line, "shift amount must be 0..=31"))? as u8;
             Inst::$variant {
                 rd: parse_reg(ops[0], line)?,
                 rt: parse_reg(ops[1], line)?,

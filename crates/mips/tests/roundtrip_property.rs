@@ -1,145 +1,200 @@
 //! Property tests: any well-formed instruction stream survives the
 //! assembly print → parse round trip exactly.
 
-use proptest::prelude::*;
-
 use dl_mips::inst::{Inst, Label};
 use dl_mips::parse::parse_asm;
 use dl_mips::program::{Program, SymbolTable};
 use dl_mips::reg::Reg;
+use dl_testkit::{cases, Rng};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|n| Reg::from_number(n).expect("in range"))
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::from_number(rng.range_i32(0, 32) as u8).expect("in range")
+}
+
+fn arb_i16(rng: &mut Rng) -> i16 {
+    rng.range_i32(i32::from(i16::MIN), i32::from(i16::MAX) + 1) as i16
+}
+
+fn arb_u16(rng: &mut Rng) -> u16 {
+    rng.range_u32(0, 0x1_0000) as u16
 }
 
 /// Instructions without control flow (targets are patched separately).
-fn arb_plain_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(rt, base, off)| Inst::Lw { rt, base, off }),
-        (arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(rt, base, off)| Inst::Lb { rt, base, off }),
-        (arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(rt, base, off)| Inst::Sw { rt, base, off }),
-        (arb_reg(), any::<u16>()).prop_map(|(rt, imm)| Inst::Lui { rt, imm }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rs, rt)| Inst::Addu { rd, rs, rt }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rs, rt)| Inst::Subu { rd, rs, rt }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rs, rt)| Inst::Mul { rd, rs, rt }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rs, rt)| Inst::Nor { rd, rs, rt }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rs, rt)| Inst::Sltu { rd, rs, rt }),
-        (arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(rt, rs, imm)| Inst::Addiu { rt, rs, imm }),
-        (arb_reg(), arb_reg(), any::<u16>())
-            .prop_map(|(rt, rs, imm)| Inst::Ori { rt, rs, imm }),
-        (arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(rt, rs, imm)| Inst::Slti { rt, rs, imm }),
-        (arb_reg(), arb_reg(), 0u8..32)
-            .prop_map(|(rd, rt, shamt)| Inst::Sll { rd, rt, shamt }),
-        (arb_reg(), arb_reg(), 0u8..32)
-            .prop_map(|(rd, rt, shamt)| Inst::Sra { rd, rt, shamt }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, rt, rs)| Inst::Srlv { rd, rt, rs }),
-        arb_reg().prop_map(|rs| Inst::Jr { rs }),
-        Just(Inst::Syscall),
-        Just(Inst::Nop),
-    ]
+fn arb_plain_inst(rng: &mut Rng) -> Inst {
+    match rng.index(18) {
+        0 => Inst::Lw {
+            rt: arb_reg(rng),
+            base: arb_reg(rng),
+            off: arb_i16(rng),
+        },
+        1 => Inst::Lb {
+            rt: arb_reg(rng),
+            base: arb_reg(rng),
+            off: arb_i16(rng),
+        },
+        2 => Inst::Sw {
+            rt: arb_reg(rng),
+            base: arb_reg(rng),
+            off: arb_i16(rng),
+        },
+        3 => Inst::Lui {
+            rt: arb_reg(rng),
+            imm: arb_u16(rng),
+        },
+        4 => Inst::Addu {
+            rd: arb_reg(rng),
+            rs: arb_reg(rng),
+            rt: arb_reg(rng),
+        },
+        5 => Inst::Subu {
+            rd: arb_reg(rng),
+            rs: arb_reg(rng),
+            rt: arb_reg(rng),
+        },
+        6 => Inst::Mul {
+            rd: arb_reg(rng),
+            rs: arb_reg(rng),
+            rt: arb_reg(rng),
+        },
+        7 => Inst::Nor {
+            rd: arb_reg(rng),
+            rs: arb_reg(rng),
+            rt: arb_reg(rng),
+        },
+        8 => Inst::Sltu {
+            rd: arb_reg(rng),
+            rs: arb_reg(rng),
+            rt: arb_reg(rng),
+        },
+        9 => Inst::Addiu {
+            rt: arb_reg(rng),
+            rs: arb_reg(rng),
+            imm: arb_i16(rng),
+        },
+        10 => Inst::Ori {
+            rt: arb_reg(rng),
+            rs: arb_reg(rng),
+            imm: arb_u16(rng),
+        },
+        11 => Inst::Slti {
+            rt: arb_reg(rng),
+            rs: arb_reg(rng),
+            imm: arb_i16(rng),
+        },
+        12 => Inst::Sll {
+            rd: arb_reg(rng),
+            rt: arb_reg(rng),
+            shamt: rng.range_i32(0, 32) as u8,
+        },
+        13 => Inst::Sra {
+            rd: arb_reg(rng),
+            rt: arb_reg(rng),
+            shamt: rng.range_i32(0, 32) as u8,
+        },
+        14 => Inst::Srlv {
+            rd: arb_reg(rng),
+            rt: arb_reg(rng),
+            rs: arb_reg(rng),
+        },
+        15 => Inst::Jr { rs: arb_reg(rng) },
+        16 => Inst::Syscall,
+        _ => Inst::Nop,
+    }
 }
 
 /// A program: plain instructions with a few branches patched to valid
 /// in-range targets.
-fn arb_program() -> impl Strategy<Value = Program> {
-    (
-        prop::collection::vec(arb_plain_inst(), 1..40),
-        prop::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>()), 0..6),
-    )
-        .prop_map(|(mut insts, branches)| {
-            let n = insts.len();
-            for (at, target) in branches {
-                let at = at.index(n);
-                let target = Label(target.index(n) as u32);
-                insts[at] = Inst::Bne {
-                    rs: Reg::T0,
-                    rt: Reg::Zero,
-                    target,
-                };
-            }
-            let mut symbols = SymbolTable::new();
-            symbols.add_func("main", 0, n);
-            Program {
-                insts,
-                symbols,
-                data: Vec::new(),
-                entry: 0,
-            }
-        })
+fn arb_program(rng: &mut Rng) -> Program {
+    let mut insts = rng.vec_of(1, 40, arb_plain_inst);
+    let n = insts.len();
+    for _ in 0..rng.index(6) {
+        let at = rng.index(n);
+        let target = Label(rng.index(n) as u32);
+        insts[at] = Inst::Bne {
+            rs: Reg::T0,
+            rt: Reg::Zero,
+            target,
+        };
+    }
+    let mut symbols = SymbolTable::new();
+    symbols.add_func("main", 0, n);
+    Program {
+        insts,
+        symbols,
+        data: Vec::new(),
+        entry: 0,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn asm_round_trip_is_exact(program in arb_program()) {
+#[test]
+fn asm_round_trip_is_exact() {
+    cases(256, 0x3135_1, |rng| {
+        let program = arb_program(rng);
         let text = program.to_asm();
         let reparsed = parse_asm(&text).expect("printer output parses");
-        prop_assert_eq!(&program.insts, &reparsed.insts);
-        prop_assert_eq!(program.entry, reparsed.entry);
-    }
+        assert_eq!(&program.insts, &reparsed.insts);
+        assert_eq!(program.entry, reparsed.entry);
+    });
+}
 
-    #[test]
-    fn def_is_never_in_uses_unless_reused(inst in arb_plain_inst()) {
+#[test]
+fn def_is_never_in_uses_unless_reused() {
+    cases(256, 0x3135_2, |rng| {
+        let inst = arb_plain_inst(rng);
         // `def()` never reports $zero, and `uses()` never panics.
         if let Some(d) = inst.def() {
-            prop_assert_ne!(d, Reg::Zero);
+            assert_ne!(d, Reg::Zero);
         }
         let _ = inst.uses();
-    }
+    });
+}
 
-    #[test]
-    fn display_parse_single_inst(inst in arb_plain_inst()) {
+#[test]
+fn display_parse_single_inst() {
+    cases(256, 0x3135_3, |rng| {
+        let inst = arb_plain_inst(rng);
         // Single-instruction round trip through the parser.
         let src = format!("main:\n\t{inst}\n");
         let p = parse_asm(&src).expect("single instruction parses");
-        prop_assert_eq!(p.insts[0], inst);
-    }
+        assert_eq!(p.insts[0], inst);
+    });
 }
 
 mod binary {
     use super::*;
     use dl_mips::encode::{decode_program, encode_inst, encode_program};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
-
-        /// Binary encode → decode is the identity (modulo the canonical
-        /// all-zero word, which is `nop` by definition).
-        #[test]
-        fn binary_round_trip(program in arb_program()) {
+    /// Binary encode → decode is the identity (modulo the canonical
+    /// all-zero word, which is `nop` by definition).
+    #[test]
+    fn binary_round_trip() {
+        cases(256, 0x3135_4, |rng| {
+            let program = arb_program(rng);
             let words = encode_program(&program).expect("in-range targets");
             let back = decode_program(&words).expect("own output decodes");
             for (i, (orig, dec)) in program.insts.iter().zip(&back).enumerate() {
                 if words[i] == 0 {
-                    prop_assert_eq!(*dec, Inst::Nop);
+                    assert_eq!(*dec, Inst::Nop);
                 } else {
-                    prop_assert_eq!(orig, dec, "word {:#010x} at {}", words[i], i);
+                    assert_eq!(orig, dec, "word {:#010x} at {}", words[i], i);
                 }
             }
-        }
+        });
+    }
 
-        /// Distinct instructions never collide on the same word (except
-        /// through the nop canonicalization).
-        #[test]
-        fn encoding_is_injective(a in arb_plain_inst(), b in arb_plain_inst()) {
+    /// Distinct instructions never collide on the same word (except
+    /// through the nop canonicalization).
+    #[test]
+    fn encoding_is_injective() {
+        cases(256, 0x3135_5, |rng| {
+            let a = arb_plain_inst(rng);
+            let b = arb_plain_inst(rng);
             let wa = encode_inst(&a, 0).expect("plain instructions encode");
             let wb = encode_inst(&b, 0).expect("plain instructions encode");
             if wa == wb && wa != 0 {
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b);
             }
-        }
+        });
     }
 }
 
@@ -147,21 +202,21 @@ mod decoder_fuzz {
     use super::*;
     use dl_mips::encode::{decode_inst, encode_inst};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(2048))]
-
-        /// Arbitrary words never panic the decoder, and everything it
-        /// accepts re-encodes to the same word (decode is a partial
-        /// inverse of encode).
-        #[test]
-        fn arbitrary_words_decode_safely(word in any::<u32>(), at in 0usize..1000) {
+    /// Arbitrary words never panic the decoder, and everything it
+    /// accepts re-encodes to the same word (decode is a partial
+    /// inverse of encode).
+    #[test]
+    fn arbitrary_words_decode_safely() {
+        cases(2048, 0x3135_6, |rng| {
+            let word = rng.next_u32();
+            let at = rng.index(1000);
             if let Ok(inst) = decode_inst(word, at) {
                 let re = encode_inst(&inst, at).expect("decoded instructions re-encode");
                 // The zero word is canonical nop; everything else is exact.
                 if word != 0 {
-                    prop_assert_eq!(re, word, "{:?}", inst);
+                    assert_eq!(re, word, "{inst:?}");
                 }
             }
-        }
+        });
     }
 }

@@ -131,6 +131,13 @@ const INVALID_TAG: u64 = u64::MAX;
 /// A simulated data cache with true-LRU replacement and write-allocate
 /// stores.
 ///
+/// Replacement state is a per-set MRU-first permutation of way
+/// indices (`order`), not timestamps: a hit rotates the touched way
+/// to the front, a miss evicts the way at the tail. Repeated accesses
+/// to the hottest block of a set — by far the common case in loop
+/// code — take a one-compare fast path that neither walks the set nor
+/// rewrites the recency state.
+///
 /// # Example
 ///
 /// ```
@@ -144,11 +151,12 @@ pub struct Cache {
     cfg: CacheConfig,
     // tags[set * assoc + way]; INVALID_TAG means empty.
     tags: Vec<u64>,
-    // LRU timestamps, parallel to `tags`.
-    stamps: Vec<u64>,
-    tick: u64,
+    // order[set * assoc + i] is the way index of the i-th most
+    // recently used way of `set` (i = 0 ⇒ MRU, i = assoc-1 ⇒ LRU).
+    order: Vec<u16>,
     set_shift: u32,
     set_mask: u32,
+    tag_shift: u32,
     hits: u64,
     misses: u64,
 }
@@ -157,14 +165,19 @@ impl Cache {
     /// Creates an empty (all-invalid) cache.
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
-        let ways = (cfg.sets() * cfg.assoc()) as usize;
+        let assoc = cfg.assoc() as usize;
+        let ways = cfg.sets() as usize * assoc;
+        let mut order = vec![0u16; ways];
+        for (i, slot) in order.iter_mut().enumerate() {
+            *slot = (i % assoc) as u16;
+        }
         Cache {
             cfg,
             tags: vec![INVALID_TAG; ways],
-            stamps: vec![0; ways],
-            tick: 0,
+            order,
             set_shift: cfg.block_bytes().trailing_zeros(),
             set_mask: cfg.sets() - 1,
+            tag_shift: (cfg.sets() - 1).count_ones(),
             hits: 0,
             misses: 0,
         }
@@ -178,31 +191,43 @@ impl Cache {
 
     /// Simulates one access to `addr`, returning `true` on hit.
     /// On a miss the block is filled (evicting the LRU way).
+    #[inline]
     pub fn access(&mut self, addr: u32) -> bool {
-        self.tick += 1;
         let block = u64::from(addr >> self.set_shift);
         let set = (block as u32) & self.set_mask;
-        let tag = block >> self.set_mask.count_ones();
+        let tag = block >> self.tag_shift;
         let assoc = self.cfg.assoc as usize;
         let base = set as usize * assoc;
-        let ways = &mut self.tags[base..base + assoc];
-        if let Some(w) = ways.iter().position(|&t| t == tag) {
-            self.stamps[base + w] = self.tick;
+        // Fast path: the MRU way already holds the block, so recency
+        // state is already correct — one compare, no set walk.
+        if self.tags[base + self.order[base] as usize] == tag {
             self.hits += 1;
             return true;
         }
-        // Miss: fill into the invalid or least-recently-used way.
-        let victim = (0..assoc)
-            .min_by_key(|&w| {
-                if self.tags[base + w] == INVALID_TAG {
-                    0
-                } else {
-                    self.stamps[base + w].max(1)
-                }
-            })
-            .expect("assoc >= 1");
-        self.tags[base + victim] = tag;
-        self.stamps[base + victim] = self.tick;
+        self.access_slow(base, assoc, tag)
+    }
+
+    /// Non-MRU hit or miss: walk the set and update the recency order.
+    fn access_slow(&mut self, base: usize, assoc: usize, tag: u64) -> bool {
+        let order = &mut self.order[base..base + assoc];
+        let hit_pos = order[1..]
+            .iter()
+            .position(|&w| self.tags[base + w as usize] == tag);
+        if let Some(p) = hit_pos {
+            let p = p + 1;
+            let w = order[p];
+            order.copy_within(0..p, 1);
+            order[0] = w;
+            self.hits += 1;
+            return true;
+        }
+        // Miss: evict the LRU way (the tail of the order). Untouched
+        // (invalid) ways sit at the tail, so cold fills consume them
+        // before any valid line is evicted.
+        let victim = order[assoc - 1];
+        order.copy_within(0..assoc - 1, 1);
+        order[0] = victim;
+        self.tags[base + victim as usize] = tag;
         self.misses += 1;
         false
     }
@@ -222,8 +247,10 @@ impl Cache {
     /// Invalidates all lines and resets counters.
     pub fn reset(&mut self) {
         self.tags.fill(INVALID_TAG);
-        self.stamps.fill(0);
-        self.tick = 0;
+        let assoc = self.cfg.assoc as usize;
+        for (i, slot) in self.order.iter_mut().enumerate() {
+            *slot = (i % assoc) as u16;
+        }
         self.hits = 0;
         self.misses = 0;
     }

@@ -151,6 +151,11 @@ pub struct Machine<'p> {
     prefetch_degree: Vec<u32>,
     // When Some, every data access is recorded.
     trace: Option<Vec<TraceRecord>>,
+    // Hot-path flags mirroring `trace`/`prefetch_degree`: data
+    // accesses check one bool each instead of an Option walk and a
+    // per-access Vec index.
+    tracing: bool,
+    has_prefetch: bool,
 }
 
 impl<'p> Machine<'p> {
@@ -187,12 +192,18 @@ impl<'p> Machine<'p> {
                 v
             },
             trace: None,
+            tracing: false,
+            has_prefetch: config
+                .prefetch
+                .as_ref()
+                .is_some_and(|pf| pf.degree > 0 && !pf.sites.is_empty()),
         }
     }
 
     /// Enables memory-trace recording (see [`crate::trace`]).
     pub fn record_trace(&mut self) {
         self.trace = Some(Vec::new());
+        self.tracing = true;
     }
 
     /// Reads a register.
@@ -224,13 +235,41 @@ impl<'p> Machine<'p> {
         (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as u32
     }
 
-    fn dcache_load(&mut self, at: usize, addr: u32) {
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceRecord {
+    /// Records a trace entry. Out of line: tracing is off in every
+    /// hot configuration, so the common path only tests a bool.
+    #[cold]
+    fn push_trace(&mut self, at: usize, addr: u32, store: bool) {
+        self.trace
+            .as_mut()
+            .expect("tracing flag implies trace buffer")
+            .push(TraceRecord {
                 at: at as u32,
                 addr,
-                store: false,
+                store,
             });
+    }
+
+    /// Issues next-line prefetches for an instrumented load site.
+    /// Out of line: only the prefetch-extension tables enable this.
+    #[cold]
+    fn issue_prefetches(&mut self, at: usize, addr: u32) {
+        let degree = self.prefetch_degree[at];
+        if degree == 0 {
+            return;
+        }
+        let block = self.cache.config().block_bytes();
+        for d in 1..=degree {
+            let Some(next) = addr.checked_add(block * d) else {
+                break;
+            };
+            self.cache.access(next);
+            self.result.prefetches_issued += 1;
+        }
+    }
+
+    fn dcache_load(&mut self, at: usize, addr: u32) {
+        if self.tracing {
+            self.push_trace(at, addr, false);
         }
         self.result.dcache_accesses += 1;
         self.result.loads += 1;
@@ -241,26 +280,14 @@ impl<'p> Machine<'p> {
             self.result.load_misses_total += 1;
             self.result.dcache_misses += 1;
         }
-        let degree = self.prefetch_degree[at];
-        if degree > 0 {
-            let block = self.cache.config().block_bytes();
-            for d in 1..=degree {
-                let Some(next) = addr.checked_add(block * d) else {
-                    break;
-                };
-                self.cache.access(next);
-                self.result.prefetches_issued += 1;
-            }
+        if self.has_prefetch {
+            self.issue_prefetches(at, addr);
         }
     }
 
     fn dcache_store(&mut self, at: usize, addr: u32) {
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceRecord {
-                at: at as u32,
-                addr,
-                store: true,
-            });
+        if self.tracing {
+            self.push_trace(at, addr, true);
         }
         self.result.dcache_accesses += 1;
         self.result.stores += 1;
@@ -290,31 +317,46 @@ impl<'p> Machine<'p> {
             Inst::Lw { rt, base, off } => {
                 let addr = r(self, base).wrapping_add(off as i32 as u32);
                 self.dcache_load(at, addr);
-                let v = self.mem.read_u32(addr).map_err(|fault| Trap::Mem { at, fault })?;
+                let v = self
+                    .mem
+                    .read_u32(addr)
+                    .map_err(|fault| Trap::Mem { at, fault })?;
                 self.set_reg(rt, v);
             }
             Inst::Lb { rt, base, off } => {
                 let addr = r(self, base).wrapping_add(off as i32 as u32);
                 self.dcache_load(at, addr);
-                let v = self.mem.read_u8(addr).map_err(|fault| Trap::Mem { at, fault })?;
+                let v = self
+                    .mem
+                    .read_u8(addr)
+                    .map_err(|fault| Trap::Mem { at, fault })?;
                 self.set_reg(rt, v as i8 as i32 as u32);
             }
             Inst::Lbu { rt, base, off } => {
                 let addr = r(self, base).wrapping_add(off as i32 as u32);
                 self.dcache_load(at, addr);
-                let v = self.mem.read_u8(addr).map_err(|fault| Trap::Mem { at, fault })?;
+                let v = self
+                    .mem
+                    .read_u8(addr)
+                    .map_err(|fault| Trap::Mem { at, fault })?;
                 self.set_reg(rt, u32::from(v));
             }
             Inst::Lh { rt, base, off } => {
                 let addr = r(self, base).wrapping_add(off as i32 as u32);
                 self.dcache_load(at, addr);
-                let v = self.mem.read_u16(addr).map_err(|fault| Trap::Mem { at, fault })?;
+                let v = self
+                    .mem
+                    .read_u16(addr)
+                    .map_err(|fault| Trap::Mem { at, fault })?;
                 self.set_reg(rt, v as i16 as i32 as u32);
             }
             Inst::Lhu { rt, base, off } => {
                 let addr = r(self, base).wrapping_add(off as i32 as u32);
                 self.dcache_load(at, addr);
-                let v = self.mem.read_u16(addr).map_err(|fault| Trap::Mem { at, fault })?;
+                let v = self
+                    .mem
+                    .read_u16(addr)
+                    .map_err(|fault| Trap::Mem { at, fault })?;
                 self.set_reg(rt, u32::from(v));
             }
             Inst::Sw { rt, base, off } => {
@@ -458,8 +500,10 @@ impl<'p> Machine<'p> {
                         self.set_reg(Reg::V0, v as u32);
                     }
                     syscalls::MALLOC => {
-                        let addr =
-                            self.mem.malloc(a0).map_err(|fault| Trap::Mem { at, fault })?;
+                        let addr = self
+                            .mem
+                            .malloc(a0)
+                            .map_err(|fault| Trap::Mem { at, fault })?;
                         self.set_reg(Reg::V0, addr);
                     }
                     syscalls::EXIT => {
@@ -505,10 +549,7 @@ impl<'p> Machine<'p> {
     /// # Errors
     ///
     /// Returns the [`Trap`] that aborted execution.
-    pub fn run_traced(
-        mut self,
-        max_steps: u64,
-    ) -> Result<(RunResult, Vec<TraceRecord>), Trap> {
+    pub fn run_traced(mut self, max_steps: u64) -> Result<(RunResult, Vec<TraceRecord>), Trap> {
         while self.finished.is_none() {
             if self.result.instructions >= max_steps {
                 return Err(Trap::StepLimit { limit: max_steps });
@@ -953,10 +994,7 @@ mod isa_coverage_tests {
              \tli $v0, 1\n\tsyscall\n\
              \tli $v0, 10\n\tli $a0, 0\n\tsyscall\n",
         );
-        assert_eq!(
-            r.output,
-            vec![0x0ff0, !(0x0f0f | 0x00ff), 0x0f, 0xf0f0]
-        );
+        assert_eq!(r.output, vec![0x0ff0, !(0x0f0f | 0x00ff), 0x0f, 0xf0f0]);
     }
 
     #[test]

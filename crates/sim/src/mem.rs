@@ -84,8 +84,7 @@ impl Memory {
             .filter(|&b| b <= HEAP_BASE + HEAP_CAP)
             .ok_or(MemFault::Unmapped(addr))?;
         self.heap_brk = new_brk;
-        self.heap
-            .resize((new_brk - HEAP_BASE) as usize, 0);
+        self.heap.resize((new_brk - HEAP_BASE) as usize, 0);
         Ok(addr)
     }
 

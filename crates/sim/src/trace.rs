@@ -159,7 +159,11 @@ mod tests {
         let p = scanning_program();
         let base = RunConfig::default();
         let (trace, _) = capture_trace(&p, &base).unwrap();
-        for geometry in [CacheConfig::kb(1, 1), CacheConfig::kb(8, 2), CacheConfig::kb(64, 8)] {
+        for geometry in [
+            CacheConfig::kb(1, 1),
+            CacheConfig::kb(8, 2),
+            CacheConfig::kb(64, 8),
+        ] {
             let replay = replay_trace(&trace, geometry, p.insts.len());
             let direct = run(
                 &p,

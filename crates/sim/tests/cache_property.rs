@@ -1,12 +1,16 @@
 //! Property tests: the optimized cache model agrees with a naive
 //! reference implementation of set-associative LRU on arbitrary access
 //! streams, and basic conservation laws hold.
+//!
+//! The streams deliberately include repeat-heavy segments (same
+//! address, same block) so the MRU fast path in `Cache::access` is
+//! exercised against the reference on every run, not just the generic
+//! walk-the-set path.
 
 use std::collections::VecDeque;
 
-use proptest::prelude::*;
-
 use dl_sim::{Cache, CacheConfig};
+use dl_testkit::{cases, Rng};
 
 /// A transparently-correct LRU model: one deque of tags per set,
 /// most-recent at the front.
@@ -46,66 +50,119 @@ impl RefCache {
     }
 }
 
-fn arb_config() -> impl Strategy<Value = CacheConfig> {
-    (0u32..3, 0u32..4, 0u32..3).prop_map(|(s, a, b)| {
-        let size = 1024 << s; // 1-4 KiB keeps conflict pressure high
-        let assoc = 1 << a;
-        let block = 16 << b;
-        CacheConfig::new(size, assoc, block).expect("valid geometry")
-    })
+fn arb_config(rng: &mut Rng) -> CacheConfig {
+    let size = 1024 << rng.index(3); // 1-4 KiB keeps conflict pressure high
+    let assoc = 1 << rng.index(4);
+    let block = 16 << rng.index(3);
+    CacheConfig::new(size, assoc, block).expect("valid geometry")
 }
 
-/// Address streams biased toward reuse (small pool of hot addresses
-/// plus random ones) to exercise both hits and evictions.
-fn arb_stream() -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u32..64).prop_map(|i| 0x1000_0000 + i * 4),
-            (0u32..100_000).prop_map(|i| 0x2000_0000 + i * 4),
-        ],
-        1..600,
-    )
+/// Address streams biased toward reuse: a small pool of hot addresses,
+/// random cold ones, and immediate-repeat runs (same address or same
+/// block) that land on the MRU fast path.
+fn arb_stream(rng: &mut Rng) -> Vec<u32> {
+    let len = 1 + rng.index(600);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let addr = if rng.chance(0.5) {
+            0x1000_0000 + rng.range_u32(0, 64) * 4
+        } else {
+            0x2000_0000 + rng.range_u32(0, 100_000) * 4
+        };
+        out.push(addr);
+        // With probability 1/2, dwell on this block a few accesses:
+        // exact repeats and same-block neighbours (MRU hits).
+        if rng.chance(0.5) {
+            for _ in 0..rng.index(4) {
+                if out.len() == len {
+                    break;
+                }
+                out.push(addr ^ (rng.range_u32(0, 4) * 4));
+            }
+        }
+    }
+    out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn matches_reference_lru(cfg in arb_config(), stream in arb_stream()) {
+#[test]
+fn matches_reference_lru() {
+    cases(128, 0xcac4e_1, |rng| {
+        let cfg = arb_config(rng);
+        let stream = arb_stream(rng);
         let mut fast = Cache::new(cfg);
         let mut reference = RefCache::new(cfg);
         for &addr in &stream {
-            prop_assert_eq!(fast.access(addr), reference.access(addr), "at {:#x}", addr);
+            assert_eq!(
+                fast.access(addr),
+                reference.access(addr),
+                "divergence at {addr:#x} under {cfg}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn hits_plus_misses_equals_accesses(cfg in arb_config(), stream in arb_stream()) {
+/// Long dwell runs on one block: every access after the first must take
+/// the MRU fast path and still agree with the reference model.
+#[test]
+fn mru_fast_path_matches_reference_on_dwell_runs() {
+    cases(128, 0xcac4e_2, |rng| {
+        let cfg = arb_config(rng);
+        let mut fast = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for _ in 0..=rng.index(40) {
+            let base = rng.range_u32(0, 1 << 20) * 4;
+            let dwell = 1 + rng.index(16);
+            for _ in 0..dwell {
+                let addr = base ^ (rng.range_u32(0, cfg.block_bytes() / 4) * 4);
+                assert_eq!(
+                    fast.access(addr),
+                    reference.access(addr),
+                    "divergence at {addr:#x} under {cfg}"
+                );
+            }
+        }
+        assert!(fast.hits() + fast.misses() > 0);
+    });
+}
+
+#[test]
+fn hits_plus_misses_equals_accesses() {
+    cases(128, 0xcac4e_3, |rng| {
+        let cfg = arb_config(rng);
+        let stream = arb_stream(rng);
         let mut c = Cache::new(cfg);
         for &addr in &stream {
             c.access(addr);
         }
-        prop_assert_eq!(c.hits() + c.misses(), stream.len() as u64);
-    }
+        assert_eq!(c.hits() + c.misses(), stream.len() as u64);
+    });
+}
 
-    #[test]
-    fn first_touch_of_each_block_misses(cfg in arb_config(), stream in arb_stream()) {
+#[test]
+fn first_touch_of_each_block_misses() {
+    cases(128, 0xcac4e_4, |rng| {
+        let cfg = arb_config(rng);
+        let stream = arb_stream(rng);
         let mut c = Cache::new(cfg);
         let mut seen = std::collections::BTreeSet::new();
         for &addr in &stream {
             let block = addr / cfg.block_bytes();
             let hit = c.access(addr);
             if seen.insert(block) {
-                prop_assert!(!hit, "cold access hit at {:#x}", addr);
+                assert!(!hit, "cold access hit at {addr:#x}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn repeat_access_always_hits(cfg in arb_config(), addr in 0u32..0x4000_0000) {
+#[test]
+fn repeat_access_always_hits() {
+    cases(256, 0xcac4e_5, |rng| {
+        let cfg = arb_config(rng);
+        let addr = rng.range_u32(0, 0x4000_0000);
         let mut c = Cache::new(cfg);
         c.access(addr);
-        prop_assert!(c.access(addr));
-        prop_assert!(c.access(addr));
-    }
+        assert!(c.access(addr));
+        assert!(c.access(addr));
+    });
 }

@@ -45,7 +45,10 @@ fn main() {
     // The ten loads with the most misses, and who caught them.
     let mut by_miss: Vec<&dl_analysis::extract::LoadInfo> = run.analysis.loads.iter().collect();
     by_miss.sort_by_key(|l| std::cmp::Reverse(run.result.load_misses[l.index]));
-    println!("\ntop-10 missing loads (total misses {}):", run.result.load_misses_total);
+    println!(
+        "\ntop-10 missing loads (total misses {}):",
+        run.result.load_misses_total
+    );
     println!(
         "{:>6} {:>9} {:>8} {:^9} {:^5} {:^5}  pattern",
         "inst", "misses", "execs", "heuristic", "OKN", "BDH"

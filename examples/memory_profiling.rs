@@ -86,7 +86,11 @@ fn main() {
         };
         println!(
             "{:>10} {:>10} {:>12} {:>14} {:>11.1}%",
-            geometry.to_string().split_whitespace().next().unwrap_or("?"),
+            geometry
+                .to_string()
+                .split_whitespace()
+                .next()
+                .unwrap_or("?"),
             stats.load_misses_total,
             replay_ms,
             ideal,

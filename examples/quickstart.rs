@@ -51,7 +51,10 @@ fn main() {
         100.0 * rho(&result, &delinquent),
     );
     println!();
-    println!("{:>6} {:>10} {:>9} {:>7}  pattern", "inst", "execs", "misses", "phi");
+    println!(
+        "{:>6} {:>10} {:>9} {:>7}  pattern",
+        "inst", "execs", "misses", "phi"
+    );
     for load in &analysis.loads {
         let execs = result.exec_counts[load.index];
         let misses = result.load_misses[load.index];

@@ -32,7 +32,10 @@ fn main() {
 
     let trained = train_weights(&views, &TrainingParams::default());
     let paper = Weights::paper();
-    println!("{:<5} {:<28} {:>8} {:>8}", "class", "feature", "trained", "paper");
+    println!(
+        "{:<5} {:<28} {:>8} {:>8}",
+        "class", "feature", "trained", "paper"
+    );
     for c in AgClass::ALL {
         println!(
             "{:<5} {:<28} {:>+8.2} {:>+8.2}",

@@ -56,10 +56,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "-O0" => options.opt = OptLevel::O0,
             "-O1" | "-O" => options.opt = OptLevel::O1,
             "--emit" => {
-                options.emit = it
-                    .next()
-                    .ok_or("--emit requires asm|bin|words")?
-                    .clone();
+                options.emit = it.next().ok_or("--emit requires asm|bin|words")?.clone();
             }
             "--input" => {
                 let list = it.next().ok_or("--input requires a comma list")?;
@@ -93,11 +90,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-fn load_program(
-    options: &Options,
-) -> Result<dl_mips::program::Program, String> {
-    let source = std::fs::read_to_string(&options.path)
-        .map_err(|e| format!("{}: {e}", options.path))?;
+fn load_program(options: &Options) -> Result<dl_mips::program::Program, String> {
+    let source =
+        std::fs::read_to_string(&options.path).map_err(|e| format!("{}: {e}", options.path))?;
     compile(&source, options.opt).map_err(|e| format!("{}: {e}", options.path))
 }
 
@@ -116,16 +111,14 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             match options.emit.as_str() {
                 "asm" => print!("{}", program.to_asm()),
                 "words" => {
-                    let words =
-                        encode_program(&program).map_err(|e| e.to_string())?;
+                    let words = encode_program(&program).map_err(|e| e.to_string())?;
                     for (i, w) in words.iter().enumerate() {
                         println!("{:#010x}: {w:#010x}  {}", program.pc(i), program.insts[i]);
                     }
                 }
                 "bin" => {
                     use std::io::Write;
-                    let words =
-                        encode_program(&program).map_err(|e| e.to_string())?;
+                    let words = encode_program(&program).map_err(|e| e.to_string())?;
                     let mut out = std::io::stdout().lock();
                     for w in words {
                         out.write_all(&w.to_le_bytes()).map_err(|e| e.to_string())?;
@@ -141,13 +134,19 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 input: options.input.clone(),
                 ..RunConfig::default()
             };
+            let start = std::time::Instant::now();
             let result = run(&program, &config).map_err(|e| e.to_string())?;
+            let secs = start.elapsed().as_secs_f64();
             for v in &result.output {
                 println!("{v}");
             }
             eprintln!(
-                "[{} instructions, {} loads, {} load misses, exit {}]",
-                result.instructions, result.loads, result.load_misses_total, result.exit_code
+                "[{} instructions, {} loads, {} load misses, exit {}, {:.0}M insts/s]",
+                result.instructions,
+                result.loads,
+                result.load_misses_total,
+                result.exit_code,
+                result.instructions as f64 / secs.max(1e-9) / 1e6
             );
             Ok(())
         }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-69ad2381d00d3a7c.d: crates/experiments/src/bin/bench.rs
+
+/root/repo/target/debug/deps/bench-69ad2381d00d3a7c: crates/experiments/src/bin/bench.rs
+
+crates/experiments/src/bin/bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-ad69b57a8553ad65.d: crates/experiments/src/bin/bench.rs
+
+/root/repo/target/debug/deps/bench-ad69b57a8553ad65: crates/experiments/src/bin/bench.rs
+
+crates/experiments/src/bin/bench.rs:

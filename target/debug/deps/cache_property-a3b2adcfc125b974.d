@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_property-a3b2adcfc125b974.d: crates/sim/tests/cache_property.rs
+
+/root/repo/target/debug/deps/cache_property-a3b2adcfc125b974: crates/sim/tests/cache_property.rs
+
+crates/sim/tests/cache_property.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compiler_property-d009ffda2630e6c8.d: tests/compiler_property.rs
+
+/root/repo/target/debug/deps/compiler_property-d009ffda2630e6c8: tests/compiler_property.rs
+
+tests/compiler_property.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/components-ed48d8c19be8bc23.d: crates/bench/src/bin/components.rs
+
+/root/repo/target/debug/deps/components-ed48d8c19be8bc23: crates/bench/src/bin/components.rs
+
+crates/bench/src/bin/components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-13ced7d2728dfb2e.d: crates/experiments/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-13ced7d2728dfb2e: crates/experiments/tests/concurrency.rs
+
+crates/experiments/tests/concurrency.rs:

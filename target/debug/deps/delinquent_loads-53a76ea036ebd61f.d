@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delinquent_loads-53a76ea036ebd61f.d: src/lib.rs
+
+/root/repo/target/debug/deps/delinquent_loads-53a76ea036ebd61f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/delinquent_loads-a50c5dcd47ce4846.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdelinquent_loads-a50c5dcd47ce4846.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdelinquent_loads-a50c5dcd47ce4846.rmeta: src/lib.rs
+
+src/lib.rs:

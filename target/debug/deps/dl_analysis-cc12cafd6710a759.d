@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dl_analysis-cc12cafd6710a759.d: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/extract.rs crates/analysis/src/freq.rs crates/analysis/src/pattern.rs crates/analysis/src/reaching.rs
+
+/root/repo/target/debug/deps/libdl_analysis-cc12cafd6710a759.rlib: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/extract.rs crates/analysis/src/freq.rs crates/analysis/src/pattern.rs crates/analysis/src/reaching.rs
+
+/root/repo/target/debug/deps/libdl_analysis-cc12cafd6710a759.rmeta: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/extract.rs crates/analysis/src/freq.rs crates/analysis/src/pattern.rs crates/analysis/src/reaching.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/extract.rs:
+crates/analysis/src/freq.rs:
+crates/analysis/src/pattern.rs:
+crates/analysis/src/reaching.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dl_analysis-ee212bbcf089698c.d: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/extract.rs crates/analysis/src/freq.rs crates/analysis/src/pattern.rs crates/analysis/src/reaching.rs
+
+/root/repo/target/debug/deps/dl_analysis-ee212bbcf089698c: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/extract.rs crates/analysis/src/freq.rs crates/analysis/src/pattern.rs crates/analysis/src/reaching.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/extract.rs:
+crates/analysis/src/freq.rs:
+crates/analysis/src/pattern.rs:
+crates/analysis/src/reaching.rs:

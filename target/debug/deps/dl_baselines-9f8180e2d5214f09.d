@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dl_baselines-9f8180e2d5214f09.d: crates/baselines/src/lib.rs crates/baselines/src/bdh.rs crates/baselines/src/okn.rs
+
+/root/repo/target/debug/deps/libdl_baselines-9f8180e2d5214f09.rlib: crates/baselines/src/lib.rs crates/baselines/src/bdh.rs crates/baselines/src/okn.rs
+
+/root/repo/target/debug/deps/libdl_baselines-9f8180e2d5214f09.rmeta: crates/baselines/src/lib.rs crates/baselines/src/bdh.rs crates/baselines/src/okn.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bdh.rs:
+crates/baselines/src/okn.rs:

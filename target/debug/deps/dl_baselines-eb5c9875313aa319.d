@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dl_baselines-eb5c9875313aa319.d: crates/baselines/src/lib.rs crates/baselines/src/bdh.rs crates/baselines/src/okn.rs
+
+/root/repo/target/debug/deps/dl_baselines-eb5c9875313aa319: crates/baselines/src/lib.rs crates/baselines/src/bdh.rs crates/baselines/src/okn.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bdh.rs:
+crates/baselines/src/okn.rs:

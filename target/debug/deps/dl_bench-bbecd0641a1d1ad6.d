@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dl_bench-bbecd0641a1d1ad6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dl_bench-bbecd0641a1d1ad6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dl_bench-d1d3f25c8a01b35f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdl_bench-d1d3f25c8a01b35f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdl_bench-d1d3f25c8a01b35f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

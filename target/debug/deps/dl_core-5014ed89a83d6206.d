@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dl_core-5014ed89a83d6206.d: crates/core/src/lib.rs crates/core/src/classes.rs crates/core/src/combine.rs crates/core/src/heuristic.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/dl_core-5014ed89a83d6206: crates/core/src/lib.rs crates/core/src/classes.rs crates/core/src/combine.rs crates/core/src/heuristic.rs crates/core/src/training.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classes.rs:
+crates/core/src/combine.rs:
+crates/core/src/heuristic.rs:
+crates/core/src/training.rs:

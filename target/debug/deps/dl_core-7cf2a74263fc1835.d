@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dl_core-7cf2a74263fc1835.d: crates/core/src/lib.rs crates/core/src/classes.rs crates/core/src/combine.rs crates/core/src/heuristic.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/libdl_core-7cf2a74263fc1835.rlib: crates/core/src/lib.rs crates/core/src/classes.rs crates/core/src/combine.rs crates/core/src/heuristic.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/libdl_core-7cf2a74263fc1835.rmeta: crates/core/src/lib.rs crates/core/src/classes.rs crates/core/src/combine.rs crates/core/src/heuristic.rs crates/core/src/training.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classes.rs:
+crates/core/src/combine.rs:
+crates/core/src/heuristic.rs:
+crates/core/src/training.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dl_experiments-29ea0fb76cc87ab6.d: crates/experiments/src/lib.rs crates/experiments/src/document.rs crates/experiments/src/metrics.rs crates/experiments/src/pipeline.rs crates/experiments/src/report.rs crates/experiments/src/schedule.rs crates/experiments/src/tables.rs
+
+/root/repo/target/debug/deps/dl_experiments-29ea0fb76cc87ab6: crates/experiments/src/lib.rs crates/experiments/src/document.rs crates/experiments/src/metrics.rs crates/experiments/src/pipeline.rs crates/experiments/src/report.rs crates/experiments/src/schedule.rs crates/experiments/src/tables.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/document.rs:
+crates/experiments/src/metrics.rs:
+crates/experiments/src/pipeline.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/schedule.rs:
+crates/experiments/src/tables.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dl_experiments-3f0926f26c709f8b.d: crates/experiments/src/lib.rs crates/experiments/src/document.rs crates/experiments/src/metrics.rs crates/experiments/src/pipeline.rs crates/experiments/src/report.rs crates/experiments/src/schedule.rs crates/experiments/src/tables.rs
+
+/root/repo/target/debug/deps/libdl_experiments-3f0926f26c709f8b.rlib: crates/experiments/src/lib.rs crates/experiments/src/document.rs crates/experiments/src/metrics.rs crates/experiments/src/pipeline.rs crates/experiments/src/report.rs crates/experiments/src/schedule.rs crates/experiments/src/tables.rs
+
+/root/repo/target/debug/deps/libdl_experiments-3f0926f26c709f8b.rmeta: crates/experiments/src/lib.rs crates/experiments/src/document.rs crates/experiments/src/metrics.rs crates/experiments/src/pipeline.rs crates/experiments/src/report.rs crates/experiments/src/schedule.rs crates/experiments/src/tables.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/document.rs:
+crates/experiments/src/metrics.rs:
+crates/experiments/src/pipeline.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/schedule.rs:
+crates/experiments/src/tables.rs:

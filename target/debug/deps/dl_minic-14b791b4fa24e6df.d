@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dl_minic-14b791b4fa24e6df.d: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/gen.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/sema.rs
+
+/root/repo/target/debug/deps/dl_minic-14b791b4fa24e6df: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/gen.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/sema.rs
+
+crates/minic/src/lib.rs:
+crates/minic/src/ast.rs:
+crates/minic/src/gen.rs:
+crates/minic/src/lexer.rs:
+crates/minic/src/parser.rs:
+crates/minic/src/sema.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dl_minic-4dd3a0dd76baee9e.d: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/gen.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/sema.rs
+
+/root/repo/target/debug/deps/libdl_minic-4dd3a0dd76baee9e.rlib: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/gen.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/sema.rs
+
+/root/repo/target/debug/deps/libdl_minic-4dd3a0dd76baee9e.rmeta: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/gen.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/sema.rs
+
+crates/minic/src/lib.rs:
+crates/minic/src/ast.rs:
+crates/minic/src/gen.rs:
+crates/minic/src/lexer.rs:
+crates/minic/src/parser.rs:
+crates/minic/src/sema.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dl_mips-607b50d472bf0d11.d: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/encode.rs crates/mips/src/inst.rs crates/mips/src/layout.rs crates/mips/src/parse.rs crates/mips/src/program.rs crates/mips/src/reg.rs
+
+/root/repo/target/debug/deps/libdl_mips-607b50d472bf0d11.rlib: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/encode.rs crates/mips/src/inst.rs crates/mips/src/layout.rs crates/mips/src/parse.rs crates/mips/src/program.rs crates/mips/src/reg.rs
+
+/root/repo/target/debug/deps/libdl_mips-607b50d472bf0d11.rmeta: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/encode.rs crates/mips/src/inst.rs crates/mips/src/layout.rs crates/mips/src/parse.rs crates/mips/src/program.rs crates/mips/src/reg.rs
+
+crates/mips/src/lib.rs:
+crates/mips/src/asm.rs:
+crates/mips/src/encode.rs:
+crates/mips/src/inst.rs:
+crates/mips/src/layout.rs:
+crates/mips/src/parse.rs:
+crates/mips/src/program.rs:
+crates/mips/src/reg.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dl_mips-b34e0e569f434575.d: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/encode.rs crates/mips/src/inst.rs crates/mips/src/layout.rs crates/mips/src/parse.rs crates/mips/src/program.rs crates/mips/src/reg.rs
+
+/root/repo/target/debug/deps/dl_mips-b34e0e569f434575: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/encode.rs crates/mips/src/inst.rs crates/mips/src/layout.rs crates/mips/src/parse.rs crates/mips/src/program.rs crates/mips/src/reg.rs
+
+crates/mips/src/lib.rs:
+crates/mips/src/asm.rs:
+crates/mips/src/encode.rs:
+crates/mips/src/inst.rs:
+crates/mips/src/layout.rs:
+crates/mips/src/parse.rs:
+crates/mips/src/program.rs:
+crates/mips/src/reg.rs:

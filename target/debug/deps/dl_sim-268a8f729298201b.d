@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dl_sim-268a8f729298201b.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cpu.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/dl_sim-268a8f729298201b: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cpu.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dl_sim-e3f9154e2f763edd.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cpu.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libdl_sim-e3f9154e2f763edd.rlib: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cpu.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libdl_sim-e3f9154e2f763edd.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cpu.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/trace.rs:

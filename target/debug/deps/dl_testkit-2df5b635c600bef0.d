@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dl_testkit-2df5b635c600bef0.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/dl_testkit-2df5b635c600bef0: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dl_testkit-7516bf77c3f0ab7e.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libdl_testkit-7516bf77c3f0ab7e.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libdl_testkit-7516bf77c3f0ab7e.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/dl_workloads-03b0d8b195eafbaf.d: crates/workloads/src/lib.rs crates/workloads/src/../programs/_coldlib.mc crates/workloads/src/../programs/espresso.mc crates/workloads/src/../programs/li.mc crates/workloads/src/../programs/sc.mc crates/workloads/src/../programs/go.mc crates/workloads/src/../programs/tomcatv.mc crates/workloads/src/../programs/m88ksim.mc crates/workloads/src/../programs/gcc.mc crates/workloads/src/../programs/compress.mc crates/workloads/src/../programs/ijpeg.mc crates/workloads/src/../programs/vortex.mc crates/workloads/src/../programs/gzip.mc crates/workloads/src/../programs/vpr.mc crates/workloads/src/../programs/art.mc crates/workloads/src/../programs/mcf.mc crates/workloads/src/../programs/equake.mc crates/workloads/src/../programs/ammp.mc crates/workloads/src/../programs/parser.mc crates/workloads/src/../programs/twolf.mc
+
+/root/repo/target/debug/deps/dl_workloads-03b0d8b195eafbaf: crates/workloads/src/lib.rs crates/workloads/src/../programs/_coldlib.mc crates/workloads/src/../programs/espresso.mc crates/workloads/src/../programs/li.mc crates/workloads/src/../programs/sc.mc crates/workloads/src/../programs/go.mc crates/workloads/src/../programs/tomcatv.mc crates/workloads/src/../programs/m88ksim.mc crates/workloads/src/../programs/gcc.mc crates/workloads/src/../programs/compress.mc crates/workloads/src/../programs/ijpeg.mc crates/workloads/src/../programs/vortex.mc crates/workloads/src/../programs/gzip.mc crates/workloads/src/../programs/vpr.mc crates/workloads/src/../programs/art.mc crates/workloads/src/../programs/mcf.mc crates/workloads/src/../programs/equake.mc crates/workloads/src/../programs/ammp.mc crates/workloads/src/../programs/parser.mc crates/workloads/src/../programs/twolf.mc
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/../programs/_coldlib.mc:
+crates/workloads/src/../programs/espresso.mc:
+crates/workloads/src/../programs/li.mc:
+crates/workloads/src/../programs/sc.mc:
+crates/workloads/src/../programs/go.mc:
+crates/workloads/src/../programs/tomcatv.mc:
+crates/workloads/src/../programs/m88ksim.mc:
+crates/workloads/src/../programs/gcc.mc:
+crates/workloads/src/../programs/compress.mc:
+crates/workloads/src/../programs/ijpeg.mc:
+crates/workloads/src/../programs/vortex.mc:
+crates/workloads/src/../programs/gzip.mc:
+crates/workloads/src/../programs/vpr.mc:
+crates/workloads/src/../programs/art.mc:
+crates/workloads/src/../programs/mcf.mc:
+crates/workloads/src/../programs/equake.mc:
+crates/workloads/src/../programs/ammp.mc:
+crates/workloads/src/../programs/parser.mc:
+crates/workloads/src/../programs/twolf.mc:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dlc-92127f7798406b2c.d: src/bin/dlc.rs
+
+/root/repo/target/debug/deps/dlc-92127f7798406b2c: src/bin/dlc.rs
+
+src/bin/dlc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dlc-ff8ce239d840e996.d: src/bin/dlc.rs
+
+/root/repo/target/debug/deps/dlc-ff8ce239d840e996: src/bin/dlc.rs
+
+src/bin/dlc.rs:

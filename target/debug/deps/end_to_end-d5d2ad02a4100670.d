@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d5d2ad02a4100670.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d5d2ad02a4100670: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec-b52fff1ed7344b77.d: crates/minic/tests/exec.rs
+
+/root/repo/target/debug/deps/exec-b52fff1ed7344b77: crates/minic/tests/exec.rs
+
+crates/minic/tests/exec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heuristic_property-7c90ffb7138091c1.d: crates/core/tests/heuristic_property.rs
+
+/root/repo/target/debug/deps/heuristic_property-7c90ffb7138091c1: crates/core/tests/heuristic_property.rs
+
+crates/core/tests/heuristic_property.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_fuzz-d7bb0289f707e7fc.d: crates/minic/tests/parser_fuzz.rs
+
+/root/repo/target/debug/deps/parser_fuzz-d7bb0289f707e7fc: crates/minic/tests/parser_fuzz.rs
+
+crates/minic/tests/parser_fuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pattern_property-b4422235c1629320.d: crates/analysis/tests/pattern_property.rs
+
+/root/repo/target/debug/deps/pattern_property-b4422235c1629320: crates/analysis/tests/pattern_property.rs
+
+crates/analysis/tests/pattern_property.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reaching_property-8657535ca500cd28.d: crates/analysis/tests/reaching_property.rs
+
+/root/repo/target/debug/deps/reaching_property-8657535ca500cd28: crates/analysis/tests/reaching_property.rs
+
+crates/analysis/tests/reaching_property.rs:

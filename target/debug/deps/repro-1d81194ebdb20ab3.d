@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-1d81194ebdb20ab3.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-1d81194ebdb20ab3: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

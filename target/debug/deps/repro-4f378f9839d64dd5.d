@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-4f378f9839d64dd5.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-4f378f9839d64dd5: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

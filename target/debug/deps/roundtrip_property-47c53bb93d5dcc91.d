@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip_property-47c53bb93d5dcc91.d: crates/mips/tests/roundtrip_property.rs
+
+/root/repo/target/debug/deps/roundtrip_property-47c53bb93d5dcc91: crates/mips/tests/roundtrip_property.rs
+
+crates/mips/tests/roundtrip_property.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runcheck-07c31a584d03d5ac.d: crates/experiments/src/bin/runcheck.rs
+
+/root/repo/target/debug/deps/runcheck-07c31a584d03d5ac: crates/experiments/src/bin/runcheck.rs
+
+crates/experiments/src/bin/runcheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runcheck-d29e5289732afe2f.d: crates/experiments/src/bin/runcheck.rs
+
+/root/repo/target/debug/deps/runcheck-d29e5289732afe2f: crates/experiments/src/bin/runcheck.rs
+
+crates/experiments/src/bin/runcheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-d005af6342e8469d.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-d005af6342e8469d: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

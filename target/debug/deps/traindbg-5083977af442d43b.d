@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traindbg-5083977af442d43b.d: crates/experiments/src/bin/traindbg.rs
+
+/root/repo/target/debug/deps/traindbg-5083977af442d43b: crates/experiments/src/bin/traindbg.rs
+
+crates/experiments/src/bin/traindbg.rs:

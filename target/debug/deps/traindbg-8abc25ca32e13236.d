@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traindbg-8abc25ca32e13236.d: crates/experiments/src/bin/traindbg.rs
+
+/root/repo/target/debug/deps/traindbg-8abc25ca32e13236: crates/experiments/src/bin/traindbg.rs
+
+crates/experiments/src/bin/traindbg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads_smoke-8dc76c0c9e9cd94f.d: tests/workloads_smoke.rs
+
+/root/repo/target/debug/deps/workloads_smoke-8dc76c0c9e9cd94f: tests/workloads_smoke.rs
+
+tests/workloads_smoke.rs:

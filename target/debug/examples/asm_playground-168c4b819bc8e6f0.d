@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/asm_playground-168c4b819bc8e6f0.d: examples/asm_playground.rs
+
+/root/repo/target/debug/examples/asm_playground-168c4b819bc8e6f0: examples/asm_playground.rs
+
+examples/asm_playground.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/benchmark_deep_dive-6a1b025a4cb3b540.d: examples/benchmark_deep_dive.rs
+
+/root/repo/target/debug/examples/benchmark_deep_dive-6a1b025a4cb3b540: examples/benchmark_deep_dive.rs
+
+examples/benchmark_deep_dive.rs:

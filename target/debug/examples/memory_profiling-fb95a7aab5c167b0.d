@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_profiling-fb95a7aab5c167b0.d: examples/memory_profiling.rs
+
+/root/repo/target/debug/examples/memory_profiling-fb95a7aab5c167b0: examples/memory_profiling.rs
+
+examples/memory_profiling.rs:

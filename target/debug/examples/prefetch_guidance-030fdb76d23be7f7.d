@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prefetch_guidance-030fdb76d23be7f7.d: examples/prefetch_guidance.rs
+
+/root/repo/target/debug/examples/prefetch_guidance-030fdb76d23be7f7: examples/prefetch_guidance.rs
+
+examples/prefetch_guidance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b31e312894401f45.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b31e312894401f45: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_weights-2d912f097eff2627.d: examples/train_weights.rs
+
+/root/repo/target/debug/examples/train_weights-2d912f097eff2627: examples/train_weights.rs
+
+examples/train_weights.rs:

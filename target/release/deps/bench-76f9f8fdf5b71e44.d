@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-76f9f8fdf5b71e44.d: crates/experiments/src/bin/bench.rs
+
+/root/repo/target/release/deps/bench-76f9f8fdf5b71e44: crates/experiments/src/bin/bench.rs
+
+crates/experiments/src/bin/bench.rs:

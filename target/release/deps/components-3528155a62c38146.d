@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/components-3528155a62c38146.d: crates/bench/src/bin/components.rs
+
+/root/repo/target/release/deps/components-3528155a62c38146: crates/bench/src/bin/components.rs
+
+crates/bench/src/bin/components.rs:

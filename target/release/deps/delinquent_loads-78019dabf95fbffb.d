@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/delinquent_loads-78019dabf95fbffb.d: src/lib.rs
+
+/root/repo/target/release/deps/libdelinquent_loads-78019dabf95fbffb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdelinquent_loads-78019dabf95fbffb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dl_analysis-9f761527222a6d3f.d: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/extract.rs crates/analysis/src/freq.rs crates/analysis/src/pattern.rs crates/analysis/src/reaching.rs
+
+/root/repo/target/release/deps/libdl_analysis-9f761527222a6d3f.rlib: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/extract.rs crates/analysis/src/freq.rs crates/analysis/src/pattern.rs crates/analysis/src/reaching.rs
+
+/root/repo/target/release/deps/libdl_analysis-9f761527222a6d3f.rmeta: crates/analysis/src/lib.rs crates/analysis/src/cfg.rs crates/analysis/src/dom.rs crates/analysis/src/extract.rs crates/analysis/src/freq.rs crates/analysis/src/pattern.rs crates/analysis/src/reaching.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/extract.rs:
+crates/analysis/src/freq.rs:
+crates/analysis/src/pattern.rs:
+crates/analysis/src/reaching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dl_baselines-e99acfd4f0dc2bc7.d: crates/baselines/src/lib.rs crates/baselines/src/bdh.rs crates/baselines/src/okn.rs
+
+/root/repo/target/release/deps/libdl_baselines-e99acfd4f0dc2bc7.rlib: crates/baselines/src/lib.rs crates/baselines/src/bdh.rs crates/baselines/src/okn.rs
+
+/root/repo/target/release/deps/libdl_baselines-e99acfd4f0dc2bc7.rmeta: crates/baselines/src/lib.rs crates/baselines/src/bdh.rs crates/baselines/src/okn.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bdh.rs:
+crates/baselines/src/okn.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dl_bench-0ea38a4e9860c38b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdl_bench-0ea38a4e9860c38b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdl_bench-0ea38a4e9860c38b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dl_core-e7fff683960cd71d.d: crates/core/src/lib.rs crates/core/src/classes.rs crates/core/src/combine.rs crates/core/src/heuristic.rs crates/core/src/training.rs
+
+/root/repo/target/release/deps/libdl_core-e7fff683960cd71d.rlib: crates/core/src/lib.rs crates/core/src/classes.rs crates/core/src/combine.rs crates/core/src/heuristic.rs crates/core/src/training.rs
+
+/root/repo/target/release/deps/libdl_core-e7fff683960cd71d.rmeta: crates/core/src/lib.rs crates/core/src/classes.rs crates/core/src/combine.rs crates/core/src/heuristic.rs crates/core/src/training.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classes.rs:
+crates/core/src/combine.rs:
+crates/core/src/heuristic.rs:
+crates/core/src/training.rs:

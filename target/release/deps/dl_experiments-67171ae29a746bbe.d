@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dl_experiments-67171ae29a746bbe.d: crates/experiments/src/lib.rs crates/experiments/src/document.rs crates/experiments/src/metrics.rs crates/experiments/src/pipeline.rs crates/experiments/src/report.rs crates/experiments/src/schedule.rs crates/experiments/src/tables.rs
+
+/root/repo/target/release/deps/libdl_experiments-67171ae29a746bbe.rlib: crates/experiments/src/lib.rs crates/experiments/src/document.rs crates/experiments/src/metrics.rs crates/experiments/src/pipeline.rs crates/experiments/src/report.rs crates/experiments/src/schedule.rs crates/experiments/src/tables.rs
+
+/root/repo/target/release/deps/libdl_experiments-67171ae29a746bbe.rmeta: crates/experiments/src/lib.rs crates/experiments/src/document.rs crates/experiments/src/metrics.rs crates/experiments/src/pipeline.rs crates/experiments/src/report.rs crates/experiments/src/schedule.rs crates/experiments/src/tables.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/document.rs:
+crates/experiments/src/metrics.rs:
+crates/experiments/src/pipeline.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/schedule.rs:
+crates/experiments/src/tables.rs:

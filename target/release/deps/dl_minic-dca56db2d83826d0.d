@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dl_minic-dca56db2d83826d0.d: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/gen.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/sema.rs
+
+/root/repo/target/release/deps/libdl_minic-dca56db2d83826d0.rlib: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/gen.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/sema.rs
+
+/root/repo/target/release/deps/libdl_minic-dca56db2d83826d0.rmeta: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/gen.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/sema.rs
+
+crates/minic/src/lib.rs:
+crates/minic/src/ast.rs:
+crates/minic/src/gen.rs:
+crates/minic/src/lexer.rs:
+crates/minic/src/parser.rs:
+crates/minic/src/sema.rs:

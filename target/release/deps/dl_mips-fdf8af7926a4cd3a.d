@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dl_mips-fdf8af7926a4cd3a.d: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/encode.rs crates/mips/src/inst.rs crates/mips/src/layout.rs crates/mips/src/parse.rs crates/mips/src/program.rs crates/mips/src/reg.rs
+
+/root/repo/target/release/deps/libdl_mips-fdf8af7926a4cd3a.rlib: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/encode.rs crates/mips/src/inst.rs crates/mips/src/layout.rs crates/mips/src/parse.rs crates/mips/src/program.rs crates/mips/src/reg.rs
+
+/root/repo/target/release/deps/libdl_mips-fdf8af7926a4cd3a.rmeta: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/encode.rs crates/mips/src/inst.rs crates/mips/src/layout.rs crates/mips/src/parse.rs crates/mips/src/program.rs crates/mips/src/reg.rs
+
+crates/mips/src/lib.rs:
+crates/mips/src/asm.rs:
+crates/mips/src/encode.rs:
+crates/mips/src/inst.rs:
+crates/mips/src/layout.rs:
+crates/mips/src/parse.rs:
+crates/mips/src/program.rs:
+crates/mips/src/reg.rs:

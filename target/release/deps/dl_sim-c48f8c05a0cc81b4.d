@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dl_sim-c48f8c05a0cc81b4.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cpu.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libdl_sim-c48f8c05a0cc81b4.rlib: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cpu.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libdl_sim-c48f8c05a0cc81b4.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cpu.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dl_testkit-20de9d3fef069cf4.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libdl_testkit-20de9d3fef069cf4.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libdl_testkit-20de9d3fef069cf4.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

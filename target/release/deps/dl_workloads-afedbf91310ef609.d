@@ -1,0 +1,26 @@
+/root/repo/target/release/deps/dl_workloads-afedbf91310ef609.d: crates/workloads/src/lib.rs crates/workloads/src/../programs/_coldlib.mc crates/workloads/src/../programs/espresso.mc crates/workloads/src/../programs/li.mc crates/workloads/src/../programs/sc.mc crates/workloads/src/../programs/go.mc crates/workloads/src/../programs/tomcatv.mc crates/workloads/src/../programs/m88ksim.mc crates/workloads/src/../programs/gcc.mc crates/workloads/src/../programs/compress.mc crates/workloads/src/../programs/ijpeg.mc crates/workloads/src/../programs/vortex.mc crates/workloads/src/../programs/gzip.mc crates/workloads/src/../programs/vpr.mc crates/workloads/src/../programs/art.mc crates/workloads/src/../programs/mcf.mc crates/workloads/src/../programs/equake.mc crates/workloads/src/../programs/ammp.mc crates/workloads/src/../programs/parser.mc crates/workloads/src/../programs/twolf.mc
+
+/root/repo/target/release/deps/libdl_workloads-afedbf91310ef609.rlib: crates/workloads/src/lib.rs crates/workloads/src/../programs/_coldlib.mc crates/workloads/src/../programs/espresso.mc crates/workloads/src/../programs/li.mc crates/workloads/src/../programs/sc.mc crates/workloads/src/../programs/go.mc crates/workloads/src/../programs/tomcatv.mc crates/workloads/src/../programs/m88ksim.mc crates/workloads/src/../programs/gcc.mc crates/workloads/src/../programs/compress.mc crates/workloads/src/../programs/ijpeg.mc crates/workloads/src/../programs/vortex.mc crates/workloads/src/../programs/gzip.mc crates/workloads/src/../programs/vpr.mc crates/workloads/src/../programs/art.mc crates/workloads/src/../programs/mcf.mc crates/workloads/src/../programs/equake.mc crates/workloads/src/../programs/ammp.mc crates/workloads/src/../programs/parser.mc crates/workloads/src/../programs/twolf.mc
+
+/root/repo/target/release/deps/libdl_workloads-afedbf91310ef609.rmeta: crates/workloads/src/lib.rs crates/workloads/src/../programs/_coldlib.mc crates/workloads/src/../programs/espresso.mc crates/workloads/src/../programs/li.mc crates/workloads/src/../programs/sc.mc crates/workloads/src/../programs/go.mc crates/workloads/src/../programs/tomcatv.mc crates/workloads/src/../programs/m88ksim.mc crates/workloads/src/../programs/gcc.mc crates/workloads/src/../programs/compress.mc crates/workloads/src/../programs/ijpeg.mc crates/workloads/src/../programs/vortex.mc crates/workloads/src/../programs/gzip.mc crates/workloads/src/../programs/vpr.mc crates/workloads/src/../programs/art.mc crates/workloads/src/../programs/mcf.mc crates/workloads/src/../programs/equake.mc crates/workloads/src/../programs/ammp.mc crates/workloads/src/../programs/parser.mc crates/workloads/src/../programs/twolf.mc
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/../programs/_coldlib.mc:
+crates/workloads/src/../programs/espresso.mc:
+crates/workloads/src/../programs/li.mc:
+crates/workloads/src/../programs/sc.mc:
+crates/workloads/src/../programs/go.mc:
+crates/workloads/src/../programs/tomcatv.mc:
+crates/workloads/src/../programs/m88ksim.mc:
+crates/workloads/src/../programs/gcc.mc:
+crates/workloads/src/../programs/compress.mc:
+crates/workloads/src/../programs/ijpeg.mc:
+crates/workloads/src/../programs/vortex.mc:
+crates/workloads/src/../programs/gzip.mc:
+crates/workloads/src/../programs/vpr.mc:
+crates/workloads/src/../programs/art.mc:
+crates/workloads/src/../programs/mcf.mc:
+crates/workloads/src/../programs/equake.mc:
+crates/workloads/src/../programs/ammp.mc:
+crates/workloads/src/../programs/parser.mc:
+crates/workloads/src/../programs/twolf.mc:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dlc-a1acf6aa3db61ba4.d: src/bin/dlc.rs
+
+/root/repo/target/release/deps/dlc-a1acf6aa3db61ba4: src/bin/dlc.rs
+
+src/bin/dlc.rs:

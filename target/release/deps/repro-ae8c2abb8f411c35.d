@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-ae8c2abb8f411c35.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-ae8c2abb8f411c35: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

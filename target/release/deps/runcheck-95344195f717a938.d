@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runcheck-95344195f717a938.d: crates/experiments/src/bin/runcheck.rs
+
+/root/repo/target/release/deps/runcheck-95344195f717a938: crates/experiments/src/bin/runcheck.rs
+
+crates/experiments/src/bin/runcheck.rs:

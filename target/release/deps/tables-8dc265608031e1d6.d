@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-8dc265608031e1d6.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-8dc265608031e1d6: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/traindbg-a1271dde8962dacd.d: crates/experiments/src/bin/traindbg.rs
+
+/root/repo/target/release/deps/traindbg-a1271dde8962dacd: crates/experiments/src/bin/traindbg.rs
+
+crates/experiments/src/bin/traindbg.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libdl_testkit.rlib: /root/repo/crates/testkit/src/lib.rs

@@ -7,9 +7,8 @@
 //! — the property the paper's "insensitive to compiler optimization"
 //! claim silently depends on.
 
-use proptest::prelude::*;
-
 use delinquent_loads::prelude::*;
+use dl_testkit::{cases, Rng};
 
 /// A random expression with a computable reference value.
 #[derive(Debug, Clone)]
@@ -101,41 +100,46 @@ impl E {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (-1_000_000i32..1_000_000).prop_map(E::Const),
-        Just(E::Input),
-    ];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        let b = inner.clone();
-        prop_oneof![
-            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
-            inner.clone().prop_map(|a| E::Not(Box::new(a))),
-            inner.clone().prop_map(|a| E::BitNot(Box::new(a))),
-            (inner.clone(), b.clone()).prop_map(|(a, c)| E::Add(Box::new(a), Box::new(c))),
-            (inner.clone(), b.clone()).prop_map(|(a, c)| E::Sub(Box::new(a), Box::new(c))),
-            (inner.clone(), b.clone()).prop_map(|(a, c)| E::Mul(Box::new(a), Box::new(c))),
-            (inner.clone(), b.clone())
-                .prop_map(|(a, c)| E::DivSafe(Box::new(a), Box::new(c))),
-            (inner.clone(), b.clone())
-                .prop_map(|(a, c)| E::RemSafe(Box::new(a), Box::new(c))),
-            (inner.clone(), 0u8..16).prop_map(|(a, k)| E::ShlK(Box::new(a), k)),
-            (inner.clone(), 0u8..16).prop_map(|(a, k)| E::ShrK(Box::new(a), k)),
-            (inner.clone(), b.clone()).prop_map(|(a, c)| E::And(Box::new(a), Box::new(c))),
-            (inner.clone(), b.clone()).prop_map(|(a, c)| E::Or(Box::new(a), Box::new(c))),
-            (inner.clone(), b.clone()).prop_map(|(a, c)| E::Xor(Box::new(a), Box::new(c))),
-            (inner.clone(), b.clone()).prop_map(|(a, c)| E::Lt(Box::new(a), Box::new(c))),
-            (inner.clone(), b.clone()).prop_map(|(a, c)| E::Le(Box::new(a), Box::new(c))),
-            (inner, b).prop_map(|(a, c)| E::Eq(Box::new(a), Box::new(c))),
-        ]
-    })
+fn arb_expr_depth(rng: &mut Rng, depth: usize) -> E {
+    if depth == 0 || rng.chance(0.3) {
+        return if rng.chance(0.5) {
+            E::Const(rng.range_i32(-1_000_000, 1_000_000))
+        } else {
+            E::Input
+        };
+    }
+    fn sub(rng: &mut Rng, depth: usize) -> Box<E> {
+        Box::new(arb_expr_depth(rng, depth - 1))
+    }
+    match rng.index(16) {
+        0 => E::Neg(sub(rng, depth)),
+        1 => E::Not(sub(rng, depth)),
+        2 => E::BitNot(sub(rng, depth)),
+        3 => E::Add(sub(rng, depth), sub(rng, depth)),
+        4 => E::Sub(sub(rng, depth), sub(rng, depth)),
+        5 => E::Mul(sub(rng, depth), sub(rng, depth)),
+        6 => E::DivSafe(sub(rng, depth), sub(rng, depth)),
+        7 => E::RemSafe(sub(rng, depth), sub(rng, depth)),
+        8 => E::ShlK(sub(rng, depth), rng.range_i32(0, 16) as u8),
+        9 => E::ShrK(sub(rng, depth), rng.range_i32(0, 16) as u8),
+        10 => E::And(sub(rng, depth), sub(rng, depth)),
+        11 => E::Or(sub(rng, depth), sub(rng, depth)),
+        12 => E::Xor(sub(rng, depth), sub(rng, depth)),
+        13 => E::Lt(sub(rng, depth), sub(rng, depth)),
+        14 => E::Le(sub(rng, depth), sub(rng, depth)),
+        _ => E::Eq(sub(rng, depth), sub(rng, depth)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn arb_expr(rng: &mut Rng) -> E {
+    arb_expr_depth(rng, 4)
+}
 
-    #[test]
-    fn compiled_expressions_match_reference(e in arb_expr(), x in -100_000i32..100_000) {
+#[test]
+fn compiled_expressions_match_reference() {
+    cases(96, 0xc09e_1, |rng| {
+        let e = arb_expr(rng);
+        let x = rng.range_i32(-100_000, 100_000);
         let source = format!(
             "int main() {{ int x; x = read(); print({}); return 0; }}",
             e.to_source()
@@ -150,16 +154,21 @@ proptest! {
             };
             let result = run(&program, &config)
                 .unwrap_or_else(|err| panic!("trap at {opt}: {err}\n{source}"));
-            prop_assert_eq!(
+            assert_eq!(
                 result.output[0], expected,
-                "mismatch at {} for x={}\nsource: {}", opt, x, source
+                "mismatch at {opt} for x={x}\nsource: {source}"
             );
         }
-    }
+    });
+}
 
-    /// Looping accumulation agrees with a Rust reference loop.
-    #[test]
-    fn compiled_loops_match_reference(n in 1i32..200, step in 1i32..9, seed in 0i32..1000) {
+/// Looping accumulation agrees with a Rust reference loop.
+#[test]
+fn compiled_loops_match_reference() {
+    cases(96, 0xc09e_2, |rng| {
+        let n = rng.range_i32(1, 200);
+        let step = rng.range_i32(1, 9);
+        let seed = rng.range_i32(0, 1000);
         let source = format!(
             "int main() {{
                 int i; int s;
@@ -178,7 +187,7 @@ proptest! {
         for opt in [OptLevel::O0, OptLevel::O1] {
             let program = compile(&source, opt).expect("compiles");
             let result = run(&program, &RunConfig::default()).expect("runs");
-            prop_assert_eq!(result.output[0], s, "at {}", opt);
+            assert_eq!(result.output[0], s, "at {opt}");
         }
-    }
+    });
 }

@@ -5,10 +5,7 @@
 use delinquent_loads::prelude::*;
 
 /// Compiles, runs, and analyzes a source at O0 with the given cache.
-fn full_pipeline(
-    source: &str,
-    cache: CacheConfig,
-) -> (Program, RunResult, ProgramAnalysis) {
+fn full_pipeline(source: &str, cache: CacheConfig) -> (Program, RunResult, ProgramAnalysis) {
     let program = compile(source, OptLevel::O0).expect("compiles");
     let config = RunConfig {
         cache,
@@ -140,11 +137,12 @@ fn coverage_stable_across_cache_geometries() {
         let delta = Heuristic::default().classify(&analysis, &result.exec_counts);
         rhos.push(rho(&result, &delta));
     }
-    let spread = rhos
-        .iter()
-        .fold(0.0f64, |m, &r| m.max(r))
-        - rhos.iter().fold(1.0f64, |m, &r| m.min(r));
-    assert!(spread < 0.1, "coverage spread {spread:.3} across caches: {rhos:?}");
+    let spread =
+        rhos.iter().fold(0.0f64, |m, &r| m.max(r)) - rhos.iter().fold(1.0f64, |m, &r| m.min(r));
+    assert!(
+        spread < 0.1,
+        "coverage spread {spread:.3} across caches: {rhos:?}"
+    );
 }
 
 /// OKN and BDH reach comparable coverage but flag more loads than the
@@ -204,7 +202,10 @@ fn profiling_combination_sharpens_precision() {
     let scored = h.score_all(&analysis, &result.exec_counts);
     let combined = combine_with_profiling(&delta_p, &scored, &delta_h, 0.0);
 
-    assert!(combined.len() < delta_p.len(), "intersection must shrink Δ_P");
+    assert!(
+        combined.len() < delta_p.len(),
+        "intersection must shrink Δ_P"
+    );
     assert!(combined.len() <= delta_h.len());
     assert!(
         rho(&result, &combined) > 0.75,
@@ -213,7 +214,11 @@ fn profiling_combination_sharpens_precision() {
     );
     // Dominates random selection of the same size from the hotspots.
     let star = delinquent_loads::experiments::metrics::random_control(
-        &result, &delta_p, combined.len(), 3, 7,
+        &result,
+        &delta_p,
+        combined.len(),
+        3,
+        7,
     );
     assert!(
         rho(&result, &combined) > star,
@@ -230,8 +235,7 @@ fn compiled_workloads_round_trip_through_assembly() {
     for name in ["129.compress", "101.tomcatv"] {
         let bench = delinquent_loads::workloads::by_name(name).expect("exists");
         let program = bench.compile(OptLevel::O1).expect("compiles");
-        let reparsed =
-            delinquent_loads::mips::parse::parse_asm(&program.to_asm()).expect("parses");
+        let reparsed = delinquent_loads::mips::parse::parse_asm(&program.to_asm()).expect("parses");
         assert_eq!(program.insts, reparsed.insts, "{name} instruction mismatch");
         assert_eq!(program.entry, reparsed.entry, "{name} entry mismatch");
     }
