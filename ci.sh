@@ -18,25 +18,59 @@ echo "== cargo test -q =="
 cargo test -q --workspace
 
 echo "== bench smoke =="
-./target/release/bench --smoke --jobs 2
-test -s BENCH_pipeline.json
+# Written to /tmp so the smoke run never clobbers the tracked
+# full-run numbers in BENCH_pipeline.json.
+./target/release/bench --smoke --jobs 2 --out /tmp/ci_bench.json
+test -s /tmp/ci_bench.json
 
 # Validate the benchmark JSON is well-formed and has the agreed keys.
 if command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json
-doc = json.load(open("BENCH_pipeline.json"))
-for key in ("jobs", "sequential_secs", "parallel_secs", "speedup", "sim_insts_per_sec"):
-    assert key in doc, f"BENCH_pipeline.json missing {key}"
+doc = json.load(open("/tmp/ci_bench.json"))
+for key in ("jobs", "sequential_secs", "parallel_secs", "speedup", "memo", "sim_insts_per_sec"):
+    assert key in doc, f"bench JSON missing {key}"
 assert doc["sequential_secs"] > 0 and doc["parallel_secs"] > 0
-print("BENCH_pipeline.json OK:", json.dumps(doc))
+print("bench JSON OK:", json.dumps(doc))
 EOF
 elif command -v jq >/dev/null 2>&1; then
-  jq -e '.jobs and .sequential_secs > 0 and .parallel_secs > 0 and .speedup and .sim_insts_per_sec' \
-    BENCH_pipeline.json >/dev/null
-  echo "BENCH_pipeline.json OK"
+  jq -e '.jobs and .sequential_secs > 0 and .parallel_secs > 0 and .speedup and .memo and .sim_insts_per_sec' \
+    /tmp/ci_bench.json >/dev/null
+  echo "bench JSON OK"
 else
   echo "warning: neither python3 nor jq available; skipped JSON validation"
+fi
+
+echo "== repro manifest smoke =="
+./target/release/repro --smoke --jobs 2 --manifest /tmp/ci_manifest.json > /dev/null
+test -s /tmp/ci_manifest.json
+
+# The manifest is the observability contract: fail CI if a mandatory
+# section or key disappears.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+doc = json.load(open("/tmp/ci_manifest.json"))
+assert doc["schema"] == "dl-obs/1", f"unexpected schema {doc.get('schema')}"
+for key in ("stages", "memo", "workers", "sim", "miss_classes"):
+    assert key in doc, f"manifest missing {key}"
+assert doc["stages"], "manifest has no stage timings"
+assert all("secs" in s for s in doc["stages"]), "stage entries missing wall times"
+assert "hit_rate" in doc["memo"], "manifest missing memo hit rate"
+for key in ("hits", "misses", "waits"):
+    assert key in doc["memo"], f"manifest memo missing {key}"
+assert doc["workers"], "manifest has no per-worker stats"
+assert doc["sim"]["insts_per_sec"] > 0, "manifest missing sim throughput"
+assert doc["miss_classes"]["total"] > 0, "manifest classified no misses"
+print("RUN_MANIFEST OK: schema", doc["schema"])
+EOF
+elif command -v jq >/dev/null 2>&1; then
+  jq -e '.schema == "dl-obs/1" and (.stages | length > 0) and .memo.hit_rate != null
+         and (.workers | length > 0) and .sim.insts_per_sec > 0
+         and .miss_classes.total > 0' /tmp/ci_manifest.json >/dev/null
+  echo "RUN_MANIFEST OK"
+else
+  echo "warning: neither python3 nor jq available; skipped manifest validation"
 fi
 
 echo "== repro determinism check =="
@@ -44,5 +78,8 @@ echo "== repro determinism check =="
 ./target/release/repro --jobs 4 table3 > /tmp/ci_par.out 2>/dev/null
 cmp /tmp/ci_seq.out /tmp/ci_par.out
 echo "parallel output byte-identical"
+DL_OBS=text ./target/release/repro --jobs 2 table3 > /tmp/ci_obs.out 2>/dev/null
+cmp /tmp/ci_seq.out /tmp/ci_obs.out
+echo "observed (DL_OBS=text) output byte-identical"
 
 echo "CI green"

@@ -12,9 +12,10 @@
 
 use std::time::Instant;
 
-use dl_experiments::pipeline::Pipeline;
+use dl_experiments::pipeline::{MemoStats, Pipeline};
 use dl_experiments::schedule::{default_jobs, prewarm, union_specs};
 use dl_minic::{compile, OptLevel};
+use dl_obs::Json;
 use dl_sim::{run as simulate, RunConfig};
 
 /// Tables whose union of configurations the full benchmark times.
@@ -65,12 +66,12 @@ fn usage() -> ! {
 }
 
 /// Times one full prewarm of `tables` across `jobs` workers.
-fn time_prewarm(tables: &[&str], jobs: usize) -> (f64, usize) {
+fn time_prewarm(tables: &[&str], jobs: usize) -> (f64, usize, MemoStats) {
     let pipeline = Pipeline::new();
     let specs = union_specs(tables.iter().copied());
     let start = Instant::now();
     let n = prewarm(&pipeline, &specs, jobs);
-    (start.elapsed().as_secs_f64(), n)
+    (start.elapsed().as_secs_f64(), n, pipeline.stats())
 }
 
 /// Raw simulator throughput on a cache-resident reduction kernel.
@@ -111,38 +112,43 @@ fn main() {
     eprintln!("  {insts} instructions in {sim_secs:.3}s = {insts_per_sec:.0} insts/s");
 
     eprintln!("[sequential prewarm: {}]", tables.join(", "));
-    let (seq_secs, configs) = time_prewarm(tables, 1);
+    let (seq_secs, configs, _) = time_prewarm(tables, 1);
     eprintln!("  {configs} configurations in {seq_secs:.2}s");
 
     eprintln!("[parallel prewarm: {} jobs]", args.jobs);
-    let (par_secs, _) = time_prewarm(tables, args.jobs);
+    let (par_secs, _, stats) = time_prewarm(tables, args.jobs);
     eprintln!("  {configs} configurations in {par_secs:.2}s");
 
     let speedup = seq_secs / par_secs.max(1e-9);
     eprintln!("  speedup: {speedup:.2}x");
-
-    let table_list = tables
-        .iter()
-        .map(|t| format!("\"{t}\""))
-        .collect::<Vec<_>>()
-        .join(", ");
-    let json = format!(
-        "{{\n  \"smoke\": {},\n  \"jobs\": {},\n  \"tables\": [{}],\n  \
-         \"configurations\": {},\n  \"sequential_secs\": {:.6},\n  \
-         \"parallel_secs\": {:.6},\n  \"speedup\": {:.4},\n  \
-         \"sim_instructions\": {},\n  \"sim_secs\": {:.6},\n  \
-         \"sim_insts_per_sec\": {:.0}\n}}\n",
-        args.smoke,
-        args.jobs,
-        table_list,
-        configs,
-        seq_secs,
-        par_secs,
-        speedup,
-        insts,
-        sim_secs,
-        insts_per_sec
+    eprintln!(
+        "  memo: {} misses, {} in-flight waits; compile cache: {} hits / {} compiles",
+        stats.misses, stats.waits, stats.compile_hits, stats.compile_misses
     );
-    std::fs::write(&args.out, json).expect("write benchmark JSON");
+
+    let json = Json::obj()
+        .with("smoke", args.smoke.into())
+        .with("jobs", args.jobs.into())
+        .with(
+            "tables",
+            Json::Arr(tables.iter().map(|t| (*t).into()).collect()),
+        )
+        .with("configurations", configs.into())
+        .with("sequential_secs", seq_secs.into())
+        .with("parallel_secs", par_secs.into())
+        .with("speedup", speedup.into())
+        .with(
+            "memo",
+            Json::obj()
+                .with("hits", stats.hits.into())
+                .with("misses", stats.misses.into())
+                .with("waits", stats.waits.into())
+                .with("compile_hits", stats.compile_hits.into())
+                .with("compile_misses", stats.compile_misses.into()),
+        )
+        .with("sim_instructions", insts.into())
+        .with("sim_secs", sim_secs.into())
+        .with("sim_insts_per_sec", insts_per_sec.into());
+    std::fs::write(&args.out, json.render()).expect("write benchmark JSON");
     eprintln!("wrote {}", args.out);
 }

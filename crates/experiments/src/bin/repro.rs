@@ -12,17 +12,33 @@
 //! assembled; the default is the machine's available parallelism.
 //! Output is byte-identical for every worker count — table assembly
 //! is always sequential over the warmed memo table.
+//!
+//! Observability:
+//!
+//! - `--manifest PATH` writes a machine-readable `RUN_MANIFEST.json`
+//!   (stage wall times, memo hit/miss/wait counters, per-worker
+//!   utilisation, miss-class breakdown).
+//! - `--profile` prints the same data as a human report on stderr.
+//! - `DL_OBS=json|text|off` sets the default: `json` writes
+//!   `RUN_MANIFEST.json` in the current directory, `text` behaves like
+//!   `--profile`. Tables on stdout are byte-identical in every mode.
+//! - `--smoke` shrinks benchmark inputs so CI can exercise the whole
+//!   pipeline (and validate the manifest) in seconds.
 
 use std::time::Instant;
 
 use dl_experiments::document::experiments_doc;
+use dl_experiments::obs::{profile_text, run_manifest, RunInfo};
 use dl_experiments::pipeline::Pipeline;
-use dl_experiments::schedule::{default_jobs, prewarm, union_specs};
+use dl_experiments::schedule::{default_jobs, prewarm_with_stats, union_specs, PrewarmReport};
 use dl_experiments::tables::all_tables;
+use dl_obs::span::Spans;
+use dl_obs::ObsMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--jobs N] <all | list | table1..table14 | ablation-classes | \
+        "usage: repro [--jobs N] [--smoke] [--profile] [--manifest PATH] \
+         <all | list | table1..table14 | ablation-classes | \
          ablation-patterns | write-experiments [PATH]>"
     );
     std::process::exit(2);
@@ -47,9 +63,84 @@ fn parse_jobs(args: &mut Vec<String>) -> usize {
     default_jobs()
 }
 
+/// Removes a boolean flag from the argument list, reporting presence.
+fn parse_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        return true;
+    }
+    false
+}
+
+/// Removes `--manifest PATH` from the argument list.
+fn parse_manifest(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--manifest")?;
+    if i + 1 >= args.len() {
+        usage();
+    }
+    let path = args[i + 1].clone();
+    args.drain(i..=i + 1);
+    Some(path)
+}
+
+/// How the run is being observed, resolved from flags and `DL_OBS`.
+struct Obs {
+    /// Write the JSON manifest here, if anywhere.
+    manifest: Option<String>,
+    /// Print the human profile report on stderr.
+    profile: bool,
+}
+
+impl Obs {
+    fn resolve(args: &mut Vec<String>) -> Self {
+        let mut manifest = parse_manifest(args);
+        let mut profile = parse_flag(args, "--profile");
+        match ObsMode::from_env() {
+            ObsMode::Json => manifest = manifest.or_else(|| Some("RUN_MANIFEST.json".into())),
+            ObsMode::Text => profile = true,
+            ObsMode::Off => {}
+        }
+        Self { manifest, profile }
+    }
+
+    /// Whether any per-run collection (miss classification, manifest
+    /// assembly) should be enabled at all.
+    fn enabled(&self) -> bool {
+        self.manifest.is_some() || self.profile
+    }
+
+    /// Emits the manifest file and/or profile report.
+    fn finish(
+        &self,
+        info: &RunInfo,
+        pipeline: &Pipeline,
+        report: Option<&PrewarmReport>,
+        spans: &Spans,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let manifest = run_manifest(info, pipeline, report, spans);
+        if let Some(path) = &self.manifest {
+            std::fs::write(path, manifest.render()).expect("write manifest");
+            eprintln!("[manifest written to {path}]");
+        }
+        if self.profile {
+            eprint!("{}", profile_text(&manifest));
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = parse_jobs(&mut args);
+    let smoke = parse_flag(&mut args, "--smoke");
+    let obs = Obs::resolve(&mut args);
+    if args.is_empty() && smoke {
+        // `repro --smoke` alone exercises the cheapest table: enough
+        // for CI to validate the pipeline and the manifest contract.
+        args.push("table3".into());
+    }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         usage();
     }
@@ -61,13 +152,17 @@ fn main() {
         return;
     }
     let pipeline = Pipeline::new();
+    pipeline.set_classify_misses(obs.enabled());
+    let spans = Spans::default();
     let total = Instant::now();
     if args[0] == "write-experiments" {
         let path = args.get(1).map_or("EXPERIMENTS.md", |s| s.as_str());
         let names: Vec<&str> = tables.iter().map(|(n, _)| *n).collect();
-        warm(&pipeline, &names, jobs);
-        let doc = experiments_doc(&pipeline, &tables, |name, secs| {
-            eprintln!("[{name} in {secs:.1}s]");
+        let report = warm(&pipeline, &names, jobs, smoke, &spans);
+        let doc = spans.time("document", || {
+            experiments_doc(&pipeline, &tables, |name, secs| {
+                eprintln!("[{name} in {secs:.1}s]");
+            })
         });
         std::fs::write(path, doc).expect("write EXPERIMENTS.md");
         eprintln!(
@@ -76,6 +171,8 @@ fn main() {
             jobs,
             total.elapsed().as_secs_f64()
         );
+        let info = run_info(jobs, smoke, &names);
+        obs.finish(&info, &pipeline, report.as_ref(), &spans);
         return;
     }
     let wanted: Vec<&str> = if args[0] == "all" {
@@ -89,14 +186,14 @@ fn main() {
             std::process::exit(2);
         }
     }
-    warm(&pipeline, &wanted, jobs);
+    let report = warm(&pipeline, &wanted, jobs, smoke, &spans);
     for name in &wanted {
         let (_, f) = tables
             .iter()
             .find(|(n, _)| n == name)
             .expect("validated above");
         let start = Instant::now();
-        let table = f(&pipeline);
+        let table = spans.time(&format!("tables/{name}"), || f(&pipeline));
         println!("{table}");
         eprintln!("[{name} in {:.1}s]", start.elapsed().as_secs_f64());
     }
@@ -107,19 +204,50 @@ fn main() {
         jobs,
         total.elapsed().as_secs_f64()
     );
+    let info = run_info(jobs, smoke, &wanted);
+    obs.finish(&info, &pipeline, report.as_ref(), &spans);
+}
+
+fn run_info(jobs: usize, smoke: bool, tables: &[&str]) -> RunInfo {
+    RunInfo {
+        command: "repro".into(),
+        jobs,
+        smoke,
+        tables: tables.iter().map(|t| (*t).to_owned()).collect(),
+    }
 }
 
 /// Pre-warms the memo table for the requested tables across `jobs`
-/// workers.
-fn warm(pipeline: &Pipeline, tables: &[&str], jobs: usize) {
-    let specs = union_specs(tables.iter().copied());
+/// workers. With `smoke`, benchmark inputs are clamped small — the
+/// memo key ignores input *values*, so the later table assembly hits
+/// the shrunk entries and the whole run stays fast.
+fn warm(
+    pipeline: &Pipeline,
+    tables: &[&str],
+    jobs: usize,
+    smoke: bool,
+    spans: &Spans,
+) -> Option<PrewarmReport> {
+    let mut specs = union_specs(tables.iter().copied());
     if specs.is_empty() {
-        return;
+        return None;
     }
-    let start = Instant::now();
-    let n = prewarm(pipeline, &specs, jobs);
+    if smoke {
+        for spec in &mut specs {
+            for v in spec
+                .bench
+                .input1
+                .iter_mut()
+                .chain(spec.bench.input2.iter_mut())
+            {
+                *v = (*v).clamp(1, 64);
+            }
+        }
+    }
+    let report = spans.time("warm", || prewarm_with_stats(pipeline, &specs, jobs));
     eprintln!(
-        "[warmed {n} configurations on {jobs} worker(s) in {:.1}s]",
-        start.elapsed().as_secs_f64()
+        "[warmed {} configurations on {jobs} worker(s) in {:.1}s]",
+        report.processed, report.wall_secs
     );
+    Some(report)
 }

@@ -36,11 +36,16 @@
 
 pub mod document;
 pub mod metrics;
+pub mod obs;
 pub mod pipeline;
 pub mod report;
 pub mod schedule;
 pub mod tables;
 
-pub use pipeline::{BenchRun, Pipeline};
+pub use obs::{profile_text, run_manifest};
+pub use pipeline::{BenchRun, ConfigTiming, MemoStats, Pipeline};
 pub use report::Table;
-pub use schedule::{default_jobs, prewarm, table_specs, union_specs, RunSpec};
+pub use schedule::{
+    default_jobs, prewarm, prewarm_with_stats, table_specs, union_specs, PrewarmReport, RunSpec,
+    WorkerStat,
+};

@@ -1,0 +1,373 @@
+//! Pipeline observability glue: assembles the `RUN_MANIFEST.json`
+//! manifest and the human `--profile` report from a [`Pipeline`]'s
+//! counters, a prewarm report, and the run's spans.
+//!
+//! The manifest is the machine-readable contract consumed by `ci.sh`
+//! (which fails if mandatory keys go missing) and by future perf PRs
+//! comparing before/after runs; the text report is the same data
+//! formatted to answer "where did the time go?" at a glance.
+
+use std::fmt::Write as _;
+
+use dl_obs::metrics::Histogram;
+use dl_obs::span::Spans;
+use dl_obs::{Json, Manifest};
+
+use crate::pipeline::Pipeline;
+use crate::schedule::PrewarmReport;
+
+/// How many of the slowest configurations the manifest lists.
+const SLOWEST: usize = 8;
+
+/// Top-level inputs that identify one observed run.
+#[derive(Debug, Clone, Default)]
+pub struct RunInfo {
+    /// Binary name (`repro`, `bench`, …).
+    pub command: String,
+    /// Worker count used for prewarming.
+    pub jobs: usize,
+    /// Whether inputs were shrunk to smoke-test size.
+    pub smoke: bool,
+    /// The table targets this run generated.
+    pub tables: Vec<String>,
+}
+
+/// Builds the full run manifest. Mandatory sections (checked by
+/// `ci.sh`): `stages` (per-stage wall times), `memo` (hit/miss/wait
+/// counters and `hit_rate`), `workers` (per-worker simulation counts),
+/// `sim` (including `insts_per_sec`), and `miss_classes`.
+#[must_use]
+pub fn run_manifest(
+    info: &RunInfo,
+    pipeline: &Pipeline,
+    prewarm: Option<&PrewarmReport>,
+    spans: &Spans,
+) -> Manifest {
+    let stats = pipeline.stats();
+    let timings = pipeline.config_timings();
+
+    let memo = Json::obj()
+        .with("hits", stats.hits.into())
+        .with("misses", stats.misses.into())
+        .with("waits", stats.waits.into())
+        .with("hit_rate", stats.hit_rate().into())
+        .with("compile_hits", stats.compile_hits.into())
+        .with("compile_misses", stats.compile_misses.into());
+
+    let workers = prewarm.map_or_else(Vec::new, |report| {
+        report
+            .workers
+            .iter()
+            .map(|w| {
+                Json::obj()
+                    .with("worker", w.worker.into())
+                    .with("specs", w.specs.into())
+                    .with("busy_secs", w.busy_secs.into())
+            })
+            .collect()
+    });
+
+    let total_sim_secs: f64 = timings.iter().map(|t| t.sim_secs).sum();
+    let total_compile_secs: f64 = timings.iter().map(|t| t.compile_secs).sum();
+    // Histogram of per-configuration instruction counts: deterministic
+    // values (timings stay in `secs` fields only).
+    let insts_hist = Histogram::default();
+    for t in &timings {
+        insts_hist.record(t.instructions);
+    }
+    let buckets = insts_hist
+        .nonzero_buckets()
+        .into_iter()
+        .map(|(i, n)| Json::obj().with("bucket", i.into()).with("count", n.into()))
+        .collect();
+    let sim = Json::obj()
+        .with("configurations", timings.len().into())
+        .with("instructions", stats.sim_instructions.into())
+        .with("total_sim_secs", total_sim_secs.into())
+        .with("total_compile_secs", total_compile_secs.into())
+        .with(
+            "insts_per_sec",
+            if total_sim_secs > 0.0 {
+                (stats.sim_instructions as f64 / total_sim_secs).into()
+            } else {
+                Json::F64(0.0)
+            },
+        )
+        .with("instructions_log2_histogram", Json::Arr(buckets));
+
+    // Aggregate the miss-class breakdown over every completed run.
+    let mut classes = dl_sim::MissClasses::default();
+    let mut classified_runs = 0u64;
+    for run in pipeline.ready_runs() {
+        if let Some(profile) = &run.result.cache_profile {
+            classes.compulsory += profile.classes.compulsory;
+            classes.capacity += profile.classes.capacity;
+            classes.conflict += profile.classes.conflict;
+            classified_runs += 1;
+        }
+    }
+    let miss_classes = Json::obj()
+        .with("classified_runs", classified_runs.into())
+        .with("compulsory", classes.compulsory.into())
+        .with("capacity", classes.capacity.into())
+        .with("conflict", classes.conflict.into())
+        .with("total", classes.total().into());
+
+    // Ranked by instruction count, not measured seconds: instructions
+    // are the deterministic proxy for simulation cost, so the zeroed
+    // manifest (timings stripped) is byte-stable across runs.
+    let mut slowest: Vec<_> = timings.iter().collect();
+    slowest.sort_by(|a, b| {
+        b.instructions
+            .cmp(&a.instructions)
+            .then_with(|| a.label().cmp(&b.label()))
+    });
+    let slowest = slowest
+        .into_iter()
+        .take(SLOWEST)
+        .map(|t| {
+            Json::obj()
+                .with("config", t.label().into())
+                .with("sim_secs", t.sim_secs.into())
+                .with("compile_secs", t.compile_secs.into())
+                .with("instructions", t.instructions.into())
+        })
+        .collect();
+
+    let mut manifest = Manifest::new(&info.command)
+        .with("smoke", info.smoke.into())
+        .with("jobs", info.jobs.into())
+        .with(
+            "tables",
+            Json::Arr(info.tables.iter().map(|t| t.as_str().into()).collect()),
+        )
+        .with_stages(spans)
+        .with("memo", memo)
+        .with("workers", Json::Arr(workers))
+        .with("sim", sim)
+        .with("miss_classes", miss_classes)
+        .with("slowest", Json::Arr(slowest));
+    if let Some(report) = prewarm {
+        manifest.set(
+            "prewarm",
+            Json::obj()
+                .with("processed", report.processed.into())
+                .with("wall_secs", report.wall_secs.into())
+                .with("imbalance", report.imbalance().into()),
+        );
+    }
+    manifest
+}
+
+fn f(value: Option<&Json>) -> f64 {
+    match value {
+        Some(Json::F64(v)) => *v,
+        Some(Json::U64(v)) => *v as f64,
+        _ => 0.0,
+    }
+}
+
+fn u(value: Option<&Json>) -> u64 {
+    match value {
+        Some(Json::U64(v)) => *v,
+        _ => 0,
+    }
+}
+
+fn s(value: Option<&Json>) -> String {
+    match value {
+        Some(Json::Str(v)) => v.clone(),
+        _ => String::new(),
+    }
+}
+
+/// Renders a manifest as the human `--profile` report: the same data,
+/// formatted to answer where the time went.
+#[must_use]
+pub fn profile_text(manifest: &Manifest) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== {} profile (jobs: {}) ==",
+        s(manifest.get("command")),
+        u(manifest.get("jobs")),
+    );
+    if let Some(Json::Arr(stages)) = manifest.get("stages") {
+        out.push_str("stages:\n");
+        for stage in stages {
+            let _ = writeln!(
+                out,
+                "  {:<40} {:>8.3}s",
+                s(stage.get("name")),
+                f(stage.get("secs"))
+            );
+        }
+    }
+    if let Some(memo) = manifest.get("memo") {
+        let _ = writeln!(
+            out,
+            "memo: {} hits / {} misses ({:.1}% hit rate), {} in-flight waits",
+            u(memo.get("hits")),
+            u(memo.get("misses")),
+            100.0 * f(memo.get("hit_rate")),
+            u(memo.get("waits")),
+        );
+        let _ = writeln!(
+            out,
+            "compile cache: {} hits / {} compiles",
+            u(memo.get("compile_hits")),
+            u(memo.get("compile_misses")),
+        );
+    }
+    if let Some(Json::Arr(workers)) = manifest.get("workers") {
+        if !workers.is_empty() {
+            out.push_str("workers:\n");
+            for w in workers {
+                let _ = writeln!(
+                    out,
+                    "  #{:<3} {:>5} specs  {:>8.3}s busy",
+                    u(w.get("worker")),
+                    u(w.get("specs")),
+                    f(w.get("busy_secs")),
+                );
+            }
+        }
+    }
+    if let Some(prewarm) = manifest.get("prewarm") {
+        let _ = writeln!(
+            out,
+            "prewarm: {} specs in {:.3}s wall, imbalance {:.2}x",
+            u(prewarm.get("processed")),
+            f(prewarm.get("wall_secs")),
+            f(prewarm.get("imbalance")),
+        );
+    }
+    if let Some(sim) = manifest.get("sim") {
+        let _ = writeln!(
+            out,
+            "sim: {} configurations, {} insts in {:.3}s sim + {:.3}s compile ({:.1}M insts/s)",
+            u(sim.get("configurations")),
+            u(sim.get("instructions")),
+            f(sim.get("total_sim_secs")),
+            f(sim.get("total_compile_secs")),
+            f(sim.get("insts_per_sec")) / 1e6,
+        );
+    }
+    if let Some(mc) = manifest.get("miss_classes") {
+        let total = u(mc.get("total"));
+        if total > 0 {
+            let pct = |k: &str| 100.0 * u(mc.get(k)) as f64 / total as f64;
+            let _ = writeln!(
+                out,
+                "miss classes: {:.1}% compulsory / {:.1}% capacity / {:.1}% conflict \
+                 ({total} classified misses over {} runs)",
+                pct("compulsory"),
+                pct("capacity"),
+                pct("conflict"),
+                u(mc.get("classified_runs")),
+            );
+        } else {
+            out.push_str("miss classes: (classification off — rerun with --profile/--manifest)\n");
+        }
+    }
+    if let Some(Json::Arr(slowest)) = manifest.get("slowest") {
+        if !slowest.is_empty() {
+            out.push_str("slowest configurations:\n");
+            for t in slowest {
+                let _ = writeln!(
+                    out,
+                    "  {:<48} {:>8.3}s sim  {:>7.3}s compile  {:>12} insts",
+                    s(t.get("config")),
+                    f(t.get("sim_secs")),
+                    f(t.get("compile_secs")),
+                    u(t.get("instructions")),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{prewarm_with_stats, table_specs};
+    use dl_obs::manifest::SCHEMA;
+
+    fn shrunk_table3() -> Vec<crate::schedule::RunSpec> {
+        let mut specs = table_specs("table3");
+        for spec in &mut specs {
+            for v in spec
+                .bench
+                .input1
+                .iter_mut()
+                .chain(spec.bench.input2.iter_mut())
+            {
+                *v = (*v).clamp(1, 64);
+            }
+        }
+        specs
+    }
+
+    #[test]
+    fn manifest_has_mandatory_sections() {
+        let pipeline = Pipeline::new();
+        pipeline.set_classify_misses(true);
+        let spans = Spans::default();
+        let report = spans.time("warm", || {
+            prewarm_with_stats(&pipeline, &shrunk_table3(), 2)
+        });
+        let info = RunInfo {
+            command: "repro".into(),
+            jobs: 2,
+            smoke: true,
+            tables: vec!["table3".into()],
+        };
+        let manifest = run_manifest(&info, &pipeline, Some(&report), &spans);
+        assert_eq!(manifest.get("schema"), Some(&Json::Str(SCHEMA.into())));
+        for key in [
+            "stages",
+            "memo",
+            "workers",
+            "sim",
+            "miss_classes",
+            "slowest",
+            "prewarm",
+        ] {
+            assert!(manifest.get(key).is_some(), "manifest missing `{key}`");
+        }
+        let memo = manifest.get("memo").unwrap();
+        assert_eq!(u(memo.get("misses")), report.processed as u64);
+        let mc = manifest.get("miss_classes").unwrap();
+        assert!(u(mc.get("total")) > 0, "classification produced no misses");
+        let sim = manifest.get("sim").unwrap();
+        assert!(f(sim.get("insts_per_sec")) > 0.0);
+
+        // The text report renders every section.
+        let text = profile_text(&manifest);
+        for needle in ["stages:", "memo:", "workers:", "sim:", "miss classes:"] {
+            assert!(text.contains(needle), "profile text missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn zeroed_manifest_is_deterministic() {
+        let build = || {
+            let pipeline = Pipeline::new();
+            let spans = Spans::default();
+            let report = spans.time("warm", || {
+                prewarm_with_stats(&pipeline, &shrunk_table3(), 1)
+            });
+            let info = RunInfo {
+                command: "repro".into(),
+                jobs: 1,
+                smoke: true,
+                tables: vec!["table3".into()],
+            };
+            let mut m = run_manifest(&info, &pipeline, Some(&report), &spans);
+            m.zero_timings();
+            m.render()
+        };
+        assert_eq!(build(), build());
+    }
+}

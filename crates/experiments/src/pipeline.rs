@@ -1,22 +1,43 @@
 //! The compile → simulate → analyze pipeline, memoized per
 //! (benchmark, optimization level, input set, cache geometry).
 //!
-//! The memo table is thread-safe: any number of threads may call
-//! [`Pipeline::run`] concurrently. Requests for the same key are
-//! deduplicated *in flight* — the first thread to claim a key runs the
-//! simulation while every other thread requesting it blocks on a
-//! condition variable and receives the shared result, so a
-//! configuration is simulated exactly once no matter how many threads
-//! race for it.
+//! The memo table is thread-safe and **sharded**: keys hash to one of
+//! [`SHARDS`] independent `Mutex<HashMap>` shards, so concurrent
+//! requests for different configurations never contend on a single
+//! global lock. Requests for the same key are deduplicated *in
+//! flight* — the first thread to claim a key runs the simulation while
+//! every other thread requesting it blocks on that shard's condition
+//! variable and receives the shared result, so a configuration is
+//! simulated exactly once no matter how many threads race for it.
+//!
+//! Compilation and analysis are additionally memoized per
+//! `(benchmark, opt)` — independent of input set and cache geometry —
+//! so sweeping four cache sizes over one benchmark compiles it once.
+//!
+//! Every table-generation PR to come needs to see inside this machine,
+//! so the pipeline self-reports: memo hit/miss/wait counters
+//! ([`Pipeline::stats`]), per-configuration compile and simulation
+//! wall times ([`Pipeline::config_timings`]), and — when
+//! [`Pipeline::set_classify_misses`] is enabled — the simulator's
+//! miss-class breakdown on every run it computes.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use dl_analysis::extract::{analyze_program, AnalysisConfig, ProgramAnalysis};
 use dl_minic::OptLevel;
 use dl_mips::program::Program;
 use dl_sim::{run as simulate, CacheConfig, RunConfig, RunResult};
 use dl_workloads::Benchmark;
+
+/// Number of memo-table shards. A small power of two: plenty to spread
+/// ~100 configurations across worker threads without measurable memory
+/// cost.
+pub const SHARDS: usize = 16;
 
 /// Everything produced by one end-to-end benchmark run.
 #[derive(Debug)]
@@ -47,6 +68,14 @@ impl BenchRun {
 
 type Key = (String, OptLevel, u8, CacheConfig);
 
+/// A compiled-and-analyzed benchmark, shared across every input set
+/// and cache geometry that simulates it.
+#[derive(Debug)]
+struct Compiled {
+    program: Program,
+    analysis: ProgramAnalysis,
+}
+
 /// State of one memo-table entry.
 #[derive(Debug)]
 enum Slot {
@@ -56,11 +85,19 @@ enum Slot {
     Ready(Arc<BenchRun>),
 }
 
+/// One shard of the memo table: its own map and its own wakeup
+/// channel for in-flight waiters.
+#[derive(Debug, Default)]
+struct Shard {
+    runs: Mutex<HashMap<Key, Slot>>,
+    ready: Condvar,
+}
+
 /// Removes an in-flight claim if the owning thread unwinds, so
 /// waiters wake up and one of them re-claims the key instead of
 /// deadlocking.
 struct InFlightGuard<'a> {
-    pipeline: &'a Pipeline,
+    shard: &'a Shard,
     key: Key,
     armed: bool,
 }
@@ -68,27 +105,113 @@ struct InFlightGuard<'a> {
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            let mut runs = self.pipeline.runs.lock().expect("pipeline lock");
+            let mut runs = self.shard.runs.lock().expect("pipeline lock");
             if matches!(runs.get(&self.key), Some(Slot::InFlight)) {
                 runs.remove(&self.key);
             }
             drop(runs);
-            self.pipeline.ready.notify_all();
+            self.shard.ready.notify_all();
         }
     }
 }
 
+/// Snapshot of the pipeline's memo-table counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Requests served from a ready memo entry.
+    pub hits: u64,
+    /// Requests that computed a new entry (distinct simulations).
+    pub misses: u64,
+    /// Requests that blocked on another thread's in-flight computation.
+    pub waits: u64,
+    /// Compile requests served from the compile cache.
+    pub compile_hits: u64,
+    /// Compilations actually performed.
+    pub compile_misses: u64,
+    /// Total instructions executed across all computed simulations.
+    pub sim_instructions: u64,
+}
+
+impl MemoStats {
+    /// Fraction of run requests served without simulating, or 0 with
+    /// no traffic.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Wall-clock record of one computed configuration.
+#[derive(Debug, Clone)]
+pub struct ConfigTiming {
+    /// Benchmark name.
+    pub bench: String,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Input set.
+    pub input_set: u8,
+    /// Cache geometry.
+    pub cache: CacheConfig,
+    /// Seconds spent compiling + analyzing (0 on a compile-cache hit).
+    pub compile_secs: f64,
+    /// Seconds spent simulating.
+    pub sim_secs: f64,
+    /// Instructions the simulation executed.
+    pub instructions: u64,
+}
+
+impl ConfigTiming {
+    /// A compact human label, e.g. `181.mcf/O0/in1/8KB 4-way 32B-block`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/in{}/{}",
+            self.bench, self.opt, self.input_set, self.cache
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    waits: AtomicU64,
+    compile_hits: AtomicU64,
+    compile_misses: AtomicU64,
+    sim_instructions: AtomicU64,
+}
+
 /// Memoizing, thread-safe pipeline executor.
 ///
-/// Compilation + analysis are shared across cache geometries for the
-/// same `(benchmark, opt, input)`; simulation results are cached per
-/// full key, so tables that share configurations do not re-simulate.
-/// Concurrent requests for the same key block until the single
-/// in-flight computation finishes and then share its result.
-#[derive(Debug, Default)]
+/// Compilation + analysis are shared across input sets and cache
+/// geometries for the same `(benchmark, opt)`; simulation results are
+/// cached per full key, so tables that share configurations do not
+/// re-simulate. Concurrent requests for the same key block until the
+/// single in-flight computation finishes and then share its result.
+#[derive(Debug)]
 pub struct Pipeline {
-    runs: Mutex<HashMap<Key, Slot>>,
-    ready: Condvar,
+    shards: Vec<Shard>,
+    compiled: Mutex<HashMap<(String, OptLevel), Arc<Compiled>>>,
+    counters: Counters,
+    timings: Mutex<Vec<ConfigTiming>>,
+    classify: AtomicBool,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+            compiled: Mutex::default(),
+            counters: Counters::default(),
+            timings: Mutex::default(),
+            classify: AtomicBool::new(false),
+        }
+    }
 }
 
 impl Pipeline {
@@ -96,6 +219,22 @@ impl Pipeline {
     #[must_use]
     pub fn new() -> Self {
         Pipeline::default()
+    }
+
+    /// Enables miss classification (compulsory/capacity/conflict and
+    /// per-set histograms) on every simulation this pipeline computes
+    /// *from now on*. Set it before the first [`Pipeline::run`]:
+    /// memoized entries keep whatever setting they were computed
+    /// under. Classification never changes hit/miss counts, so table
+    /// output is identical either way.
+    pub fn set_classify_misses(&self, on: bool) {
+        self.classify.store(on, Ordering::Relaxed);
+    }
+
+    fn shard_of(&self, key: &Key) -> &Shard {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
     }
 
     /// Runs (or returns the memoized run of) one configuration.
@@ -115,15 +254,24 @@ impl Pipeline {
         cache: CacheConfig,
     ) -> Arc<BenchRun> {
         let key: Key = (bench.name.to_owned(), opt, input_set, cache);
+        let shard = self.shard_of(&key);
         {
-            let mut runs = self.runs.lock().expect("pipeline lock");
+            let mut waited = false;
+            let mut runs = shard.runs.lock().expect("pipeline lock");
             loop {
                 match runs.get(&key) {
-                    Some(Slot::Ready(run)) => return Arc::clone(run),
+                    Some(Slot::Ready(run)) => {
+                        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                        return Arc::clone(run);
+                    }
                     Some(Slot::InFlight) => {
                         // Another thread is computing this key; wait
                         // for it to finish (or unwind) and re-check.
-                        runs = self.ready.wait(runs).expect("pipeline lock");
+                        if !waited {
+                            waited = true;
+                            self.counters.waits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        runs = shard.ready.wait(runs).expect("pipeline lock");
                     }
                     None => {
                         runs.insert(key.clone(), Slot::InFlight);
@@ -133,18 +281,42 @@ impl Pipeline {
             }
         }
         // We own the in-flight claim; compute outside the lock.
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let mut guard = InFlightGuard {
-            pipeline: self,
+            shard,
             key: key.clone(),
             armed: true,
         };
         let run = Arc::new(self.compute(bench, opt, input_set, cache));
         guard.armed = false;
-        let mut runs = self.runs.lock().expect("pipeline lock");
+        let mut runs = shard.runs.lock().expect("pipeline lock");
         runs.insert(key, Slot::Ready(Arc::clone(&run)));
         drop(runs);
-        self.ready.notify_all();
+        shard.ready.notify_all();
         run
+    }
+
+    /// Compiles and analyzes `bench` at `opt`, memoized per
+    /// `(name, opt)`. Racing compiles of the same key may both do the
+    /// work (compilation is pure and cheap next to simulation); the
+    /// first insertion wins so every caller shares one instance.
+    fn compiled_for(&self, bench: &Benchmark, opt: OptLevel) -> (Arc<Compiled>, f64) {
+        let key = (bench.name.to_owned(), opt);
+        if let Some(hit) = self.compiled.lock().expect("compile lock").get(&key) {
+            self.counters.compile_hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(hit), 0.0);
+        }
+        let start = Instant::now();
+        let program = bench
+            .compile(opt)
+            .unwrap_or_else(|e| panic!("{} does not compile at {opt}: {e}", bench.name));
+        let analysis = analyze_program(&program, &AnalysisConfig::default());
+        let secs = start.elapsed().as_secs_f64();
+        self.counters.compile_misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(Compiled { program, analysis });
+        let mut map = self.compiled.lock().expect("compile lock");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&compiled));
+        (Arc::clone(entry), secs)
     }
 
     /// The uncached compile → analyze → simulate path.
@@ -155,21 +327,36 @@ impl Pipeline {
         input_set: u8,
         cache: CacheConfig,
     ) -> BenchRun {
-        let program = bench
-            .compile(opt)
-            .unwrap_or_else(|e| panic!("{} does not compile at {opt}: {e}", bench.name));
-        let analysis = analyze_program(&program, &AnalysisConfig::default());
+        let (compiled, compile_secs) = self.compiled_for(bench, opt);
         let config = RunConfig {
             cache,
             input: bench.input(input_set).to_vec(),
+            classify_misses: self.classify.load(Ordering::Relaxed),
             ..RunConfig::default()
         };
-        let result = simulate(&program, &config)
+        let sim_start = Instant::now();
+        let result = simulate(&compiled.program, &config)
             .unwrap_or_else(|e| panic!("{} trapped at {opt}: {e}", bench.name));
+        let sim_secs = sim_start.elapsed().as_secs_f64();
+        self.counters
+            .sim_instructions
+            .fetch_add(result.instructions, Ordering::Relaxed);
+        self.timings
+            .lock()
+            .expect("timing lock")
+            .push(ConfigTiming {
+                bench: bench.name.to_owned(),
+                opt,
+                input_set,
+                cache,
+                compile_secs,
+                sim_secs,
+                instructions: result.instructions,
+            });
         BenchRun {
             name: bench.name.to_owned(),
-            program,
-            analysis,
+            program: compiled.program.clone(),
+            analysis: compiled.analysis.clone(),
             result,
         }
     }
@@ -177,12 +364,63 @@ impl Pipeline {
     /// Number of distinct simulations completed so far.
     #[must_use]
     pub fn simulations(&self) -> usize {
-        self.runs
-            .lock()
-            .expect("pipeline lock")
-            .values()
-            .filter(|s| matches!(s, Slot::Ready(_)))
-            .count()
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .runs
+                    .lock()
+                    .expect("pipeline lock")
+                    .values()
+                    .filter(|s| matches!(s, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Snapshot of the memo-table counters.
+    #[must_use]
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            waits: self.counters.waits.load(Ordering::Relaxed),
+            compile_hits: self.counters.compile_hits.load(Ordering::Relaxed),
+            compile_misses: self.counters.compile_misses.load(Ordering::Relaxed),
+            sim_instructions: self.counters.sim_instructions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-configuration wall-clock records, in completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timing lock is poisoned.
+    #[must_use]
+    pub fn config_timings(&self) -> Vec<ConfigTiming> {
+        self.timings.lock().expect("timing lock").clone()
+    }
+
+    /// Every ready (completed) run currently in the memo table, in an
+    /// unspecified order. Used to aggregate per-run measurements —
+    /// e.g. the miss-class breakdown — without re-running anything.
+    #[must_use]
+    pub fn ready_runs(&self) -> Vec<Arc<BenchRun>> {
+        self.shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .runs
+                    .lock()
+                    .expect("pipeline lock")
+                    .values()
+                    .filter_map(|s| match s {
+                        Slot::Ready(run) => Some(Arc::clone(run)),
+                        Slot::InFlight => None,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 }
 
@@ -203,6 +441,42 @@ mod tests {
         let r3 = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_baseline());
         assert!(!Arc::ptr_eq(&r1, &r3));
         assert_eq!(p.simulations(), 2);
+    }
+
+    #[test]
+    fn stats_track_hits_misses_and_compile_sharing() {
+        let p = Pipeline::new();
+        let mut b = dl_workloads::by_name("197.parser").expect("exists");
+        b.input1 = vec![500, 2];
+        let _ = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
+        let _ = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
+        let _ = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_baseline());
+        let s = p.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        // Two distinct simulations share one compilation.
+        assert_eq!(s.compile_misses, 1);
+        assert_eq!(s.compile_hits, 1);
+        assert!(s.sim_instructions > 0);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        let timings = p.config_timings();
+        assert_eq!(timings.len(), 2);
+        assert!(timings[0].label().contains("197.parser/O0/in1"));
+        // The compile-cache hit reports zero compile seconds.
+        assert_eq!(timings[1].compile_secs, 0.0);
+        assert_eq!(p.ready_runs().len(), 2);
+    }
+
+    #[test]
+    fn classification_flows_into_results() {
+        let p = Pipeline::new();
+        p.set_classify_misses(true);
+        let mut b = dl_workloads::by_name("197.parser").expect("exists");
+        b.input1 = vec![500, 2];
+        let r = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
+        let profile = r.result.cache_profile.as_ref().expect("profile recorded");
+        assert_eq!(profile.classes.total(), r.result.dcache_misses);
+        assert!(r.result.load_miss_classes.is_some());
     }
 
     #[test]
@@ -238,6 +512,9 @@ mod tests {
             }
         });
         assert_eq!(p.simulations(), 1);
+        let s = p.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use dl_minic::OptLevel;
 use dl_sim::CacheConfig;
@@ -139,6 +140,45 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
+/// Utilisation of one prewarm worker thread.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerStat {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Specs this worker processed.
+    pub specs: u64,
+    /// Seconds this worker spent inside [`Pipeline::run`] (simulating,
+    /// or blocked on another worker's in-flight computation).
+    pub busy_secs: f64,
+}
+
+/// What one [`prewarm_with_stats`] call did: how many specs ran and
+/// how evenly the work spread across workers.
+#[derive(Debug, Clone, Default)]
+pub struct PrewarmReport {
+    /// Total specs processed (= the input length).
+    pub processed: usize,
+    /// Per-worker utilisation, indexed by worker id.
+    pub workers: Vec<WorkerStat>,
+    /// Wall-clock seconds for the whole prewarm.
+    pub wall_secs: f64,
+}
+
+impl PrewarmReport {
+    /// Ratio of the busiest worker's spec count to the mean — 1.0 is
+    /// perfectly balanced; large values mean one worker dragged the
+    /// tail. Returns 0 for an empty report.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        if self.workers.is_empty() || self.processed == 0 {
+            return 0.0;
+        }
+        let max = self.workers.iter().map(|w| w.specs).max().unwrap_or(0) as f64;
+        let mean = self.processed as f64 / self.workers.len() as f64;
+        max / mean
+    }
+}
+
 /// Runs every spec through the pipeline across `jobs` worker threads,
 /// populating the memo table. Returns the number of specs processed.
 ///
@@ -152,32 +192,71 @@ pub fn default_jobs() -> usize {
 /// Propagates a panic from any worker (a benchmark failing to compile
 /// or trapping — the same conditions that panic [`Pipeline::run`]).
 pub fn prewarm(pipeline: &Pipeline, specs: &[RunSpec], jobs: usize) -> usize {
+    prewarm_with_stats(pipeline, specs, jobs).processed
+}
+
+/// Like [`prewarm`], additionally reporting per-worker utilisation —
+/// the raw material for the pipeline's `--profile` report and
+/// `RUN_MANIFEST.json`.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker, exactly like [`prewarm`].
+pub fn prewarm_with_stats(pipeline: &Pipeline, specs: &[RunSpec], jobs: usize) -> PrewarmReport {
+    let wall = Instant::now();
     if jobs <= 1 || specs.len() <= 1 {
+        let start = Instant::now();
         for spec in specs {
             let _ = pipeline.run(&spec.bench, spec.opt, spec.input_set, spec.cache);
         }
-        return specs.len();
+        return PrewarmReport {
+            processed: specs.len(),
+            workers: vec![WorkerStat {
+                worker: 0,
+                specs: specs.len() as u64,
+                busy_secs: start.elapsed().as_secs_f64(),
+            }],
+            wall_secs: wall.elapsed().as_secs_f64(),
+        };
     }
     let next = AtomicUsize::new(0);
     let workers = jobs.min(specs.len());
-    std::thread::scope(|scope| {
+    let stats = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|worker| {
                 let next = &next;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(i) else { break };
-                    let _ = pipeline.run(&spec.bench, spec.opt, spec.input_set, spec.cache);
+                scope.spawn(move || {
+                    let mut stat = WorkerStat {
+                        worker,
+                        ..WorkerStat::default()
+                    };
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = specs.get(i) else {
+                            break stat;
+                        };
+                        let start = Instant::now();
+                        let _ = pipeline.run(&spec.bench, spec.opt, spec.input_set, spec.cache);
+                        stat.specs += 1;
+                        stat.busy_secs += start.elapsed().as_secs_f64();
+                    }
                 })
             })
             .collect();
+        let mut stats = Vec::with_capacity(handles.len());
         for h in handles {
-            if let Err(panic) = h.join() {
-                std::panic::resume_unwind(panic);
+            match h.join() {
+                Ok(stat) => stats.push(stat),
+                Err(panic) => std::panic::resume_unwind(panic),
             }
         }
+        stats
     });
-    specs.len()
+    PrewarmReport {
+        processed: specs.len(),
+        workers: stats,
+        wall_secs: wall.elapsed().as_secs_f64(),
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +314,25 @@ mod tests {
         prewarm(&parallel, &specs, 4);
         assert_eq!(sequential.simulations(), parallel.simulations());
         assert_eq!(parallel.simulations(), specs.len());
+    }
+
+    #[test]
+    fn prewarm_reports_worker_utilisation() {
+        let mut specs = table_specs("table3");
+        for spec in &mut specs {
+            shrink(&mut spec.bench);
+        }
+        let pipeline = Pipeline::new();
+        let report = prewarm_with_stats(&pipeline, &specs, 3);
+        assert_eq!(report.processed, specs.len());
+        assert_eq!(report.workers.len(), 3.min(specs.len()));
+        let total: u64 = report.workers.iter().map(|w| w.specs).sum();
+        assert_eq!(total, specs.len() as u64);
+        assert!(report.imbalance() >= 1.0);
+        // Sequential path reports a single worker owning everything.
+        let seq = prewarm_with_stats(&Pipeline::new(), &specs, 1);
+        assert_eq!(seq.workers.len(), 1);
+        assert_eq!(seq.workers[0].specs, specs.len() as u64);
     }
 
     /// Shrinks a benchmark's inputs so tests stay fast.

@@ -1,0 +1,76 @@
+//! Observability must never perturb results: the experiment tables a
+//! pipeline renders with miss classification (the `DL_OBS`/`--profile`
+//! collection path) enabled are byte-identical to an unobserved run.
+//! Classification only *labels* misses the cache already took — it
+//! must not change what hits or misses, and none of its output flows
+//! into the tables.
+
+use dl_experiments::document::experiments_doc;
+use dl_experiments::pipeline::Pipeline;
+use dl_experiments::schedule::{prewarm, union_specs, RunSpec};
+use dl_experiments::tables::{all_tables, TableFn};
+
+const SUBSET: &[&str] = &["table3", "table7"];
+
+fn shrunk_specs(tables: &[&str]) -> Vec<RunSpec> {
+    let mut specs = union_specs(tables.iter().copied());
+    for spec in &mut specs {
+        for v in spec
+            .bench
+            .input1
+            .iter_mut()
+            .chain(spec.bench.input2.iter_mut())
+        {
+            *v = (*v).clamp(1, 64);
+        }
+    }
+    specs
+}
+
+fn subset_tables() -> Vec<(&'static str, TableFn)> {
+    all_tables()
+        .into_iter()
+        .filter(|(name, _)| SUBSET.contains(name))
+        .collect()
+}
+
+fn render(classify: bool) -> String {
+    let pipeline = Pipeline::new();
+    pipeline.set_classify_misses(classify);
+    prewarm(&pipeline, &shrunk_specs(SUBSET), 2);
+    experiments_doc(&pipeline, &subset_tables(), |_, _| {})
+}
+
+#[test]
+fn observed_tables_are_byte_identical_to_unobserved() {
+    let off = render(false);
+    let on = render(true);
+    assert_eq!(
+        off, on,
+        "enabling miss classification changed rendered experiment tables"
+    );
+}
+
+#[test]
+fn classification_attaches_profiles_without_extra_simulations() {
+    let pipeline = Pipeline::new();
+    pipeline.set_classify_misses(true);
+    let specs = shrunk_specs(SUBSET);
+    prewarm(&pipeline, &specs, 2);
+    assert_eq!(pipeline.simulations(), specs.len());
+    for run in pipeline.ready_runs() {
+        let profile = run
+            .result
+            .cache_profile
+            .as_ref()
+            .expect("classified run carries a cache profile");
+        assert_eq!(
+            profile.classes.total(),
+            profile.set_misses.iter().sum::<u64>(),
+            "every set miss is classified"
+        );
+        run.result
+            .check_consistency()
+            .expect("observed run stays self-consistent");
+    }
+}

@@ -1,0 +1,189 @@
+//! The run manifest: a structured, machine-readable record of one
+//! pipeline run (`RUN_MANIFEST.json`) plus its human text rendering.
+//!
+//! A manifest is an ordered JSON object with a fixed `schema` tag.
+//! Wall-clock readings only ever appear under keys containing `sec`
+//! (`secs`, `busy_secs`, `insts_per_sec`, …), so
+//! [`Manifest::zero_timings`] can strip every nondeterministic byte;
+//! golden tests assert the zeroed rendering is stable.
+
+use crate::json::Json;
+use crate::metrics::Registry;
+use crate::span::Spans;
+
+/// Schema tag written into every manifest.
+pub const SCHEMA: &str = "dl-obs/1";
+
+/// Builder for `RUN_MANIFEST.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    root: Json,
+}
+
+impl Manifest {
+    /// Creates a manifest for the named command (`repro`, `bench`, …).
+    #[must_use]
+    pub fn new(command: &str) -> Self {
+        Manifest {
+            root: Json::obj()
+                .with("schema", SCHEMA.into())
+                .with("command", command.into()),
+        }
+    }
+
+    /// Sets a top-level section.
+    #[must_use]
+    pub fn with(mut self, key: &str, value: Json) -> Self {
+        self.root.set(key, value);
+        self
+    }
+
+    /// Sets a top-level section in place.
+    pub fn set(&mut self, key: &str, value: Json) {
+        self.root.set(key, value);
+    }
+
+    /// Reads a top-level section.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.root.get(key)
+    }
+
+    /// Adds a `stages` section from finished spans: one entry per
+    /// span, in completion order, as `{ "name": path, "secs": f }`.
+    #[must_use]
+    pub fn with_stages(self, spans: &Spans) -> Self {
+        let stages = spans
+            .records()
+            .into_iter()
+            .map(|r| {
+                Json::obj()
+                    .with("name", r.path.into())
+                    .with("secs", r.secs.into())
+            })
+            .collect();
+        self.with("stages", Json::Arr(stages))
+    }
+
+    /// Adds `counters` / `gauges` / `histograms` sections from a
+    /// registry snapshot (sorted by name; empty sections omitted).
+    #[must_use]
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        let counters = registry.counter_values();
+        if !counters.is_empty() {
+            let obj = counters
+                .into_iter()
+                .map(|(k, v)| (k, Json::U64(v)))
+                .collect();
+            self.root.set("counters", Json::Obj(obj));
+        }
+        let gauges = registry.gauge_values();
+        if !gauges.is_empty() {
+            let obj = gauges.into_iter().map(|(k, v)| (k, Json::U64(v))).collect();
+            self.root.set("gauges", Json::Obj(obj));
+        }
+        let histograms = registry.histogram_values();
+        if !histograms.is_empty() {
+            let obj = histograms
+                .into_iter()
+                .map(|(name, (count, sum, buckets))| {
+                    let b = buckets
+                        .into_iter()
+                        .map(|(i, n)| Json::obj().with("bucket", i.into()).with("count", n.into()))
+                        .collect();
+                    (
+                        name,
+                        Json::obj()
+                            .with("count", count.into())
+                            .with("sum", sum.into())
+                            .with("buckets", Json::Arr(b)),
+                    )
+                })
+                .collect();
+            self.root.set("histograms", Json::Obj(obj));
+        }
+        self
+    }
+
+    /// Zeroes every float stored under a key containing `sec` —
+    /// i.e. every wall-clock-derived value — leaving deterministic
+    /// values untouched. Used by golden tests to pin the manifest
+    /// *structure* without pinning timings.
+    pub fn zero_timings(&mut self) {
+        zero_timings_in(&mut self.root, false);
+    }
+
+    /// Renders the manifest as pretty-printed JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.root.render()
+    }
+
+    /// The underlying JSON value.
+    #[must_use]
+    pub fn json(&self) -> &Json {
+        &self.root
+    }
+}
+
+fn zero_timings_in(value: &mut Json, under_timing_key: bool) {
+    match value {
+        Json::F64(v) if under_timing_key => *v = 0.0,
+        Json::Arr(items) => {
+            for item in items {
+                zero_timings_in(item, under_timing_key);
+            }
+        }
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                zero_timings_in(v, k.contains("sec"));
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_command_are_first() {
+        let m = Manifest::new("repro");
+        let text = m.render();
+        assert!(text.starts_with("{\n  \"schema\": \"dl-obs/1\",\n  \"command\": \"repro\""));
+    }
+
+    #[test]
+    fn zero_timings_only_touches_sec_keys() {
+        let mut m = Manifest::new("x")
+            .with("hit_rate", Json::F64(0.75))
+            .with("warm_secs", Json::F64(1.25))
+            .with(
+                "sim",
+                Json::obj()
+                    .with("insts_per_sec", Json::F64(1e6))
+                    .with("instructions", Json::U64(5)),
+            );
+        m.zero_timings();
+        assert_eq!(m.get("hit_rate"), Some(&Json::F64(0.75)));
+        assert_eq!(m.get("warm_secs"), Some(&Json::F64(0.0)));
+        let sim = m.get("sim").unwrap();
+        assert_eq!(sim.get("insts_per_sec"), Some(&Json::F64(0.0)));
+        assert_eq!(sim.get("instructions"), Some(&Json::U64(5)));
+    }
+
+    #[test]
+    fn stages_come_from_spans() {
+        let spans = Spans::default();
+        spans.record("warm", 1.0);
+        spans.record("tables/table3", 2.0);
+        let m = Manifest::new("repro").with_stages(&spans);
+        let Some(Json::Arr(stages)) = m.get("stages") else {
+            panic!("stages missing");
+        };
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].get("name"), Some(&Json::Str("warm".into())));
+        assert_eq!(stages[1].get("secs"), Some(&Json::F64(2.0)));
+    }
+}

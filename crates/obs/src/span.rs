@@ -1,0 +1,171 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A [`Spans`] collector accumulates finished [`SpanRecord`]s; a
+//! [`SpanGuard`] times one region and records itself on drop. Nesting
+//! is expressed through `/`-separated paths: `guard.child("sim")`
+//! under a `repro/warm` guard records as `repro/warm/sim`. Guards can
+//! be created and dropped on any thread — the collector is behind a
+//! mutex that is only taken when a span *finishes*.
+//!
+//! Spans are the only place dl-obs stores wall-clock readings; see the
+//! crate docs for why timings are segregated from metric values.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// `/`-separated hierarchical name, e.g. `repro/warm/sim`.
+    pub path: String,
+    /// Wall-clock duration in seconds.
+    pub secs: f64,
+}
+
+/// A thread-safe collector of finished spans.
+#[derive(Debug, Default)]
+pub struct Spans {
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+impl Spans {
+    /// Starts a root span at `path`.
+    #[must_use]
+    pub fn enter<'a>(&'a self, path: &str) -> SpanGuard<'a> {
+        SpanGuard {
+            spans: self,
+            path: path.to_owned(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Times `f` under a root span at `path`.
+    pub fn time<T>(&self, path: &str, f: impl FnOnce() -> T) -> T {
+        let _guard = self.enter(path);
+        f()
+    }
+
+    /// Records an externally measured duration (for callers that
+    /// already hold a wall-clock reading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector lock is poisoned.
+    pub fn record(&self, path: &str, secs: f64) {
+        self.records.lock().expect("span lock").push(SpanRecord {
+            path: path.to_owned(),
+            secs,
+        });
+    }
+
+    /// All finished spans, in completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector lock is poisoned.
+    #[must_use]
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records.lock().expect("span lock").clone()
+    }
+
+    /// The total seconds recorded under exactly `path` (summed over
+    /// repeats), or `None` if the path never finished.
+    #[must_use]
+    pub fn total_secs(&self, path: &str) -> Option<f64> {
+        let records = self.records();
+        let matching: Vec<f64> = records
+            .iter()
+            .filter(|r| r.path == path)
+            .map(|r| r.secs)
+            .collect();
+        if matching.is_empty() {
+            None
+        } else {
+            Some(matching.iter().sum())
+        }
+    }
+}
+
+/// An in-progress span; records itself into the collector on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    spans: &'a Spans,
+    path: String,
+    start: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Starts a child span named `path/name`.
+    #[must_use]
+    pub fn child(&self, name: &str) -> SpanGuard<'a> {
+        SpanGuard {
+            spans: self.spans,
+            path: format!("{}/{name}", self.path),
+            start: Instant::now(),
+        }
+    }
+
+    /// This span's full path.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let secs = self.start.elapsed().as_secs_f64();
+        self.spans.record(&self.path, secs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop() {
+        let spans = Spans::default();
+        {
+            let _g = spans.enter("root");
+        }
+        let records = spans.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].path, "root");
+        assert!(records[0].secs >= 0.0);
+    }
+
+    #[test]
+    fn child_paths_compose() {
+        let spans = Spans::default();
+        {
+            let outer = spans.enter("a");
+            let inner = outer.child("b");
+            let leaf = inner.child("c");
+            assert_eq!(leaf.path(), "a/b/c");
+        }
+        let paths: Vec<String> = spans.records().into_iter().map(|r| r.path).collect();
+        // Drop order: leaf first, root last.
+        assert_eq!(
+            paths,
+            vec!["a/b/c".to_owned(), "a/b".to_owned(), "a".to_owned()]
+        );
+    }
+
+    #[test]
+    fn total_secs_sums_repeats() {
+        let spans = Spans::default();
+        spans.record("x", 1.5);
+        spans.record("x", 0.5);
+        assert_eq!(spans.total_secs("x"), Some(2.0));
+        assert_eq!(spans.total_secs("y"), None);
+    }
+
+    #[test]
+    fn time_returns_closure_value() {
+        let spans = Spans::default();
+        let v = spans.time("calc", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(spans.total_secs("calc").is_some());
+    }
+}

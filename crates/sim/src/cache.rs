@@ -4,6 +4,7 @@
 //! 4-way, 256-set, 32-byte-block data cache (32 KiB); the evaluation
 //! sweeps associativity (2/4/8) and capacity (8–64 KiB).
 
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 /// Geometry of a cache: total capacity, associativity, and block size.
@@ -128,6 +129,105 @@ impl fmt::Display for CacheConfig {
 
 const INVALID_TAG: u64 = u64::MAX;
 
+/// The classical "three Cs" classification of one cache miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MissClass {
+    /// First-ever reference to the block (cold miss).
+    #[default]
+    Compulsory,
+    /// Would miss even in a fully-associative cache of the same
+    /// capacity (working set too large).
+    Capacity,
+    /// Hits in the fully-associative shadow cache but misses here —
+    /// caused purely by set-index conflicts.
+    Conflict,
+}
+
+impl MissClass {
+    /// Stable index (0 = compulsory, 1 = capacity, 2 = conflict) used
+    /// by per-site attribution arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Miss counts by class.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MissClasses {
+    /// Cold (first-reference) misses.
+    pub compulsory: u64,
+    /// Working-set (fully-associative) misses.
+    pub capacity: u64,
+    /// Set-conflict misses.
+    pub conflict: u64,
+}
+
+impl MissClasses {
+    /// Total classified misses.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+
+    /// Adds one miss of `class`.
+    pub fn add(&mut self, class: MissClass) {
+        match class {
+            MissClass::Compulsory => self.compulsory += 1,
+            MissClass::Capacity => self.capacity += 1,
+            MissClass::Conflict => self.conflict += 1,
+        }
+    }
+}
+
+/// Opt-in cache profiling output: miss-class breakdown plus per-set
+/// access/miss histograms (the raw material for conflict analysis).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheProfile {
+    /// Misses by compulsory/capacity/conflict class. Counts *every*
+    /// fill the cache performed, including prefetch fills.
+    pub classes: MissClasses,
+    /// Accesses per set (length = number of sets).
+    pub set_accesses: Vec<u64>,
+    /// Misses per set (length = number of sets).
+    pub set_misses: Vec<u64>,
+}
+
+/// Shadow state backing miss classification: a set of every block ever
+/// touched (compulsory detection) and a fully-associative LRU cache of
+/// the same capacity (capacity vs. conflict detection).
+#[derive(Debug, Clone)]
+struct ProfileState {
+    touched: HashSet<u64>,
+    // block -> recency stamp, and the inverse ordered by stamp; the
+    // smallest stamp is the fully-associative LRU victim.
+    shadow: HashMap<u64, u64>,
+    stamps: BTreeMap<u64, u64>,
+    clock: u64,
+    cap_blocks: usize,
+    profile: CacheProfile,
+    last_class: MissClass,
+}
+
+impl ProfileState {
+    fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets() as usize;
+        ProfileState {
+            touched: HashSet::new(),
+            shadow: HashMap::new(),
+            stamps: BTreeMap::new(),
+            clock: 0,
+            cap_blocks: (cfg.size_bytes() / cfg.block_bytes()) as usize,
+            profile: CacheProfile {
+                classes: MissClasses::default(),
+                set_accesses: vec![0; sets],
+                set_misses: vec![0; sets],
+            },
+            last_class: MissClass::default(),
+        }
+    }
+}
+
 /// A simulated data cache with true-LRU replacement and write-allocate
 /// stores.
 ///
@@ -159,6 +259,10 @@ pub struct Cache {
     tag_shift: u32,
     hits: u64,
     misses: u64,
+    // Opt-in profiling (miss classes, per-set histograms). `profiling`
+    // mirrors `profile.is_some()` so the hot path tests one bool.
+    profiling: bool,
+    profile: Option<Box<ProfileState>>,
 }
 
 impl Cache {
@@ -180,7 +284,43 @@ impl Cache {
             tag_shift: (cfg.sets() - 1).count_ones(),
             hits: 0,
             misses: 0,
+            profiling: false,
+            profile: None,
         }
+    }
+
+    /// Enables miss classification and per-set histograms. Profiling
+    /// tracks a shadow fully-associative cache, so enable it only when
+    /// the breakdown is wanted — never on the memoized table-generation
+    /// hot path's default configuration.
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(Box::new(ProfileState::new(self.cfg)));
+        self.profiling = true;
+    }
+
+    /// The class of the most recent profiled miss, or `None` if
+    /// profiling is off or no miss has occurred yet.
+    #[must_use]
+    pub fn last_miss_class(&self) -> Option<MissClass> {
+        self.profile
+            .as_ref()
+            .filter(|p| p.profile.classes.total() > 0)
+            .map(|p| p.last_class)
+    }
+
+    /// Returns the accumulated profile, leaving profiling enabled, or
+    /// `None` if profiling was never enabled.
+    #[must_use]
+    pub fn profile(&self) -> Option<&CacheProfile> {
+        self.profile.as_ref().map(|p| &p.profile)
+    }
+
+    /// Takes the accumulated profile out of the cache, disabling
+    /// further profiling.
+    #[must_use]
+    pub fn take_profile(&mut self) -> Option<CacheProfile> {
+        self.profiling = false;
+        self.profile.take().map(|p| p.profile)
     }
 
     /// The cache geometry.
@@ -202,9 +342,55 @@ impl Cache {
         // state is already correct — one compare, no set walk.
         if self.tags[base + self.order[base] as usize] == tag {
             self.hits += 1;
+            if self.profiling {
+                self.profile_access(block, set, true);
+            }
             return true;
         }
-        self.access_slow(base, assoc, tag)
+        let hit = self.access_slow(base, assoc, tag);
+        if self.profiling {
+            self.profile_access(block, set, hit);
+        }
+        hit
+    }
+
+    /// Profiling bookkeeping for one access: per-set histograms, the
+    /// shadow fully-associative LRU, and (on a miss) classification.
+    /// Out of line — production configurations never enable it.
+    #[cold]
+    fn profile_access(&mut self, block: u64, set: u32, hit: bool) {
+        let p = self.profile.as_mut().expect("profiling flag implies state");
+        p.profile.set_accesses[set as usize] += 1;
+        // Refresh the block's recency in the shadow cache, noting
+        // whether it was resident before this access.
+        let shadow_hit = match p.shadow.get(&block).copied() {
+            Some(stamp) => {
+                p.stamps.remove(&stamp);
+                true
+            }
+            None => false,
+        };
+        p.clock += 1;
+        p.shadow.insert(block, p.clock);
+        p.stamps.insert(p.clock, block);
+        if !shadow_hit && p.shadow.len() > p.cap_blocks {
+            let (&victim_stamp, &victim_block) =
+                p.stamps.iter().next().expect("shadow cache nonempty");
+            p.stamps.remove(&victim_stamp);
+            p.shadow.remove(&victim_block);
+        }
+        if !hit {
+            p.profile.set_misses[set as usize] += 1;
+            let class = if p.touched.insert(block) {
+                MissClass::Compulsory
+            } else if shadow_hit {
+                MissClass::Conflict
+            } else {
+                MissClass::Capacity
+            };
+            p.profile.classes.add(class);
+            p.last_class = class;
+        }
     }
 
     /// Non-MRU hit or miss: walk the set and update the recency order.
@@ -253,6 +439,9 @@ impl Cache {
         }
         self.hits = 0;
         self.misses = 0;
+        if self.profiling {
+            self.profile = Some(Box::new(ProfileState::new(self.cfg)));
+        }
     }
 }
 
@@ -348,5 +537,91 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(CacheConfig::kb(16, 8).to_string(), "16KB 8-way 32B-block");
+    }
+
+    #[test]
+    fn profiling_does_not_change_hit_miss_behaviour() {
+        let cfg = CacheConfig::kb(8, 2);
+        let mut plain = Cache::new(cfg);
+        let mut profiled = Cache::new(cfg);
+        profiled.enable_profiling();
+        let stride = cfg.sets() * cfg.block_bytes();
+        for i in 0..2000u32 {
+            let addr = 0x2000_0000 + (i % 7) * stride + (i % 97) * 4;
+            assert_eq!(plain.access(addr), profiled.access(addr), "access {i}");
+        }
+        assert_eq!(plain.hits(), profiled.hits());
+        assert_eq!(plain.misses(), profiled.misses());
+        let profile = profiled.take_profile().expect("profiling was on");
+        assert_eq!(profile.classes.total(), plain.misses());
+        assert_eq!(profile.set_misses.iter().sum::<u64>(), plain.misses());
+        assert_eq!(profile.set_accesses.iter().sum::<u64>(), 2000);
+    }
+
+    #[test]
+    fn compulsory_misses_on_first_touch() {
+        let mut c = Cache::new(CacheConfig::kb(8, 4));
+        c.enable_profiling();
+        c.access(0x2000_0000);
+        c.access(0x2000_0020);
+        c.access(0x2000_0000); // hit
+        let p = c.profile().unwrap();
+        assert_eq!(p.classes.compulsory, 2);
+        assert_eq!(p.classes.capacity, 0);
+        assert_eq!(p.classes.conflict, 0);
+    }
+
+    #[test]
+    fn conflict_misses_detected_by_shadow_cache() {
+        // 2-way cache: round-robin over 3 blocks in ONE set thrashes
+        // under LRU, but a fully-associative cache of the same size
+        // holds all 3 — so every post-compulsory miss is a conflict.
+        let cfg = CacheConfig::kb(8, 2);
+        let mut c = Cache::new(cfg);
+        c.enable_profiling();
+        let stride = cfg.sets() * cfg.block_bytes();
+        for round in 0..10 {
+            for i in 0..3u32 {
+                let hit = c.access(0x2000_0000 + i * stride);
+                assert!(!hit, "round {round} block {i}");
+            }
+        }
+        let p = c.profile().unwrap();
+        assert_eq!(p.classes.compulsory, 3);
+        assert_eq!(p.classes.conflict, 27);
+        assert_eq!(p.classes.capacity, 0);
+        // All misses land in the single contested set.
+        assert_eq!(p.set_misses.iter().filter(|&&m| m > 0).count(), 1);
+    }
+
+    #[test]
+    fn capacity_misses_on_oversized_working_set() {
+        // Sequential scan over 2x the cache capacity: after the first
+        // pass, repeats miss in the fully-associative shadow too.
+        let cfg = CacheConfig::kb(8, 4);
+        let mut c = Cache::new(cfg);
+        c.enable_profiling();
+        let blocks = 2 * cfg.size_bytes() / cfg.block_bytes();
+        for _ in 0..2 {
+            for i in 0..blocks {
+                c.access(0x2000_0000 + i * cfg.block_bytes());
+            }
+        }
+        let p = c.profile().unwrap();
+        assert_eq!(p.classes.compulsory, u64::from(blocks));
+        assert_eq!(p.classes.capacity, u64::from(blocks));
+        assert_eq!(p.classes.conflict, 0);
+    }
+
+    #[test]
+    fn reset_clears_profile_but_keeps_profiling_enabled() {
+        let mut c = Cache::new(CacheConfig::kb(8, 4));
+        c.enable_profiling();
+        c.access(0x2000_0000);
+        c.reset();
+        assert!(!c.access(0x2000_0000)); // compulsory again after reset
+        let p = c.profile().unwrap();
+        assert_eq!(p.classes.compulsory, 1);
+        assert_eq!(p.set_accesses.iter().sum::<u64>(), 1);
     }
 }

@@ -120,6 +120,11 @@ pub struct RunConfig {
     pub seed: u64,
     /// Optional prefetcher attached to selected load sites.
     pub prefetch: Option<PrefetchConfig>,
+    /// Classify misses (compulsory/capacity/conflict) and collect
+    /// per-set histograms into [`RunResult::cache_profile`] and
+    /// per-site attribution into [`RunResult::load_miss_classes`].
+    /// Costs a shadow-cache update per access; off by default.
+    pub classify_misses: bool,
 }
 
 impl Default for RunConfig {
@@ -130,6 +135,7 @@ impl Default for RunConfig {
             input: Vec::new(),
             seed: 0x5eed_1234_abcd_ef01,
             prefetch: None,
+            classify_misses: false,
         }
     }
 }
@@ -156,6 +162,7 @@ pub struct Machine<'p> {
     // per-access Vec index.
     tracing: bool,
     has_prefetch: bool,
+    classifying: bool,
 }
 
 impl<'p> Machine<'p> {
@@ -169,16 +176,22 @@ impl<'p> Machine<'p> {
         // Returning from the entry function jumps to the halt sentinel.
         let halt_index = program.insts.len();
         regs[Reg::Ra as usize] = layout::pc_of_index(halt_index);
+        let mut cache = Cache::new(config.cache);
+        let mut result = RunResult::with_len(program.insts.len());
+        if config.classify_misses {
+            cache.enable_profiling();
+            result.load_miss_classes = Some(vec![[0u64; 3]; program.insts.len()]);
+        }
         Machine {
             program,
             regs,
             pc: program.entry,
             halt_index,
             mem: Memory::new(&program.data),
-            cache: Cache::new(config.cache),
+            cache,
             rng: config.seed | 1,
             input: config.input.iter().copied().collect(),
-            result: RunResult::with_len(program.insts.len()),
+            result,
             finished: None,
             prefetch_degree: {
                 let mut v = vec![0u32; program.insts.len()];
@@ -197,6 +210,7 @@ impl<'p> Machine<'p> {
                 .prefetch
                 .as_ref()
                 .is_some_and(|pf| pf.degree > 0 && !pf.sites.is_empty()),
+            classifying: config.classify_misses,
         }
     }
 
@@ -267,6 +281,20 @@ impl<'p> Machine<'p> {
         }
     }
 
+    /// Attributes the miss the cache just classified to load site
+    /// `at`. Out of line: classification is opt-in profiling only.
+    #[cold]
+    fn attribute_miss_class(&mut self, at: usize) {
+        let class = self
+            .cache
+            .last_miss_class()
+            .expect("classifying implies a classified miss");
+        self.result
+            .load_miss_classes
+            .as_mut()
+            .expect("classifying implies attribution table")[at][class.index()] += 1;
+    }
+
     fn dcache_load(&mut self, at: usize, addr: u32) {
         if self.tracing {
             self.push_trace(at, addr, false);
@@ -279,6 +307,9 @@ impl<'p> Machine<'p> {
             self.result.load_misses[at] += 1;
             self.result.load_misses_total += 1;
             self.result.dcache_misses += 1;
+            if self.classifying {
+                self.attribute_miss_class(at);
+            }
         }
         if self.has_prefetch {
             self.issue_prefetches(at, addr);
@@ -557,6 +588,12 @@ impl<'p> Machine<'p> {
             self.step()?;
         }
         self.result.exit_code = self.finished.unwrap_or(0);
+        self.result.cache_profile = self.cache.take_profile();
+        if cfg!(debug_assertions) {
+            if let Err(violation) = self.result.check_consistency() {
+                panic!("inconsistent RunResult: {violation}");
+            }
+        }
         Ok((self.result, self.trace.unwrap_or_default()))
     }
 }
@@ -646,6 +683,46 @@ mod tests {
         assert_eq!(r.load_misses[load_idx], 1024 / 8);
         assert_eq!(r.load_hits[load_idx], 1024 - 1024 / 8);
         assert_eq!(r.exec_counts[load_idx], 1024);
+    }
+
+    #[test]
+    fn miss_classification_end_to_end() {
+        // The strided-scan kernel under classification: counts must be
+        // unchanged, every site miss classified, and a pure forward
+        // scan has no conflict misses.
+        let src = "main:\n\
+                   \tli  $t0, 0\n\
+                   \tli  $t3, 1024\n\
+                   .Lloop:\n\
+                   \tsll $t1, $t0, 2\n\
+                   \taddu $t1, $t1, $gp\n\
+                   \tlw  $t2, 0($t1)\n\
+                   \taddiu $t0, $t0, 1\n\
+                   \tbne $t0, $t3, .Lloop\n\
+                   \tli $v0, 10\n\
+                   \tsyscall\n";
+        let p = parse_asm(src).unwrap();
+        let plain = run(&p, &RunConfig::default()).unwrap();
+        let cfg = RunConfig {
+            classify_misses: true,
+            ..RunConfig::default()
+        };
+        let classified = run(&p, &cfg).unwrap();
+        assert_eq!(plain.load_misses, classified.load_misses);
+        assert_eq!(plain.instructions, classified.instructions);
+        assert_eq!(plain.output, classified.output);
+        assert!(plain.cache_profile.is_none());
+        let profile = classified.cache_profile.as_ref().expect("profile present");
+        assert_eq!(profile.classes.total(), classified.dcache_misses);
+        // 4 KiB forward scan fits the 32 KiB cache: all compulsory.
+        assert_eq!(profile.classes.compulsory, classified.dcache_misses);
+        let site_classes = classified.load_miss_classes.as_ref().unwrap();
+        let load_idx = 4;
+        assert_eq!(
+            site_classes[load_idx].iter().sum::<u64>(),
+            classified.load_misses[load_idx]
+        );
+        classified.check_consistency().expect("consistent");
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub mod mem;
 pub mod stats;
 pub mod trace;
 
-pub use cache::{Cache, CacheConfig};
+pub use cache::{Cache, CacheConfig, CacheProfile, MissClass, MissClasses};
 pub use cpu::{run, Machine, PrefetchConfig, RunConfig, Trap};
 pub use stats::RunResult;

@@ -1,6 +1,8 @@
 //! Per-run measurement results: the raw material for the paper's
 //! training phase and evaluation metrics.
 
+use crate::cache::CacheProfile;
+
 /// Everything measured during one simulated run.
 ///
 /// Vectors are indexed by static instruction index (parallel to
@@ -33,6 +35,14 @@ pub struct RunResult {
     /// Exit code passed to the `exit` syscall (or `$v0` on fallthrough
     /// return from the entry function).
     pub exit_code: i32,
+    /// Cache profile (miss classes, per-set histograms). `Some` only
+    /// when [`crate::RunConfig::classify_misses`] was set.
+    pub cache_profile: Option<CacheProfile>,
+    /// Per-instruction miss counts by class, indexed
+    /// `[compulsory, capacity, conflict]` (see
+    /// [`crate::cache::MissClass::index`]); zero rows for non-loads.
+    /// `Some` only when miss classification was enabled.
+    pub load_miss_classes: Option<Vec<[u64; 3]>>,
 }
 
 impl RunResult {
@@ -69,6 +79,73 @@ impl RunResult {
             self.load_misses[index] as f64 / total as f64
         }
     }
+
+    /// Verifies the cross-field invariants every finished run must
+    /// satisfy, returning the first violation. Debug builds assert
+    /// this at the end of every simulation; tests may call it in
+    /// release builds too.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let site_misses: u64 = self.load_misses.iter().sum();
+        if site_misses != self.load_misses_total {
+            return Err(format!(
+                "per-site misses {site_misses} != load_misses_total {}",
+                self.load_misses_total
+            ));
+        }
+        let site_hits: u64 = self.load_hits.iter().sum();
+        if site_hits + self.load_misses_total != self.loads {
+            return Err(format!(
+                "hits {site_hits} + misses {} != dynamic loads {}",
+                self.load_misses_total, self.loads
+            ));
+        }
+        if self.loads + self.stores != self.dcache_accesses {
+            return Err(format!(
+                "loads {} + stores {} != dcache accesses {}",
+                self.loads, self.stores, self.dcache_accesses
+            ));
+        }
+        let execs: u64 = self.exec_counts.iter().sum();
+        if execs != self.instructions {
+            return Err(format!(
+                "exec_counts sum {execs} != instructions {}",
+                self.instructions
+            ));
+        }
+        if let Some(classes) = &self.load_miss_classes {
+            for (i, row) in classes.iter().enumerate() {
+                let class_sum: u64 = row.iter().sum();
+                if class_sum != self.load_misses[i] {
+                    return Err(format!(
+                        "site {i}: class sum {class_sum} != misses {}",
+                        self.load_misses[i]
+                    ));
+                }
+            }
+        }
+        if let Some(profile) = &self.cache_profile {
+            let classified = profile.classes.total();
+            let set_misses: u64 = profile.set_misses.iter().sum();
+            if classified != set_misses {
+                return Err(format!(
+                    "classified misses {classified} != per-set misses {set_misses}"
+                ));
+            }
+            // The profile counts every cache fill, including prefetch
+            // fills; demand misses are a lower bound.
+            if classified < self.dcache_misses {
+                return Err(format!(
+                    "classified misses {classified} < demand misses {}",
+                    self.dcache_misses
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +166,24 @@ mod tests {
         r.load_misses = vec![5, 0, 3, 2];
         assert_eq!(r.misses_of_set(&[0, 2]), 8);
         assert_eq!(r.misses_of_set(&[]), 0);
+    }
+
+    #[test]
+    fn consistency_checker_catches_drift() {
+        let mut r = RunResult::with_len(2);
+        assert!(r.check_consistency().is_ok());
+        r.load_misses[0] = 3;
+        let err = r.check_consistency().unwrap_err();
+        assert!(err.contains("load_misses_total"), "{err}");
+        r.load_misses_total = 3;
+        r.loads = 3;
+        r.dcache_accesses = 3;
+        assert!(r.check_consistency().is_ok());
+        r.load_miss_classes = Some(vec![[1, 1, 0], [0, 0, 0]]);
+        let err = r.check_consistency().unwrap_err();
+        assert!(err.contains("class sum"), "{err}");
+        r.load_miss_classes = Some(vec![[1, 1, 1], [0, 0, 0]]);
+        assert!(r.check_consistency().is_ok());
     }
 
     #[test]

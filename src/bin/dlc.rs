@@ -9,6 +9,12 @@
 //!                                                   # flag possibly-delinquent loads
 //! ```
 //!
+//! `--profile` (on `run` and `analyze`) turns on the simulator's
+//! opt-in cache profiling: the miss-class breakdown (compulsory /
+//! capacity / conflict, paper §3) and the hottest cache sets are
+//! printed on stderr. Profiling never changes hit/miss counts, so
+//! stdout is byte-identical with and without it.
+//!
 //! `analyze` runs the full paper pipeline: compile → simulate (for the
 //! frequency classes and ground-truth misses) → address patterns →
 //! heuristic, then prints each flagged load with its φ score, pattern,
@@ -40,6 +46,7 @@ struct Options {
     input: Vec<i32>,
     emit: String,
     delta: f64,
+    profile: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -49,6 +56,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         input: Vec::new(),
         emit: "asm".to_owned(),
         delta: 0.10,
+        profile: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -73,6 +81,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse::<f64>()
                     .map_err(|e| e.to_string())?;
             }
+            "--profile" => options.profile = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`"));
             }
@@ -100,7 +109,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
         return Err(
             "usage: dlc <build|run|analyze> prog.mc [-O1] [--emit asm|bin|words] \
-             [--input 1,2,3] [--delta 0.1]"
+             [--input 1,2,3] [--delta 0.1] [--profile]"
                 .into(),
         );
     };
@@ -132,6 +141,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             let program = load_program(&options)?;
             let config = RunConfig {
                 input: options.input.clone(),
+                classify_misses: options.profile,
                 ..RunConfig::default()
             };
             let start = std::time::Instant::now();
@@ -148,12 +158,14 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 result.exit_code,
                 result.instructions as f64 / secs.max(1e-9) / 1e6
             );
+            print_profile(&result);
             Ok(())
         }
         "analyze" => {
             let program = load_program(&options)?;
             let config = RunConfig {
                 input: options.input.clone(),
+                classify_misses: options.profile,
                 ..RunConfig::default()
             };
             let result = run(&program, &config).map_err(|e| e.to_string())?;
@@ -186,9 +198,51 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                         .map_or_else(|| "?".to_owned(), ToString::to_string)
                 );
             }
+            if let Some(classes) = &result.load_miss_classes {
+                eprintln!("[flagged-load miss classes: compulsory / capacity / conflict]");
+                for &idx in &delinquent {
+                    let [compulsory, capacity, conflict] = classes[idx];
+                    eprintln!("  inst {idx:>5}: {compulsory} / {capacity} / {conflict}");
+                }
+            }
+            print_profile(&result);
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Prints the `--profile` cache breakdown on stderr: the three-Cs
+/// miss-class split and the most conflicted cache sets.
+fn print_profile(result: &dl_sim::RunResult) {
+    let Some(profile) = &result.cache_profile else {
+        return;
+    };
+    let c = &profile.classes;
+    let total = c.total();
+    let pct = |n: u64| 100.0 * n as f64 / total.max(1) as f64;
+    eprintln!(
+        "[miss classes: {} compulsory ({:.1}%), {} capacity ({:.1}%), {} conflict ({:.1}%)]",
+        c.compulsory,
+        pct(c.compulsory),
+        c.capacity,
+        pct(c.capacity),
+        c.conflict,
+        pct(c.conflict),
+    );
+    let mut sets: Vec<(usize, u64)> = profile
+        .set_misses
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, misses)| misses > 0)
+        .collect();
+    sets.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    if !sets.is_empty() {
+        eprintln!("[hottest sets (misses / accesses)]");
+        for (set, misses) in sets.into_iter().take(4) {
+            eprintln!("  set {set:>4}: {misses} / {}", profile.set_accesses[set]);
+        }
     }
 }
 
@@ -208,18 +262,28 @@ mod tests {
         assert_eq!(o.emit, "asm");
         assert!(o.input.is_empty());
         assert!((o.delta - 0.10).abs() < 1e-12);
+        assert!(!o.profile);
     }
 
     #[test]
     fn flags_parse() {
         let o = opts(&[
-            "prog.mc", "-O1", "--emit", "words", "--input", "1,2, 3", "--delta", "0.25",
+            "prog.mc",
+            "-O1",
+            "--emit",
+            "words",
+            "--input",
+            "1,2, 3",
+            "--delta",
+            "0.25",
+            "--profile",
         ])
         .unwrap();
         assert_eq!(o.opt, OptLevel::O1);
         assert_eq!(o.emit, "words");
         assert_eq!(o.input, vec![1, 2, 3]);
         assert!((o.delta - 0.25).abs() < 1e-12);
+        assert!(o.profile);
     }
 
     #[test]
