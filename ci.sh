@@ -17,6 +17,9 @@ cargo build --release --workspace
 echo "== cargo test -q =="
 cargo test -q --workspace
 
+echo "== cargo clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== bench smoke =="
 # Written to /tmp so the smoke run never clobbers the tracked
 # full-run numbers in BENCH_pipeline.json.
@@ -52,7 +55,7 @@ if command -v python3 >/dev/null 2>&1; then
 import json
 doc = json.load(open("/tmp/ci_manifest.json"))
 assert doc["schema"] == "dl-obs/1", f"unexpected schema {doc.get('schema')}"
-for key in ("stages", "memo", "workers", "sim", "miss_classes"):
+for key in ("stages", "memo", "workers", "sim", "miss_classes", "reuse"):
     assert key in doc, f"manifest missing {key}"
 assert doc["stages"], "manifest has no stage timings"
 assert all("secs" in s for s in doc["stages"]), "stage entries missing wall times"
@@ -62,12 +65,13 @@ for key in ("hits", "misses", "waits"):
 assert doc["workers"], "manifest has no per-worker stats"
 assert doc["sim"]["insts_per_sec"] > 0, "manifest missing sim throughput"
 assert doc["miss_classes"]["total"] > 0, "manifest classified no misses"
+assert doc["reuse"]["loads"] > 0, "manifest reuse section saw no loads"
 print("RUN_MANIFEST OK: schema", doc["schema"])
 EOF
 elif command -v jq >/dev/null 2>&1; then
   jq -e '.schema == "dl-obs/1" and (.stages | length > 0) and .memo.hit_rate != null
          and (.workers | length > 0) and .sim.insts_per_sec > 0
-         and .miss_classes.total > 0' /tmp/ci_manifest.json >/dev/null
+         and .miss_classes.total > 0 and .reuse.loads > 0' /tmp/ci_manifest.json >/dev/null
   echo "RUN_MANIFEST OK"
 else
   echo "warning: neither python3 nor jq available; skipped manifest validation"
@@ -81,5 +85,11 @@ echo "parallel output byte-identical"
 DL_OBS=text ./target/release/repro --jobs 2 table3 > /tmp/ci_obs.out 2>/dev/null
 cmp /tmp/ci_seq.out /tmp/ci_obs.out
 echo "observed (DL_OBS=text) output byte-identical"
+
+echo "== reuse-predictor determinism check =="
+./target/release/repro --jobs 1 extension-reuse > /tmp/ci_reuse_seq.out 2>/dev/null
+./target/release/repro --jobs 4 extension-reuse > /tmp/ci_reuse_par.out 2>/dev/null
+cmp /tmp/ci_reuse_seq.out /tmp/ci_reuse_par.out
+echo "extension-reuse output byte-identical"
 
 echo "CI green"

@@ -192,6 +192,79 @@ mod tests {
     }
 
     #[test]
+    fn nested_loops_form_idom_chain() {
+        let (_, cfg, dom) = build(
+            "main:\n\
+             \tli $t0, 4\n\
+             .Louter:\n\
+             \tli $t1, 6\n\
+             .Linner:\n\
+             \taddiu $t1, $t1, -1\n\
+             \tbgtz $t1, .Linner\n\
+             \taddiu $t0, $t0, -1\n\
+             \tbgtz $t0, .Louter\n\
+             \tjr $ra\n",
+        );
+        // Blocks: entry, outer header, inner header+latch, outer
+        // latch, exit — a straight idom chain.
+        assert_eq!(cfg.blocks().len(), 5);
+        for b in 1..5 {
+            assert_eq!(dom.idom(b), Some(b - 1));
+        }
+        // Outer header dominates everything below it, including the
+        // inner loop; the inner header does not dominate the entry.
+        assert!(dom.dominates(1, 2));
+        assert!(dom.dominates(1, 3));
+        assert!(!dom.dominates(2, 1));
+        assert!(dom.dominates(2, 3));
+    }
+
+    #[test]
+    fn irreducible_cycle_joins_at_entry() {
+        // A two-entry cycle: the entry branches into both .L1 and
+        // .L2, which jump to each other. Neither side dominates the
+        // other; both are immediately dominated by the entry.
+        let (p, cfg, dom) = build(
+            "main:\n\
+             \tbeq $a0, $zero, .L2\n\
+             .L1:\n\
+             \tnop\n\
+             \tj .L2\n\
+             .L2:\n\
+             \tbeq $a1, $zero, .L1\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(cfg.blocks().len(), 4);
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(0));
+        assert!(!dom.dominates(1, 2));
+        assert!(!dom.dominates(2, 1));
+        // The cycle has no dominating header, so back-edge discovery
+        // must find no natural loop (and must not loop forever).
+        let f = p.symbols.func("main").unwrap();
+        assert_eq!(cfg.func_range(), (f.start, f.end));
+        let nest = crate::loops::LoopNest::discover(&cfg, &dom);
+        assert!(nest.loops().is_empty());
+    }
+
+    #[test]
+    fn unreachable_block_reports_unreachable() {
+        // Code after an unconditional jump, never targeted.
+        let (_, cfg, dom) = build(
+            "main:\n\
+             \tj .Lend\n\
+             \tnop\n\
+             .Lend:\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(cfg.blocks().len(), 3);
+        assert!(!dom.is_reachable(1));
+        assert_eq!(dom.idom(1), None);
+        assert!(dom.is_reachable(2));
+        assert!(!dom.dominates(1, 2));
+    }
+
+    #[test]
     fn reflexive_domination() {
         let (_, _, dom) = build("main:\n\tjr $ra\n");
         assert!(dom.dominates(0, 0));

@@ -29,39 +29,14 @@ const FREQ_CAP: f64 = 1.0e12;
 
 /// Loop-nesting depth per basic block of one function.
 ///
-/// A block's depth is the number of natural loops (back edge `t → h`
-/// with `h` dominating `t`) whose body contains it.
+/// A block's depth is the nesting depth of the innermost natural loop
+/// (back edge `t → h` with `h` dominating `t`) containing it, from the
+/// shared discovery in [`crate::loops`]. Back edges targeting the same
+/// header (e.g. a `continue` statement) belong to one loop, not two.
 #[must_use]
 pub fn loop_depths(cfg: &Cfg, dom: &Dominators) -> Vec<u32> {
-    let n = cfg.blocks().len();
-    let mut depth = vec![0u32; n];
-    for t in 0..n {
-        for &h in &cfg.blocks()[t].succs {
-            if !dom.is_reachable(t) || !dom.dominates(h, t) {
-                continue;
-            }
-            // Natural loop of back edge t -> h: h plus all blocks that
-            // reach t without passing through h.
-            let mut in_loop = vec![false; n];
-            in_loop[h] = true;
-            let mut stack = vec![t];
-            while let Some(b) = stack.pop() {
-                if in_loop[b] {
-                    continue;
-                }
-                in_loop[b] = true;
-                for &p in &cfg.blocks()[b].preds {
-                    stack.push(p);
-                }
-            }
-            for (b, &inside) in in_loop.iter().enumerate() {
-                if inside {
-                    depth[b] += 1;
-                }
-            }
-        }
-    }
-    depth
+    let nest = crate::loops::LoopNest::discover(cfg, dom);
+    (0..cfg.blocks().len()).map(|b| nest.depth_of(b)).collect()
 }
 
 /// Static execution-frequency estimates for a whole program.

@@ -47,9 +47,15 @@ pub mod cfg;
 pub mod dom;
 pub mod extract;
 pub mod freq;
+pub mod indvar;
+pub mod loops;
 pub mod pattern;
 pub mod reaching;
+pub mod reuse;
 
 pub use cfg::Cfg;
 pub use extract::{analyze_program, AnalysisConfig, LoadInfo, ProgramAnalysis};
+pub use indvar::{classify_loads, AddressClass, LoadLoopClass};
+pub use loops::{Loop, LoopNest, ProgramLoops, TripCount};
 pub use pattern::Ap;
+pub use reuse::{delinquent_set as reuse_delinquent_set, CacheGeometry, ReusePrediction};

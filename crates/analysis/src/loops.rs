@@ -1,0 +1,1281 @@
+//! Natural-loop detection, loop-nest construction, and static
+//! trip-count estimation.
+//!
+//! The heuristic's frequency classes (AG8/AG9) only ask "is this load
+//! in a deep loop?"; the reuse-distance estimator ([`crate::reuse`])
+//! additionally needs *which* loop, how the loops nest, and how many
+//! iterations each one runs. This module recovers all three from the
+//! instruction stream: back edges over the dominator tree give the
+//! natural loops (the same discovery [`crate::freq`] uses for its
+//! depth-based frequency model), loops sharing a header are merged,
+//! containment gives the nest, and a compare-against-constant analysis
+//! of each loop's exit branches upgrades the default assumed iteration
+//! count to an exact one where the induction triple (init, step,
+//! bound) is statically visible.
+//!
+//! The module is named `loops` rather than the issue's `loop` because
+//! `loop` is a Rust keyword.
+
+use std::collections::HashMap;
+
+use dl_mips::inst::Inst;
+use dl_mips::program::{FuncSym, Program};
+use dl_mips::reg::{BaseReg, Reg};
+
+use crate::cfg::{BasicBlock, Cfg};
+use crate::dom::Dominators;
+use crate::freq::LOOP_MULTIPLIER;
+
+/// Longest chain of single-predecessor blocks walked backwards when
+/// hunting for a constant definition (init or bound of an induction
+/// register).
+const BACKWARD_SCAN_LIMIT: usize = 32;
+
+/// Upper bound on statically solved trip counts: beyond this the exit
+/// condition is treated as never firing (the loop is bounded by data,
+/// not by the visible induction triple).
+const TRIP_SOLVE_LIMIT: i64 = 1 << 40;
+
+/// A statically estimated iteration count for one loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TripCount {
+    /// Solved from a recognized (init, step, bound) induction triple on
+    /// an exit branch. Exact up to the ±1 of where the update sits
+    /// relative to the test.
+    Exact(u64),
+    /// No exit branch was statically solvable; the frequency model's
+    /// [`LOOP_MULTIPLIER`] is assumed instead.
+    Assumed(u64),
+}
+
+impl TripCount {
+    /// The estimated iteration count as a float, never below 1.
+    #[must_use]
+    pub fn iterations(self) -> f64 {
+        match self {
+            TripCount::Exact(n) | TripCount::Assumed(n) => (n as f64).max(1.0),
+        }
+    }
+
+    /// `true` if the count was solved rather than assumed.
+    #[must_use]
+    pub fn is_exact(self) -> bool {
+        matches!(self, TripCount::Exact(_))
+    }
+}
+
+/// One natural loop of a function, identified by its header block.
+/// Back edges sharing a header are merged into a single loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Index of this loop in [`LoopNest::loops`].
+    pub id: usize,
+    /// Header block id (dominates every block of the loop).
+    pub header: usize,
+    /// Source blocks of the back edges (`latch → header`).
+    pub latches: Vec<usize>,
+    /// All member block ids, sorted ascending; includes the header.
+    pub blocks: Vec<usize>,
+    /// Id of the innermost enclosing loop, if any.
+    pub parent: Option<usize>,
+    /// Nesting depth: 1 for an outermost loop.
+    pub depth: u32,
+    /// Statically estimated iterations per entry.
+    pub trip: TripCount,
+}
+
+impl Loop {
+    /// `true` if `block` belongs to this loop.
+    #[must_use]
+    pub fn contains(&self, block: usize) -> bool {
+        self.blocks.binary_search(&block).is_ok()
+    }
+}
+
+/// The loop-nest tree of one function.
+#[derive(Debug, Clone)]
+pub struct LoopNest {
+    loops: Vec<Loop>,
+    /// Innermost loop id per block.
+    innermost: Vec<Option<usize>>,
+}
+
+impl LoopNest {
+    /// Discovers the nest structure only (every trip count assumed).
+    /// Used where no instruction-level information is available or
+    /// needed, e.g. the frequency model's depth computation.
+    #[must_use]
+    pub fn discover(cfg: &Cfg, dom: &Dominators) -> LoopNest {
+        let n = cfg.blocks().len();
+        // Back edges grouped by header, in deterministic block order.
+        let mut latches_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for t in 0..n {
+            for &h in &cfg.blocks()[t].succs {
+                if dom.is_reachable(t) && dom.dominates(h, t) {
+                    latches_of[h].push(t);
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        for (h, latches) in latches_of.into_iter().enumerate() {
+            if latches.is_empty() {
+                continue;
+            }
+            // Natural loop body: header plus every block reaching a
+            // latch without passing through the header.
+            let mut in_loop = vec![false; n];
+            in_loop[h] = true;
+            let mut stack = latches.clone();
+            while let Some(b) = stack.pop() {
+                if in_loop[b] {
+                    continue;
+                }
+                in_loop[b] = true;
+                for &p in &cfg.blocks()[b].preds {
+                    // An unreachable pred is not part of any natural
+                    // loop; following it would pull in blocks the
+                    // header does not dominate.
+                    if dom.is_reachable(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            let blocks: Vec<usize> = (0..n).filter(|&b| in_loop[b]).collect();
+            loops.push(Loop {
+                id: loops.len(),
+                header: h,
+                latches,
+                blocks,
+                parent: None,
+                depth: 1,
+                trip: TripCount::Assumed(LOOP_MULTIPLIER as u64),
+            });
+        }
+        // Parent: the smallest other loop containing this header. In a
+        // reducible CFG that loop's body is a strict superset of ours.
+        for i in 0..loops.len() {
+            let mut best: Option<usize> = None;
+            for j in 0..loops.len() {
+                if i == j || !loops[j].contains(loops[i].header) {
+                    continue;
+                }
+                if best.is_none_or(|b| loops[j].blocks.len() < loops[b].blocks.len()) {
+                    best = Some(j);
+                }
+            }
+            loops[i].parent = best;
+        }
+        // Depth by walking parent chains (cycle-guarded: an
+        // irreducible CFG could produce mutually-containing bodies).
+        for i in 0..loops.len() {
+            let mut depth = 1;
+            let mut cur = loops[i].parent;
+            let mut steps = 0;
+            while let Some(p) = cur {
+                depth += 1;
+                steps += 1;
+                if steps > loops.len() {
+                    break;
+                }
+                cur = loops[p].parent;
+            }
+            loops[i].depth = depth;
+        }
+        // Innermost loop per block: the containing loop with the
+        // fewest blocks (ties broken by id for determinism).
+        let mut innermost = vec![None; n];
+        for (b, slot) in innermost.iter_mut().enumerate() {
+            let mut best: Option<usize> = None;
+            for l in &loops {
+                if l.contains(b)
+                    && best.is_none_or(|x: usize| l.blocks.len() < loops[x].blocks.len())
+                {
+                    best = Some(l.id);
+                }
+            }
+            *slot = best;
+        }
+        LoopNest { loops, innermost }
+    }
+
+    /// Builds the full nest, including trip-count estimation from the
+    /// exit branches of each loop.
+    #[must_use]
+    pub fn build(program: &Program, func: &FuncSym, cfg: &Cfg, dom: &Dominators) -> LoopNest {
+        debug_assert_eq!(cfg.func_range(), (func.start, func.end));
+        let mut nest = LoopNest::discover(cfg, dom);
+        for i in 0..nest.loops.len() {
+            nest.loops[i].trip = estimate_trip(program, cfg, &nest.loops[i]);
+        }
+        nest
+    }
+
+    /// All loops of the function, id order.
+    #[must_use]
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The innermost loop containing `block`, if any.
+    #[must_use]
+    pub fn innermost(&self, block: usize) -> Option<&Loop> {
+        self.innermost
+            .get(block)
+            .copied()
+            .flatten()
+            .map(|id| &self.loops[id])
+    }
+
+    /// Nesting depth of `block` (0 outside any loop).
+    #[must_use]
+    pub fn depth_of(&self, block: usize) -> u32 {
+        self.innermost(block).map_or(0, |l| l.depth)
+    }
+
+    /// Estimated executions of one entry of loop `id`'s body: the
+    /// product of the trip counts of the loop and all its ancestors.
+    #[must_use]
+    pub fn total_trip(&self, id: usize) -> f64 {
+        let mut product = 1.0f64;
+        let mut cur = Some(id);
+        let mut steps = 0;
+        while let Some(l) = cur {
+            product *= self.loops[l].trip.iterations();
+            steps += 1;
+            if steps > self.loops.len() {
+                break;
+            }
+            cur = self.loops[l].parent;
+        }
+        product
+    }
+
+    /// Product of the trip counts of the *ancestors* of loop `id`
+    /// (1.0 for an outermost loop): how often the loop is re-entered.
+    #[must_use]
+    pub fn outer_trip(&self, id: usize) -> f64 {
+        self.loops[id].parent.map_or(1.0, |p| self.total_trip(p))
+    }
+}
+
+/// The loop nests of every function in a program, indexable by
+/// instruction.
+#[derive(Debug)]
+pub struct ProgramLoops {
+    /// Per-function nests, in function order.
+    pub funcs: Vec<FuncLoops>,
+}
+
+/// One function's CFG and loop nest, kept together so callers can map
+/// instruction indices to loops.
+#[derive(Debug)]
+pub struct FuncLoops {
+    /// Function name.
+    pub name: String,
+    /// Instruction range `[start, end)`.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// The function's CFG.
+    pub cfg: Cfg,
+    /// The function's loop nest.
+    pub nest: LoopNest,
+}
+
+impl ProgramLoops {
+    /// Builds the nest of every non-empty function.
+    #[must_use]
+    pub fn build(program: &Program) -> ProgramLoops {
+        let mut funcs = Vec::new();
+        for f in program.symbols.funcs() {
+            if f.start >= f.end {
+                continue;
+            }
+            let cfg = Cfg::build(program, f);
+            let dom = Dominators::build(&cfg);
+            let nest = LoopNest::build(program, f, &cfg, &dom);
+            funcs.push(FuncLoops {
+                name: f.name.clone(),
+                start: f.start,
+                end: f.end,
+                cfg,
+                nest,
+            });
+        }
+        funcs.sort_by_key(|f| f.start);
+        ProgramLoops { funcs }
+    }
+
+    /// The function whose range contains instruction `index`.
+    #[must_use]
+    pub fn func_at(&self, index: usize) -> Option<&FuncLoops> {
+        let at = self.funcs.partition_point(|f| f.start <= index);
+        at.checked_sub(1)
+            .map(|i| &self.funcs[i])
+            .filter(|f| index < f.end)
+    }
+
+    /// The innermost loop containing instruction `index`, with its
+    /// owning function.
+    #[must_use]
+    pub fn loop_at(&self, index: usize) -> Option<(&FuncLoops, &Loop)> {
+        let f = self.func_at(index)?;
+        let l = f.nest.innermost(f.cfg.block_of(index))?;
+        Some((f, l))
+    }
+}
+
+/// The "loop continues" predicate read off an exit branch, applied to
+/// the induction register's value at the test.
+#[derive(Debug, Clone, Copy)]
+enum Cond {
+    Gt0,
+    Ge0,
+    Lt0,
+    Le0,
+    Eq(i64),
+    Ne(i64),
+}
+
+impl Cond {
+    fn negate(self) -> Cond {
+        match self {
+            Cond::Gt0 => Cond::Le0,
+            Cond::Le0 => Cond::Gt0,
+            Cond::Lt0 => Cond::Ge0,
+            Cond::Ge0 => Cond::Lt0,
+            Cond::Eq(b) => Cond::Ne(b),
+            Cond::Ne(b) => Cond::Eq(b),
+        }
+    }
+
+    fn holds(self, v: i64) -> bool {
+        match self {
+            Cond::Gt0 => v > 0,
+            Cond::Ge0 => v >= 0,
+            Cond::Lt0 => v < 0,
+            Cond::Le0 => v <= 0,
+            Cond::Eq(b) => v == b,
+            Cond::Ne(b) => v != b,
+        }
+    }
+}
+
+/// Smallest `i >= 1` for which the continue-predicate fails on
+/// `init + i*step` — the solved iteration count. `None` if the
+/// condition never fails within [`TRIP_SOLVE_LIMIT`] (the loop is
+/// data-bounded as far as static analysis can see).
+fn solve_trip(init: i64, step: i64, cond: Cond) -> Option<u64> {
+    let value = |i: i64| init.checked_add(step.checked_mul(i)?);
+    if !cond.holds(value(1)?) {
+        return Some(1);
+    }
+    match cond {
+        // Equality predicates are not monotone in i; handle directly.
+        Cond::Ne(bound) => {
+            if step == 0 {
+                return None; // init != bound forever
+            }
+            let d = bound.checked_sub(init)?;
+            if d % step == 0 && d / step >= 1 {
+                Some((d / step) as u64)
+            } else {
+                None // steps over the bound: never equal
+            }
+        }
+        Cond::Eq(_) => {
+            // continue-while-equal: with a non-zero step the value
+            // leaves the bound on the next test.
+            if step == 0 {
+                None
+            } else {
+                Some(2)
+            }
+        }
+        // Threshold predicates: the value is linear in i, so once the
+        // predicate fails it stays failed — binary search the first
+        // failure.
+        _ => {
+            let hi = TRIP_SOLVE_LIMIT;
+            if cond.holds(value(hi)?) {
+                return None;
+            }
+            let (mut lo, mut hi) = (1i64, hi);
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if cond.holds(value(mid)?) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            Some(hi as u64)
+        }
+    }
+}
+
+/// Walks backwards from the end of block `from`, following
+/// single-predecessor chains, looking for the nearest definition of
+/// `reg`; returns its value if it is a load-immediate form.
+fn backward_const(program: &Program, cfg: &Cfg, from: usize, reg: Reg) -> Option<i64> {
+    if reg == Reg::Zero {
+        return Some(0);
+    }
+    let mut b = from;
+    for _ in 0..BACKWARD_SCAN_LIMIT {
+        let block = &cfg.blocks()[b];
+        for idx in (block.start..block.end).rev() {
+            let inst = &program.insts[idx];
+            // Calls clobber the caller-saved set; give up on any def
+            // or clobber of the register.
+            if inst.is_call() {
+                return None;
+            }
+            if inst.def() == Some(reg) {
+                return match *inst {
+                    Inst::Addiu {
+                        rs: Reg::Zero, imm, ..
+                    } => Some(i64::from(imm)),
+                    Inst::Ori {
+                        rs: Reg::Zero, imm, ..
+                    } => Some(i64::from(imm)),
+                    Inst::Lui { imm, .. } => Some(i64::from(imm) << 16),
+                    _ => None,
+                };
+            }
+        }
+        let mut preds = block.preds.clone();
+        preds.sort_unstable();
+        preds.dedup();
+        if preds.len() != 1 || preds[0] == b {
+            return None;
+        }
+        b = preds[0];
+    }
+    None
+}
+
+/// The constant value `reg` holds when the loop is entered: the
+/// nearest load-immediate definition found walking backwards from the
+/// loop's unique outside predecessor (its preheader).
+fn const_before_loop(program: &Program, cfg: &Cfg, l: &Loop, reg: Reg) -> Option<i64> {
+    if reg == Reg::Zero {
+        return Some(0);
+    }
+    let mut outside: Vec<usize> = cfg.blocks()[l.header]
+        .preds
+        .iter()
+        .copied()
+        .filter(|&p| !l.contains(p))
+        .collect();
+    outside.sort_unstable();
+    outside.dedup();
+    if outside.len() != 1 {
+        return None;
+    }
+    backward_const(program, cfg, outside[0], reg)
+}
+
+/// `true` if any instruction of the loop writes `reg` (calls count as
+/// writing every register but `$zero` — the conservative reading of
+/// the clobber set).
+fn defined_in_loop(program: &Program, cfg: &Cfg, l: &Loop, reg: Reg) -> bool {
+    l.blocks.iter().any(|&b| {
+        let block = &cfg.blocks()[b];
+        (block.start..block.end).any(|idx| {
+            let inst = &program.insts[idx];
+            inst.def() == Some(reg)
+                || (inst.is_call() && reg != Reg::Zero)
+                || (matches!(inst, Inst::Syscall) && reg == Reg::V0)
+        })
+    })
+}
+
+/// The single in-loop constant-step update of `reg`, if `reg` is a
+/// basic induction register of the loop (`addiu reg, reg, step` and no
+/// other in-loop definition).
+fn induction_step(program: &Program, cfg: &Cfg, l: &Loop, reg: Reg) -> Option<i64> {
+    let mut step = None;
+    for &b in &l.blocks {
+        let block = &cfg.blocks()[b];
+        for idx in block.start..block.end {
+            let inst = &program.insts[idx];
+            let defines = inst.def() == Some(reg)
+                || (inst.is_call() && reg != Reg::Zero)
+                || (matches!(inst, Inst::Syscall) && reg == Reg::V0);
+            if !defines {
+                continue;
+            }
+            match *inst {
+                Inst::Addiu { rt, rs, imm } if rt == reg && rs == reg => {
+                    if step.is_some() {
+                        return None; // more than one update
+                    }
+                    step = Some(i64::from(imm));
+                }
+                _ => return None, // non-induction definition
+            }
+        }
+    }
+    step
+}
+
+/// A statically addressable memory cell: a constant offset from the
+/// stack pointer (a local) or the global pointer (a scalar global).
+pub(crate) type Slot = (BaseReg, i64);
+
+/// How the value held in a slot changes per iteration of a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SlotChange {
+    /// Advances by a constant each iteration (`i = i + c`).
+    Step(i64),
+    /// Replaced by a value loaded through its own contents
+    /// (`p = p->next`).
+    Chase,
+    /// Stored with something the analysis cannot track.
+    Opaque,
+}
+
+/// How every slot *stored inside* loop `l` changes per iteration.
+/// Slots absent from the map are not stored in the loop and hold
+/// their value across iterations.
+pub(crate) fn loop_slot_changes(
+    program: &Program,
+    cfg: &Cfg,
+    l: &Loop,
+) -> HashMap<Slot, SlotChange> {
+    // Collect the in-loop stores per slot first: a slot stored more
+    // than once per iteration is not a simple induction variable.
+    let mut stores: HashMap<Slot, Vec<usize>> = HashMap::new();
+    for &b in &l.blocks {
+        let blk = &cfg.blocks()[b];
+        for idx in blk.start..blk.end {
+            if let Inst::Sw { base, off, .. }
+            | Inst::Sb { base, off, .. }
+            | Inst::Sh { base, off, .. } = program.insts[idx]
+            {
+                if let Some(br @ (BaseReg::Sp | BaseReg::Gp)) = base.base_reg() {
+                    stores.entry((br, i64::from(off))).or_default().push(idx);
+                }
+            }
+        }
+    }
+    let mut map: HashMap<Slot, SlotChange> = stores
+        .iter()
+        .map(|(&slot, sites)| {
+            let change = match sites.as_slice() {
+                [site] => stored_value_change(program, cfg, slot, *site),
+                _ => SlotChange::Opaque,
+            };
+            (slot, change)
+        })
+        .collect();
+    // Fixpoint: a slot stored with a value affine in *other* slots
+    // with known steps (`a = base + (i << 5)`) advances by the induced
+    // step. Each round resolves slots one dependency deeper; the
+    // transitions are monotone (Opaque → Step, with a value fixed by
+    // the resolved dependencies), so the result is order-independent
+    // and the slot count bounds the rounds.
+    for _ in 0..stores.len() {
+        let mut changed = false;
+        for (&slot, sites) in &stores {
+            let &[site] = sites.as_slice() else { continue };
+            if map.get(&slot) != Some(&SlotChange::Opaque) {
+                continue;
+            }
+            let Inst::Sw { rt, .. } = program.insts[site] else {
+                continue;
+            };
+            let block = &cfg.blocks()[cfg.block_of(site)];
+            if let Some(d) = expr_delta(program, &map, slot, block, site, rt, 16) {
+                map.insert(slot, SlotChange::Step(d));
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    map
+}
+
+/// Per-iteration change of the value `reg` holds just before
+/// instruction `before`, for values computed in-block as an affine
+/// combination of constants and loads of tracked slots. `target` is
+/// the slot being stored: self-references are left to the direct
+/// trace in [`stored_value_change`].
+fn expr_delta(
+    program: &Program,
+    map: &HashMap<Slot, SlotChange>,
+    target: Slot,
+    block: &BasicBlock,
+    before: usize,
+    reg: Reg,
+    fuel: u32,
+) -> Option<i64> {
+    if reg == Reg::Zero {
+        return Some(0);
+    }
+    let fuel = fuel.checked_sub(1)?;
+    for idx in (block.start..before).rev() {
+        let inst = &program.insts[idx];
+        if inst.is_call() {
+            return None;
+        }
+        if inst.def() != Some(reg) {
+            continue;
+        }
+        let sub = |r: Reg| expr_delta(program, map, target, block, idx, r, fuel);
+        return match *inst {
+            Inst::Lui { .. } => Some(0),
+            Inst::Ori { rs: Reg::Zero, .. } => Some(0),
+            Inst::Addiu { rs, .. } => sub(rs),
+            Inst::Addu { rs, rt, .. } => sub(rs)?.checked_add(sub(rt)?),
+            Inst::Subu { rs, rt, .. } => sub(rs)?.checked_sub(sub(rt)?),
+            Inst::Sll { rt, shamt, .. } if shamt < 32 => sub(rt)?.checked_mul(1i64 << shamt),
+            Inst::Lw { base, off, .. } => {
+                let s = base
+                    .base_reg()
+                    .filter(|b| matches!(b, BaseReg::Sp | BaseReg::Gp))
+                    .map(|b| (b, i64::from(off)))?;
+                if s == target {
+                    return None;
+                }
+                match map.get(&s) {
+                    None => Some(0), // not stored in the loop
+                    Some(SlotChange::Step(d)) => Some(*d),
+                    Some(_) => None,
+                }
+            }
+            _ => None,
+        };
+    }
+    None // value produced outside the block
+}
+
+/// Classifies the value a single `sw rt, off(base)` writes to `slot`
+/// by walking backward through its basic block:
+///
+/// * `rt` traces through `addiu` chains to a load of `slot` itself
+///   with no intervening dereference → [`SlotChange::Step`] of the
+///   accumulated immediates (`i = i + c`);
+/// * the trace passes through one or more loads before reaching the
+///   slot → [`SlotChange::Chase`] (`p = p->next`: the new value came
+///   from memory addressed by the old one);
+/// * anything else (multiplies, calls, values from other blocks) →
+///   [`SlotChange::Opaque`].
+fn stored_value_change(program: &Program, cfg: &Cfg, slot: Slot, site: usize) -> SlotChange {
+    let Inst::Sw { rt, .. } = program.insts[site] else {
+        return SlotChange::Opaque; // sub-word store of the slot
+    };
+    let block = &cfg.blocks()[cfg.block_of(site)];
+    let mut cur = rt;
+    let mut step = 0i64;
+    let mut derefs = 0u32;
+    for idx in (block.start..site).rev() {
+        let inst = &program.insts[idx];
+        if inst.is_call() {
+            // The call may have produced or clobbered `cur`.
+            return SlotChange::Opaque;
+        }
+        if inst.def() != Some(cur) {
+            continue;
+        }
+        match *inst {
+            Inst::Addiu { rs, imm, .. } => {
+                step += i64::from(imm);
+                cur = rs;
+            }
+            // Unoptimized codegen materialises constants into
+            // registers first: `li $c, 1; addu $x, $i, $c`.
+            Inst::Addu { rs, rt: other, .. } => {
+                if let Some(c) = const_def(program, block.start, idx, other) {
+                    step += c;
+                    cur = rs;
+                } else if let Some(c) = const_def(program, block.start, idx, rs) {
+                    step += c;
+                    cur = other;
+                } else {
+                    return SlotChange::Opaque;
+                }
+            }
+            Inst::Subu { rs, rt: other, .. } => {
+                if let Some(c) = const_def(program, block.start, idx, other) {
+                    step -= c;
+                    cur = rs;
+                } else {
+                    return SlotChange::Opaque;
+                }
+            }
+            Inst::Lw { base, off, .. } => {
+                if base.base_reg().zip(Some(i64::from(off))) == Some(slot) {
+                    return if derefs == 0 {
+                        SlotChange::Step(step)
+                    } else {
+                        SlotChange::Chase
+                    };
+                }
+                derefs += 1;
+                cur = base;
+            }
+            _ => return SlotChange::Opaque,
+        }
+    }
+    SlotChange::Opaque // value produced outside the block
+}
+
+/// The compile-time constant `reg` holds just before instruction
+/// `before`, recognising only `li`-style definitions within the block.
+pub(crate) fn const_def(
+    program: &Program,
+    block_start: usize,
+    before: usize,
+    reg: Reg,
+) -> Option<i64> {
+    if reg == Reg::Zero {
+        return Some(0);
+    }
+    for idx in (block_start..before).rev() {
+        let inst = &program.insts[idx];
+        if inst.is_call() {
+            return None;
+        }
+        if inst.def() == Some(reg) {
+            return match *inst {
+                Inst::Addiu {
+                    rs: Reg::Zero, imm, ..
+                } => Some(i64::from(imm)),
+                Inst::Ori {
+                    rs: Reg::Zero, imm, ..
+                } => Some(i64::from(imm)),
+                _ => None,
+            };
+        }
+    }
+    None
+}
+
+/// A compare operand viewed linearly across iterations: its value at
+/// the test on iteration `i` is `init + i*step` (`step == 0` for a
+/// loop-invariant constant).
+#[derive(Debug, Clone, Copy)]
+struct Linear {
+    init: i64,
+    step: i64,
+}
+
+impl Linear {
+    /// Pointwise difference, `None` on overflow.
+    fn sub(self, other: Linear) -> Option<Linear> {
+        Some(Linear {
+            init: self.init.checked_sub(other.init)?,
+            step: self.step.checked_sub(other.step)?,
+        })
+    }
+}
+
+/// If `reg`'s nearest definition in its block before `before` is a
+/// load from a trackable slot, returns that slot.
+fn block_slot_load(program: &Program, block: &BasicBlock, before: usize, reg: Reg) -> Option<Slot> {
+    for idx in (block.start..before).rev() {
+        let inst = &program.insts[idx];
+        if inst.is_call() {
+            return None;
+        }
+        if inst.def() == Some(reg) {
+            return match *inst {
+                Inst::Lw { base, off, .. } => base
+                    .base_reg()
+                    .filter(|br| matches!(br, BaseReg::Sp | BaseReg::Gp))
+                    .map(|br| (br, i64::from(off))),
+                _ => None,
+            };
+        }
+    }
+    None
+}
+
+/// The constant stored into `slot` on the way into the loop: the last
+/// `sw` to the slot found walking backwards from the loop's unique
+/// outside predecessor, with a `li`-defined source register.
+fn slot_init_const(program: &Program, cfg: &Cfg, l: &Loop, slot: Slot) -> Option<i64> {
+    let mut outside: Vec<usize> = cfg.blocks()[l.header]
+        .preds
+        .iter()
+        .copied()
+        .filter(|&p| !l.contains(p))
+        .collect();
+    outside.sort_unstable();
+    outside.dedup();
+    if outside.len() != 1 {
+        return None;
+    }
+    let mut b = outside[0];
+    for _ in 0..BACKWARD_SCAN_LIMIT {
+        let block = &cfg.blocks()[b];
+        for idx in (block.start..block.end).rev() {
+            let inst = &program.insts[idx];
+            // A call could store to a global slot (and for stack slots
+            // the constant source is long gone): give up.
+            if inst.is_call() {
+                return None;
+            }
+            match *inst {
+                Inst::Sw { rt, base, off }
+                    if base.base_reg().zip(Some(i64::from(off))) == Some(slot) =>
+                {
+                    return const_def(program, block.start, idx, rt);
+                }
+                Inst::Sb { base, off, .. } | Inst::Sh { base, off, .. }
+                    if base.base_reg().zip(Some(i64::from(off))) == Some(slot) =>
+                {
+                    return None; // sub-word init: not tracked
+                }
+                _ => {}
+            }
+        }
+        let mut preds = block.preds.clone();
+        preds.sort_unstable();
+        preds.dedup();
+        if preds.len() != 1 || preds[0] == b {
+            return None;
+        }
+        b = preds[0];
+    }
+    None
+}
+
+/// Resolves one compare operand to a linear view, trying in order: a
+/// basic register induction variable, a constant re-materialised in
+/// the test block each iteration, a load of a tracked memory slot
+/// (unoptimized codegen keeps induction variables in stack slots), and
+/// a loop-invariant register constant from before the loop.
+fn resolve_operand(
+    program: &Program,
+    cfg: &Cfg,
+    l: &Loop,
+    slots: &HashMap<Slot, SlotChange>,
+    block: &BasicBlock,
+    before: usize,
+    reg: Reg,
+) -> Option<Linear> {
+    if reg == Reg::Zero {
+        return Some(Linear { init: 0, step: 0 });
+    }
+    if let Some(step) = induction_step(program, cfg, l, reg) {
+        let init = const_before_loop(program, cfg, l, reg)?;
+        return Some(Linear { init, step });
+    }
+    if let Some(c) = const_def(program, block.start, before, reg) {
+        return Some(Linear { init: c, step: 0 });
+    }
+    if let Some(slot) = block_slot_load(program, block, before, reg) {
+        let step = match slots.get(&slot) {
+            None => 0, // never stored in the loop: an invariant bound
+            Some(SlotChange::Step(s)) => *s,
+            Some(_) => return None,
+        };
+        let init = slot_init_const(program, cfg, l, slot)?;
+        return Some(Linear { init, step });
+    }
+    if !defined_in_loop(program, cfg, l, reg) {
+        let init = const_before_loop(program, cfg, l, reg)?;
+        return Some(Linear { init, step: 0 });
+    }
+    None
+}
+
+/// The right-hand side of a recovered `a < b` comparison.
+enum CmpRhs {
+    Reg(Reg),
+    Imm(i64),
+}
+
+/// If `reg`'s nearest in-block definition before the branch is a
+/// set-less-than, returns the compared operands (`a < rhs`).
+fn slt_operands(
+    program: &Program,
+    block_start: usize,
+    branch_idx: usize,
+    reg: Reg,
+) -> Option<(Reg, CmpRhs)> {
+    for idx in (block_start..branch_idx).rev() {
+        let inst = &program.insts[idx];
+        if inst.is_call() {
+            return None;
+        }
+        if inst.def() == Some(reg) {
+            // The unsigned forms are treated as signed: init and bound
+            // are small non-negative constants wherever they resolve.
+            return match *inst {
+                Inst::Slt { rs, rt, .. } | Inst::Sltu { rs, rt, .. } => Some((rs, CmpRhs::Reg(rt))),
+                Inst::Slti { rs, imm, .. } | Inst::Sltiu { rs, imm, .. } => {
+                    Some((rs, CmpRhs::Imm(i64::from(imm))))
+                }
+                _ => None,
+            };
+        }
+    }
+    None
+}
+
+/// Estimates one loop's trip count from its exit branches: for each
+/// conditional branch with exactly one successor outside the loop, try
+/// to read an (init, step, bound) induction triple and solve it. The
+/// smallest solved exit wins; with none, the frequency model's
+/// [`LOOP_MULTIPLIER`] is assumed.
+fn estimate_trip(program: &Program, cfg: &Cfg, l: &Loop) -> TripCount {
+    let slots = loop_slot_changes(program, cfg, l);
+    let mut best: Option<u64> = None;
+    for &b in &l.blocks {
+        let block = &cfg.blocks()[b];
+        let last_idx = block.end - 1;
+        let inst = &program.insts[last_idx];
+        if !inst.is_branch() {
+            continue;
+        }
+        // Taken successor is the branch target; the other successor
+        // (if any) is the fallthrough.
+        let target_block = inst
+            .target()
+            .map(|t| t.index())
+            .filter(|ti| {
+                let (lo, hi) = cfg.func_range();
+                (lo..hi).contains(ti)
+            })
+            .map(|ti| cfg.block_of(ti));
+        let taken_in = target_block.is_some_and(|tb| l.contains(tb));
+        let fall_block = block
+            .succs
+            .iter()
+            .copied()
+            .find(|&s| Some(s) != target_block);
+        let fall_in = fall_block.is_some_and(|fb| l.contains(fb));
+        // Only branches where exactly one side leaves the loop define
+        // an exit condition.
+        let continue_on_taken = match (taken_in, fall_in) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => continue,
+        };
+        let Some(solved) = solve_exit(program, cfg, l, &slots, last_idx, inst, continue_on_taken)
+        else {
+            continue;
+        };
+        best = Some(best.map_or(solved, |b: u64| b.min(solved)));
+    }
+    match best {
+        Some(n) => TripCount::Exact(n.max(1)),
+        None => TripCount::Assumed(LOOP_MULTIPLIER as u64),
+    }
+}
+
+/// Solves one exit branch: resolve the tested value to a linear view
+/// `init + i*step`, read the continue-predicate off the branch shape,
+/// and count iterations. Handles both direct compare branches and the
+/// unoptimized-codegen idiom of a `slt`/`slti` feeding a compare with
+/// `$zero`.
+fn solve_exit(
+    program: &Program,
+    cfg: &Cfg,
+    l: &Loop,
+    slots: &HashMap<Slot, SlotChange>,
+    branch_idx: usize,
+    inst: &Inst,
+    continue_on_taken: bool,
+) -> Option<u64> {
+    let block = &cfg.blocks()[cfg.block_of(branch_idx)];
+    let resolve = |reg: Reg| resolve_operand(program, cfg, l, slots, block, branch_idx, reg);
+    // Candidate (tested value, continue-cond-when-taken) readings.
+    let mut candidates: Vec<(Linear, Cond)> = Vec::new();
+    match *inst {
+        Inst::Bgtz { rs, .. } => candidates.extend(resolve(rs).map(|o| (o, Cond::Gt0))),
+        Inst::Blez { rs, .. } => candidates.extend(resolve(rs).map(|o| (o, Cond::Le0))),
+        Inst::Bltz { rs, .. } => candidates.extend(resolve(rs).map(|o| (o, Cond::Lt0))),
+        Inst::Bgez { rs, .. } => candidates.extend(resolve(rs).map(|o| (o, Cond::Ge0))),
+        Inst::Beq { rs, rt, .. } | Inst::Bne { rs, rt, .. } => {
+            let eq = matches!(inst, Inst::Beq { .. });
+            // `slt a, b` feeding a compare with $zero: the branch
+            // really tests `a < b`.
+            if rt == Reg::Zero {
+                if let Some((a, rhs)) = slt_operands(program, block.start, branch_idx, rs) {
+                    let oa = resolve(a);
+                    let ob = match rhs {
+                        CmpRhs::Reg(b) => resolve(b),
+                        CmpRhs::Imm(c) => Some(Linear { init: c, step: 0 }),
+                    };
+                    if let (Some(oa), Some(ob)) = (oa, ob) {
+                        if let Some(diff) = oa.sub(ob) {
+                            // beq taken ⇔ slt wrote 0 ⇔ !(a < b) ⇔ a−b ≥ 0.
+                            let cond = if eq { Cond::Ge0 } else { Cond::Lt0 };
+                            candidates.push((diff, cond));
+                        }
+                    }
+                }
+            }
+            // Direct equality test: solve on the operand difference,
+            // which covers the induction register on either side.
+            if let (Some(oa), Some(ob)) = (resolve(rs), resolve(rt)) {
+                if let Some(diff) = oa.sub(ob) {
+                    let cond = if eq { Cond::Eq(0) } else { Cond::Ne(0) };
+                    candidates.push((diff, cond));
+                }
+            }
+        }
+        _ => return None,
+    }
+    for (lin, cond_taken) in candidates {
+        let cond = if continue_on_taken {
+            cond_taken
+        } else {
+            cond_taken.negate()
+        };
+        if let Some(n) = solve_trip(lin.init, lin.step, cond) {
+            return Some(n);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_mips::parse::parse_asm;
+
+    fn nest_of(src: &str) -> (Program, Cfg, LoopNest) {
+        let p = parse_asm(src).unwrap();
+        let f = p.symbols.func("main").unwrap().clone();
+        let cfg = Cfg::build(&p, &f);
+        let dom = Dominators::build(&cfg);
+        let nest = LoopNest::build(&p, &f, &cfg, &dom);
+        (p, cfg, nest)
+    }
+
+    #[test]
+    fn single_countdown_loop_solved_exactly() {
+        let (_, cfg, nest) = nest_of(
+            "main:\n\
+             \tli $t0, 8\n\
+             .Lh:\n\
+             \taddiu $t0, $t0, -1\n\
+             \tbgtz $t0, .Lh\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(nest.loops().len(), 1);
+        let l = &nest.loops()[0];
+        assert_eq!(l.depth, 1);
+        assert_eq!(l.trip, TripCount::Exact(8));
+        assert!(l.contains(cfg.block_of(1)));
+        assert!(!l.contains(cfg.block_of(0)));
+    }
+
+    #[test]
+    fn count_up_bne_loop_solved_exactly() {
+        let (_, _, nest) = nest_of(
+            "main:\n\
+             \tli $t0, 0\n\
+             \tli $t1, 40\n\
+             .Lh:\n\
+             \taddiu $t0, $t0, 4\n\
+             \tbne $t0, $t1, .Lh\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(nest.loops().len(), 1);
+        assert_eq!(nest.loops()[0].trip, TripCount::Exact(10));
+    }
+
+    #[test]
+    fn unsolvable_bound_falls_back_to_assumed() {
+        // Bound comes through $a0: not a visible constant.
+        let (_, _, nest) = nest_of(
+            "main:\n\
+             \tli $t0, 0\n\
+             .Lh:\n\
+             \taddiu $t0, $t0, 1\n\
+             \tbne $t0, $a0, .Lh\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(
+            nest.loops()[0].trip,
+            TripCount::Assumed(LOOP_MULTIPLIER as u64)
+        );
+    }
+
+    #[test]
+    fn nested_loops_have_parents_and_depths() {
+        let (_, cfg, nest) = nest_of(
+            "main:\n\
+             \tli $t0, 4\n\
+             .Louter:\n\
+             \tli $t1, 6\n\
+             .Linner:\n\
+             \taddiu $t1, $t1, -1\n\
+             \tbgtz $t1, .Linner\n\
+             \taddiu $t0, $t0, -1\n\
+             \tbgtz $t0, .Louter\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(nest.loops().len(), 2);
+        let inner = nest.innermost(cfg.block_of(3)).unwrap();
+        assert_eq!(inner.depth, 2);
+        assert_eq!(inner.trip, TripCount::Exact(6));
+        let outer = &nest.loops()[inner.parent.unwrap()];
+        assert_eq!(outer.depth, 1);
+        assert_eq!(outer.trip, TripCount::Exact(4));
+        // total executions of the inner body ≈ 4 * 6.
+        assert!((nest.total_trip(inner.id) - 24.0).abs() < 1e-9);
+        assert!((nest.outer_trip(inner.id) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_latches_merge_into_one_loop() {
+        // A "continue"-style second back edge: one loop, not two.
+        let (_, _, nest) = nest_of(
+            "main:\n\
+             \tli $t0, 8\n\
+             .Lh:\n\
+             \taddiu $t0, $t0, -1\n\
+             \tbeq $t0, $zero, .Lout\n\
+             \tbgtz $t0, .Lh\n\
+             \tbgtz $t0, .Lh\n\
+             .Lout:\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(nest.loops().len(), 1);
+        assert_eq!(nest.loops()[0].latches.len(), 2);
+    }
+
+    #[test]
+    fn program_loops_maps_instructions() {
+        let p = parse_asm(
+            "main:\n\
+             \tjal f\n\
+             \tjr $ra\n\
+             f:\n\
+             \tli $t0, 3\n\
+             .Lh:\n\
+             \taddiu $t0, $t0, -1\n\
+             \tbgtz $t0, .Lh\n\
+             \tjr $ra\n",
+        )
+        .unwrap();
+        let pl = ProgramLoops::build(&p);
+        assert_eq!(pl.funcs.len(), 2);
+        assert!(pl.loop_at(0).is_none());
+        let (f, l) = pl.loop_at(3).unwrap();
+        assert_eq!(f.name, "f");
+        assert_eq!(l.trip, TripCount::Exact(3));
+        assert!(pl.func_at(100).is_none());
+    }
+
+    #[test]
+    fn memory_slot_loop_with_slt_solved_exactly() {
+        // The unoptimized-codegen shape: the induction variable lives
+        // in a stack slot, the test is `slt` + `beq $zero`, and the
+        // increment materialises its constant into a register.
+        let (_, _, nest) = nest_of(
+            "main:\n\
+             \tli $t0, 0\n\
+             \tsw $t0, 48($sp)\n\
+             .Lh:\n\
+             \tlw $t1, 48($sp)\n\
+             \tli $t2, 4096\n\
+             \tslt $t3, $t1, $t2\n\
+             \tbeq $t3, $zero, .Lout\n\
+             \tlw $t4, 48($sp)\n\
+             \tli $t5, 1\n\
+             \taddu $t6, $t4, $t5\n\
+             \tsw $t6, 48($sp)\n\
+             \tj .Lh\n\
+             .Lout:\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(nest.loops().len(), 1);
+        assert_eq!(nest.loops()[0].trip, TripCount::Exact(4096));
+    }
+
+    #[test]
+    fn memory_slot_bound_in_slot_solved_exactly() {
+        // Bound kept in memory too: `while (i < n)` with `n` stored
+        // once before the loop and never written inside it.
+        let (_, _, nest) = nest_of(
+            "main:\n\
+             \tli $t0, 0\n\
+             \tsw $t0, 48($sp)\n\
+             \tli $t1, 12\n\
+             \tsw $t1, 52($sp)\n\
+             .Lh:\n\
+             \tlw $t2, 48($sp)\n\
+             \tlw $t3, 52($sp)\n\
+             \tslt $t4, $t2, $t3\n\
+             \tbeq $t4, $zero, .Lout\n\
+             \tlw $t5, 48($sp)\n\
+             \taddiu $t5, $t5, 1\n\
+             \tsw $t5, 48($sp)\n\
+             \tj .Lh\n\
+             .Lout:\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(nest.loops().len(), 1);
+        assert_eq!(nest.loops()[0].trip, TripCount::Exact(12));
+    }
+
+    #[test]
+    fn slti_countdown_solved_exactly() {
+        // `bne` polarity: continue while `slti` is non-zero.
+        let (_, _, nest) = nest_of(
+            "main:\n\
+             \tli $t0, 0\n\
+             .Lh:\n\
+             \taddiu $t0, $t0, 2\n\
+             \tslti $t1, $t0, 10\n\
+             \tbne $t1, $zero, .Lh\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(nest.loops().len(), 1);
+        assert_eq!(nest.loops()[0].trip, TripCount::Exact(5));
+    }
+
+    #[test]
+    fn opaque_slot_update_falls_back_to_assumed() {
+        // The slot advances by a loaded (data-dependent) amount: the
+        // step is not statically visible.
+        let (_, _, nest) = nest_of(
+            "main:\n\
+             \tli $t0, 0\n\
+             \tsw $t0, 48($sp)\n\
+             .Lh:\n\
+             \tlw $t1, 48($sp)\n\
+             \tli $t2, 4096\n\
+             \tslt $t3, $t1, $t2\n\
+             \tbeq $t3, $zero, .Lout\n\
+             \tlw $t4, 48($sp)\n\
+             \tlw $t5, 60($sp)\n\
+             \taddu $t6, $t4, $t5\n\
+             \tsw $t6, 48($sp)\n\
+             \tj .Lh\n\
+             .Lout:\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(
+            nest.loops()[0].trip,
+            TripCount::Assumed(LOOP_MULTIPLIER as u64)
+        );
+    }
+
+    #[test]
+    fn solve_trip_shapes() {
+        // count down 8,7,..,1 then fail at 0.
+        assert_eq!(solve_trip(8, -1, Cond::Gt0), Some(8));
+        // bne: 0,4,8,..,40 → 10 iterations.
+        assert_eq!(solve_trip(0, 4, Cond::Ne(40)), Some(10));
+        // step skips the bound: statically unbounded.
+        assert_eq!(solve_trip(0, 3, Cond::Ne(40)), None);
+        // moving away from the exit: unbounded.
+        assert_eq!(solve_trip(1, 1, Cond::Gt0), None);
+        // fails immediately.
+        assert_eq!(solve_trip(-5, -1, Cond::Gt0), Some(1));
+        // ge0 countdown includes the zero iteration.
+        assert_eq!(solve_trip(3, -1, Cond::Ge0), Some(4));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for loop discovery and induction-variable
+//! classification.
+//!
+//! 1. On arbitrary random CFGs (including irreducible ones), every
+//!    natural loop's header dominates every block of the loop — the
+//!    defining invariant of back-edge loop discovery.
+//! 2. Strided classification and trip solving are stable under
+//!    textual reordering of the loop's basic blocks: chaining the
+//!    same blocks with explicit jumps in any order must produce the
+//!    same classes.
+
+use dl_analysis::dom::Dominators;
+use dl_analysis::indvar::{classify_loads, AddressClass};
+use dl_analysis::loops::LoopNest;
+use dl_analysis::{analyze_program, AnalysisConfig, Cfg, ProgramLoops};
+use dl_mips::parse::parse_asm;
+use dl_testkit::{cases, Rng};
+
+/// A random function body: `n` labelled regions with random
+/// terminators (fallthrough, jump, conditional branch), ending in a
+/// return. Produces arbitrary — possibly irreducible — CFGs.
+fn arb_cfg_asm(rng: &mut Rng, n: usize) -> String {
+    let mut s = String::from("main:\n");
+    for i in 0..n {
+        s.push_str(&format!(".L{i}:\n"));
+        for _ in 0..rng.index(3) {
+            s.push_str("\tnop\n");
+        }
+        let target = rng.index(n);
+        match rng.index(4) {
+            0 => {} // fall through
+            1 => s.push_str(&format!("\tj .L{target}\n")),
+            2 => s.push_str(&format!("\tbeq $a0, $zero, .L{target}\n")),
+            _ => s.push_str(&format!("\tbgtz $a1, .L{target}\n")),
+        }
+    }
+    s.push_str("\tjr $ra\n");
+    s
+}
+
+#[test]
+fn loop_headers_dominate_their_blocks() {
+    cases(300, 0xD011AB, |rng| {
+        let n = 2 + rng.index(7);
+        let src = arb_cfg_asm(rng, n);
+        let p = parse_asm(&src).expect("generated asm parses");
+        let f = p.symbols.func("main").expect("has main").clone();
+        let cfg = Cfg::build(&p, &f);
+        let dom = Dominators::build(&cfg);
+        let nest = LoopNest::discover(&cfg, &dom);
+        for l in nest.loops() {
+            assert!(l.contains(l.header), "{src}\nheader outside own loop");
+            for &b in &l.blocks {
+                assert!(
+                    dom.dominates(l.header, b),
+                    "{src}\nheader {} does not dominate member {b}",
+                    l.header
+                );
+            }
+            for &latch in &l.latches {
+                assert!(l.contains(latch), "{src}\nlatch outside loop");
+                assert!(
+                    cfg.blocks()[latch].succs.contains(&l.header),
+                    "{src}\nlatch {latch} has no edge to header"
+                );
+            }
+        }
+    });
+}
+
+/// The loop of `stable_classification_under_block_reordering`, as
+/// four logical blocks chained by explicit jumps so their textual
+/// order is free.
+const ENTRY: &str = "main:\n\tli $t0, 0\n\tsw $t0, 48($sp)\n\tj .Ltest\n";
+const BLOCKS: [&str; 4] = [
+    ".Ltest:\n\tlw $t2, 48($sp)\n\tslti $t3, $t2, 256\n\tbeq $t3, $zero, .Ldone\n\tj .Lbody\n",
+    ".Lbody:\n\tlw $t4, 48($sp)\n\tsll $t5, $t4, 2\n\tlw $t6, 4096($t5)\n\tj .Lincr\n",
+    ".Lincr:\n\tlw $t7, 48($sp)\n\taddiu $t7, $t7, 1\n\tsw $t7, 48($sp)\n\tj .Ltest\n",
+    ".Ldone:\n\tjr $ra\n",
+];
+
+#[test]
+fn stable_classification_under_block_reordering() {
+    cases(40, 0x57AB1E, |rng| {
+        // A random permutation of the four chained blocks.
+        let mut order: Vec<usize> = (0..BLOCKS.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.index(i + 1));
+        }
+        let mut src = String::from(ENTRY);
+        for &b in &order {
+            src.push_str(BLOCKS[b]);
+        }
+        let p = parse_asm(&src).expect("permuted asm parses");
+        let analysis = analyze_program(&p, &AnalysisConfig::default());
+        let loops = ProgramLoops::build(&p);
+        let classes = classify_loads(&p, &analysis, &loops);
+        // Whatever the textual order: one strided array walk with a
+        // solved trip, and the slot reloads are invariant.
+        let strided: Vec<_> = classes
+            .iter()
+            .filter(|c| matches!(c.class, AddressClass::Strided(_)))
+            .collect();
+        assert_eq!(strided.len(), 1, "{src}\nexpected one strided load");
+        assert_eq!(strided[0].class, AddressClass::Strided(4), "{src}");
+        assert!(strided[0].trip_exact, "{src}\ntrip not solved");
+        assert!((strided[0].trip - 256.0).abs() < 1e-9, "{src}");
+        for c in &classes {
+            if c.in_loop && !matches!(c.class, AddressClass::Strided(_)) {
+                assert_eq!(c.class, AddressClass::Invariant, "{src}\ninst {}", c.index);
+            }
+        }
+    });
+}

@@ -75,7 +75,7 @@ fn naive_reaching(program: &Program, at: usize, reg: Reg) -> DefSite {
 
 #[test]
 fn straight_line_matches_last_writer() {
-    cases(256, 0x4ea_1, |rng| {
+    cases(256, 0x4ea1, |rng| {
         let insts = rng.vec_of(0, 40, arb_inst);
         let program = straight_line_program(insts);
         let func = program.symbols.func("main").expect("exists").clone();
@@ -103,7 +103,7 @@ fn straight_line_matches_last_writer() {
 /// def.
 #[test]
 fn diamond_merges_exactly_the_arm_defs() {
-    cases(64, 0x4ea_2, |rng| {
+    cases(64, 0x4ea2, |rng| {
         use dl_mips::parse::parse_asm;
         let a = arb_i16(rng);
         let b = arb_i16(rng);

@@ -13,11 +13,19 @@
 //!
 //! Both achieve coverage comparable to the paper's heuristic but flag
 //! ~50% of all static loads (π), which is the contrast the paper draws.
+//!
+//! A third, in-house comparison point goes beyond the paper:
+//!
+//! * [`reuse`] — the static reuse-distance estimator from
+//!   `dl-analysis`, wrapped in the same `*_delinquent_set` shape so
+//!   the tables can score heuristic vs. reuse vs. OKN/BDH uniformly.
 
 #![warn(missing_docs)]
 
 pub mod bdh;
 pub mod okn;
+pub mod reuse;
 
 pub use bdh::{bdh_classify, bdh_delinquent_set, BdhClass, Kind, Region};
 pub use okn::{okn_classify, okn_delinquent_set, OknClass};
+pub use reuse::{reuse_delinquent_set, reuse_predictions};

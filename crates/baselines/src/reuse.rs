@@ -1,0 +1,65 @@
+//! The static reuse-distance estimator packaged as a baseline
+//! predictor, comparable against OKN, BDH, and the paper's heuristic
+//! on the same `(program, analysis)` inputs.
+//!
+//! The estimation itself lives in `dl-analysis`'s `reuse` module (it
+//! is an analysis, not a heuristic); this wrapper gives it the same
+//! `*_delinquent_set` call shape as [`crate::okn`] and [`crate::bdh`]
+//! so the experiment tables can treat all predictors uniformly.
+
+use dl_analysis::reuse::{self, CacheGeometry, ReusePrediction};
+use dl_analysis::ProgramAnalysis;
+use dl_mips::program::Program;
+
+/// Predicts per-load miss ratios against `geometry` and returns the
+/// loads whose prediction reaches `threshold`, sorted by instruction
+/// index.
+#[must_use]
+pub fn reuse_delinquent_set(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    geometry: &CacheGeometry,
+    threshold: f64,
+) -> Vec<usize> {
+    reuse::delinquent_set(&reuse_predictions(program, analysis, geometry), threshold)
+}
+
+/// The raw per-load predictions (for callers that also want the miss
+/// ratios, classes, and trip counts behind the set).
+#[must_use]
+pub fn reuse_predictions(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    geometry: &CacheGeometry,
+) -> Vec<ReusePrediction> {
+    reuse::predict_program(program, analysis, geometry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_analysis::extract::{analyze_program, AnalysisConfig};
+    use dl_mips::parse::parse_asm;
+
+    #[test]
+    fn flags_the_streaming_load_only() {
+        let p = parse_asm(
+            "main:\n\
+             \tlw $t3, 4($sp)\n\
+             \tli $t0, 0\n\
+             \tli $t1, 16384\n\
+             .Lh:\n\
+             \tlw $t2, 0($t0)\n\
+             \taddiu $t0, $t0, 4\n\
+             \tbne $t0, $t1, .Lh\n\
+             \tjr $ra\n",
+        )
+        .unwrap();
+        let analysis = analyze_program(&p, &AnalysisConfig::default());
+        let geometry = CacheGeometry::new(8 * 1024, 32, 4);
+        let set = reuse_delinquent_set(&p, &analysis, &geometry, 0.10);
+        assert_eq!(set, vec![3]);
+        let preds = reuse_predictions(&p, &analysis, &geometry);
+        assert_eq!(preds.len(), analysis.loads.len());
+    }
+}

@@ -1,13 +1,23 @@
-//! Combining the heuristic with basic-block profiling (paper §9).
+//! Combining the heuristic with other delinquency evidence.
 //!
-//! Given the profiling set `Δ_P` (loads in the hottest blocks) and the
-//! heuristic set `Δ_H`, the combined scheme reports
-//! `(Δ_P ∩ Δ_H) ∪ Δ_ε`, where `Δ_ε` is the top-scoring ε-fraction of
-//! `Δ_d = Δ_H − (Δ_P ∩ Δ_H)` — the heuristic's picks outside the
-//! hotspots. ε = 0 gives the pure intersection, which the paper shows
-//! pinpoints ~1.3% of loads covering ~82% of misses.
+//! Two combiners live here. The paper's (§9): given the profiling set
+//! `Δ_P` (loads in the hottest blocks) and the heuristic set `Δ_H`,
+//! the combined scheme reports `(Δ_P ∩ Δ_H) ∪ Δ_ε`, where `Δ_ε` is
+//! the top-scoring ε-fraction of `Δ_d = Δ_H − (Δ_P ∩ Δ_H)` — the
+//! heuristic's picks outside the hotspots. ε = 0 gives the pure
+//! intersection, which the paper shows pinpoints ~1.3% of loads
+//! covering ~82% of misses.
+//!
+//! Beyond the paper: the static reuse-distance estimator
+//! (`dl-analysis`'s `reuse` module) is a second, independent static
+//! predictor, and [`combine_hybrid`] merges the two purely static sets
+//! — intersecting for precision or uniting for coverage — with
+//! [`reuse_scores`] exposing the predicted miss ratios in the same
+//! `(index, score)` shape as [`crate::Heuristic::score_all`].
 
 use std::collections::BTreeSet;
+
+use dl_analysis::reuse::ReusePrediction;
 
 /// Combines profiling and heuristic sets with the given ε-factor.
 ///
@@ -65,6 +75,55 @@ pub fn combine_with_profiling(
     let take = (epsilon * delta_d.len() as f64).floor() as usize;
     combined.extend(delta_d.iter().take(take).map(|(i, _)| *i));
     combined.into_iter().collect()
+}
+
+/// How [`combine_hybrid`] merges the heuristic and reuse sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HybridMode {
+    /// Flag only loads both predictors agree on (precision-oriented:
+    /// π can only shrink).
+    Intersect,
+    /// Flag loads either predictor picks (coverage-oriented: ρ can
+    /// only grow).
+    Union,
+}
+
+/// The reuse predictor's verdicts as `(index, predicted miss ratio)`
+/// pairs — the same shape as [`crate::Heuristic::score_all`], so the
+/// two scorers are interchangeable downstream.
+#[must_use]
+pub fn reuse_scores(predictions: &[ReusePrediction]) -> Vec<(usize, f64)> {
+    predictions
+        .iter()
+        .map(|p| (p.index, p.miss_ratio))
+        .collect()
+}
+
+/// Merges the heuristic set `Δ_H` and the reuse set `Δ_R` — two
+/// independent static predictors — per `mode`. Returns instruction
+/// indices sorted ascending.
+///
+/// # Example
+///
+/// ```
+/// use dl_core::combine::{combine_hybrid, HybridMode};
+/// let h = vec![1, 4, 6];
+/// let r = vec![4, 6, 9];
+/// assert_eq!(combine_hybrid(&h, &r, HybridMode::Intersect), vec![4, 6]);
+/// assert_eq!(combine_hybrid(&h, &r, HybridMode::Union), vec![1, 4, 6, 9]);
+/// ```
+#[must_use]
+pub fn combine_hybrid(
+    heuristic_set: &[usize],
+    reuse_set: &[usize],
+    mode: HybridMode,
+) -> Vec<usize> {
+    let h: BTreeSet<usize> = heuristic_set.iter().copied().collect();
+    let r: BTreeSet<usize> = reuse_set.iter().copied().collect();
+    match mode {
+        HybridMode::Intersect => h.intersection(&r).copied().collect(),
+        HybridMode::Union => h.union(&r).copied().collect(),
+    }
 }
 
 #[cfg(test)]
@@ -126,5 +185,34 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn negative_epsilon_panics() {
         let _ = combine_with_profiling(&[], &scored(), &[1], -0.1);
+    }
+
+    #[test]
+    fn hybrid_set_operations() {
+        assert_eq!(
+            combine_hybrid(&[5, 1, 3], &[3, 5, 7], HybridMode::Intersect),
+            vec![3, 5]
+        );
+        assert_eq!(
+            combine_hybrid(&[5, 1, 3], &[3, 5, 7], HybridMode::Union),
+            vec![1, 3, 5, 7]
+        );
+        assert!(combine_hybrid(&[], &[1], HybridMode::Intersect).is_empty());
+        assert_eq!(combine_hybrid(&[], &[1], HybridMode::Union), vec![1]);
+    }
+
+    #[test]
+    fn reuse_scores_mirror_predictions() {
+        use dl_analysis::indvar::AddressClass;
+        let preds = vec![ReusePrediction {
+            index: 7,
+            class: AddressClass::Strided(4),
+            loop_depth: 1,
+            trip: 64.0,
+            trip_exact: true,
+            footprint: 256.0,
+            miss_ratio: 0.125,
+        }];
+        assert_eq!(reuse_scores(&preds), vec![(7, 0.125)]);
     }
 }

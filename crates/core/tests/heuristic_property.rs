@@ -57,7 +57,7 @@ fn arb_analysis(rng: &mut Rng) -> (ProgramAnalysis, Vec<u64>) {
 /// Raising δ never adds loads: Δ(δ₂) ⊆ Δ(δ₁) for δ₁ ≤ δ₂.
 #[test]
 fn threshold_monotonicity() {
-    cases(256, 0x4e0_1, |rng| {
+    cases(256, 0x4e01, |rng| {
         let (analysis, execs) = arb_analysis(rng);
         let d1 = rng.range_f64(0.0, 0.5);
         let d2 = rng.range_f64(0.0, 0.5);
@@ -82,7 +82,7 @@ fn threshold_monotonicity() {
 /// Increasing any single class weight never decreases any φ score.
 #[test]
 fn weight_monotonicity() {
-    cases(256, 0x4e0_2, |rng| {
+    cases(256, 0x4e02, |rng| {
         let (analysis, execs) = arb_analysis(rng);
         let class = *rng.pick(&AgClass::ALL);
         let bump = rng.range_f64(0.0, 1.0);
@@ -100,7 +100,7 @@ fn weight_monotonicity() {
 /// φ is the max over patterns: adding a pattern can only raise it.
 #[test]
 fn adding_a_pattern_never_lowers_phi() {
-    cases(256, 0x4e0_3, |rng| {
+    cases(256, 0x4e03, |rng| {
         let load = arb_load(rng, 0);
         let extra = arb_pattern(rng);
         let execs = rng.range_u64(1000, 1_000_000);
@@ -115,7 +115,7 @@ fn adding_a_pattern_never_lowers_phi() {
 /// The static-only variant is insensitive to execution counts.
 #[test]
 fn static_variant_ignores_execution_counts() {
-    cases(256, 0x4e0_4, |rng| {
+    cases(256, 0x4e04, |rng| {
         let load = arb_load(rng, 0);
         let e1 = rng.range_u64(0, 10_000_000);
         let e2 = rng.range_u64(0, 10_000_000);
@@ -127,7 +127,7 @@ fn static_variant_ignores_execution_counts() {
 /// classify() is exactly {i : φ(i) > δ}.
 #[test]
 fn classify_agrees_with_scores() {
-    cases(256, 0x4e0_5, |rng| {
+    cases(256, 0x4e05, |rng| {
         let (analysis, execs) = arb_analysis(rng);
         let h = Heuristic::default();
         let flagged: std::collections::BTreeSet<usize> =
@@ -146,7 +146,7 @@ fn classify_agrees_with_scores() {
 /// static-only variant.
 #[test]
 fn frequency_classes_only_filter() {
-    cases(256, 0x4e0_6, |rng| {
+    cases(256, 0x4e06, |rng| {
         let (analysis, execs) = arb_analysis(rng);
         let with: Vec<usize> = Heuristic::default().classify(&analysis, &execs);
         let without: std::collections::BTreeSet<usize> = Heuristic::default()

@@ -137,9 +137,11 @@ fn main() {
     let smoke = parse_flag(&mut args, "--smoke");
     let obs = Obs::resolve(&mut args);
     if args.is_empty() && smoke {
-        // `repro --smoke` alone exercises the cheapest table: enough
-        // for CI to validate the pipeline and the manifest contract.
+        // `repro --smoke` alone exercises the cheapest heuristic table
+        // plus the reuse-predictor table: enough for CI to validate
+        // the pipeline, the manifest contract, and both predictors.
         args.push("table3".into());
+        args.push("extension-reuse".into());
     }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         usage();

@@ -9,6 +9,8 @@
 
 use std::fmt::Write as _;
 
+use dl_analysis::reuse::{predict_program, REUSE_DELTA};
+use dl_analysis::{AddressClass, CacheGeometry};
 use dl_obs::metrics::Histogram;
 use dl_obs::span::Spans;
 use dl_obs::{Json, Manifest};
@@ -35,7 +37,9 @@ pub struct RunInfo {
 /// Builds the full run manifest. Mandatory sections (checked by
 /// `ci.sh`): `stages` (per-stage wall times), `memo` (hit/miss/wait
 /// counters and `hit_rate`), `workers` (per-worker simulation counts),
-/// `sim` (including `insts_per_sec`), and `miss_classes`.
+/// `sim` (including `insts_per_sec`), `miss_classes`, and `reuse`
+/// (static reuse-analysis load counts against the paper-baseline
+/// geometry).
 #[must_use]
 pub fn run_manifest(
     info: &RunInfo,
@@ -113,6 +117,64 @@ pub fn run_manifest(
         .with("conflict", classes.conflict.into())
         .with("total", classes.total().into());
 
+    // Static reuse-analysis summary over every completed run, always
+    // against the paper-baseline geometry so the numbers are
+    // comparable across runs regardless of which caches were
+    // simulated. Pure counts over sets — order-independent, so the
+    // section is deterministic under any worker schedule.
+    let baseline = dl_sim::CacheConfig::paper_baseline();
+    let geometry = CacheGeometry::new(
+        u64::from(baseline.size_bytes()),
+        u64::from(baseline.block_bytes()),
+        baseline.assoc(),
+    );
+    let mut reuse_runs = 0u64;
+    let mut loads = 0u64;
+    let mut in_loop = 0u64;
+    let mut exact_trips = 0u64;
+    let mut flagged = 0u64;
+    let mut by_class = [0u64; 4]; // invariant, strided, pointer-chase, irregular
+    for run in pipeline.ready_runs() {
+        reuse_runs += 1;
+        for p in predict_program(&run.program, &run.analysis, &geometry) {
+            loads += 1;
+            if p.loop_depth > 0 {
+                in_loop += 1;
+                if p.trip_exact {
+                    exact_trips += 1;
+                }
+            }
+            if p.miss_ratio >= REUSE_DELTA {
+                flagged += 1;
+            }
+            let slot = match p.class {
+                AddressClass::Invariant => 0,
+                AddressClass::Strided(_) => 1,
+                AddressClass::PointerChase => 2,
+                AddressClass::Irregular => 3,
+            };
+            by_class[slot] += 1;
+        }
+    }
+    let reuse = Json::obj()
+        .with("runs", reuse_runs.into())
+        .with(
+            "geometry",
+            format!(
+                "{}B/{}-way/{}B-line",
+                geometry.capacity, geometry.assoc, geometry.line
+            )
+            .into(),
+        )
+        .with("loads", loads.into())
+        .with("in_loop", in_loop.into())
+        .with("exact_trips", exact_trips.into())
+        .with("invariant", by_class[0].into())
+        .with("strided", by_class[1].into())
+        .with("pointer_chase", by_class[2].into())
+        .with("irregular", by_class[3].into())
+        .with("flagged", flagged.into());
+
     // Ranked by instruction count, not measured seconds: instructions
     // are the deterministic proxy for simulation cost, so the zeroed
     // manifest (timings stripped) is byte-stable across runs.
@@ -146,6 +208,7 @@ pub fn run_manifest(
         .with("workers", Json::Arr(workers))
         .with("sim", sim)
         .with("miss_classes", miss_classes)
+        .with("reuse", reuse)
         .with("slowest", Json::Arr(slowest));
     if let Some(report) = prewarm {
         manifest.set(
@@ -270,6 +333,25 @@ pub fn profile_text(manifest: &Manifest) -> String {
             out.push_str("miss classes: (classification off — rerun with --profile/--manifest)\n");
         }
     }
+    if let Some(reuse) = manifest.get("reuse") {
+        let _ = writeln!(
+            out,
+            "reuse: {} loads over {} runs ({} in-loop, {} with exact trips) — \
+             {} strided / {} pointer-chase / {} invariant / {} irregular, \
+             {} flagged at {} ({})",
+            u(reuse.get("loads")),
+            u(reuse.get("runs")),
+            u(reuse.get("in_loop")),
+            u(reuse.get("exact_trips")),
+            u(reuse.get("strided")),
+            u(reuse.get("pointer_chase")),
+            u(reuse.get("invariant")),
+            u(reuse.get("irregular")),
+            u(reuse.get("flagged")),
+            REUSE_DELTA,
+            s(reuse.get("geometry")),
+        );
+    }
     if let Some(Json::Arr(slowest)) = manifest.get("slowest") {
         if !slowest.is_empty() {
             out.push_str("slowest configurations:\n");
@@ -331,6 +413,7 @@ mod tests {
             "workers",
             "sim",
             "miss_classes",
+            "reuse",
             "slowest",
             "prewarm",
         ] {
@@ -345,7 +428,16 @@ mod tests {
 
         // The text report renders every section.
         let text = profile_text(&manifest);
-        for needle in ["stages:", "memo:", "workers:", "sim:", "miss classes:"] {
+        let reuse = manifest.get("reuse").unwrap();
+        assert!(u(reuse.get("loads")) > 0, "reuse section saw no loads");
+        for needle in [
+            "stages:",
+            "memo:",
+            "workers:",
+            "sim:",
+            "miss classes:",
+            "reuse:",
+        ] {
             assert!(text.contains(needle), "profile text missing `{needle}`");
         }
     }

@@ -310,6 +310,18 @@ impl Pipeline {
         let program = bench
             .compile(opt)
             .unwrap_or_else(|e| panic!("{} does not compile at {opt}: {e}", bench.name));
+        // Debug builds verify every compiled program before analysis;
+        // a codegen bug should fail loudly here, not as mysterious
+        // simulator output three layers down.
+        #[cfg(debug_assertions)]
+        if let Err(violations) = dl_mips::verify::verify_program(&program) {
+            let detail: Vec<String> = violations.iter().map(ToString::to_string).collect();
+            panic!(
+                "{} at {opt} failed assembly verification: {}",
+                bench.name,
+                detail.join("; ")
+            );
+        }
         let analysis = analyze_program(&program, &AnalysisConfig::default());
         let secs = start.elapsed().as_secs_f64();
         self.counters.compile_misses.fetch_add(1, Ordering::Relaxed);

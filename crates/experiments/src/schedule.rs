@@ -104,6 +104,7 @@ pub fn table_specs(table: &str) -> Vec<RunSpec> {
         | "ablation-classes"
         | "ablation-patterns"
         | "extension-static-frequency"
+        | "extension-reuse"
         | "ablation-delta-tuning" => specs(dl_workloads::all(), o0, 1, baseline),
         "table13" => specs(dl_workloads::training_set(), o1, 1, CacheConfig::kb(16, 4)),
         "extension-prefetch" => {

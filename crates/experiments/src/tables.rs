@@ -10,8 +10,10 @@
 use std::sync::Arc;
 
 use dl_analysis::extract::{analyze_program, AnalysisConfig};
-use dl_baselines::{bdh_delinquent_set, okn_delinquent_set};
-use dl_core::combine::combine_with_profiling;
+use dl_analysis::reuse::REUSE_DELTA;
+use dl_analysis::CacheGeometry;
+use dl_baselines::{bdh_delinquent_set, okn_delinquent_set, reuse_delinquent_set};
+use dl_core::combine::{combine_hybrid, combine_with_profiling, HybridMode};
 use dl_core::training::{h1_class_defs, train_class, train_weights, TrainingParams, TrainingRun};
 use dl_core::{AgClass, Heuristic, Weights};
 use dl_minic::OptLevel;
@@ -948,6 +950,73 @@ pub fn extension_prefetch(p: &Pipeline) -> Table {
     t
 }
 
+/// Extension: the static reuse-distance estimator as a second
+/// delinquency predictor, scored alone and hybridized with the
+/// heuristic, against the simulated per-load miss ground truth of the
+/// same runs the baselines use.
+#[must_use]
+pub fn extension_reuse(p: &Pipeline) -> Table {
+    let h = Heuristic::default();
+    let cache = CacheConfig::paper_baseline();
+    let geometry = CacheGeometry::new(
+        u64::from(cache.size_bytes()),
+        u64::from(cache.block_bytes()),
+        cache.assoc(),
+    );
+    let mut t = Table::new(
+        "extension-reuse",
+        "static reuse-distance estimation as a second predictor (8 KiB baseline)",
+        &[
+            "Benchmark",
+            "heuristic π/ρ",
+            "reuse π/ρ",
+            "hybrid∩ π/ρ",
+            "hybrid∪ π/ρ",
+            "OKN π/ρ",
+            "BDH π/ρ",
+        ],
+    );
+    let mut acc: Vec<Vec<f64>> = vec![vec![]; 12];
+    for b in dl_workloads::all() {
+        let run = p.run(&b, OptLevel::O0, 1, cache);
+        let heur = delta_h(&run, &h);
+        let reuse = reuse_delinquent_set(&run.program, &run.analysis, &geometry, REUSE_DELTA);
+        let inter = combine_hybrid(&heur, &reuse, HybridMode::Intersect);
+        let union = combine_hybrid(&heur, &reuse, HybridMode::Union);
+        let okn = okn_delinquent_set(&run.analysis);
+        let bdh = bdh_delinquent_set(&run.program, &run.analysis);
+        let sets = [&heur, &reuse, &inter, &union, &okn, &bdh];
+        let mut cells = vec![b.name.to_owned()];
+        for (k, set) in sets.into_iter().enumerate() {
+            let p_val = pi(set.len(), run.lambda());
+            let r_val = rho(&run.result, set);
+            acc[2 * k].push(p_val);
+            acc[2 * k + 1].push(r_val);
+            cells.push(format!("{} / {}", pct(p_val, 2), pct(r_val, 0)));
+        }
+        t.push_row(cells);
+    }
+    let mut avg_row = vec!["AVERAGE".to_owned()];
+    for k in 0..6 {
+        avg_row.push(format!(
+            "{} / {}",
+            pct(avg(&acc[2 * k]), 2),
+            pct(avg(&acc[2 * k + 1]), 2)
+        ));
+    }
+    t.push_row(avg_row);
+    t.set_note(
+        "Beyond the paper. The reuse estimator predicts per-load miss ratios from \
+         loop trip counts, strides, and footprints (DESIGN.md, 'Loop & reuse \
+         analysis'). Expected shape: reuse alone trades coverage for precision \
+         against the pattern heuristic (it abstains on irregular addresses); \
+         intersecting the two (hybrid∩) drives π far below either alone (a \
+         high-confidence set, at reuse's coverage), and their union beats \
+         OKN on both axes — higher ρ at lower π.",
+    );
+    t
+}
+
 /// A table generator function.
 pub type TableFn = fn(&Pipeline) -> Table;
 
@@ -973,6 +1042,7 @@ pub fn all_tables() -> Vec<(&'static str, TableFn)> {
         ("ablation-patterns", ablation_patterns),
         ("extension-static-frequency", extension_static_frequency),
         ("extension-prefetch", extension_prefetch),
+        ("extension-reuse", extension_reuse),
         ("ablation-profile-fidelity", ablation_profile_fidelity),
         ("ablation-delta-tuning", ablation_delta_tuning),
     ]

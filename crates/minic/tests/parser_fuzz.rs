@@ -64,7 +64,7 @@ fn arb_fragment(rng: &mut Rng) -> String {
 
 #[test]
 fn token_soup_never_panics() {
-    cases(512, 0xf7a9_1, |rng| {
+    cases(512, 0xf7a91, |rng| {
         let src: String = rng.vec_of(0, 60, arb_fragment).concat();
         // Must not panic; errors are fine.
         let _ = compile(&src, OptLevel::O0);
@@ -74,7 +74,7 @@ fn token_soup_never_panics() {
 
 #[test]
 fn valid_skeleton_with_random_body_never_panics() {
-    cases(512, 0xf7a9_2, |rng| {
+    cases(512, 0xf7a92, |rng| {
         let body: String = rng.vec_of(0, 30, arb_fragment).concat();
         let src = format!("int main() {{ {body} return 0; }}");
         let _ = compile(&src, OptLevel::O0);
@@ -83,7 +83,7 @@ fn valid_skeleton_with_random_body_never_panics() {
 
 #[test]
 fn arbitrary_bytes_never_panic_the_lexer() {
-    cases(512, 0xf7a9_3, |rng| {
+    cases(512, 0xf7a93, |rng| {
         let bytes = rng.vec_of(0, 200, |r| r.range_u32(0, 256) as u8);
         if let Ok(s) = std::str::from_utf8(&bytes) {
             let _ = dl_minic::lexer::lex(s);

@@ -39,8 +39,10 @@ pub mod layout;
 pub mod parse;
 pub mod program;
 pub mod reg;
+pub mod verify;
 
 pub use asm::AsmBuilder;
 pub use inst::{Inst, Label};
 pub use program::{FuncSym, GlobalSym, Program, SymbolTable};
 pub use reg::Reg;
+pub use verify::{verify_program, Violation};

@@ -1,0 +1,349 @@
+//! Assembly well-formedness verification.
+//!
+//! The pipeline used to accept any `Program` the compiler produced;
+//! malformed codegen (a branch to a stale label, a read of a register
+//! no path defines, a clobbered stack pointer) would surface only as
+//! baffling simulator behaviour many layers later. This pass checks
+//! the static contract a well-formed program obeys:
+//!
+//! 1. **Targets resolve** — every branch/jump target is a real
+//!    instruction; conditional branches stay inside their function
+//!    (the CFG layer treats escaping branch edges as absent, so such
+//!    a branch silently corrupts every downstream analysis); `jal`
+//!    lands on a function entry; `j` stays in-function or tail-calls
+//!    a function entry.
+//! 2. **Reads are defined** — no instruction reads a register that no
+//!    instruction of the function ever writes, unless the calling
+//!    convention provides it at entry (`$zero`, `$sp`, `$gp`, `$fp`,
+//!    `$ra`, arguments `$a0–$a3`, callee-saved `$s0–$s7`). Calls
+//!    define the return registers. The check is flow-insensitive, so
+//!    it only reports registers that *cannot* be defined on any path
+//!    — no false positives from branching definitions.
+//! 3. **Stack discipline** — `$sp` is only ever adjusted by
+//!    `addiu $sp, $sp, imm` (never loaded or computed), and a
+//!    function's first adjustment in program order allocates
+//!    (negative), not deallocates.
+//!
+//! Debug builds of the experiment pipeline run this on every compiled
+//! benchmark; release builds skip it.
+
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// One well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Instruction index the violation is at (`None` for
+    /// function-level findings).
+    pub inst: Option<usize>,
+    /// Name of the function containing it.
+    pub func: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inst {
+            Some(i) => write!(f, "[{}+{i}] {}", self.func, self.message),
+            None => write!(f, "[{}] {}", self.func, self.message),
+        }
+    }
+}
+
+/// Registers whose values the o32 calling convention provides at
+/// function entry: reading them before writing is legitimate.
+const ENTRY_REGS: [Reg; 17] = [
+    Reg::Zero,
+    Reg::Sp,
+    Reg::Gp,
+    Reg::Fp,
+    Reg::Ra,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+    Reg::S0,
+    Reg::S1,
+    Reg::S2,
+    Reg::S3,
+    Reg::S4,
+    Reg::S5,
+    Reg::S6,
+    Reg::S7,
+];
+
+/// Verifies every function of `program`; returns all violations found.
+///
+/// # Errors
+///
+/// Returns the non-empty violation list when the program is malformed.
+pub fn verify_program(program: &Program) -> Result<(), Vec<Violation>> {
+    let n = program.insts.len();
+    let func_starts: Vec<usize> = program.symbols.funcs().iter().map(|f| f.start).collect();
+    let mut violations = Vec::new();
+    for f in program.symbols.funcs() {
+        if f.start >= f.end || f.end > n {
+            continue; // empty or malformed symbol ranges are not codegen's fault
+        }
+        verify_func(
+            program,
+            &f.name,
+            f.start,
+            f.end,
+            &func_starts,
+            &mut violations,
+        );
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+fn verify_func(
+    program: &Program,
+    name: &str,
+    lo: usize,
+    hi: usize,
+    func_starts: &[usize],
+    out: &mut Vec<Violation>,
+) {
+    let n = program.insts.len();
+    let mut report = |inst: Option<usize>, message: String| {
+        out.push(Violation {
+            inst,
+            func: name.to_owned(),
+            message,
+        });
+    };
+
+    // Pass 1: every register any instruction of the function defines.
+    let mut defined = [false; 32];
+    for r in ENTRY_REGS {
+        defined[r as usize] = true;
+    }
+    for idx in lo..hi {
+        let inst = &program.insts[idx];
+        if let Some(r) = inst.def() {
+            defined[r as usize] = true;
+        }
+        if inst.is_call() {
+            defined[Reg::V0 as usize] = true;
+            defined[Reg::V1 as usize] = true;
+        }
+        if matches!(inst, Inst::Syscall) {
+            defined[Reg::V0 as usize] = true;
+        }
+    }
+
+    // Pass 2: per-instruction checks.
+    let mut first_sp_adjust: Option<i16> = None;
+    for idx in lo..hi {
+        let inst = &program.insts[idx];
+        // (1) Targets resolve.
+        if let Some(t) = inst.target() {
+            let ti = t.index();
+            if ti >= n {
+                report(
+                    Some(idx - lo),
+                    format!(
+                        "{} targets instruction {ti}, program has {n}",
+                        inst.mnemonic()
+                    ),
+                );
+            } else {
+                let local = (lo..hi).contains(&ti);
+                let entry = func_starts.binary_search(&ti).is_ok();
+                match inst {
+                    Inst::Jal { .. } if !entry => {
+                        report(
+                            Some(idx - lo),
+                            format!("jal targets {ti}, not a function entry"),
+                        );
+                    }
+                    Inst::J { .. } if !local && !entry => {
+                        report(
+                            Some(idx - lo),
+                            format!("j escapes the function to {ti}, not a function entry"),
+                        );
+                    }
+                    _ if inst.is_branch() && !local => {
+                        report(
+                            Some(idx - lo),
+                            format!(
+                                "{} branches outside its function (to {ti})",
+                                inst.mnemonic()
+                            ),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // (2) Reads of never-defined registers.
+        for r in inst.uses() {
+            if !defined[r as usize] {
+                report(
+                    Some(idx - lo),
+                    format!(
+                        "{} reads {r}, which nothing in the function defines",
+                        inst.mnemonic()
+                    ),
+                );
+            }
+        }
+        // (3) Stack-pointer discipline.
+        if inst.def() == Some(Reg::Sp) {
+            match *inst {
+                Inst::Addiu {
+                    rt: Reg::Sp,
+                    rs: Reg::Sp,
+                    imm,
+                } => {
+                    if first_sp_adjust.is_none() {
+                        first_sp_adjust = Some(imm);
+                    }
+                }
+                _ => report(
+                    Some(idx - lo),
+                    format!(
+                        "$sp written by {}, not `addiu $sp, $sp, imm`",
+                        inst.mnemonic()
+                    ),
+                ),
+            }
+        }
+    }
+    if let Some(imm) = first_sp_adjust {
+        if imm > 0 {
+            report(
+                None,
+                format!("first $sp adjustment (+{imm}) deallocates before any allocation"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_asm;
+
+    fn verify(src: &str) -> Result<(), Vec<Violation>> {
+        verify_program(&parse_asm(src).unwrap())
+    }
+
+    #[test]
+    fn well_formed_program_passes() {
+        verify(
+            "main:\n\
+             \taddiu $sp, $sp, -16\n\
+             \tsw $s0, 0($sp)\n\
+             \tli $t0, 4\n\
+             .Lh:\n\
+             \tlw $t1, 0($gp)\n\
+             \taddiu $t0, $t0, -1\n\
+             \tbgtz $t0, .Lh\n\
+             \tjal helper\n\
+             \taddu $t2, $v0, $zero\n\
+             \tlw $s0, 0($sp)\n\
+             \taddiu $sp, $sp, 16\n\
+             \tjr $ra\n\
+             helper:\n\
+             \tli $v0, 1\n\
+             \tjr $ra\n",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn read_of_never_defined_temp_is_flagged() {
+        let err = verify(
+            "main:\n\
+             \taddu $t0, $t1, $t2\n\
+             \tjr $ra\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.len(), 2, "both $t1 and $t2 are undefined: {err:?}");
+        assert!(err[0].message.contains("reads"));
+        assert!(err[0].to_string().contains("main"));
+    }
+
+    #[test]
+    fn convention_registers_are_fine_to_read() {
+        verify(
+            "main:\n\
+             \tlw $t0, 0($a0)\n\
+             \tsw $s3, 4($sp)\n\
+             \taddu $t1, $gp, $a1\n\
+             \tjr $ra\n",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn call_defines_return_registers() {
+        verify(
+            "main:\n\
+             \tjal f\n\
+             \taddu $t0, $v0, $v1\n\
+             \tjr $ra\n\
+             f:\n\
+             \tli $v0, 1\n\
+             \tjr $ra\n",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn branch_escaping_function_is_flagged() {
+        let err = verify(
+            "main:\n\
+             \tbgtz $a0, .Lx\n\
+             \tjr $ra\n\
+             f:\n\
+             .Lx:\n\
+             \tjr $ra\n",
+        )
+        .unwrap_err();
+        assert!(err.iter().any(|v| v.message.contains("branches outside")));
+    }
+
+    #[test]
+    fn tail_call_jump_to_entry_is_fine() {
+        verify(
+            "main:\n\
+             \tj f\n\
+             f:\n\
+             \tjr $ra\n",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn sp_computed_by_addu_is_flagged() {
+        let err = verify(
+            "main:\n\
+             \taddu $sp, $sp, $a0\n\
+             \tjr $ra\n",
+        )
+        .unwrap_err();
+        assert!(err.iter().any(|v| v.message.contains("$sp written by")));
+    }
+
+    #[test]
+    fn deallocation_first_is_flagged() {
+        let err = verify(
+            "main:\n\
+             \taddiu $sp, $sp, 16\n\
+             \tjr $ra\n",
+        )
+        .unwrap_err();
+        assert!(err.iter().any(|v| v.message.contains("deallocates")));
+    }
+}

@@ -145,6 +145,10 @@ impl Histogram {
     }
 }
 
+/// One histogram snapshot: `(count, sum, non-empty buckets)`, where
+/// each bucket is `(index, samples)`.
+pub type HistogramSnapshot = (u64, u64, Vec<(usize, u64)>);
+
 /// A named, thread-safe registry of metrics.
 ///
 /// Lookup takes a short-lived lock; the returned `Arc` handle is then
@@ -228,7 +232,7 @@ impl Registry {
     ///
     /// Panics if the registry lock is poisoned.
     #[must_use]
-    pub fn histogram_values(&self) -> BTreeMap<String, (u64, u64, Vec<(usize, u64)>)> {
+    pub fn histogram_values(&self) -> BTreeMap<String, HistogramSnapshot> {
         self.histograms
             .lock()
             .expect("registry lock")

@@ -86,7 +86,7 @@ fn arb_stream(rng: &mut Rng) -> Vec<u32> {
 
 #[test]
 fn matches_reference_lru() {
-    cases(128, 0xcac4e_1, |rng| {
+    cases(128, 0xcac4e1, |rng| {
         let cfg = arb_config(rng);
         let stream = arb_stream(rng);
         let mut fast = Cache::new(cfg);
@@ -105,7 +105,7 @@ fn matches_reference_lru() {
 /// the MRU fast path and still agree with the reference model.
 #[test]
 fn mru_fast_path_matches_reference_on_dwell_runs() {
-    cases(128, 0xcac4e_2, |rng| {
+    cases(128, 0xcac4e2, |rng| {
         let cfg = arb_config(rng);
         let mut fast = Cache::new(cfg);
         let mut reference = RefCache::new(cfg);
@@ -127,7 +127,7 @@ fn mru_fast_path_matches_reference_on_dwell_runs() {
 
 #[test]
 fn hits_plus_misses_equals_accesses() {
-    cases(128, 0xcac4e_3, |rng| {
+    cases(128, 0xcac4e3, |rng| {
         let cfg = arb_config(rng);
         let stream = arb_stream(rng);
         let mut c = Cache::new(cfg);
@@ -140,7 +140,7 @@ fn hits_plus_misses_equals_accesses() {
 
 #[test]
 fn first_touch_of_each_block_misses() {
-    cases(128, 0xcac4e_4, |rng| {
+    cases(128, 0xcac4e4, |rng| {
         let cfg = arb_config(rng);
         let stream = arb_stream(rng);
         let mut c = Cache::new(cfg);
@@ -157,7 +157,7 @@ fn first_touch_of_each_block_misses() {
 
 #[test]
 fn repeat_access_always_hits() {
-    cases(256, 0xcac4e_5, |rng| {
+    cases(256, 0xcac4e5, |rng| {
         let cfg = arb_config(rng);
         let addr = rng.range_u32(0, 0x4000_0000);
         let mut c = Cache::new(cfg);

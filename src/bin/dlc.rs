@@ -19,15 +19,25 @@
 //! frequency classes and ground-truth misses) → address patterns →
 //! heuristic, then prints each flagged load with its φ score, pattern,
 //! and measured misses.
+//!
+//! `--reuse` (on `analyze`) additionally prints the static loop-nest
+//! and reuse-distance report: every detected loop with its estimated
+//! trip count, every in-loop load's address class and predicted miss
+//! ratio next to the measured one, and the reuse and hybrid
+//! delinquent sets scored with the same π/ρ metrics.
 
 use std::process::ExitCode;
 
+use delinquent_loads::heuristic::combine::{combine_hybrid, HybridMode};
 use delinquent_loads::heuristic::Heuristic;
 use delinquent_loads::minic::{compile, OptLevel};
 use delinquent_loads::mips::encode::encode_program;
 use dl_analysis::extract::{analyze_program, AnalysisConfig};
+use dl_analysis::reuse::predict_program;
+use dl_analysis::{CacheGeometry, ProgramAnalysis, ProgramLoops};
+use dl_baselines::reuse_delinquent_set;
 use dl_experiments::metrics::{pi, rho};
-use dl_sim::{run, RunConfig};
+use dl_sim::{run, RunConfig, RunResult};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +57,7 @@ struct Options {
     emit: String,
     delta: f64,
     profile: bool,
+    reuse: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -57,6 +68,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         emit: "asm".to_owned(),
         delta: 0.10,
         profile: false,
+        reuse: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -82,6 +94,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| e.to_string())?;
             }
             "--profile" => options.profile = true,
+            "--reuse" => options.reuse = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`"));
             }
@@ -109,7 +122,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
         return Err(
             "usage: dlc <build|run|analyze> prog.mc [-O1] [--emit asm|bin|words] \
-             [--input 1,2,3] [--delta 0.1] [--profile]"
+             [--input 1,2,3] [--delta 0.1] [--profile] [--reuse]"
                 .into(),
         );
     };
@@ -198,6 +211,16 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                         .map_or_else(|| "?".to_owned(), ToString::to_string)
                 );
             }
+            if options.reuse {
+                print_reuse(
+                    &program,
+                    &analysis,
+                    &result,
+                    &config,
+                    &delinquent,
+                    options.delta,
+                );
+            }
             if let Some(classes) = &result.load_miss_classes {
                 eprintln!("[flagged-load miss classes: compulsory / capacity / conflict]");
                 for &idx in &delinquent {
@@ -209,6 +232,94 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Prints the `--reuse` report on stdout: the loop-nest structure,
+/// the static reuse predictions for every in-loop load next to the
+/// measured miss ratio, and the reuse/hybrid delinquent sets scored
+/// with the same π/ρ metrics as the heuristic.
+fn print_reuse(
+    program: &dl_mips::program::Program,
+    analysis: &ProgramAnalysis,
+    result: &RunResult,
+    config: &RunConfig,
+    heuristic_set: &[usize],
+    delta: f64,
+) {
+    let cache = config.cache;
+    let geometry = CacheGeometry::new(
+        u64::from(cache.size_bytes()),
+        u64::from(cache.block_bytes()),
+        cache.assoc(),
+    );
+    println!(
+        "== reuse analysis ({}B cache, {}-way, {}B lines) ==",
+        geometry.capacity, geometry.assoc, geometry.line
+    );
+    let loops = ProgramLoops::build(program);
+    for f in &loops.funcs {
+        for l in f.nest.loops() {
+            let header_inst = f.cfg.blocks()[l.header].start;
+            println!(
+                "loop {}#{}: header inst {header_inst}, depth {}, {} blocks, trip {:.0} ({})",
+                f.name,
+                l.id,
+                l.depth,
+                l.blocks.len(),
+                l.trip.iterations(),
+                if l.trip.is_exact() {
+                    "exact"
+                } else {
+                    "assumed"
+                },
+            );
+        }
+    }
+    println!(
+        "{:>6}  {:<16} {:>5} {:>10} {:>10} {:>10}",
+        "inst", "class", "depth", "trip", "predicted", "measured"
+    );
+    for p in predict_program(program, analysis, &geometry) {
+        if p.loop_depth == 0 {
+            continue;
+        }
+        let execs = result.exec_counts[p.index];
+        let measured = if execs > 0 {
+            result.load_misses[p.index] as f64 / execs as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>6}  {:<16} {:>5} {:>10.0} {:>10.3} {:>10.3}",
+            p.index,
+            p.class.to_string(),
+            p.loop_depth,
+            p.trip,
+            p.miss_ratio,
+            measured,
+        );
+    }
+    let reuse_set = reuse_delinquent_set(program, analysis, &geometry, delta);
+    let score = |set: &[usize]| {
+        (
+            100.0 * pi(set.len(), analysis.loads.len()),
+            100.0 * rho(result, set),
+        )
+    };
+    for (name, set) in [
+        ("reuse", reuse_set.clone()),
+        (
+            "hybrid∩",
+            combine_hybrid(heuristic_set, &reuse_set, HybridMode::Intersect),
+        ),
+        (
+            "hybrid∪",
+            combine_hybrid(heuristic_set, &reuse_set, HybridMode::Union),
+        ),
+    ] {
+        let (p, r) = score(&set);
+        println!("{name}: |Δ| = {}   π = {p:.2}%   ρ = {r:.1}%", set.len());
     }
 }
 
@@ -263,6 +374,7 @@ mod tests {
         assert!(o.input.is_empty());
         assert!((o.delta - 0.10).abs() < 1e-12);
         assert!(!o.profile);
+        assert!(!o.reuse);
     }
 
     #[test]
@@ -277,6 +389,7 @@ mod tests {
             "--delta",
             "0.25",
             "--profile",
+            "--reuse",
         ])
         .unwrap();
         assert_eq!(o.opt, OptLevel::O1);
@@ -284,6 +397,7 @@ mod tests {
         assert_eq!(o.input, vec![1, 2, 3]);
         assert!((o.delta - 0.25).abs() < 1e-12);
         assert!(o.profile);
+        assert!(o.reuse);
     }
 
     #[test]

@@ -137,7 +137,7 @@ fn arb_expr(rng: &mut Rng) -> E {
 
 #[test]
 fn compiled_expressions_match_reference() {
-    cases(96, 0xc09e_1, |rng| {
+    cases(96, 0xc09e1, |rng| {
         let e = arb_expr(rng);
         let x = rng.range_i32(-100_000, 100_000);
         let source = format!(
@@ -165,7 +165,7 @@ fn compiled_expressions_match_reference() {
 /// Looping accumulation agrees with a Rust reference loop.
 #[test]
 fn compiled_loops_match_reference() {
-    cases(96, 0xc09e_2, |rng| {
+    cases(96, 0xc09e2, |rng| {
         let n = rng.range_i32(1, 200);
         let step = rng.range_i32(1, 9);
         let seed = rng.range_i32(0, 1000);
