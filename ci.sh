@@ -31,13 +31,18 @@ if command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json
 doc = json.load(open("/tmp/ci_bench.json"))
-for key in ("jobs", "sequential_secs", "parallel_secs", "speedup", "memo", "sim_insts_per_sec"):
+for key in ("jobs", "sequential_secs", "parallel_secs", "speedup", "memo", "analysis", "sim_insts_per_sec"):
     assert key in doc, f"bench JSON missing {key}"
 assert doc["sequential_secs"] > 0 and doc["parallel_secs"] > 0
+analysis = doc["analysis"]
+for key in ("contexts", "hits", "misses", "hit_rate", "compute_secs"):
+    assert key in analysis, f"bench analysis section missing {key}"
+assert analysis["contexts"] > 0, "bench recorded no analysis contexts"
 print("bench JSON OK:", json.dumps(doc))
 EOF
 elif command -v jq >/dev/null 2>&1; then
-  jq -e '.jobs and .sequential_secs > 0 and .parallel_secs > 0 and .speedup and .memo and .sim_insts_per_sec' \
+  jq -e '.jobs and .sequential_secs > 0 and .parallel_secs > 0 and .speedup and .memo and .sim_insts_per_sec
+         and .analysis.contexts > 0 and .analysis.hit_rate != null' \
     /tmp/ci_bench.json >/dev/null
   echo "bench JSON OK"
 else
@@ -55,7 +60,7 @@ if command -v python3 >/dev/null 2>&1; then
 import json
 doc = json.load(open("/tmp/ci_manifest.json"))
 assert doc["schema"] == "dl-obs/1", f"unexpected schema {doc.get('schema')}"
-for key in ("stages", "memo", "workers", "sim", "miss_classes", "reuse"):
+for key in ("stages", "memo", "workers", "sim", "miss_classes", "reuse", "analysis"):
     assert key in doc, f"manifest missing {key}"
 assert doc["stages"], "manifest has no stage timings"
 assert all("secs" in s for s in doc["stages"]), "stage entries missing wall times"
@@ -66,12 +71,24 @@ assert doc["workers"], "manifest has no per-worker stats"
 assert doc["sim"]["insts_per_sec"] > 0, "manifest missing sim throughput"
 assert doc["miss_classes"]["total"] > 0, "manifest classified no misses"
 assert doc["reuse"]["loads"] > 0, "manifest reuse section saw no loads"
+analysis = doc["analysis"]
+for key in ("contexts", "hits", "misses", "hit_rate", "total_compute_secs", "passes"):
+    assert key in analysis, f"manifest analysis section missing {key}"
+assert analysis["contexts"] > 0, "manifest recorded no analysis contexts"
+assert analysis["hits"] > 0, "analysis ctx cache recorded no sharing"
+assert len(analysis["passes"]) == 7, "manifest pass list incomplete"
+per_program = {p["pass"]: p["misses"] for p in analysis["passes"]}
+# Each program is analyzed exactly once however many configurations
+# share it: program-level passes compute once per context, never more.
+assert per_program["patterns"] == analysis["contexts"], "a program was re-analyzed"
 print("RUN_MANIFEST OK: schema", doc["schema"])
 EOF
 elif command -v jq >/dev/null 2>&1; then
   jq -e '.schema == "dl-obs/1" and (.stages | length > 0) and .memo.hit_rate != null
          and (.workers | length > 0) and .sim.insts_per_sec > 0
-         and .miss_classes.total > 0 and .reuse.loads > 0' /tmp/ci_manifest.json >/dev/null
+         and .miss_classes.total > 0 and .reuse.loads > 0
+         and .analysis.contexts > 0 and .analysis.hits > 0
+         and (.analysis.passes | length == 7)' /tmp/ci_manifest.json >/dev/null
   echo "RUN_MANIFEST OK"
 else
   echo "warning: neither python3 nor jq available; skipped manifest validation"
@@ -91,5 +108,14 @@ echo "== reuse-predictor determinism check =="
 ./target/release/repro --jobs 4 extension-reuse > /tmp/ci_reuse_par.out 2>/dev/null
 cmp /tmp/ci_reuse_seq.out /tmp/ci_reuse_par.out
 echo "extension-reuse output byte-identical"
+
+echo "== paper-tables determinism check =="
+# The shared AnalysisCtx must not change any table under concurrency:
+# the heuristic, baseline, and combination tables are byte-compared
+# across worker counts.
+./target/release/repro --jobs 1 table11 table12 table14 > /tmp/ci_paper_seq.out 2>/dev/null
+./target/release/repro --jobs 4 table11 table12 table14 > /tmp/ci_paper_par.out 2>/dev/null
+cmp /tmp/ci_paper_seq.out /tmp/ci_paper_par.out
+echo "paper tables byte-identical"
 
 echo "CI green"

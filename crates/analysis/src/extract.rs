@@ -245,6 +245,47 @@ impl Expander<'_> {
     }
 }
 
+/// Computes address patterns for every static load of one function,
+/// given its already-built reaching definitions. Records come out in
+/// instruction order. This is the per-function unit the pass manager
+/// ([`crate::ctx::AnalysisCtx`]) caches; [`analyze_program`] is the
+/// standalone composition over all functions.
+#[must_use]
+pub fn analyze_function(
+    program: &Program,
+    func: &dl_mips::program::FuncSym,
+    rd: &ReachingDefs,
+    config: &AnalysisConfig,
+) -> Vec<LoadInfo> {
+    let mut loads = Vec::new();
+    for idx in func.start..func.end {
+        let Some((_, base, off, _)) = program.insts[idx].as_load() else {
+            continue;
+        };
+        let mut ex = Expander {
+            program,
+            rd,
+            cfg: config,
+            path: Vec::new(),
+            truncated: false,
+        };
+        let base_patterns = ex.expand_reg(base, idx, 0);
+        let mut patterns: Vec<Ap> = base_patterns
+            .into_iter()
+            .map(|p| Ap::add(p, Ap::Const(i64::from(off))))
+            .collect();
+        patterns.sort_by_key(Ap::size);
+        patterns.dedup();
+        loads.push(LoadInfo {
+            index: idx,
+            func: func.name.clone(),
+            patterns,
+            truncated: ex.truncated,
+        });
+    }
+    loads
+}
+
 /// Computes address patterns for every static load in `program`.
 ///
 /// # Example
@@ -259,31 +300,7 @@ pub fn analyze_program(program: &Program, config: &AnalysisConfig) -> ProgramAna
         }
         let cfg = Cfg::build(program, func);
         let rd = ReachingDefs::build(program, func, &cfg);
-        for idx in func.start..func.end {
-            let Some((_, base, off, _)) = program.insts[idx].as_load() else {
-                continue;
-            };
-            let mut ex = Expander {
-                program,
-                rd: &rd,
-                cfg: config,
-                path: Vec::new(),
-                truncated: false,
-            };
-            let base_patterns = ex.expand_reg(base, idx, 0);
-            let mut patterns: Vec<Ap> = base_patterns
-                .into_iter()
-                .map(|p| Ap::add(p, Ap::Const(i64::from(off))))
-                .collect();
-            patterns.sort_by_key(Ap::size);
-            patterns.dedup();
-            loads.push(LoadInfo {
-                index: idx,
-                func: func.name.clone(),
-                patterns,
-                truncated: ex.truncated,
-            });
-        }
+        loads.extend(analyze_function(program, func, &rd, config));
     }
     loads.sort_by_key(|l| l.index);
     ProgramAnalysis { loads }

@@ -11,9 +11,10 @@
 //! wherever the heuristic takes measured counts.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use dl_mips::inst::Inst;
-use dl_mips::program::Program;
+use dl_mips::program::{FuncSym, Program};
 
 use crate::cfg::Cfg;
 use crate::dom::Dominators;
@@ -70,11 +71,27 @@ impl FreqEstimate {
 /// converges.
 #[must_use]
 pub fn estimate_frequencies(program: &Program) -> FreqEstimate {
+    estimate_frequencies_with(program, |f| {
+        let cfg = Arc::new(Cfg::build(program, f));
+        let dom = Arc::new(Dominators::build(&cfg));
+        (cfg, dom)
+    })
+}
+
+/// [`estimate_frequencies`] with each function's CFG and dominator
+/// tree obtained from `passes` — the hook a pass manager
+/// ([`crate::ctx::AnalysisCtx`]) uses to supply its cached copies
+/// instead of rebuilding them.
+#[must_use]
+pub fn estimate_frequencies_with(
+    program: &Program,
+    mut passes: impl FnMut(&FuncSym) -> (Arc<Cfg>, Arc<Dominators>),
+) -> FreqEstimate {
     struct FuncInfo {
         name: String,
         start: usize,
         block_freq: Vec<f64>,
-        cfg: Cfg,
+        cfg: Arc<Cfg>,
         // (callee entry index, block id of call site)
         calls: Vec<(usize, usize)>,
     }
@@ -83,8 +100,7 @@ pub fn estimate_frequencies(program: &Program) -> FreqEstimate {
         if f.start >= f.end {
             continue;
         }
-        let cfg = Cfg::build(program, f);
-        let dom = Dominators::build(&cfg);
+        let (cfg, dom) = passes(f);
         let depths = loop_depths(&cfg, &dom);
         let block_freq: Vec<f64> = depths
             .iter()

@@ -18,11 +18,13 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use dl_mips::inst::Inst;
-use dl_mips::program::Program;
+use dl_mips::program::{FuncSym, Program};
 use dl_mips::reg::BaseReg;
 
+use crate::cfg::Cfg;
 use crate::extract::{LoadInfo, ProgramAnalysis};
 use crate::loops::{loop_slot_changes, FuncLoops, Loop, ProgramLoops, Slot, SlotChange};
 use crate::pattern::Ap;
@@ -84,11 +86,27 @@ pub fn classify_loads(
     analysis: &ProgramAnalysis,
     loops: &ProgramLoops,
 ) -> Vec<LoadLoopClass> {
+    classify_loads_with(program, analysis, loops, |fsym, cfg| {
+        Arc::new(ReachingDefs::build(program, fsym, cfg))
+    })
+}
+
+/// [`classify_loads`] with each function's reaching definitions
+/// obtained from `reaching` — the hook a pass manager
+/// ([`crate::ctx::AnalysisCtx`]) uses to supply its cached copies
+/// instead of rebuilding them.
+#[must_use]
+pub fn classify_loads_with(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    loops: &ProgramLoops,
+    mut reaching: impl FnMut(&FuncSym, &Cfg) -> Arc<ReachingDefs>,
+) -> Vec<LoadLoopClass> {
     let mut out = Vec::with_capacity(analysis.loads.len());
     // Loads arrive sorted by index, so reaching definitions (and the
     // per-loop slot maps) are built once per function.
     type SlotMaps = HashMap<usize, HashMap<Slot, SlotChange>>;
-    let mut cache: Option<(usize, ReachingDefs, SlotMaps)> = None;
+    let mut cache: Option<(usize, Arc<ReachingDefs>, SlotMaps)> = None;
     for load in &analysis.loads {
         let Some(f) = loops.func_at(load.index) else {
             out.push(LoadLoopClass {
@@ -107,15 +125,11 @@ pub fn classify_loads(
                 .symbols
                 .func(&f.name)
                 .expect("function from ProgramLoops exists");
-            cache = Some((
-                f.start,
-                ReachingDefs::build(program, fsym, &f.cfg),
-                SlotMaps::new(),
-            ));
+            cache = Some((f.start, reaching(fsym, &f.cfg), SlotMaps::new()));
         }
         let (_, rd, slot_maps) = cache.as_mut().expect("just built");
         let innermost = f.nest.innermost(f.cfg.block_of(load.index));
-        let class = classify_one(program, f, rd, slot_maps, load, innermost);
+        let class = classify_one(program, f, rd.as_ref(), slot_maps, load, innermost);
         let (in_loop, loop_depth, trip, outer_trip, trip_exact) = match innermost {
             Some(l) => (
                 true,

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod cfg;
+pub mod ctx;
 pub mod dom;
 pub mod extract;
 pub mod freq;
@@ -54,6 +55,7 @@ pub mod reaching;
 pub mod reuse;
 
 pub use cfg::Cfg;
+pub use ctx::{AnalysisCtx, CtxStats, PassStats};
 pub use extract::{analyze_program, AnalysisConfig, LoadInfo, ProgramAnalysis};
 pub use indvar::{classify_loads, AddressClass, LoadLoopClass};
 pub use loops::{Loop, LoopNest, ProgramLoops, TripCount};

@@ -17,6 +17,7 @@
 //! `loop` is a Rust keyword.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dl_mips::inst::Inst;
 use dl_mips::program::{FuncSym, Program};
@@ -276,8 +277,8 @@ pub struct FuncLoops {
     pub start: usize,
     /// One past the last instruction.
     pub end: usize,
-    /// The function's CFG.
-    pub cfg: Cfg,
+    /// The function's CFG, shareable with a pass manager's cache.
+    pub cfg: Arc<Cfg>,
     /// The function's loop nest.
     pub nest: LoopNest,
 }
@@ -286,13 +287,28 @@ impl ProgramLoops {
     /// Builds the nest of every non-empty function.
     #[must_use]
     pub fn build(program: &Program) -> ProgramLoops {
+        ProgramLoops::build_with(program, |f| {
+            let cfg = Arc::new(Cfg::build(program, f));
+            let dom = Arc::new(Dominators::build(&cfg));
+            (cfg, dom)
+        })
+    }
+
+    /// Builds the nest of every non-empty function, obtaining each
+    /// function's CFG and dominator tree from `passes` — the hook a
+    /// pass manager ([`crate::ctx::AnalysisCtx`]) uses to supply its
+    /// cached copies instead of rebuilding them.
+    #[must_use]
+    pub fn build_with(
+        program: &Program,
+        mut passes: impl FnMut(&FuncSym) -> (Arc<Cfg>, Arc<Dominators>),
+    ) -> ProgramLoops {
         let mut funcs = Vec::new();
         for f in program.symbols.funcs() {
             if f.start >= f.end {
                 continue;
             }
-            let cfg = Cfg::build(program, f);
-            let dom = Dominators::build(&cfg);
+            let (cfg, dom) = passes(f);
             let nest = LoopNest::build(program, f, &cfg, &dom);
             funcs.push(FuncLoops {
                 name: f.name.clone(),

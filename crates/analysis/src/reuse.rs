@@ -95,10 +95,19 @@ pub fn predict_program(
     geometry: &CacheGeometry,
 ) -> Vec<ReusePrediction> {
     let loops = ProgramLoops::build(program);
-    classify_loads(program, analysis, &loops)
-        .into_iter()
-        .map(|c| predict_one(&c, geometry))
-        .collect()
+    predict_from_classes(&classify_loads(program, analysis, &loops), geometry)
+}
+
+/// Applies the miss model to already-classified loads. The
+/// classification ([`classify_loads`]) is geometry-independent and
+/// expensive; this step is cheap arithmetic, so a pass manager caches
+/// the classes once and calls this per geometry.
+#[must_use]
+pub fn predict_from_classes(
+    classes: &[LoadLoopClass],
+    geometry: &CacheGeometry,
+) -> Vec<ReusePrediction> {
+    classes.iter().map(|c| predict_one(c, geometry)).collect()
 }
 
 /// Indices of the loads whose predicted miss ratio reaches

@@ -24,8 +24,10 @@
 
 pub mod bdh;
 pub mod okn;
+pub mod predictors;
 pub mod reuse;
 
 pub use bdh::{bdh_classify, bdh_delinquent_set, BdhClass, Kind, Region};
 pub use okn::{okn_classify, okn_delinquent_set, OknClass};
+pub use predictors::{Bdh, Okn, ReusePredictor};
 pub use reuse::{reuse_delinquent_set, reuse_predictions};

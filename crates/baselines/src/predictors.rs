@@ -1,0 +1,129 @@
+//! [`Predictor`] implementations for the baseline methods, so OKN,
+//! BDH, and the reuse estimator slot into any driver that speaks the
+//! `dl-core` trait — next to the paper's heuristic and the hybrids.
+
+use dl_analysis::ctx::AnalysisCtx;
+use dl_analysis::reuse::{self, CacheGeometry};
+use dl_core::{DelinquencySet, Predictor};
+
+/// Ozawa, Kimura & Nishizaki's heuristics as a [`Predictor`]: flags
+/// loads with a pointer dereference or a strided reference
+/// ([`crate::okn`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Okn;
+
+impl Predictor for Okn {
+    fn name(&self) -> &'static str {
+        "okn"
+    }
+
+    fn predict(&self, ctx: &AnalysisCtx) -> DelinquencySet {
+        crate::okn::okn_delinquent_set(ctx.analysis())
+    }
+}
+
+/// Burtscher, Diwan & Hauswirth's static load classification as a
+/// [`Predictor`]: reports the GAN/HSN/HFN/HAN/HFP/HAP classes
+/// ([`crate::bdh`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bdh;
+
+impl Predictor for Bdh {
+    fn name(&self) -> &'static str {
+        "bdh"
+    }
+
+    fn predict(&self, ctx: &AnalysisCtx) -> DelinquencySet {
+        crate::bdh::bdh_delinquent_set(ctx.program(), ctx.analysis())
+    }
+}
+
+/// The static reuse-distance estimator as a [`Predictor`]: flags
+/// loads whose predicted miss ratio against [`Self::geometry`] reaches
+/// [`Self::threshold`]. Uses the ctx's cached load classification, so
+/// several geometries share one classification.
+#[derive(Debug, Clone, Copy)]
+pub struct ReusePredictor {
+    /// The cache the miss ratios are predicted against.
+    pub geometry: CacheGeometry,
+    /// Miss-ratio threshold above which a load is flagged.
+    pub threshold: f64,
+}
+
+impl ReusePredictor {
+    /// A reuse predictor over `geometry` with the default threshold
+    /// ([`reuse::REUSE_DELTA`]).
+    #[must_use]
+    pub fn new(geometry: CacheGeometry) -> Self {
+        ReusePredictor {
+            geometry,
+            threshold: reuse::REUSE_DELTA,
+        }
+    }
+}
+
+impl Predictor for ReusePredictor {
+    fn name(&self) -> &'static str {
+        "reuse"
+    }
+
+    fn predict(&self, ctx: &AnalysisCtx) -> DelinquencySet {
+        reuse::delinquent_set(&ctx.reuse_predictions(&self.geometry), self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_mips::parse::parse_asm;
+
+    fn ctx() -> AnalysisCtx {
+        AnalysisCtx::new(
+            parse_asm(
+                "main:\n\
+                 \tlw $t3, 4($sp)\n\
+                 \tli $t0, 0\n\
+                 \tli $t1, 16384\n\
+                 .Lh:\n\
+                 \tlw $t2, 0($t0)\n\
+                 \taddiu $t0, $t0, 4\n\
+                 \tbne $t0, $t1, .Lh\n\
+                 \tjr $ra\n",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn predictors_match_their_direct_calls() {
+        let ctx = ctx();
+        assert_eq!(
+            Okn.predict(&ctx),
+            crate::okn::okn_delinquent_set(ctx.analysis())
+        );
+        assert_eq!(
+            Bdh.predict(&ctx),
+            crate::bdh::bdh_delinquent_set(ctx.program(), ctx.analysis())
+        );
+        let geometry = CacheGeometry::new(8 * 1024, 32, 4);
+        let r = ReusePredictor::new(geometry);
+        assert_eq!(
+            r.predict(&ctx),
+            crate::reuse::reuse_delinquent_set(
+                ctx.program(),
+                ctx.analysis(),
+                &geometry,
+                reuse::REUSE_DELTA
+            )
+        );
+        assert_eq!(r.predict(&ctx), vec![3]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Okn.name(), "okn");
+        assert_eq!(Bdh.name(), "bdh");
+        let r = ReusePredictor::new(CacheGeometry::new(8 * 1024, 32, 4));
+        assert_eq!(r.name(), "reuse");
+    }
+}

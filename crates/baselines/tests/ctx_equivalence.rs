@@ -1,0 +1,100 @@
+//! Property test: routing every predictor through the shared
+//! [`AnalysisCtx`] pass manager produces exactly the set the
+//! pre-refactor direct-call path produces, on arbitrary random
+//! programs and profiles. The ctx may cache and share passes however
+//! it likes — it must never change an answer.
+
+use dl_analysis::extract::{analyze_program, AnalysisConfig};
+use dl_analysis::reuse::REUSE_DELTA;
+use dl_analysis::{AnalysisCtx, CacheGeometry};
+use dl_baselines::{bdh_delinquent_set, okn_delinquent_set, reuse_delinquent_set};
+use dl_baselines::{Bdh, Okn, ReusePredictor};
+use dl_core::combine::{combine_hybrid, HybridMode};
+use dl_core::{Heuristic, Hybrid, Predictor};
+use dl_mips::parse::parse_asm;
+use dl_mips::program::Program;
+use dl_testkit::{cases, Rng};
+
+/// A random multi-function program rich in loads: stack reloads,
+/// register-based (possibly chased) dereferences, global accesses,
+/// pointer arithmetic, and arbitrary control flow — the full input
+/// space the predictors disagree over.
+fn arb_program(rng: &mut Rng) -> Program {
+    let nfuncs = 1 + rng.index(3);
+    let mut s = String::new();
+    for fi in 0..nfuncs {
+        if fi == 0 {
+            s.push_str("main:\n");
+        } else {
+            s.push_str(&format!("f{fi}:\n"));
+        }
+        let nblocks = 1 + rng.index(4);
+        for b in 0..nblocks {
+            s.push_str(&format!(".L{fi}_{b}:\n"));
+            for _ in 0..1 + rng.index(5) {
+                let (d, a, c) = (rng.index(8), rng.index(8), rng.index(8));
+                match rng.index(8) {
+                    0 => s.push_str(&format!("\tlw $t{d}, {}($sp)\n", 4 * rng.index(16))),
+                    1 => s.push_str(&format!("\tlw $t{d}, {}($t{a})\n", 4 * rng.index(8))),
+                    2 => s.push_str(&format!("\tlw $t{d}, {}($gp)\n", 4 * rng.index(16))),
+                    3 => s.push_str(&format!(
+                        "\taddiu $t{d}, $t{a}, {}\n",
+                        rng.range_i32(-8, 64)
+                    )),
+                    4 => s.push_str(&format!("\tsll $t{d}, $t{a}, {}\n", 1 + rng.index(3))),
+                    5 => s.push_str(&format!("\tli $t{d}, {}\n", rng.index(4096))),
+                    6 => s.push_str(&format!("\tsw $t{d}, {}($sp)\n", 4 * rng.index(16))),
+                    _ => s.push_str(&format!("\taddu $t{d}, $t{a}, $t{c}\n")),
+                }
+            }
+            let target = rng.index(nblocks);
+            match rng.index(3) {
+                0 => {}
+                1 => s.push_str(&format!("\tj .L{fi}_{target}\n")),
+                _ => s.push_str(&format!(
+                    "\tbne $t{}, $zero, .L{fi}_{target}\n",
+                    rng.index(8)
+                )),
+            }
+        }
+        s.push_str("\tjr $ra\n");
+    }
+    parse_asm(&s).expect("generated asm parses")
+}
+
+#[test]
+fn every_predictor_matches_its_direct_path() {
+    cases(60, 0xC7E0, |rng| {
+        let program = arb_program(rng);
+        let exec: Vec<u64> = (0..program.insts.len())
+            .map(|_| rng.below(100_000))
+            .collect();
+        let geometry = CacheGeometry::new(8 * 1024, 32, 4);
+
+        // The pre-refactor path: every analysis built from scratch.
+        let analysis = analyze_program(&program, &AnalysisConfig::default());
+        let h = Heuristic::default();
+        let direct_heur = h.classify(&analysis, &exec);
+        let direct_okn = okn_delinquent_set(&analysis);
+        let direct_bdh = bdh_delinquent_set(&program, &analysis);
+        let direct_reuse = reuse_delinquent_set(&program, &analysis, &geometry, REUSE_DELTA);
+
+        // The ctx path: one pass manager shared by all predictors.
+        let ctx = AnalysisCtx::new(program).with_profile(&exec);
+        let reuse = ReusePredictor::new(geometry);
+        assert_eq!(h.predict(&ctx), direct_heur, "heuristic diverged");
+        assert_eq!(Okn.predict(&ctx), direct_okn, "okn diverged");
+        assert_eq!(Bdh.predict(&ctx), direct_bdh, "bdh diverged");
+        assert_eq!(reuse.predict(&ctx), direct_reuse, "reuse diverged");
+        assert_eq!(
+            Hybrid::new(h.clone(), reuse, HybridMode::Intersect).predict(&ctx),
+            combine_hybrid(&direct_heur, &direct_reuse, HybridMode::Intersect),
+            "hybrid-intersect diverged"
+        );
+        assert_eq!(
+            Hybrid::new(h, reuse, HybridMode::Union).predict(&ctx),
+            combine_hybrid(&direct_heur, &direct_reuse, HybridMode::Union),
+            "hybrid-union diverged"
+        );
+    });
+}

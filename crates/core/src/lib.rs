@@ -49,7 +49,9 @@
 pub mod classes;
 pub mod combine;
 pub mod heuristic;
+pub mod predictor;
 pub mod training;
 
 pub use classes::{AgClass, H1Class};
 pub use heuristic::{Heuristic, Weights};
+pub use predictor::{DelinquencySet, Hybrid, Predictor};

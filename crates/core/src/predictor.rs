@@ -1,0 +1,147 @@
+//! The uniform interface every delinquency predictor implements.
+//!
+//! The paper's heuristic, the BDH and OKN baselines (`dl-baselines`),
+//! the reuse-distance estimator, and the set-combining hybrids all
+//! answer the same question — *which static loads will miss?* — from
+//! the same post-compilation analyses. [`Predictor`] pins that down:
+//! one method, taking the shared pass manager
+//! ([`dl_analysis::ctx::AnalysisCtx`]) instead of raw programs, so a
+//! new predictor is one `impl` and every experiment driver (tables,
+//! `dlc analyze`, the manifest) picks it up without new plumbing, and
+//! no predictor can accidentally rebuild an analysis another one
+//! already paid for.
+
+use dl_analysis::ctx::AnalysisCtx;
+
+use crate::combine::{combine_hybrid, HybridMode};
+use crate::heuristic::Heuristic;
+
+/// The indices of the loads a predictor flags as delinquent, sorted
+/// ascending by instruction index.
+pub type DelinquencySet = Vec<usize>;
+
+/// A static delinquent-load predictor.
+pub trait Predictor {
+    /// Short stable identifier, suitable for table rows and manifests.
+    fn name(&self) -> &'static str;
+
+    /// The loads this predictor flags, given the shared analyses of
+    /// one program. Implementations must read every analysis through
+    /// `ctx` (never rebuild one) so the pass caches do their job.
+    fn predict(&self, ctx: &AnalysisCtx) -> DelinquencySet;
+}
+
+impl Predictor for Heuristic {
+    fn name(&self) -> &'static str {
+        "heuristic"
+    }
+
+    /// The paper's classifier over the ctx's patterns. Uses the ctx's
+    /// attached profile when present; without one every load counts as
+    /// hot (the heuristic's `u64::MAX` convention for missing counts).
+    fn predict(&self, ctx: &AnalysisCtx) -> DelinquencySet {
+        self.classify(ctx.analysis(), ctx.profile().unwrap_or(&[]))
+    }
+}
+
+/// Combines two predictors' sets per [`HybridMode`] — ∩ for precision,
+/// ∪ for coverage. The two legs share the ctx, so the hybrid costs no
+/// more analysis than its more demanding leg.
+///
+/// # Example
+///
+/// ```
+/// use dl_mips::parse::parse_asm;
+/// use dl_analysis::ctx::AnalysisCtx;
+/// use dl_core::combine::HybridMode;
+/// use dl_core::predictor::{Hybrid, Predictor};
+/// use dl_core::Heuristic;
+///
+/// let ctx = AnalysisCtx::new(
+///     parse_asm("main:\n\tlw $t0, 16($sp)\n\tlw $t1, 8($t0)\n\tjr $ra\n").unwrap(),
+/// );
+/// let both = Hybrid::new(Heuristic::default(), Heuristic::default(), HybridMode::Intersect);
+/// assert_eq!(both.predict(&ctx), Heuristic::default().predict(&ctx));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hybrid<A, B> {
+    left: A,
+    right: B,
+    mode: HybridMode,
+}
+
+impl<A: Predictor, B: Predictor> Hybrid<A, B> {
+    /// A hybrid of `left` and `right` combined per `mode`.
+    #[must_use]
+    pub fn new(left: A, right: B, mode: HybridMode) -> Self {
+        Hybrid { left, right, mode }
+    }
+}
+
+impl<A: Predictor, B: Predictor> Predictor for Hybrid<A, B> {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            HybridMode::Intersect => "hybrid-intersect",
+            HybridMode::Union => "hybrid-union",
+        }
+    }
+
+    fn predict(&self, ctx: &AnalysisCtx) -> DelinquencySet {
+        combine_hybrid(&self.left.predict(ctx), &self.right.predict(ctx), self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_mips::parse::parse_asm;
+
+    fn ctx() -> AnalysisCtx {
+        // A pointer chase the heuristic flags.
+        AnalysisCtx::new(
+            parse_asm(
+                "main:\n\
+                 \tlw $t0, 16($sp)\n\
+                 \tlw $t1, 8($t0)\n\
+                 \tlw $t2, 12($t1)\n\
+                 \tjr $ra\n",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn heuristic_predict_matches_classify() {
+        let ctx = ctx();
+        let h = Heuristic::default();
+        let direct = h.classify(ctx.analysis(), &[]);
+        assert_eq!(h.predict(&ctx), direct);
+        assert!(!h.predict(&ctx).is_empty());
+        assert_eq!(h.name(), "heuristic");
+    }
+
+    #[test]
+    fn heuristic_predict_uses_attached_profile() {
+        let ctx = ctx();
+        let h = Heuristic::default();
+        // A cold profile suppresses the frequency classes exactly like
+        // passing the counts directly.
+        let cold = vec![1u64; ctx.program().insts.len()];
+        let via_ctx = h.predict(&ctx.with_profile(&cold));
+        let direct = h.classify(ctx.analysis(), &cold);
+        assert_eq!(via_ctx, direct);
+    }
+
+    #[test]
+    fn hybrid_modes_combine_and_name() {
+        let ctx = ctx();
+        let h = Heuristic::default;
+        let inter = Hybrid::new(h(), h().with_threshold(9.0), HybridMode::Intersect);
+        let union = Hybrid::new(h(), h().with_threshold(9.0), HybridMode::Union);
+        // A sky-high threshold empties one leg: ∩ empties, ∪ keeps.
+        assert!(inter.predict(&ctx).is_empty());
+        assert_eq!(union.predict(&ctx), h().predict(&ctx));
+        assert_eq!(inter.name(), "hybrid-intersect");
+        assert_eq!(union.name(), "hybrid-union");
+    }
+}

@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use dl_experiments::pipeline::{MemoStats, Pipeline};
+use dl_experiments::pipeline::Pipeline;
 use dl_experiments::schedule::{default_jobs, prewarm, union_specs};
 use dl_minic::{compile, OptLevel};
 use dl_obs::Json;
@@ -65,13 +65,15 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-/// Times one full prewarm of `tables` across `jobs` workers.
-fn time_prewarm(tables: &[&str], jobs: usize) -> (f64, usize, MemoStats) {
+/// Times one full prewarm of `tables` across `jobs` workers. Returns
+/// the warmed pipeline so the caller can read its memo and
+/// analysis-cache counters.
+fn time_prewarm(tables: &[&str], jobs: usize) -> (f64, usize, Pipeline) {
     let pipeline = Pipeline::new();
     let specs = union_specs(tables.iter().copied());
     let start = Instant::now();
     let n = prewarm(&pipeline, &specs, jobs);
-    (start.elapsed().as_secs_f64(), n, pipeline.stats())
+    (start.elapsed().as_secs_f64(), n, pipeline)
 }
 
 /// Raw simulator throughput on a cache-resident reduction kernel.
@@ -116,14 +118,25 @@ fn main() {
     eprintln!("  {configs} configurations in {seq_secs:.2}s");
 
     eprintln!("[parallel prewarm: {} jobs]", args.jobs);
-    let (par_secs, _, stats) = time_prewarm(tables, args.jobs);
+    let (par_secs, _, pipeline) = time_prewarm(tables, args.jobs);
     eprintln!("  {configs} configurations in {par_secs:.2}s");
+    let stats = pipeline.stats();
+    let ctx_stats = pipeline.analysis_stats();
+    let contexts = pipeline.analysis_contexts();
 
     let speedup = seq_secs / par_secs.max(1e-9);
     eprintln!("  speedup: {speedup:.2}x");
     eprintln!(
         "  memo: {} misses, {} in-flight waits; compile cache: {} hits / {} compiles",
         stats.misses, stats.waits, stats.compile_hits, stats.compile_misses
+    );
+    eprintln!(
+        "  analysis: {} contexts, {} hits / {} misses ({:.1}% hit rate), {:.3}s compute",
+        contexts,
+        ctx_stats.hits(),
+        ctx_stats.misses(),
+        100.0 * ctx_stats.hit_rate(),
+        ctx_stats.total_secs()
     );
 
     let json = Json::obj()
@@ -145,6 +158,15 @@ fn main() {
                 .with("waits", stats.waits.into())
                 .with("compile_hits", stats.compile_hits.into())
                 .with("compile_misses", stats.compile_misses.into()),
+        )
+        .with(
+            "analysis",
+            Json::obj()
+                .with("contexts", contexts.into())
+                .with("hits", ctx_stats.hits().into())
+                .with("misses", ctx_stats.misses().into())
+                .with("hit_rate", ctx_stats.hit_rate().into())
+                .with("compute_secs", ctx_stats.total_secs().into()),
         )
         .with("sim_instructions", insts.into())
         .with("sim_secs", sim_secs.into())

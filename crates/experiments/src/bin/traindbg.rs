@@ -26,7 +26,7 @@ fn main() {
         .iter()
         .map(|(n, r)| TrainingRun {
             name: n,
-            loads: &r.analysis.loads,
+            loads: &r.analysis().loads,
             exec_counts: &r.result.exec_counts,
             load_misses: &r.result.load_misses,
             total_load_misses: r.result.load_misses_total,

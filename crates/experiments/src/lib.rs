@@ -20,14 +20,16 @@
 //! ```no_run
 //! use dl_experiments::pipeline::Pipeline;
 //! use dl_experiments::metrics;
-//! use dl_core::Heuristic;
+//! use dl_core::{Heuristic, Predictor};
 //! use dl_minic::OptLevel;
 //! use dl_sim::CacheConfig;
 //!
 //! let pipeline = Pipeline::new();
 //! let bench = dl_workloads::by_name("181.mcf").unwrap();
 //! let run = pipeline.run(&bench, OptLevel::O0, 1, CacheConfig::paper_training());
-//! let delta = Heuristic::default().classify(&run.analysis, &run.result.exec_counts);
+//! // The run's ctx carries the simulated profile, so `predict` sees
+//! // the same exec counts `classify` would.
+//! let delta = Heuristic::default().predict(run.ctx());
 //! println!("pi = {:.1}%", 100.0 * metrics::pi(delta.len(), run.lambda()));
 //! println!("rho = {:.0}%", 100.0 * metrics::rho(&run.result, &delta));
 //! ```

@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 
-use dl_analysis::reuse::{predict_program, REUSE_DELTA};
+use dl_analysis::reuse::REUSE_DELTA;
 use dl_analysis::{AddressClass, CacheGeometry};
 use dl_obs::metrics::Histogram;
 use dl_obs::span::Spans;
@@ -37,9 +37,11 @@ pub struct RunInfo {
 /// Builds the full run manifest. Mandatory sections (checked by
 /// `ci.sh`): `stages` (per-stage wall times), `memo` (hit/miss/wait
 /// counters and `hit_rate`), `workers` (per-worker simulation counts),
-/// `sim` (including `insts_per_sec`), `miss_classes`, and `reuse`
+/// `sim` (including `insts_per_sec`), `miss_classes`, `reuse`
 /// (static reuse-analysis load counts against the paper-baseline
-/// geometry).
+/// geometry), and `analysis` (pass-manager cache counters: one
+/// analyzed context per `(bench, opt)` pair, per-pass hits/misses and
+/// compute seconds).
 #[must_use]
 pub fn run_manifest(
     info: &RunInfo,
@@ -136,7 +138,7 @@ pub fn run_manifest(
     let mut by_class = [0u64; 4]; // invariant, strided, pointer-chase, irregular
     for run in pipeline.ready_runs() {
         reuse_runs += 1;
-        for p in predict_program(&run.program, &run.analysis, &geometry) {
+        for p in run.ctx().reuse_predictions(&geometry) {
             loads += 1;
             if p.loop_depth > 0 {
                 in_loop += 1;
@@ -175,6 +177,29 @@ pub fn run_manifest(
         .with("irregular", by_class[3].into())
         .with("flagged", flagged.into());
 
+    // Pass-manager cache counters: how much analysis the run actually
+    // computed vs. how much the ctx cache absorbed. Timing lives in
+    // `*_secs` keys only, so the zeroed manifest stays deterministic.
+    let ctx_stats = pipeline.analysis_stats();
+    let passes = ctx_stats
+        .passes()
+        .into_iter()
+        .map(|(name, p)| {
+            Json::obj()
+                .with("pass", name.into())
+                .with("hits", p.hits.into())
+                .with("misses", p.misses.into())
+                .with("compute_secs", p.secs.into())
+        })
+        .collect();
+    let analysis = Json::obj()
+        .with("contexts", pipeline.analysis_contexts().into())
+        .with("hits", ctx_stats.hits().into())
+        .with("misses", ctx_stats.misses().into())
+        .with("hit_rate", ctx_stats.hit_rate().into())
+        .with("total_compute_secs", ctx_stats.total_secs().into())
+        .with("passes", Json::Arr(passes));
+
     // Ranked by instruction count, not measured seconds: instructions
     // are the deterministic proxy for simulation cost, so the zeroed
     // manifest (timings stripped) is byte-stable across runs.
@@ -209,6 +234,7 @@ pub fn run_manifest(
         .with("sim", sim)
         .with("miss_classes", miss_classes)
         .with("reuse", reuse)
+        .with("analysis", analysis)
         .with("slowest", Json::Arr(slowest));
     if let Some(report) = prewarm {
         manifest.set(
@@ -352,6 +378,29 @@ pub fn profile_text(manifest: &Manifest) -> String {
             s(reuse.get("geometry")),
         );
     }
+    if let Some(analysis) = manifest.get("analysis") {
+        let _ = writeln!(
+            out,
+            "analysis: {} contexts, {} hits / {} misses ({:.1}% hit rate), {:.3}s compute",
+            u(analysis.get("contexts")),
+            u(analysis.get("hits")),
+            u(analysis.get("misses")),
+            100.0 * f(analysis.get("hit_rate")),
+            f(analysis.get("total_compute_secs")),
+        );
+        if let Some(Json::Arr(passes)) = analysis.get("passes") {
+            for p in passes {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {:>6} hits {:>6} misses {:>8.3}s",
+                    s(p.get("pass")),
+                    u(p.get("hits")),
+                    u(p.get("misses")),
+                    f(p.get("compute_secs")),
+                );
+            }
+        }
+    }
     if let Some(Json::Arr(slowest)) = manifest.get("slowest") {
         if !slowest.is_empty() {
             out.push_str("slowest configurations:\n");
@@ -414,6 +463,7 @@ mod tests {
             "sim",
             "miss_classes",
             "reuse",
+            "analysis",
             "slowest",
             "prewarm",
         ] {
@@ -437,9 +487,33 @@ mod tests {
             "sim:",
             "miss classes:",
             "reuse:",
+            "analysis:",
         ] {
             assert!(text.contains(needle), "profile text missing `{needle}`");
         }
+
+        // The pass manager analyzed each program exactly once: table3
+        // runs the training set at one opt level and one cache.
+        let contexts = dl_workloads::training_set().len() as u64;
+        let analysis = manifest.get("analysis").unwrap();
+        assert_eq!(u(analysis.get("contexts")), contexts);
+        let Some(Json::Arr(passes)) = analysis.get("passes") else {
+            panic!("analysis section missing `passes`");
+        };
+        assert_eq!(passes.len(), 7);
+        let patterns = passes
+            .iter()
+            .find(|p| s(p.get("pass")) == "patterns")
+            .unwrap();
+        assert_eq!(
+            u(patterns.get("misses")),
+            contexts,
+            "each program's patterns computed exactly once"
+        );
+        assert!(
+            u(analysis.get("hits")) > 0,
+            "shared ctx produced no cache hits"
+        );
     }
 
     #[test]

@@ -28,7 +28,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use dl_analysis::extract::{analyze_program, AnalysisConfig, ProgramAnalysis};
+use dl_analysis::ctx::{AnalysisCtx, CtxStats};
+use dl_analysis::extract::ProgramAnalysis;
 use dl_minic::OptLevel;
 use dl_mips::program::Program;
 use dl_sim::{run as simulate, CacheConfig, RunConfig, RunResult};
@@ -44,37 +45,50 @@ pub const SHARDS: usize = 16;
 pub struct BenchRun {
     /// Benchmark name.
     pub name: String,
-    /// The compiled program.
-    pub program: Program,
-    /// Address-pattern analysis of every static load.
-    pub analysis: ProgramAnalysis,
+    /// The shared analysis context of the compiled program, with this
+    /// run's execution counts attached as its profile. Clones of the
+    /// pipeline's per-`(bench, opt)` ctx: every run of the same
+    /// compilation shares one set of pass caches.
+    ctx: AnalysisCtx,
     /// Simulation measurements.
     pub result: RunResult,
 }
 
 impl BenchRun {
+    /// The run's analysis context: every analysis of the compiled
+    /// program, lazily computed and shared across runs, with this
+    /// run's execution counts attached.
+    #[must_use]
+    pub fn ctx(&self) -> &AnalysisCtx {
+        &self.ctx
+    }
+
+    /// The compiled program.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        self.ctx.program()
+    }
+
+    /// Address-pattern analysis of every static load.
+    #[must_use]
+    pub fn analysis(&self) -> &ProgramAnalysis {
+        self.ctx.analysis()
+    }
+
     /// Λ — the number of static load instructions.
     #[must_use]
     pub fn lambda(&self) -> usize {
-        self.analysis.loads.len()
+        self.analysis().loads.len()
     }
 
     /// Instruction indices of all static loads.
     #[must_use]
     pub fn load_indices(&self) -> Vec<usize> {
-        self.analysis.loads.iter().map(|l| l.index).collect()
+        self.analysis().loads.iter().map(|l| l.index).collect()
     }
 }
 
 type Key = (String, OptLevel, u8, CacheConfig);
-
-/// A compiled-and-analyzed benchmark, shared across every input set
-/// and cache geometry that simulates it.
-#[derive(Debug)]
-struct Compiled {
-    program: Program,
-    analysis: ProgramAnalysis,
-}
 
 /// State of one memo-table entry.
 #[derive(Debug)]
@@ -196,7 +210,10 @@ struct Counters {
 #[derive(Debug)]
 pub struct Pipeline {
     shards: Vec<Shard>,
-    compiled: Mutex<HashMap<(String, OptLevel), Arc<Compiled>>>,
+    /// One analysis context per `(bench, opt)`: the 99-configuration
+    /// sweep analyzes each of its programs exactly once, no matter how
+    /// many input sets, cache geometries, or predictors consume them.
+    compiled: Mutex<HashMap<(String, OptLevel), AnalysisCtx>>,
     counters: Counters,
     timings: Mutex<Vec<ConfigTiming>>,
     classify: AtomicBool,
@@ -299,12 +316,13 @@ impl Pipeline {
     /// Compiles and analyzes `bench` at `opt`, memoized per
     /// `(name, opt)`. Racing compiles of the same key may both do the
     /// work (compilation is pure and cheap next to simulation); the
-    /// first insertion wins so every caller shares one instance.
-    fn compiled_for(&self, bench: &Benchmark, opt: OptLevel) -> (Arc<Compiled>, f64) {
+    /// first insertion wins so every caller shares one ctx — and with
+    /// it one set of pass caches.
+    fn compiled_for(&self, bench: &Benchmark, opt: OptLevel) -> (AnalysisCtx, f64) {
         let key = (bench.name.to_owned(), opt);
         if let Some(hit) = self.compiled.lock().expect("compile lock").get(&key) {
             self.counters.compile_hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(hit), 0.0);
+            return (hit.clone(), 0.0);
         }
         let start = Instant::now();
         let program = bench
@@ -322,13 +340,17 @@ impl Pipeline {
                 detail.join("; ")
             );
         }
-        let analysis = analyze_program(&program, &AnalysisConfig::default());
+        let ctx = AnalysisCtx::new(program);
+        // Force pattern extraction eagerly: prewarm worker threads
+        // parallelize it here, and `compile_secs` keeps covering
+        // compile + extraction. Loop nests, load classes, and
+        // frequency estimates stay lazy — many runs never need them.
+        let _ = ctx.analysis();
         let secs = start.elapsed().as_secs_f64();
         self.counters.compile_misses.fetch_add(1, Ordering::Relaxed);
-        let compiled = Arc::new(Compiled { program, analysis });
         let mut map = self.compiled.lock().expect("compile lock");
-        let entry = map.entry(key).or_insert_with(|| Arc::clone(&compiled));
-        (Arc::clone(entry), secs)
+        let entry = map.entry(key).or_insert_with(|| ctx.clone());
+        (entry.clone(), secs)
     }
 
     /// The uncached compile → analyze → simulate path.
@@ -347,7 +369,7 @@ impl Pipeline {
             ..RunConfig::default()
         };
         let sim_start = Instant::now();
-        let result = simulate(&compiled.program, &config)
+        let result = simulate(compiled.program(), &config)
             .unwrap_or_else(|e| panic!("{} trapped at {opt}: {e}", bench.name));
         let sim_secs = sim_start.elapsed().as_secs_f64();
         self.counters
@@ -367,8 +389,7 @@ impl Pipeline {
             });
         BenchRun {
             name: bench.name.to_owned(),
-            program: compiled.program.clone(),
-            analysis: compiled.analysis.clone(),
+            ctx: compiled.with_profile(&result.exec_counts),
             result,
         }
     }
@@ -411,6 +432,36 @@ impl Pipeline {
     #[must_use]
     pub fn config_timings(&self) -> Vec<ConfigTiming> {
         self.timings.lock().expect("timing lock").clone()
+    }
+
+    /// Merged pass-cache counters over every analysis context in the
+    /// compile cache: how often each analysis was requested, how often
+    /// it was actually computed, and the wall time it cost. With the
+    /// ctx in place, each `(bench, opt)` pair computes each pass at
+    /// most once — everything above the `misses` line is sharing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compile lock is poisoned.
+    #[must_use]
+    pub fn analysis_stats(&self) -> CtxStats {
+        let mut merged = CtxStats::default();
+        for ctx in self.compiled.lock().expect("compile lock").values() {
+            merged.merge(&ctx.stats());
+        }
+        merged
+    }
+
+    /// Number of distinct `(bench, opt)` analysis contexts built so
+    /// far — the number of programs analyzed, as opposed to the number
+    /// of configurations simulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compile lock is poisoned.
+    #[must_use]
+    pub fn analysis_contexts(&self) -> usize {
+        self.compiled.lock().expect("compile lock").len()
     }
 
     /// Every ready (completed) run currently in the memo table, in an
@@ -497,9 +548,33 @@ mod tests {
         let mut b = dl_workloads::by_name("129.compress").expect("exists");
         b.input1 = vec![2000, 3];
         let r = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
-        assert_eq!(r.lambda(), r.program.static_load_count());
-        assert_eq!(r.result.exec_counts.len(), r.program.insts.len());
+        assert_eq!(r.lambda(), r.program().static_load_count());
+        assert_eq!(r.result.exec_counts.len(), r.program().insts.len());
         assert!(r.result.instructions > 0);
+        // The run's ctx carries the simulation's counts as profile.
+        assert_eq!(r.ctx().profile(), Some(r.result.exec_counts.as_slice()));
+    }
+
+    #[test]
+    fn analysis_context_shared_across_configs() {
+        let p = Pipeline::new();
+        let mut b = dl_workloads::by_name("197.parser").expect("exists");
+        b.input1 = vec![500, 2];
+        let r1 = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
+        let r2 = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_baseline());
+        // Two configurations, one analyzed program.
+        assert_eq!(p.analysis_contexts(), 1);
+        let before = p.analysis_stats();
+        assert_eq!(before.patterns.misses, 1);
+        // Forcing the analysis through both runs only ever hits.
+        let _ = r1.analysis();
+        let _ = r2.analysis();
+        let _ = r1.ctx().loops();
+        let _ = r2.ctx().loops();
+        let after = p.analysis_stats();
+        assert_eq!(after.patterns.misses, 1);
+        assert_eq!(after.loops.misses, 1);
+        assert!(after.hits() > before.hits());
     }
 
     #[test]

@@ -10,12 +10,11 @@
 use std::sync::Arc;
 
 use dl_analysis::extract::{analyze_program, AnalysisConfig};
-use dl_analysis::reuse::REUSE_DELTA;
 use dl_analysis::CacheGeometry;
-use dl_baselines::{bdh_delinquent_set, okn_delinquent_set, reuse_delinquent_set};
-use dl_core::combine::{combine_hybrid, combine_with_profiling, HybridMode};
+use dl_baselines::{Bdh, Okn, ReusePredictor};
+use dl_core::combine::{combine_with_profiling, HybridMode};
 use dl_core::training::{h1_class_defs, train_class, train_weights, TrainingParams, TrainingRun};
-use dl_core::{AgClass, Heuristic, Weights};
+use dl_core::{AgClass, Heuristic, Hybrid, Predictor, Weights};
 use dl_minic::OptLevel;
 use dl_sim::CacheConfig;
 use dl_workloads::Benchmark;
@@ -29,13 +28,13 @@ use crate::report::Table;
 const HOT_FRACTION: f64 = 0.9;
 
 fn delta_h(run: &BenchRun, h: &Heuristic) -> Vec<usize> {
-    h.classify(&run.analysis, &run.result.exec_counts)
+    h.predict(run.ctx())
 }
 
 fn training_run<'a>(run: &'a BenchRun, name: &'a str) -> TrainingRun<'a> {
     TrainingRun {
         name,
-        loads: &run.analysis.loads,
+        loads: &run.analysis().loads,
         exec_counts: &run.result.exec_counts,
         load_misses: &run.result.load_misses,
         total_load_misses: run.result.load_misses_total,
@@ -64,7 +63,7 @@ pub fn table1(p: &Pipeline) -> Table {
         let run = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
         let lambda = run.lambda();
         let loads = run.load_indices();
-        let prof = profiling_set(&run.program, &run.result, HOT_FRACTION);
+        let prof = profiling_set(run.program(), &run.result, HOT_FRACTION);
         let coverage = rho(&run.result, &prof);
         let covered = run.result.misses_of_set(&prof);
         let ideal = ideal_set(&run.result, &loads, covered);
@@ -430,7 +429,7 @@ pub fn table11(p: &Pipeline) -> Table {
         let delta_wo = delta_h(&run, &without);
         // ξ is measured against the Table-1-style ideal set: the
         // minimal set covering what hot-block profiling covers.
-        let prof = profiling_set(&run.program, &run.result, HOT_FRACTION);
+        let prof = profiling_set(run.program(), &run.result, HOT_FRACTION);
         let ideal = ideal_set(&run.result, &loads, run.result.misses_of_set(&prof));
         let vals = [
             pi(delta_w.len(), run.lambda()),
@@ -478,8 +477,8 @@ pub fn table12(p: &Pipeline) -> Table {
     let mut acc = [vec![], vec![], vec![], vec![]];
     for b in dl_workloads::all() {
         let run = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_baseline());
-        let okn = okn_delinquent_set(&run.analysis);
-        let bdh = bdh_delinquent_set(&run.program, &run.analysis);
+        let okn = Okn.predict(run.ctx());
+        let bdh = Bdh.predict(run.ctx());
         let vals = [
             pi(okn.len(), run.lambda()),
             rho(&run.result, &okn),
@@ -576,8 +575,8 @@ pub fn table14(p: &Pipeline) -> Table {
     let mut rho_stars = vec![];
     for b in dl_workloads::all() {
         let run = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
-        let prof = profiling_set(&run.program, &run.result, HOT_FRACTION);
-        let scored = h.score_all(&run.analysis, &run.result.exec_counts);
+        let prof = profiling_set(run.program(), &run.result, HOT_FRACTION);
+        let scored = h.score_all(run.analysis(), &run.result.exec_counts);
         let heuristic = delta_h(&run, &h);
         let mut cells = vec![b.name.to_owned()];
         for (i, eps) in epsilons.iter().enumerate() {
@@ -699,8 +698,9 @@ pub fn ablation_patterns(p: &Pipeline) -> Table {
         let (mut pis, mut rhos) = (vec![], vec![]);
         for run in &runs {
             // Re-analyze the same binary under tighter caps; the
-            // simulation results are reused.
-            let analysis = analyze_program(&run.program, &cfg);
+            // simulation results are reused. (Non-default caps bypass
+            // the ctx cache deliberately.)
+            let analysis = analyze_program(run.program(), &cfg);
             let delta = h.classify(&analysis, &run.result.exec_counts);
             pis.push(pi(delta.len(), run.lambda()));
             rhos.push(rho(&run.result, &delta));
@@ -725,7 +725,6 @@ pub fn ablation_patterns(p: &Pipeline) -> Table {
 /// (loop nesting × call-graph propagation, Wu-Larus style).
 #[must_use]
 pub fn extension_static_frequency(p: &Pipeline) -> Table {
-    use dl_analysis::freq::estimate_frequencies;
     let measured_h = Heuristic::default();
     let static_h = Heuristic::default();
     let none_h = Heuristic::default().without_frequency_classes();
@@ -742,11 +741,11 @@ pub fn extension_static_frequency(p: &Pipeline) -> Table {
     let mut acc = [vec![], vec![], vec![], vec![], vec![], vec![]];
     for b in dl_workloads::all() {
         let run = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_baseline());
-        let est = estimate_frequencies(&run.program).as_counts();
+        let est = run.ctx().freq().as_counts();
         let sets = [
-            measured_h.classify(&run.analysis, &run.result.exec_counts),
-            static_h.classify(&run.analysis, &est),
-            none_h.classify(&run.analysis, &run.result.exec_counts),
+            measured_h.classify(run.analysis(), &run.result.exec_counts),
+            static_h.classify(run.analysis(), &est),
+            none_h.classify(run.analysis(), &run.result.exec_counts),
         ];
         let mut cells = vec![b.name.to_owned()];
         for (i, set) in sets.iter().enumerate() {
@@ -794,9 +793,9 @@ pub fn ablation_profile_fidelity(p: &Pipeline) -> Table {
             // classes from the degraded counts.
             let mut degraded = run.result.clone();
             degraded.exec_counts = sampled.clone();
-            let prof = profiling_set(&run.program, &degraded, HOT_FRACTION);
-            let heuristic_set = h.classify(&run.analysis, &sampled);
-            let scored = h.score_all(&run.analysis, &sampled);
+            let prof = profiling_set(run.program(), &degraded, HOT_FRACTION);
+            let heuristic_set = h.classify(run.analysis(), &sampled);
+            let scored = h.score_all(run.analysis(), &sampled);
             let combined = combine_with_profiling(&prof, &scored, &heuristic_set, 0.0);
             pis.push(pi(combined.len(), run.lambda()));
             // Coverage is always judged against the *true* misses.
@@ -908,8 +907,8 @@ pub fn extension_prefetch(p: &Pipeline) -> Table {
         let bench = dl_workloads::by_name(name).expect("known benchmark");
         let base = p.run(&bench, OptLevel::O0, 1, CacheConfig::paper_baseline());
         let policies: [(usize, Vec<usize>); 3] = [
-            (0, h.classify(&base.analysis, &base.result.exec_counts)),
-            (1, profiling_set(&base.program, &base.result, HOT_FRACTION)),
+            (0, h.predict(base.ctx())),
+            (1, profiling_set(base.program(), &base.result, HOT_FRACTION)),
             (2, base.load_indices()),
         ];
         for (slot, sites) in policies {
@@ -919,7 +918,7 @@ pub fn extension_prefetch(p: &Pipeline) -> Table {
                 prefetch: Some(PrefetchConfig::next_line(sites.clone())),
                 ..RunConfig::default()
             };
-            let result = simulate(&base.program, &config).expect("benchmark runs");
+            let result = simulate(base.program(), &config).expect("benchmark runs");
             let before = base.result.load_misses_total;
             let after = result.load_misses_total;
             let removed = before.saturating_sub(after);
@@ -963,6 +962,9 @@ pub fn extension_reuse(p: &Pipeline) -> Table {
         u64::from(cache.block_bytes()),
         cache.assoc(),
     );
+    let reuse = ReusePredictor::new(geometry);
+    let inter = Hybrid::new(h.clone(), reuse, HybridMode::Intersect);
+    let union = Hybrid::new(h.clone(), reuse, HybridMode::Union);
     let mut t = Table::new(
         "extension-reuse",
         "static reuse-distance estimation as a second predictor (8 KiB baseline)",
@@ -979,15 +981,12 @@ pub fn extension_reuse(p: &Pipeline) -> Table {
     let mut acc: Vec<Vec<f64>> = vec![vec![]; 12];
     for b in dl_workloads::all() {
         let run = p.run(&b, OptLevel::O0, 1, cache);
-        let heur = delta_h(&run, &h);
-        let reuse = reuse_delinquent_set(&run.program, &run.analysis, &geometry, REUSE_DELTA);
-        let inter = combine_hybrid(&heur, &reuse, HybridMode::Intersect);
-        let union = combine_hybrid(&heur, &reuse, HybridMode::Union);
-        let okn = okn_delinquent_set(&run.analysis);
-        let bdh = bdh_delinquent_set(&run.program, &run.analysis);
-        let sets = [&heur, &reuse, &inter, &union, &okn, &bdh];
+        let sets: Vec<Vec<usize>> = [&h as &dyn Predictor, &reuse, &inter, &union, &Okn, &Bdh]
+            .into_iter()
+            .map(|pred| pred.predict(run.ctx()))
+            .collect();
         let mut cells = vec![b.name.to_owned()];
-        for (k, set) in sets.into_iter().enumerate() {
+        for (k, set) in sets.iter().enumerate() {
             let p_val = pi(set.len(), run.lambda());
             let r_val = rho(&run.result, set);
             acc[2 * k].push(p_val);

@@ -22,14 +22,9 @@ fn main() {
     let run = pipeline.run(&bench, OptLevel::O0, 1, CacheConfig::paper_baseline());
 
     let heuristic = Heuristic::default();
-    let ours: BTreeSet<usize> = heuristic
-        .classify(&run.analysis, &run.result.exec_counts)
-        .into_iter()
-        .collect();
-    let okn: BTreeSet<usize> = okn_delinquent_set(&run.analysis).into_iter().collect();
-    let bdh: BTreeSet<usize> = bdh_delinquent_set(&run.program, &run.analysis)
-        .into_iter()
-        .collect();
+    let ours: BTreeSet<usize> = heuristic.predict(run.ctx()).into_iter().collect();
+    let okn: BTreeSet<usize> = Okn.predict(run.ctx()).into_iter().collect();
+    let bdh: BTreeSet<usize> = Bdh.predict(run.ctx()).into_iter().collect();
 
     let lambda = run.lambda();
     for (label, set) in [("heuristic", &ours), ("OKN", &okn), ("BDH", &bdh)] {
@@ -43,7 +38,7 @@ fn main() {
     }
 
     // The ten loads with the most misses, and who caught them.
-    let mut by_miss: Vec<&dl_analysis::extract::LoadInfo> = run.analysis.loads.iter().collect();
+    let mut by_miss: Vec<&dl_analysis::extract::LoadInfo> = run.analysis().loads.iter().collect();
     by_miss.sort_by_key(|l| std::cmp::Reverse(run.result.load_misses[l.index]));
     println!(
         "\ntop-10 missing loads (total misses {}):",

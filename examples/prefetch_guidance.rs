@@ -24,9 +24,9 @@ fn main() {
     let lambda = run.lambda();
 
     let heuristic = Heuristic::default();
-    let delta_h = heuristic.classify(&run.analysis, &run.result.exec_counts);
-    let delta_p = profiling_set(&run.program, &run.result, 0.9);
-    let scored = heuristic.score_all(&run.analysis, &run.result.exec_counts);
+    let delta_h = heuristic.predict(run.ctx());
+    let delta_p = profiling_set(run.program(), &run.result, 0.9);
+    let scored = heuristic.score_all(run.analysis(), &run.result.exec_counts);
 
     println!(
         "\n{:<26} {:>7} {:>8} {:>8}",

@@ -23,7 +23,7 @@ fn main() {
         .iter()
         .map(|(b, r)| TrainingRun {
             name: b.name,
-            loads: &r.analysis.loads,
+            loads: &r.analysis().loads,
             exec_counts: &r.result.exec_counts,
             load_misses: &r.result.load_misses,
             total_load_misses: r.result.load_misses_total,
@@ -54,7 +54,7 @@ fn main() {
         let mut cells = Vec::new();
         for w in [trained, paper] {
             let h = Heuristic::default().with_weights(w);
-            let delta = h.classify(&run.analysis, &run.result.exec_counts);
+            let delta = h.classify(run.analysis(), &run.result.exec_counts);
             cells.push(format!(
                 "{:5.1}% / {:4.1}%",
                 100.0 * pi(delta.len(), run.lambda()),

@@ -29,13 +29,11 @@
 use std::process::ExitCode;
 
 use delinquent_loads::heuristic::combine::{combine_hybrid, HybridMode};
-use delinquent_loads::heuristic::Heuristic;
+use delinquent_loads::heuristic::{Heuristic, Predictor};
 use delinquent_loads::minic::{compile, OptLevel};
 use delinquent_loads::mips::encode::encode_program;
-use dl_analysis::extract::{analyze_program, AnalysisConfig};
-use dl_analysis::reuse::predict_program;
-use dl_analysis::{CacheGeometry, ProgramAnalysis, ProgramLoops};
-use dl_baselines::reuse_delinquent_set;
+use dl_analysis::{AnalysisCtx, CacheGeometry};
+use dl_baselines::ReusePredictor;
 use dl_experiments::metrics::{pi, rho};
 use dl_sim::{run, RunConfig, RunResult};
 
@@ -182,9 +180,13 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 ..RunConfig::default()
             };
             let result = run(&program, &config).map_err(|e| e.to_string())?;
-            let analysis = analyze_program(&program, &AnalysisConfig::default());
+            // One pass manager feeds the heuristic and the --reuse
+            // report: patterns, loops, and load classes are each
+            // computed at most once however many predictors run.
+            let ctx = AnalysisCtx::new(program).with_profile(&result.exec_counts);
+            let analysis = ctx.analysis();
             let heuristic = Heuristic::default().with_threshold(options.delta);
-            let delinquent = heuristic.classify(&analysis, &result.exec_counts);
+            let delinquent = heuristic.predict(&ctx);
             println!(
                 "Λ = {}   |Δ| = {}   π = {:.2}%   ρ = {:.1}%   (δ = {})",
                 analysis.loads.len(),
@@ -212,14 +214,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 );
             }
             if options.reuse {
-                print_reuse(
-                    &program,
-                    &analysis,
-                    &result,
-                    &config,
-                    &delinquent,
-                    options.delta,
-                );
+                print_reuse(&ctx, &result, &config, &delinquent, options.delta);
             }
             if let Some(classes) = &result.load_miss_classes {
                 eprintln!("[flagged-load miss classes: compulsory / capacity / conflict]");
@@ -240,8 +235,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 /// measured miss ratio, and the reuse/hybrid delinquent sets scored
 /// with the same π/ρ metrics as the heuristic.
 fn print_reuse(
-    program: &dl_mips::program::Program,
-    analysis: &ProgramAnalysis,
+    ctx: &AnalysisCtx,
     result: &RunResult,
     config: &RunConfig,
     heuristic_set: &[usize],
@@ -257,7 +251,9 @@ fn print_reuse(
         "== reuse analysis ({}B cache, {}-way, {}B lines) ==",
         geometry.capacity, geometry.assoc, geometry.line
     );
-    let loops = ProgramLoops::build(program);
+    // Cached in the ctx: the reuse predictions below reuse these same
+    // loop nests instead of rebuilding them.
+    let loops = ctx.loops();
     for f in &loops.funcs {
         for l in f.nest.loops() {
             let header_inst = f.cfg.blocks()[l.header].start;
@@ -280,7 +276,7 @@ fn print_reuse(
         "{:>6}  {:<16} {:>5} {:>10} {:>10} {:>10}",
         "inst", "class", "depth", "trip", "predicted", "measured"
     );
-    for p in predict_program(program, analysis, &geometry) {
+    for p in ctx.reuse_predictions(&geometry) {
         if p.loop_depth == 0 {
             continue;
         }
@@ -300,10 +296,14 @@ fn print_reuse(
             measured,
         );
     }
-    let reuse_set = reuse_delinquent_set(program, analysis, &geometry, delta);
+    let reuse_set = ReusePredictor {
+        geometry,
+        threshold: delta,
+    }
+    .predict(ctx);
     let score = |set: &[usize]| {
         (
-            100.0 * pi(set.len(), analysis.loads.len()),
+            100.0 * pi(set.len(), ctx.analysis().loads.len()),
             100.0 * rho(result, set),
         )
     };

@@ -47,8 +47,10 @@
 //! "#;
 //! let program = compile(source, OptLevel::O0)?;
 //! let result = run(&program, &RunConfig::default()).unwrap();
-//! let analysis = analyze_program(&program, &AnalysisConfig::default());
-//! let delinquent = Heuristic::default().classify(&analysis, &result.exec_counts);
+//! // The pass manager computes each analysis lazily, once; every
+//! // Predictor (heuristic, OKN, BDH, reuse, hybrids) reads through it.
+//! let ctx = AnalysisCtx::new(program).with_profile(&result.exec_counts);
+//! let delinquent = Heuristic::default().predict(&ctx);
 //! assert!(!delinquent.is_empty());
 //! # Ok::<(), delinquent_loads::minic::CompileError>(())
 //! ```
@@ -67,9 +69,10 @@ pub use dl_workloads as workloads;
 /// The most common imports for end-to-end use.
 pub mod prelude {
     pub use dl_analysis::extract::{analyze_program, AnalysisConfig, ProgramAnalysis};
-    pub use dl_baselines::{bdh_delinquent_set, okn_delinquent_set};
+    pub use dl_analysis::AnalysisCtx;
+    pub use dl_baselines::{bdh_delinquent_set, okn_delinquent_set, Bdh, Okn, ReusePredictor};
     pub use dl_core::combine::combine_with_profiling;
-    pub use dl_core::{AgClass, Heuristic, Weights};
+    pub use dl_core::{AgClass, Heuristic, Hybrid, Predictor, Weights};
     pub use dl_experiments::metrics::{ideal_set, pi, profiling_set, rho};
     pub use dl_experiments::pipeline::Pipeline;
     pub use dl_minic::{compile, OptLevel};
