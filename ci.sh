@@ -38,10 +38,23 @@ analysis = doc["analysis"]
 for key in ("contexts", "hits", "misses", "hit_rate", "compute_secs"):
     assert key in analysis, f"bench analysis section missing {key}"
 assert analysis["contexts"] > 0, "bench recorded no analysis contexts"
+# Block-engine contract: the throughput section reports both engines
+# and the block-cache counters prove the decoded-block path ran.
+assert doc["sim_engine"] == "block", "throughput engine is not the block engine"
+for key in ("sim_step_insts_per_sec", "sim_engine_speedup"):
+    assert doc.get(key, 0) > 0, f"bench JSON missing {key}"
+bc = doc["block_cache"]
+for key in ("blocks_decoded", "insts_decoded", "mean_block_len",
+            "dispatches", "dispatch_hits", "insts_retired"):
+    assert key in bc, f"bench block_cache missing {key}"
+assert bc["dispatches"] > 0, "block engine never dispatched a block"
+assert bc["insts_retired"] > 0, "block engine retired no instructions"
 print("bench JSON OK:", json.dumps(doc))
 EOF
 elif command -v jq >/dev/null 2>&1; then
   jq -e '.jobs and .sequential_secs > 0 and .parallel_secs > 0 and .speedup and .memo and .sim_insts_per_sec
+         and .sim_engine == "block" and .sim_step_insts_per_sec > 0 and .sim_engine_speedup > 0
+         and .block_cache.dispatches > 0 and .block_cache.insts_retired > 0
          and .analysis.contexts > 0 and .analysis.hit_rate != null' \
     /tmp/ci_bench.json >/dev/null
   echo "bench JSON OK"
@@ -69,6 +82,11 @@ for key in ("hits", "misses", "waits"):
     assert key in doc["memo"], f"manifest memo missing {key}"
 assert doc["workers"], "manifest has no per-worker stats"
 assert doc["sim"]["insts_per_sec"] > 0, "manifest missing sim throughput"
+assert doc["sim"]["engine"] in ("step", "block"), "manifest missing sim engine"
+bc = doc["sim"]["block_cache"]
+for key in ("blocks_decoded", "insts_decoded", "mean_block_len",
+            "dispatches", "dispatch_hits", "insts_retired"):
+    assert key in bc, f"manifest block_cache missing {key}"
 assert doc["miss_classes"]["total"] > 0, "manifest classified no misses"
 assert doc["reuse"]["loads"] > 0, "manifest reuse section saw no loads"
 analysis = doc["analysis"]
@@ -86,6 +104,7 @@ EOF
 elif command -v jq >/dev/null 2>&1; then
   jq -e '.schema == "dl-obs/1" and (.stages | length > 0) and .memo.hit_rate != null
          and (.workers | length > 0) and .sim.insts_per_sec > 0
+         and (.sim.engine == "step" or .sim.engine == "block") and .sim.block_cache != null
          and .miss_classes.total > 0 and .reuse.loads > 0
          and .analysis.contexts > 0 and .analysis.hits > 0
          and (.analysis.passes | length == 7)' /tmp/ci_manifest.json >/dev/null
@@ -117,5 +136,15 @@ echo "== paper-tables determinism check =="
 ./target/release/repro --jobs 4 table11 table12 table14 > /tmp/ci_paper_par.out 2>/dev/null
 cmp /tmp/ci_paper_seq.out /tmp/ci_paper_par.out
 echo "paper tables byte-identical"
+
+echo "== engine equivalence check =="
+# The block-cached engine is a pure optimization: the reference step
+# interpreter must render byte-identical paper tables. The parallel
+# block-engine run above doubles as the "block" side for tables 11/12/14.
+DL_SIM_ENGINE=step ./target/release/repro --jobs 4 table11 table12 table14 > /tmp/ci_step_paper.out 2>/dev/null
+cmp /tmp/ci_paper_seq.out /tmp/ci_step_paper.out
+DL_SIM_ENGINE=step ./target/release/repro --jobs 4 table3 > /tmp/ci_step_t3.out 2>/dev/null
+cmp /tmp/ci_seq.out /tmp/ci_step_t3.out
+echo "step and block engines byte-identical"
 
 echo "CI green"

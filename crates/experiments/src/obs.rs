@@ -86,8 +86,16 @@ pub fn run_manifest(
         .into_iter()
         .map(|(i, n)| Json::obj().with("bucket", i.into()).with("count", n.into()))
         .collect();
+    let block_cache = Json::obj()
+        .with("blocks_decoded", stats.block.blocks_decoded.into())
+        .with("insts_decoded", stats.block.insts_decoded.into())
+        .with("mean_block_len", stats.block.mean_block_len().into())
+        .with("dispatches", stats.block.dispatches.into())
+        .with("dispatch_hits", stats.block.dispatch_hits.into())
+        .with("insts_retired", stats.block.insts_retired.into());
     let sim = Json::obj()
         .with("configurations", timings.len().into())
+        .with("engine", pipeline.engine().name().into())
         .with("instructions", stats.sim_instructions.into())
         .with("total_sim_secs", total_sim_secs.into())
         .with("total_compile_secs", total_compile_secs.into())
@@ -99,6 +107,7 @@ pub fn run_manifest(
                 Json::F64(0.0)
             },
         )
+        .with("block_cache", block_cache)
         .with("instructions_log2_histogram", Json::Arr(buckets));
 
     // Aggregate the miss-class breakdown over every completed run.
@@ -475,6 +484,24 @@ mod tests {
         assert!(u(mc.get("total")) > 0, "classification produced no misses");
         let sim = manifest.get("sim").unwrap();
         assert!(f(sim.get("insts_per_sec")) > 0.0);
+        assert!(
+            matches!(sim.get("engine"), Some(Json::Str(s)) if s == "step" || s == "block"),
+            "sim section missing engine name"
+        );
+        let bc = sim.get("block_cache").expect("sim missing block_cache");
+        for key in [
+            "blocks_decoded",
+            "insts_decoded",
+            "mean_block_len",
+            "dispatches",
+            "dispatch_hits",
+            "insts_retired",
+        ] {
+            assert!(bc.get(key).is_some(), "block_cache missing `{key}`");
+        }
+        if pipeline.engine() == dl_sim::Engine::Block {
+            assert!(u(bc.get("dispatches")) > 0, "block engine never dispatched");
+        }
 
         // The text report renders every section.
         let text = profile_text(&manifest);

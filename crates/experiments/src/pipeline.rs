@@ -32,7 +32,7 @@ use dl_analysis::ctx::{AnalysisCtx, CtxStats};
 use dl_analysis::extract::ProgramAnalysis;
 use dl_minic::OptLevel;
 use dl_mips::program::Program;
-use dl_sim::{run as simulate, CacheConfig, RunConfig, RunResult};
+use dl_sim::{run_with_stats, BlockStats, CacheConfig, Engine, RunConfig, RunResult};
 use dl_workloads::Benchmark;
 
 /// Number of memo-table shards. A small power of two: plenty to spread
@@ -144,6 +144,9 @@ pub struct MemoStats {
     pub compile_misses: u64,
     /// Total instructions executed across all computed simulations.
     pub sim_instructions: u64,
+    /// Block-cache counters merged over every computed simulation
+    /// (all zero when simulations ran under [`Engine::Step`]).
+    pub block: BlockStats,
 }
 
 impl MemoStats {
@@ -217,6 +220,10 @@ pub struct Pipeline {
     counters: Counters,
     timings: Mutex<Vec<ConfigTiming>>,
     classify: AtomicBool,
+    engine: Mutex<Engine>,
+    /// Block-cache counters merged over every computed simulation
+    /// (all zero under [`Engine::Step`]).
+    block_stats: Mutex<BlockStats>,
 }
 
 impl Default for Pipeline {
@@ -227,6 +234,8 @@ impl Default for Pipeline {
             counters: Counters::default(),
             timings: Mutex::default(),
             classify: AtomicBool::new(false),
+            engine: Mutex::new(Engine::from_env()),
+            block_stats: Mutex::default(),
         }
     }
 }
@@ -246,6 +255,28 @@ impl Pipeline {
     /// output is identical either way.
     pub fn set_classify_misses(&self, on: bool) {
         self.classify.store(on, Ordering::Relaxed);
+    }
+
+    /// Selects the simulator engine for every simulation this pipeline
+    /// computes *from now on* (memoized entries keep the engine they
+    /// were computed under — both produce identical results, so mixing
+    /// is safe). Defaults to `DL_SIM_ENGINE` / [`Engine::Block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine lock is poisoned.
+    pub fn set_engine(&self, engine: Engine) {
+        *self.engine.lock().expect("engine lock") = engine;
+    }
+
+    /// The engine new simulations run under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine lock is poisoned.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        *self.engine.lock().expect("engine lock")
     }
 
     fn shard_of(&self, key: &Key) -> &Shard {
@@ -366,12 +397,19 @@ impl Pipeline {
             cache,
             input: bench.input(input_set).to_vec(),
             classify_misses: self.classify.load(Ordering::Relaxed),
+            engine: self.engine(),
             ..RunConfig::default()
         };
         let sim_start = Instant::now();
-        let result = simulate(compiled.program(), &config)
+        let (result, block_stats) = run_with_stats(compiled.program(), &config)
             .unwrap_or_else(|e| panic!("{} trapped at {opt}: {e}", bench.name));
         let sim_secs = sim_start.elapsed().as_secs_f64();
+        if let Some(stats) = block_stats {
+            self.block_stats
+                .lock()
+                .expect("block stats lock")
+                .merge(&stats);
+        }
         self.counters
             .sim_instructions
             .fetch_add(result.instructions, Ordering::Relaxed);
@@ -421,6 +459,7 @@ impl Pipeline {
             compile_hits: self.counters.compile_hits.load(Ordering::Relaxed),
             compile_misses: self.counters.compile_misses.load(Ordering::Relaxed),
             sim_instructions: self.counters.sim_instructions.load(Ordering::Relaxed),
+            block: *self.block_stats.lock().expect("block stats lock"),
         }
     }
 

@@ -9,6 +9,7 @@ use dl_experiments::document::experiments_doc;
 use dl_experiments::pipeline::Pipeline;
 use dl_experiments::schedule::{prewarm, union_specs, RunSpec};
 use dl_experiments::tables::{all_tables, TableFn};
+use dl_sim::Engine;
 
 const SUBSET: &[&str] = &["table3", "table7"];
 
@@ -34,11 +35,16 @@ fn subset_tables() -> Vec<(&'static str, TableFn)> {
         .collect()
 }
 
-fn render(classify: bool) -> String {
+fn render_with(classify: bool, engine: Engine) -> String {
     let pipeline = Pipeline::new();
     pipeline.set_classify_misses(classify);
+    pipeline.set_engine(engine);
     prewarm(&pipeline, &shrunk_specs(SUBSET), 2);
     experiments_doc(&pipeline, &subset_tables(), |_, _| {})
+}
+
+fn render(classify: bool) -> String {
+    render_with(classify, Engine::default())
 }
 
 #[test]
@@ -48,6 +54,30 @@ fn observed_tables_are_byte_identical_to_unobserved() {
     assert_eq!(
         off, on,
         "enabling miss classification changed rendered experiment tables"
+    );
+}
+
+/// The zero-overhead guarantee holds under *both* simulator cores, and
+/// the cores agree with each other: classification forces the block
+/// engine onto its instrumented slow path, so this also pins the fast
+/// path and slow path to identical table output.
+#[test]
+fn observed_tables_identical_across_engines() {
+    let step_off = render_with(false, Engine::Step);
+    let step_on = render_with(true, Engine::Step);
+    let block_off = render_with(false, Engine::Block);
+    let block_on = render_with(true, Engine::Block);
+    assert_eq!(
+        block_off, block_on,
+        "classification changed tables under the block engine"
+    );
+    assert_eq!(
+        step_off, block_off,
+        "step and block engines render different tables"
+    );
+    assert_eq!(
+        step_on, block_on,
+        "step and block engines diverge under classification"
     );
 }
 

@@ -254,6 +254,11 @@ pub struct Cache {
     // order[set * assoc + i] is the way index of the i-th most
     // recently used way of `set` (i = 0 ⇒ MRU, i = assoc-1 ⇒ LRU).
     order: Vec<u16>,
+    // mru[set] holds the *block number* resident in the set's MRU way
+    // (mirroring tags[set * assoc + order[set * assoc]]; block and
+    // (set, tag) determine each other), so the hot-path hit check is
+    // one shift, one mask and one compare — no tag extraction.
+    mru: Vec<u64>,
     set_shift: u32,
     set_mask: u32,
     tag_shift: u32,
@@ -279,6 +284,7 @@ impl Cache {
             cfg,
             tags: vec![INVALID_TAG; ways],
             order,
+            mru: vec![INVALID_TAG; cfg.sets() as usize],
             set_shift: cfg.block_bytes().trailing_zeros(),
             set_mask: cfg.sets() - 1,
             tag_shift: (cfg.sets() - 1).count_ones(),
@@ -329,6 +335,30 @@ impl Cache {
         self.cfg
     }
 
+    /// The block-offset shift (log2 of the block size) for callers
+    /// that hoist it out of an access loop (the block engine's fast
+    /// path computes block numbers from registers instead of
+    /// reloading this field per access).
+    #[inline]
+    pub(crate) fn hot_params(&self) -> u32 {
+        self.set_shift
+    }
+
+    /// The per-set MRU block-number table (length = number of sets, a
+    /// power of two; a block's set is `block & (sets - 1)`). An access
+    /// whose block number matches its set's entry is a hit that
+    /// changes no replacement state, so the block engine's fast path
+    /// answers it with one compare and skips [`Cache::access`]
+    /// entirely — leaving the aggregate `hits` counter behind. That is
+    /// sound because cache totals are not observable through a run
+    /// ([`crate::RunResult`] carries its own counters); direct users
+    /// of the public API always go through [`Cache::access`], which
+    /// counts every access.
+    #[inline(always)]
+    pub(crate) fn mru_blocks(&self) -> &[u64] {
+        &self.mru
+    }
+
     /// Simulates one access to `addr`, returning `true` on hit.
     /// On a miss the block is filled (evicting the LRU way).
     #[inline]
@@ -336,18 +366,18 @@ impl Cache {
         let block = u64::from(addr >> self.set_shift);
         let set = (block as u32) & self.set_mask;
         let tag = block >> self.tag_shift;
-        let assoc = self.cfg.assoc as usize;
-        let base = set as usize * assoc;
         // Fast path: the MRU way already holds the block, so recency
         // state is already correct — one compare, no set walk.
-        if self.tags[base + self.order[base] as usize] == tag {
+        if self.mru[set as usize] == block {
             self.hits += 1;
             if self.profiling {
                 self.profile_access(block, set, true);
             }
             return true;
         }
-        let hit = self.access_slow(base, assoc, tag);
+        let assoc = self.cfg.assoc as usize;
+        let hit = self.access_slow(set as usize * assoc, assoc, tag);
+        self.mru[set as usize] = block;
         if self.profiling {
             self.profile_access(block, set, hit);
         }
@@ -433,6 +463,7 @@ impl Cache {
     /// Invalidates all lines and resets counters.
     pub fn reset(&mut self) {
         self.tags.fill(INVALID_TAG);
+        self.mru.fill(INVALID_TAG);
         let assoc = self.cfg.assoc as usize;
         for (i, slot) in self.order.iter_mut().enumerate() {
             *slot = (i % assoc) as u16;

@@ -12,6 +12,7 @@ use dl_mips::layout::{self, GP_VALUE, STACK_TOP};
 use dl_mips::program::Program;
 use dl_mips::reg::Reg;
 
+use crate::block::{self, BlockCache, BlockStats, Engine};
 use crate::cache::{Cache, CacheConfig};
 use crate::mem::{MemFault, Memory};
 use crate::stats::RunResult;
@@ -125,6 +126,9 @@ pub struct RunConfig {
     /// per-site attribution into [`RunResult::load_miss_classes`].
     /// Costs a shadow-cache update per access; off by default.
     pub classify_misses: bool,
+    /// Which interpreter core executes the run. Both produce identical
+    /// results; see [`Engine`]. The default honours `DL_SIM_ENGINE`.
+    pub engine: Engine,
 }
 
 impl Default for RunConfig {
@@ -136,23 +140,39 @@ impl Default for RunConfig {
             seed: 0x5eed_1234_abcd_ef01,
             prefetch: None,
             classify_misses: false,
+            engine: Engine::from_env(),
         }
     }
+}
+
+/// Everything a finished run produced: the measurement record, the
+/// memory trace (empty unless [`Machine::record_trace`] was called),
+/// and block-cache stats (`None` under [`Engine::Step`]).
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// The full measurement record.
+    pub result: RunResult,
+    /// Recorded memory accesses, in execution order.
+    pub trace: Vec<TraceRecord>,
+    /// Block-cache behaviour counters ([`Engine::Block`] only).
+    pub block_stats: Option<BlockStats>,
 }
 
 /// The simulator state; use [`run`] unless you need single-stepping.
 #[derive(Debug)]
 pub struct Machine<'p> {
-    program: &'p Program,
-    regs: [u32; 32],
-    pc: usize,
-    halt_index: usize,
-    mem: Memory,
-    cache: Cache,
+    pub(crate) program: &'p Program,
+    pub(crate) regs: [u32; 32],
+    pub(crate) pc: usize,
+    pub(crate) halt_index: usize,
+    pub(crate) mem: Memory,
+    pub(crate) cache: Cache,
     rng: u64,
     input: VecDeque<i32>,
-    result: RunResult,
-    finished: Option<i32>,
+    pub(crate) result: RunResult,
+    pub(crate) finished: Option<i32>,
+    // Which interpreter core run_* methods use.
+    engine: Engine,
     // Per-instruction prefetch degree (0 = not instrumented).
     prefetch_degree: Vec<u32>,
     // When Some, every data access is recorded.
@@ -193,6 +213,7 @@ impl<'p> Machine<'p> {
             input: config.input.iter().copied().collect(),
             result,
             finished: None,
+            engine: config.engine,
             prefetch_degree: {
                 let mut v = vec![0u32; program.insts.len()];
                 if let Some(pf) = &config.prefetch {
@@ -295,7 +316,7 @@ impl<'p> Machine<'p> {
             .expect("classifying implies attribution table")[at][class.index()] += 1;
     }
 
-    fn dcache_load(&mut self, at: usize, addr: u32) {
+    pub(crate) fn dcache_load(&mut self, at: usize, addr: u32) {
         if self.tracing {
             self.push_trace(at, addr, false);
         }
@@ -316,7 +337,7 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn dcache_store(&mut self, at: usize, addr: u32) {
+    pub(crate) fn dcache_store(&mut self, at: usize, addr: u32) {
         if self.tracing {
             self.push_trace(at, addr, true);
         }
@@ -325,6 +346,50 @@ impl<'p> Machine<'p> {
         if !self.cache.access(addr) {
             self.result.dcache_misses += 1;
         }
+    }
+
+    /// Resolves an indirect jump target PC to an instruction index.
+    /// The halt sentinel (one past the last instruction) is a valid
+    /// target: returning there terminates the program.
+    pub(crate) fn resolve_jump(&self, at: usize, target: u32) -> Result<usize, Trap> {
+        match layout::index_of_pc(target) {
+            Some(idx) if idx <= self.halt_index => Ok(idx),
+            _ => Err(Trap::BadJump { at, target }),
+        }
+    }
+
+    /// Executes the syscall selected by `$v0`. `EXIT` marks the
+    /// machine finished; callers must check [`Self::exit_code`].
+    pub(crate) fn syscall(&mut self, at: usize) -> Result<(), Trap> {
+        let number = self.regs[Reg::V0 as usize];
+        let a0 = self.regs[Reg::A0 as usize];
+        match number {
+            syscalls::PRINT_INT => self.result.output.push(a0 as i32),
+            syscalls::READ_INT => {
+                let v = self.input.pop_front().unwrap_or(0);
+                self.set_reg(Reg::V0, v as u32);
+            }
+            syscalls::MALLOC => {
+                let addr = self
+                    .mem
+                    .malloc(a0)
+                    .map_err(|fault| Trap::Mem { at, fault })?;
+                self.set_reg(Reg::V0, addr);
+            }
+            syscalls::EXIT => self.finished = Some(a0 as i32),
+            syscalls::RAND => {
+                let raw = self.next_rand();
+                let bound = a0 as i32;
+                let v = if bound > 0 {
+                    raw % bound as u32
+                } else {
+                    raw & 0x7fff_ffff
+                };
+                self.set_reg(Reg::V0, v);
+            }
+            _ => return Err(Trap::BadSyscall { at, number }),
+        }
+        Ok(())
     }
 
     /// Executes a single instruction.
@@ -507,51 +572,17 @@ impl<'p> Machine<'p> {
                 next = target.index();
             }
             Inst::Jr { rs } => {
-                let target = r(self, rs);
-                match layout::index_of_pc(target) {
-                    Some(idx) if idx <= self.halt_index => next = idx,
-                    _ => return Err(Trap::BadJump { at, target }),
-                }
+                next = self.resolve_jump(at, r(self, rs))?;
             }
             Inst::Jalr { rd, rs } => {
                 let target = r(self, rs);
                 self.set_reg(rd, layout::pc_of_index(at + 1));
-                match layout::index_of_pc(target) {
-                    Some(idx) if idx <= self.halt_index => next = idx,
-                    _ => return Err(Trap::BadJump { at, target }),
-                }
+                next = self.resolve_jump(at, target)?;
             }
             Inst::Syscall => {
-                let number = r(self, Reg::V0);
-                let a0 = r(self, Reg::A0);
-                match number {
-                    syscalls::PRINT_INT => self.result.output.push(a0 as i32),
-                    syscalls::READ_INT => {
-                        let v = self.input.pop_front().unwrap_or(0);
-                        self.set_reg(Reg::V0, v as u32);
-                    }
-                    syscalls::MALLOC => {
-                        let addr = self
-                            .mem
-                            .malloc(a0)
-                            .map_err(|fault| Trap::Mem { at, fault })?;
-                        self.set_reg(Reg::V0, addr);
-                    }
-                    syscalls::EXIT => {
-                        self.finished = Some(a0 as i32);
-                        return Ok(());
-                    }
-                    syscalls::RAND => {
-                        let raw = self.next_rand();
-                        let bound = a0 as i32;
-                        let v = if bound > 0 {
-                            raw % bound as u32
-                        } else {
-                            raw & 0x7fff_ffff
-                        };
-                        self.set_reg(Reg::V0, v);
-                    }
-                    _ => return Err(Trap::BadSyscall { at, number }),
+                self.syscall(at)?;
+                if self.finished.is_some() {
+                    return Ok(());
                 }
             }
             Inst::Nop => {}
@@ -571,7 +602,7 @@ impl<'p> Machine<'p> {
     ///
     /// Returns the [`Trap`] that aborted execution.
     pub fn run_to_completion(self, max_steps: u64) -> Result<RunResult, Trap> {
-        self.run_traced(max_steps).map(|(result, _)| result)
+        self.run_full(max_steps).map(|out| out.result)
     }
 
     /// Like [`Self::run_to_completion`], also returning the memory
@@ -580,13 +611,29 @@ impl<'p> Machine<'p> {
     /// # Errors
     ///
     /// Returns the [`Trap`] that aborted execution.
-    pub fn run_traced(mut self, max_steps: u64) -> Result<(RunResult, Vec<TraceRecord>), Trap> {
-        while self.finished.is_none() {
-            if self.result.instructions >= max_steps {
-                return Err(Trap::StepLimit { limit: max_steps });
+    pub fn run_traced(self, max_steps: u64) -> Result<(RunResult, Vec<TraceRecord>), Trap> {
+        self.run_full(max_steps).map(|out| (out.result, out.trace))
+    }
+
+    /// Runs to completion under the configured [`Engine`], consuming
+    /// the machine and returning every output of the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] that aborted execution.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the finished [`RunResult`] violates its
+    /// cross-field invariants.
+    pub fn run_full(mut self, max_steps: u64) -> Result<SimOutput, Trap> {
+        let block_stats = match self.engine {
+            Engine::Step => {
+                self.run_steps(max_steps)?;
+                None
             }
-            self.step()?;
-        }
+            Engine::Block => Some(self.run_block_engine(max_steps)?),
+        };
         self.result.exit_code = self.finished.unwrap_or(0);
         self.result.cache_profile = self.cache.take_profile();
         if cfg!(debug_assertions) {
@@ -594,7 +641,50 @@ impl<'p> Machine<'p> {
                 panic!("inconsistent RunResult: {violation}");
             }
         }
-        Ok((self.result, self.trace.unwrap_or_default()))
+        Ok(SimOutput {
+            result: self.result,
+            trace: self.trace.unwrap_or_default(),
+            block_stats,
+        })
+    }
+
+    /// Reference engine: the per-instruction `step()` loop.
+    fn run_steps(&mut self, max_steps: u64) -> Result<(), Trap> {
+        while self.finished.is_none() {
+            if self.result.instructions >= max_steps {
+                return Err(Trap::StepLimit { limit: max_steps });
+            }
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Block-cached engine: decoded basic-block dispatch. Tracing,
+    /// prefetch and miss classification need per-access hooks, so any
+    /// of them selects the slow dispatch instantiation; the common
+    /// configuration runs the fully batched fast path.
+    fn run_block_engine(&mut self, max_steps: u64) -> Result<BlockStats, Trap> {
+        let mut cache = BlockCache::new(self.program.insts.len());
+        let slow = self.tracing || self.has_prefetch || self.classifying;
+        if slow {
+            block::run_blocks::<true>(self, &mut cache, max_steps)?;
+        } else {
+            block::run_blocks::<false>(self, &mut cache, max_steps)?;
+        }
+        cache.flush_exec_counts(&mut self.result);
+        if !slow {
+            cache.flush_access_totals(&mut self.result);
+            // The fast path skips per-access hit bookkeeping; every
+            // execution of a load site is exactly one access, so its
+            // hits are its executions minus its recorded misses.
+            for (i, inst) in self.program.insts.iter().enumerate() {
+                if inst.is_load() {
+                    self.result.load_hits[i] =
+                        self.result.exec_counts[i] - self.result.load_misses[i];
+                }
+            }
+        }
+        Ok(cache.stats())
     }
 }
 
@@ -607,6 +697,22 @@ impl<'p> Machine<'p> {
 /// `config.max_steps`.
 pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, Trap> {
     Machine::new(program, config).run_to_completion(config.max_steps)
+}
+
+/// Like [`run`], also returning the block-cache stats (`None` under
+/// [`Engine::Step`]).
+///
+/// # Errors
+///
+/// Returns a [`Trap`] if the program faults or exceeds
+/// `config.max_steps`.
+pub fn run_with_stats(
+    program: &Program,
+    config: &RunConfig,
+) -> Result<(RunResult, Option<BlockStats>), Trap> {
+    Machine::new(program, config)
+        .run_full(config.max_steps)
+        .map(|out| (out.result, out.block_stats))
 }
 
 #[cfg(test)]

@@ -33,12 +33,14 @@
 
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod cache;
 pub mod cpu;
 pub mod mem;
 pub mod stats;
 pub mod trace;
 
+pub use block::{BlockStats, Engine};
 pub use cache::{Cache, CacheConfig, CacheProfile, MissClass, MissClasses};
-pub use cpu::{run, Machine, PrefetchConfig, RunConfig, Trap};
+pub use cpu::{run, run_with_stats, Machine, PrefetchConfig, RunConfig, SimOutput, Trap};
 pub use stats::RunResult;

@@ -94,6 +94,7 @@ impl Memory {
         self.heap_brk
     }
 
+    #[inline]
     fn slot(&mut self, addr: u32, len: u32) -> Result<&mut [u8], MemFault> {
         let (arena, base): (&mut Vec<u8>, u32) = if addr >= STACK_LIMIT {
             (&mut self.stack, STACK_LIMIT)
@@ -112,6 +113,7 @@ impl Memory {
         Ok(&mut arena[off..end])
     }
 
+    #[inline]
     fn check_align(addr: u32, len: u32) -> Result<(), MemFault> {
         if !addr.is_multiple_of(len) {
             Err(MemFault::Misaligned(addr))
@@ -125,6 +127,7 @@ impl Memory {
     /// # Errors
     ///
     /// Faults on unmapped addresses.
+    #[inline]
     pub fn read_u8(&mut self, addr: u32) -> Result<u8, MemFault> {
         Ok(self.slot(addr, 1)?[0])
     }
@@ -134,6 +137,7 @@ impl Memory {
     /// # Errors
     ///
     /// Faults on unmapped or misaligned addresses.
+    #[inline]
     pub fn read_u16(&mut self, addr: u32) -> Result<u16, MemFault> {
         Self::check_align(addr, 2)?;
         let s = self.slot(addr, 2)?;
@@ -145,6 +149,7 @@ impl Memory {
     /// # Errors
     ///
     /// Faults on unmapped or misaligned addresses.
+    #[inline]
     pub fn read_u32(&mut self, addr: u32) -> Result<u32, MemFault> {
         Self::check_align(addr, 4)?;
         let s = self.slot(addr, 4)?;
@@ -156,6 +161,7 @@ impl Memory {
     /// # Errors
     ///
     /// Faults on unmapped addresses.
+    #[inline]
     pub fn write_u8(&mut self, addr: u32, v: u8) -> Result<(), MemFault> {
         self.slot(addr, 1)?[0] = v;
         Ok(())
@@ -166,6 +172,7 @@ impl Memory {
     /// # Errors
     ///
     /// Faults on unmapped or misaligned addresses.
+    #[inline]
     pub fn write_u16(&mut self, addr: u32, v: u16) -> Result<(), MemFault> {
         Self::check_align(addr, 2)?;
         self.slot(addr, 2)?.copy_from_slice(&v.to_le_bytes());
@@ -177,6 +184,7 @@ impl Memory {
     /// # Errors
     ///
     /// Faults on unmapped or misaligned addresses.
+    #[inline]
     pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), MemFault> {
         Self::check_align(addr, 4)?;
         self.slot(addr, 4)?.copy_from_slice(&v.to_le_bytes());

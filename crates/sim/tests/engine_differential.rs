@@ -1,0 +1,251 @@
+//! Differential property tests: the block-cached engine must be
+//! observationally identical to the reference `step()` interpreter on
+//! arbitrary programs — same `RunResult` byte for byte (including
+//! `exec_counts` and three-Cs classes), same trap at the same
+//! instruction, same `TraceRecord` stream, under every configuration
+//! (step limits, tracing, prefetch, miss classification).
+
+use dl_mips::parse::parse_asm;
+use dl_mips::program::Program;
+use dl_sim::trace::capture_trace;
+use dl_sim::{run, CacheConfig, Engine, PrefetchConfig, RunConfig, RunResult, Trap};
+use dl_testkit::{cases, Rng};
+
+/// A random multi-function program rich in memory traffic and control
+/// flow: stack reloads, register-based dereferences, global accesses,
+/// pointer arithmetic, stores, division (trap potential), calls, and
+/// arbitrary branch/jump structure — the input space over which the
+/// two engines could plausibly diverge.
+fn arb_program(rng: &mut Rng) -> Program {
+    let nfuncs = 1 + rng.index(3);
+    let mut s = String::new();
+    for fi in 0..nfuncs {
+        if fi == 0 {
+            s.push_str("main:\n");
+        } else {
+            s.push_str(&format!("f{fi}:\n"));
+        }
+        let nblocks = 1 + rng.index(4);
+        for b in 0..nblocks {
+            s.push_str(&format!(".L{fi}_{b}:\n"));
+            for _ in 0..1 + rng.index(6) {
+                let (d, a, c) = (rng.index(8), rng.index(8), rng.index(8));
+                match rng.index(10) {
+                    0 => s.push_str(&format!("\tlw $t{d}, {}($sp)\n", 4 * rng.index(16))),
+                    1 => s.push_str(&format!("\tlw $t{d}, {}($t{a})\n", 4 * rng.index(8))),
+                    2 => s.push_str(&format!("\tlw $t{d}, {}($gp)\n", 4 * rng.index(16))),
+                    3 => s.push_str(&format!(
+                        "\taddiu $t{d}, $t{a}, {}\n",
+                        rng.range_i32(-8, 64)
+                    )),
+                    4 => s.push_str(&format!("\tsll $t{d}, $t{a}, {}\n", 1 + rng.index(3))),
+                    5 => s.push_str(&format!("\tli $t{d}, {}\n", rng.index(4096))),
+                    6 => s.push_str(&format!("\tsw $t{d}, {}($sp)\n", 4 * rng.index(16))),
+                    7 => s.push_str(&format!("\tslt $t{d}, $t{a}, $t{c}\n")),
+                    8 => s.push_str(&format!("\tdiv $t{d}, $t{a}, $t{c}\n")),
+                    _ => s.push_str(&format!("\taddu $t{d}, $t{a}, $t{c}\n")),
+                }
+            }
+            let target = rng.index(nblocks);
+            match rng.index(5) {
+                0 => {}
+                1 => s.push_str(&format!("\tj .L{fi}_{target}\n")),
+                2 if nfuncs > 1 => s.push_str(&format!("\tjal f{}\n", 1 + rng.index(nfuncs - 1))),
+                3 => s.push_str(&format!(
+                    "\tslt $t{}, $t{}, $t{}\n\tbeq $t0, $zero, .L{fi}_{target}\n",
+                    rng.index(2),
+                    rng.index(8),
+                    rng.index(8)
+                )),
+                _ => s.push_str(&format!(
+                    "\tbne $t{}, $zero, .L{fi}_{target}\n",
+                    rng.index(8)
+                )),
+            }
+        }
+        s.push_str("\tjr $ra\n");
+    }
+    parse_asm(&s).expect("generated asm parses")
+}
+
+/// Runs `program` under both engines with otherwise identical
+/// configuration and asserts the outcomes are identical — the
+/// `RunResult` on success (full structural equality: every counter,
+/// every per-site table), the `Trap` on failure.
+fn assert_engines_agree(program: &Program, base: &RunConfig) -> Result<RunResult, Trap> {
+    let step = run(
+        program,
+        &RunConfig {
+            engine: Engine::Step,
+            ..base.clone()
+        },
+    );
+    let block = run(
+        program,
+        &RunConfig {
+            engine: Engine::Block,
+            ..base.clone()
+        },
+    );
+    assert_eq!(step, block, "engines diverge");
+    block
+}
+
+#[test]
+fn random_programs_agree_across_engines() {
+    let mut trapped = 0u32;
+    let mut completed = 0u32;
+    cases(60, 0xB10C_D1FF, |rng| {
+        let program = arb_program(rng);
+        // Small random step limits exercise mid-block splitting; the
+        // larger ones let short programs complete.
+        let max_steps = match rng.index(3) {
+            0 => 1 + rng.below(50),
+            1 => 1 + rng.below(5_000),
+            _ => 200_000,
+        };
+        let config = RunConfig {
+            max_steps,
+            input: vec![rng.range_i32(-4, 100); 4],
+            ..RunConfig::default()
+        };
+        match assert_engines_agree(&program, &config) {
+            Ok(_) => completed += 1,
+            Err(_) => trapped += 1,
+        }
+    });
+    // The generator must exercise both outcomes or the test is weaker
+    // than it claims.
+    assert!(completed > 0, "no random program ran to completion");
+    assert!(trapped > 0, "no random program trapped");
+}
+
+#[test]
+fn random_programs_agree_with_classification() {
+    cases(20, 0x3C15, |rng| {
+        let program = arb_program(rng);
+        let config = RunConfig {
+            max_steps: 100_000,
+            classify_misses: true,
+            cache: CacheConfig::kb(8, 2),
+            ..RunConfig::default()
+        };
+        if let Ok(result) = assert_engines_agree(&program, &config) {
+            // Classification must actually have run for the equality
+            // to mean anything.
+            assert!(result.cache_profile.is_some());
+            assert!(result.load_miss_classes.is_some());
+        }
+    });
+}
+
+#[test]
+fn random_programs_agree_with_prefetch() {
+    cases(20, 0x9F37, |rng| {
+        let program = arb_program(rng);
+        let sites: Vec<usize> = (0..program.insts.len())
+            .filter(|_| rng.index(4) == 0)
+            .collect();
+        let config = RunConfig {
+            max_steps: 100_000,
+            prefetch: Some(PrefetchConfig::next_line(sites)),
+            ..RunConfig::default()
+        };
+        let _ = assert_engines_agree(&program, &config);
+    });
+}
+
+#[test]
+fn random_programs_agree_on_traces() {
+    cases(30, 0x7AACE, |rng| {
+        let program = arb_program(rng);
+        let mk = |engine| RunConfig {
+            max_steps: 100_000,
+            engine,
+            ..RunConfig::default()
+        };
+        let step = capture_trace(&program, &mk(Engine::Step));
+        let block = capture_trace(&program, &mk(Engine::Block));
+        match (step, block) {
+            (Ok((st, sr)), Ok((bt, br))) => {
+                assert_eq!(st, bt, "trace streams diverge");
+                assert_eq!(sr, br, "traced results diverge");
+            }
+            (Err(st), Err(bt)) => assert_eq!(st, bt, "traps diverge under tracing"),
+            (s, b) => panic!("one engine trapped, the other did not: {s:?} vs {b:?}"),
+        }
+    });
+}
+
+/// `max_steps` is exact under the block engine: a limit landing in the
+/// middle of a decoded block must report `StepLimit` without running
+/// past it, and a limit of exactly the program length must succeed.
+#[test]
+fn step_limit_is_exact_mid_block() {
+    let program =
+        parse_asm("main:\n\tli $t0, 1\n\tli $t1, 2\n\tli $t2, 3\n\tli $t3, 4\n\tjr $ra\n").unwrap();
+    // 5 instructions total (including jr).
+    for limit in 1..=4 {
+        let config = RunConfig {
+            max_steps: limit,
+            engine: Engine::Block,
+            ..RunConfig::default()
+        };
+        assert_eq!(
+            run(&program, &config),
+            Err(Trap::StepLimit { limit }),
+            "limit {limit} not exact"
+        );
+    }
+    let config = RunConfig {
+        max_steps: 5,
+        engine: Engine::Block,
+        ..RunConfig::default()
+    };
+    run(&program, &config).expect("exactly enough steps");
+}
+
+/// Traps attribute to the precise instruction index under the block
+/// engine, even when the faulting instruction sits mid-block after
+/// fusable neighbours.
+#[test]
+fn traps_attribute_to_exact_instruction() {
+    // Index 2 divides by zero ($t9 is never written).
+    let program =
+        parse_asm("main:\n\tli $t0, 7\n\tli $t1, 3\n\tdiv $t2, $t0, $t9\n\tjr $ra\n").unwrap();
+    for engine in [Engine::Step, Engine::Block] {
+        let config = RunConfig {
+            engine,
+            ..RunConfig::default()
+        };
+        assert_eq!(
+            run(&program, &config),
+            Err(Trap::DivByZero { at: 2 }),
+            "wrong attribution under {engine}"
+        );
+    }
+
+    // Index 1 loads from an unmapped address.
+    let program = parse_asm("main:\n\tli $t0, 64\n\tlw $t1, 0($t0)\n\tjr $ra\n").unwrap();
+    for engine in [Engine::Step, Engine::Block] {
+        let config = RunConfig {
+            engine,
+            ..RunConfig::default()
+        };
+        match run(&program, &config) {
+            Err(Trap::Mem { at: 1, .. }) => {}
+            other => panic!("expected mem trap at 1 under {engine}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn engine_parse_and_names() {
+    assert_eq!("step".parse::<Engine>(), Ok(Engine::Step));
+    assert_eq!("BLOCK".parse::<Engine>(), Ok(Engine::Block));
+    assert!("jit".parse::<Engine>().is_err());
+    assert_eq!(Engine::Step.name(), "step");
+    assert_eq!(Engine::Block.name(), "block");
+    assert_eq!(Engine::default(), Engine::Block);
+    assert_eq!(Engine::Block.to_string(), "block");
+}

@@ -9,6 +9,13 @@
 //!                                                   # flag possibly-delinquent loads
 //! ```
 //!
+//! `--engine step|block` (on `run` and `analyze`) selects the
+//! simulator core: the reference per-instruction interpreter or the
+//! block-cached engine (the default). The two are observationally
+//! identical; `step` exists for differential debugging. The
+//! `DL_SIM_ENGINE` environment variable sets the default when the
+//! flag is absent.
+//!
 //! `--profile` (on `run` and `analyze`) turns on the simulator's
 //! opt-in cache profiling: the miss-class breakdown (compulsory /
 //! capacity / conflict, paper §3) and the hottest cache sets are
@@ -35,7 +42,7 @@ use delinquent_loads::mips::encode::encode_program;
 use dl_analysis::{AnalysisCtx, CacheGeometry};
 use dl_baselines::ReusePredictor;
 use dl_experiments::metrics::{pi, rho};
-use dl_sim::{run, RunConfig, RunResult};
+use dl_sim::{run, Engine, RunConfig, RunResult};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +63,7 @@ struct Options {
     delta: f64,
     profile: bool,
     reuse: bool,
+    engine: Option<Engine>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -67,6 +75,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         delta: 0.10,
         profile: false,
         reuse: false,
+        engine: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -93,6 +102,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--profile" => options.profile = true,
             "--reuse" => options.reuse = true,
+            "--engine" => {
+                options.engine = Some(
+                    it.next()
+                        .ok_or("--engine requires step|block")?
+                        .parse::<Engine>()?,
+                );
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`"));
             }
@@ -120,7 +136,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
         return Err(
             "usage: dlc <build|run|analyze> prog.mc [-O1] [--emit asm|bin|words] \
-             [--input 1,2,3] [--delta 0.1] [--profile] [--reuse]"
+             [--input 1,2,3] [--delta 0.1] [--profile] [--reuse] [--engine step|block]"
                 .into(),
         );
     };
@@ -153,6 +169,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             let config = RunConfig {
                 input: options.input.clone(),
                 classify_misses: options.profile,
+                // Precedence: --engine beats DL_SIM_ENGINE beats the default.
+                engine: options.engine.unwrap_or_else(Engine::from_env),
                 ..RunConfig::default()
             };
             let start = std::time::Instant::now();
@@ -177,6 +195,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             let config = RunConfig {
                 input: options.input.clone(),
                 classify_misses: options.profile,
+                engine: options.engine.unwrap_or_else(Engine::from_env),
                 ..RunConfig::default()
             };
             let result = run(&program, &config).map_err(|e| e.to_string())?;
@@ -375,6 +394,7 @@ mod tests {
         assert!((o.delta - 0.10).abs() < 1e-12);
         assert!(!o.profile);
         assert!(!o.reuse);
+        assert_eq!(o.engine, None);
     }
 
     #[test]
@@ -390,6 +410,8 @@ mod tests {
             "0.25",
             "--profile",
             "--reuse",
+            "--engine",
+            "step",
         ])
         .unwrap();
         assert_eq!(o.opt, OptLevel::O1);
@@ -398,6 +420,7 @@ mod tests {
         assert!((o.delta - 0.25).abs() < 1e-12);
         assert!(o.profile);
         assert!(o.reuse);
+        assert_eq!(o.engine, Some(Engine::Step));
     }
 
     #[test]
@@ -407,6 +430,8 @@ mod tests {
         assert!(opts(&["a.mc", "--bogus"]).is_err());
         assert!(opts(&["a.mc", "--input", "x"]).is_err());
         assert!(opts(&["a.mc", "--emit"]).is_err());
+        assert!(opts(&["a.mc", "--engine"]).is_err());
+        assert!(opts(&["a.mc", "--engine", "jit"]).is_err());
     }
 
     #[test]

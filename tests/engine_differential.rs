@@ -1,0 +1,86 @@
+//! Engine equivalence on the real workload suite: every bundled
+//! benchmark, at both optimization levels, must produce a
+//! byte-identical `RunResult` under the step and block engines — and
+//! the three-Cs miss classification must survive the comparison on a
+//! classified subset.
+
+use delinquent_loads::prelude::*;
+use delinquent_loads::workloads::Benchmark;
+use dl_sim::Engine;
+
+/// Reduced inputs so the whole suite runs in seconds even unoptimized
+/// (mirrors `workloads_smoke.rs`).
+fn small_inputs(b: &Benchmark) -> Vec<i32> {
+    match b.name {
+        "008.espresso" => vec![48, 24, 1],
+        "022.li" => vec![400, 2, 5],
+        "072.sc" => vec![12, 10, 2],
+        "099.go" => vec![2, 2, 3],
+        "101.tomcatv" => vec![16, 2],
+        "124.m88ksim" => vec![2000, 7],
+        "126.gcc" => vec![8, 6, 2],
+        "129.compress" => vec![2000, 3],
+        "132.ijpeg" => vec![3, 2],
+        "147.vortex" => vec![128, 2],
+        "164.gzip" => vec![2000, 3],
+        "175.vpr" => vec![10, 500, 3],
+        "179.art" => vec![8, 1000, 3],
+        "181.mcf" => vec![64, 128, 2],
+        "183.equake" => vec![64, 4, 2],
+        "188.ammp" => vec![64, 4, 2],
+        "197.parser" => vec![400, 3],
+        "300.twolf" => vec![10, 500, 2],
+        other => panic!("unknown benchmark {other}"),
+    }
+}
+
+fn run_engine(program: &Program, input: &[i32], engine: Engine, classify: bool) -> RunResult {
+    let config = RunConfig {
+        input: input.to_vec(),
+        max_steps: 200_000_000,
+        engine,
+        classify_misses: classify,
+        ..RunConfig::default()
+    };
+    run(program, &config).expect("workload runs clean")
+}
+
+#[test]
+fn all_workloads_identical_across_engines() {
+    for b in delinquent_loads::workloads::all() {
+        let input = small_inputs(&b);
+        for opt in [OptLevel::O0, OptLevel::O1] {
+            let program = b.compile(opt).expect("workload compiles");
+            let step = run_engine(&program, &input, Engine::Step, false);
+            let block = run_engine(&program, &input, Engine::Block, false);
+            assert_eq!(step, block, "{} diverges across engines at {opt}", b.name);
+        }
+    }
+}
+
+/// Miss classification routes the block engine through its per-access
+/// slow path; the three-Cs breakdown and per-set histograms must still
+/// match the reference engine exactly.
+#[test]
+fn classified_workloads_identical_across_engines() {
+    for b in delinquent_loads::workloads::all() {
+        if !matches!(b.name, "129.compress" | "181.mcf" | "101.tomcatv") {
+            continue;
+        }
+        let input = small_inputs(&b);
+        let program = b.compile(OptLevel::O1).expect("workload compiles");
+        let step = run_engine(&program, &input, Engine::Step, true);
+        let block = run_engine(&program, &input, Engine::Block, true);
+        assert_eq!(
+            step, block,
+            "{} classified run diverges across engines",
+            b.name
+        );
+        let profile = block.cache_profile.as_ref().expect("profile collected");
+        assert!(
+            profile.classes.total() > 0,
+            "{} classified no misses",
+            b.name
+        );
+    }
+}
