@@ -89,6 +89,10 @@ for key in ("blocks_decoded", "insts_decoded", "mean_block_len",
     assert key in bc, f"manifest block_cache missing {key}"
 assert doc["miss_classes"]["total"] > 0, "manifest classified no misses"
 assert doc["reuse"]["loads"] > 0, "manifest reuse section saw no loads"
+lat = doc["sim"]["latency"]
+for key in ("p50_secs", "p90_secs", "p99_secs"):
+    assert key in lat, f"manifest sim.latency missing {key}"
+assert lat["p50_secs"] <= lat["p99_secs"], "latency percentiles not monotone"
 analysis = doc["analysis"]
 for key in ("contexts", "hits", "misses", "hit_rate", "total_compute_secs", "passes"):
     assert key in analysis, f"manifest analysis section missing {key}"
@@ -105,6 +109,7 @@ elif command -v jq >/dev/null 2>&1; then
   jq -e '.schema == "dl-obs/1" and (.stages | length > 0) and .memo.hit_rate != null
          and (.workers | length > 0) and .sim.insts_per_sec > 0
          and (.sim.engine == "step" or .sim.engine == "block") and .sim.block_cache != null
+         and .sim.latency.p50_secs != null and .sim.latency.p99_secs != null
          and .miss_classes.total > 0 and .reuse.loads > 0
          and .analysis.contexts > 0 and .analysis.hits > 0
          and (.analysis.passes | length == 7)' /tmp/ci_manifest.json >/dev/null
@@ -112,6 +117,78 @@ elif command -v jq >/dev/null 2>&1; then
 else
   echo "warning: neither python3 nor jq available; skipped manifest validation"
 fi
+
+echo "== trace export smoke =="
+./target/release/repro --smoke --jobs 2 --trace-out /tmp/ci_trace.json table3 > /dev/null
+test -s /tmp/ci_trace.json
+
+# The trace is the timeline contract: valid Chrome trace-event JSON
+# with complete ("X") events carrying the required keys, and spans for
+# each pipeline layer (compile, per-pass analysis, simulation).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+doc = json.load(open("/tmp/ci_trace.json"))
+events = doc["traceEvents"]
+assert events, "trace has no events"
+for e in events:
+    for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+        assert key in e, f"trace event missing {key}: {e}"
+    assert e["ph"] == "X", f"unexpected event phase {e['ph']}"
+cats = {e["cat"] for e in events}
+for cat in ("compile", "analysis", "sim", "warm", "tables"):
+    assert cat in cats, f"trace missing {cat} spans (saw {sorted(cats)})"
+sims = [e for e in events if e["cat"] == "sim"]
+assert all("/" in e["name"] for e in sims), "sim spans missing config labels"
+print(f"trace OK: {len(events)} events, categories {sorted(cats)}")
+EOF
+elif command -v jq >/dev/null 2>&1; then
+  jq -e '(.traceEvents | length > 0)
+         and ([.traceEvents[] | select(.name and .ph == "X" and .ts != null and .dur != null)] | length) == (.traceEvents | length)
+         and ([.traceEvents[].cat] | unique | contains(["analysis", "compile", "sim"]))' \
+    /tmp/ci_trace.json >/dev/null
+  echo "trace OK"
+else
+  echo "warning: neither python3 nor jq available; skipped trace validation"
+fi
+
+echo "== dlc observatory smoke =="
+# A tiny standalone program: repeated array scans produce a clean
+# per-epoch miss phase for the observatory to window.
+cat > /tmp/ci_top.mc <<'EOF'
+int main() {
+    int n; int i; int j; int s;
+    int* a;
+    n = read();
+    if (n < 64) { n = 64; }
+    a = malloc(n * sizeof(int));
+    for (i = 0; i < n; i = i + 1) { a[i] = i; }
+    s = 0;
+    for (j = 0; j < 8; j = j + 1) {
+        for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+    }
+    print(s);
+    return 0;
+}
+EOF
+./target/release/dlc top /tmp/ci_top.mc --input 20000 --epoch 8192 --limit 5 \
+  --trace-out /tmp/ci_dlc_trace.json > /tmp/ci_top.out
+grep -q "epoch = 8192 loads" /tmp/ci_top.out
+grep -q "heur okn bdh reuse" /tmp/ci_top.out
+test -s /tmp/ci_dlc_trace.json
+# The observatory must never perturb the simulation itself: stdout of
+# a plain run is byte-identical whether or not `top` instrumented it.
+./target/release/dlc run /tmp/ci_top.mc --input 20000 > /tmp/ci_run_plain.out 2>/dev/null
+./target/release/dlc run /tmp/ci_top.mc --input 20000 --engine step > /tmp/ci_run_step.out 2>/dev/null
+cmp /tmp/ci_run_plain.out /tmp/ci_run_step.out
+echo "dlc top OK"
+
+echo "== perf-regression gate (bench-diff) =="
+# Smoke-run numbers against the committed full-run baseline. Hosts
+# and smoke inputs vary wildly, so the threshold is deliberately
+# generous: this gate catches order-of-magnitude collapses (an engine
+# falling off its fast path), not scheduling noise.
+./target/release/dlc bench-diff BENCH_pipeline.json /tmp/ci_bench.json --threshold 75
 
 echo "== repro determinism check =="
 ./target/release/repro --jobs 1 table3 > /tmp/ci_seq.out 2>/dev/null

@@ -25,7 +25,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dl_mips::program::{FuncSym, Program};
 
@@ -37,6 +37,18 @@ use crate::indvar::{classify_loads_with, LoadLoopClass};
 use crate::loops::ProgramLoops;
 use crate::reaching::ReachingDefs;
 use crate::reuse::{predict_from_classes, CacheGeometry, ReusePrediction};
+
+/// A sink for pass-computation events, fired once per pass *miss*
+/// (cache hits are silent). Implementors turn the events into
+/// timeline spans; dl-analysis itself depends on nothing but `std`,
+/// so the trait speaks `Instant`/`Duration` rather than any concrete
+/// observability type.
+pub trait PassObserver: Send + Sync + std::fmt::Debug {
+    /// Pass `pass` was computed, starting at `start` and taking
+    /// `duration`. Called from whichever thread won the computation
+    /// race; implementations must be thread-safe.
+    fn pass_computed(&self, pass: &'static str, start: Instant, duration: Duration);
+}
 
 /// Hit/miss/time counters for one analysis pass.
 #[derive(Debug, Default)]
@@ -174,6 +186,9 @@ struct CtxInner {
     classes: OnceLock<Vec<LoadLoopClass>>,
     freq: OnceLock<FreqEstimate>,
     counters: Counters,
+    /// Optional pass-event sink (set at most once, usually right after
+    /// construction). `None` costs one `OnceLock::get` per miss.
+    observer: OnceLock<Arc<dyn PassObserver>>,
 }
 
 #[derive(Debug, Default)]
@@ -248,9 +263,18 @@ impl AnalysisCtx {
                 classes: OnceLock::new(),
                 freq: OnceLock::new(),
                 counters: Counters::default(),
+                observer: OnceLock::new(),
             }),
             profile: None,
         }
+    }
+
+    /// Attaches a [`PassObserver`] that receives one event per pass
+    /// computation. Shared by every clone and profiled view of this
+    /// ctx. The first observer wins; later calls are ignored (the ctx
+    /// is cached and shared, so racing owners must not fight over it).
+    pub fn set_pass_observer(&self, observer: Arc<dyn PassObserver>) {
+        let _ = self.inner.observer.set(observer);
     }
 
     /// The analyzed program.
@@ -298,6 +322,7 @@ impl AnalysisCtx {
     /// the kept computation counts as the miss.
     fn pass<'a, T>(
         &'a self,
+        name: &'static str,
         slot: &'a OnceLock<T>,
         counter: &PassCounter,
         compute: impl FnOnce() -> T,
@@ -313,11 +338,15 @@ impl AnalysisCtx {
             compute()
         });
         if computed {
+            let elapsed = start.elapsed();
             counter.misses.fetch_add(1, Ordering::Relaxed);
             counter.nanos.fetch_add(
-                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
                 Ordering::Relaxed,
             );
+            if let Some(observer) = self.inner.observer.get() {
+                observer.pass_computed(name, start, elapsed);
+            }
         } else {
             counter.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -327,7 +356,7 @@ impl AnalysisCtx {
     /// The CFG of the `i`-th non-empty function.
     fn cfg_at(&self, i: usize) -> &Arc<Cfg> {
         let (func, passes) = &self.inner.funcs[i];
-        self.pass(&passes.cfg, &self.inner.counters.cfg, || {
+        self.pass("cfg", &passes.cfg, &self.inner.counters.cfg, || {
             Arc::new(Cfg::build(&self.inner.program, func))
         })
     }
@@ -336,7 +365,7 @@ impl AnalysisCtx {
     fn dom_at(&self, i: usize) -> &Arc<Dominators> {
         let cfg = Arc::clone(self.cfg_at(i));
         let (_, passes) = &self.inner.funcs[i];
-        self.pass(&passes.dom, &self.inner.counters.dom, || {
+        self.pass("dom", &passes.dom, &self.inner.counters.dom, || {
             Arc::new(Dominators::build(&cfg))
         })
     }
@@ -345,9 +374,12 @@ impl AnalysisCtx {
     fn reaching_at(&self, i: usize) -> &Arc<ReachingDefs> {
         let cfg = Arc::clone(self.cfg_at(i));
         let (func, passes) = &self.inner.funcs[i];
-        self.pass(&passes.reaching, &self.inner.counters.reaching, || {
-            Arc::new(ReachingDefs::build(&self.inner.program, func, &cfg))
-        })
+        self.pass(
+            "reaching",
+            &passes.reaching,
+            &self.inner.counters.reaching,
+            || Arc::new(ReachingDefs::build(&self.inner.program, func, &cfg)),
+        )
     }
 
     /// Index into the per-function caches for the function starting at
@@ -363,21 +395,26 @@ impl AnalysisCtx {
     /// program from the cached per-function CFGs and reaching
     /// definitions.
     pub fn analysis(&self) -> &ProgramAnalysis {
-        self.pass(&self.inner.analysis, &self.inner.counters.patterns, || {
-            let mut loads = Vec::new();
-            for i in 0..self.inner.funcs.len() {
-                let rd = Arc::clone(self.reaching_at(i));
-                let (func, _) = &self.inner.funcs[i];
-                loads.extend(analyze_function(
-                    &self.inner.program,
-                    func,
-                    &rd,
-                    &self.inner.config,
-                ));
-            }
-            loads.sort_by_key(|l| l.index);
-            ProgramAnalysis { loads }
-        })
+        self.pass(
+            "patterns",
+            &self.inner.analysis,
+            &self.inner.counters.patterns,
+            || {
+                let mut loads = Vec::new();
+                for i in 0..self.inner.funcs.len() {
+                    let rd = Arc::clone(self.reaching_at(i));
+                    let (func, _) = &self.inner.funcs[i];
+                    loads.extend(analyze_function(
+                        &self.inner.program,
+                        func,
+                        &rd,
+                        &self.inner.config,
+                    ));
+                }
+                loads.sort_by_key(|l| l.index);
+                ProgramAnalysis { loads }
+            },
+        )
     }
 
     /// The loop nests of every function, computed once per program
@@ -385,22 +422,30 @@ impl AnalysisCtx {
     /// [`ProgramLoops`] shares the ctx's CFGs (`Arc`), so downstream
     /// passes never rebuild them.
     pub fn loops(&self) -> &ProgramLoops {
-        self.pass(&self.inner.loops, &self.inner.counters.loops, || {
-            ProgramLoops::build_with(&self.inner.program, |f| {
-                let i = self
-                    .func_index(f.start)
-                    .expect("ProgramLoops walks the ctx's own functions");
-                (Arc::clone(self.cfg_at(i)), Arc::clone(self.dom_at(i)))
-            })
-        })
+        self.pass(
+            "loops",
+            &self.inner.loops,
+            &self.inner.counters.loops,
+            || {
+                ProgramLoops::build_with(&self.inner.program, |f| {
+                    let i = self
+                        .func_index(f.start)
+                        .expect("ProgramLoops walks the ctx's own functions");
+                    (Arc::clone(self.cfg_at(i)), Arc::clone(self.dom_at(i)))
+                })
+            },
+        )
     }
 
     /// The per-load induction-variable classes, computed once per
     /// program from the cached patterns, loops, and reaching
     /// definitions.
     pub fn load_classes(&self) -> &[LoadLoopClass] {
-        let classes: &Vec<LoadLoopClass> =
-            self.pass(&self.inner.classes, &self.inner.counters.indvar, || {
+        let classes: &Vec<LoadLoopClass> = self.pass(
+            "indvar",
+            &self.inner.classes,
+            &self.inner.counters.indvar,
+            || {
                 let analysis = self.analysis();
                 let loops = self.loops();
                 classify_loads_with(&self.inner.program, analysis, loops, |fsym, _cfg| {
@@ -409,14 +454,15 @@ impl AnalysisCtx {
                         .expect("classified loads live in ctx functions");
                     Arc::clone(self.reaching_at(i))
                 })
-            });
+            },
+        );
         classes
     }
 
     /// The static execution-frequency estimate, computed once per
     /// program from the cached CFGs and dominator trees.
     pub fn freq(&self) -> &FreqEstimate {
-        self.pass(&self.inner.freq, &self.inner.counters.freq, || {
+        self.pass("freq", &self.inner.freq, &self.inner.counters.freq, || {
             estimate_frequencies_with(&self.inner.program, |f| {
                 let i = self
                     .func_index(f.start)
@@ -583,6 +629,39 @@ mod tests {
         assert_eq!(ctx.stats().indvar.misses, 1);
         // The 16 KiB walk misses in the 8 KiB cache...
         assert!(p8.iter().any(|p| p.miss_ratio > 0.0));
+    }
+
+    #[test]
+    fn observer_fires_once_per_computed_pass() {
+        #[derive(Debug, Default)]
+        struct Recorder(std::sync::Mutex<Vec<&'static str>>);
+        impl PassObserver for Recorder {
+            fn pass_computed(&self, pass: &'static str, start: Instant, duration: Duration) {
+                assert!(start.elapsed() >= duration);
+                self.0.lock().unwrap().push(pass);
+            }
+        }
+        let ctx = ctx();
+        let recorder = Arc::new(Recorder::default());
+        ctx.set_pass_observer(Arc::clone(&recorder) as Arc<dyn PassObserver>);
+        for _ in 0..2 {
+            let _ = ctx.analysis();
+            let _ = ctx.load_classes();
+            let _ = ctx.freq();
+        }
+        let mut events = recorder.0.lock().unwrap().clone();
+        events.sort_unstable();
+        // Two functions → two cfg/dom/reaching computations; one of
+        // each program-level pass. Cache hits fired nothing.
+        assert_eq!(
+            events,
+            vec![
+                "cfg", "cfg", "dom", "dom", "freq", "indvar", "loops", "patterns", "reaching",
+                "reaching"
+            ]
+        );
+        // Setting a second observer is a silent no-op (first wins).
+        ctx.set_pass_observer(Arc::new(Recorder::default()));
     }
 
     #[test]

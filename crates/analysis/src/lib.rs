@@ -55,7 +55,7 @@ pub mod reaching;
 pub mod reuse;
 
 pub use cfg::Cfg;
-pub use ctx::{AnalysisCtx, CtxStats, PassStats};
+pub use ctx::{AnalysisCtx, CtxStats, PassObserver, PassStats};
 pub use extract::{analyze_program, AnalysisConfig, LoadInfo, ProgramAnalysis};
 pub use indvar::{classify_loads, AddressClass, LoadLoopClass};
 pub use loops::{Loop, LoopNest, ProgramLoops, TripCount};

@@ -24,7 +24,12 @@
 //!   `--profile`. Tables on stdout are byte-identical in every mode.
 //! - `--smoke` shrinks benchmark inputs so CI can exercise the whole
 //!   pipeline (and validate the manifest) in seconds.
+//! - `--trace-out PATH` writes a Chrome trace-event JSON timeline
+//!   (loadable in Perfetto / `chrome://tracing`) with one span per
+//!   compilation, per computed analysis pass, and per simulated
+//!   configuration, plus the top-level run stages.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use dl_experiments::document::experiments_doc;
@@ -38,8 +43,8 @@ use dl_obs::ObsMode;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--jobs N] [--smoke] [--profile] [--manifest PATH] \
-         <all | list | table1..table14 | ablation-classes | \
-         ablation-patterns | write-experiments [PATH]>"
+         [--trace-out PATH] <all | list | table1..table14 | \
+         ablation-classes | ablation-patterns | write-experiments [PATH]>"
     );
     std::process::exit(2);
 }
@@ -72,9 +77,9 @@ fn parse_flag(args: &mut Vec<String>, flag: &str) -> bool {
     false
 }
 
-/// Removes `--manifest PATH` from the argument list.
-fn parse_manifest(args: &mut Vec<String>) -> Option<String> {
-    let i = args.iter().position(|a| a == "--manifest")?;
+/// Removes `--<flag> PATH` from the argument list.
+fn parse_path(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
     if i + 1 >= args.len() {
         usage();
     }
@@ -89,27 +94,35 @@ struct Obs {
     manifest: Option<String>,
     /// Print the human profile report on stderr.
     profile: bool,
+    /// Write the Chrome trace-event timeline here, if anywhere.
+    trace: Option<String>,
 }
 
 impl Obs {
     fn resolve(args: &mut Vec<String>) -> Self {
-        let mut manifest = parse_manifest(args);
+        let mut manifest = parse_path(args, "--manifest");
         let mut profile = parse_flag(args, "--profile");
+        let trace = parse_path(args, "--trace-out");
         match ObsMode::from_env() {
             ObsMode::Json => manifest = manifest.or_else(|| Some("RUN_MANIFEST.json".into())),
             ObsMode::Text => profile = true,
             ObsMode::Off => {}
         }
-        Self { manifest, profile }
+        Self {
+            manifest,
+            profile,
+            trace,
+        }
     }
 
     /// Whether any per-run collection (miss classification, manifest
-    /// assembly) should be enabled at all.
+    /// assembly) should be enabled at all. Tracing alone does not need
+    /// classification — it only records timing spans.
     fn enabled(&self) -> bool {
         self.manifest.is_some() || self.profile
     }
 
-    /// Emits the manifest file and/or profile report.
+    /// Emits the trace timeline, manifest file, and/or profile report.
     fn finish(
         &self,
         info: &RunInfo,
@@ -117,6 +130,10 @@ impl Obs {
         report: Option<&PrewarmReport>,
         spans: &Spans,
     ) {
+        if let Some(path) = &self.trace {
+            std::fs::write(path, dl_obs::chrome_trace(spans).render()).expect("write trace");
+            eprintln!("[trace written to {path}]");
+        }
         if !self.enabled() {
             return;
         }
@@ -155,7 +172,10 @@ fn main() {
     }
     let pipeline = Pipeline::new();
     pipeline.set_classify_misses(obs.enabled());
-    let spans = Spans::default();
+    let spans = Arc::new(Spans::default());
+    if obs.trace.is_some() {
+        pipeline.set_trace_spans(Arc::clone(&spans));
+    }
     let total = Instant::now();
     if args[0] == "write-experiments" {
         let path = args.get(1).map_or("EXPERIMENTS.md", |s| s.as_str());

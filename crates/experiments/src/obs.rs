@@ -8,9 +8,11 @@
 //! formatted to answer "where did the time go?" at a glance.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dl_analysis::reuse::REUSE_DELTA;
-use dl_analysis::{AddressClass, CacheGeometry};
+use dl_analysis::{AddressClass, CacheGeometry, PassObserver};
 use dl_obs::metrics::Histogram;
 use dl_obs::span::Spans;
 use dl_obs::{Json, Manifest};
@@ -20,6 +22,36 @@ use crate::schedule::PrewarmReport;
 
 /// How many of the slowest configurations the manifest lists.
 const SLOWEST: usize = 8;
+
+/// Bridges the pass manager's [`PassObserver`] hook onto a run's
+/// [`Spans`] timeline: every analysis pass that is actually *computed*
+/// (cache misses only — hits are free and silent) lands as a span named
+/// `<prefix>/<pass>`, positioned by its real start instant so it nests
+/// correctly under the enclosing `compile/…` span in the exported
+/// trace.
+#[derive(Debug)]
+pub struct SpanPassObserver {
+    spans: Arc<Spans>,
+    prefix: String,
+}
+
+impl SpanPassObserver {
+    /// Records passes under `<prefix>/<pass>` on `spans`.
+    #[must_use]
+    pub fn new(spans: Arc<Spans>, prefix: String) -> Self {
+        SpanPassObserver { spans, prefix }
+    }
+}
+
+impl PassObserver for SpanPassObserver {
+    fn pass_computed(&self, pass: &'static str, start: Instant, duration: Duration) {
+        self.spans.record_at(
+            &format!("{}/{pass}", self.prefix),
+            start,
+            duration.as_secs_f64(),
+        );
+    }
+}
 
 /// Top-level inputs that identify one observed run.
 #[derive(Debug, Clone, Default)]
@@ -86,6 +118,21 @@ pub fn run_manifest(
         .into_iter()
         .map(|(i, n)| Json::obj().with("bucket", i.into()).with("count", n.into()))
         .collect();
+    // Per-configuration simulation latency percentiles. The histogram
+    // buckets microseconds in log2 bins, so quantiles interpolate to
+    // bucket midpoints — coarse but stable. Every key contains `sec`,
+    // so `zero_timings` strips the section for golden comparisons.
+    let lat_hist = Histogram::default();
+    for t in &timings {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        lat_hist.record((t.sim_secs.max(0.0) * 1e6).round() as u64);
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let pct = |q: f64| lat_hist.quantile(q).map_or(0.0, |us| us as f64 / 1e6);
+    let latency = Json::obj()
+        .with("p50_secs", pct(0.50).into())
+        .with("p90_secs", pct(0.90).into())
+        .with("p99_secs", pct(0.99).into());
     let block_cache = Json::obj()
         .with("blocks_decoded", stats.block.blocks_decoded.into())
         .with("insts_decoded", stats.block.insts_decoded.into())
@@ -107,6 +154,7 @@ pub fn run_manifest(
                 Json::F64(0.0)
             },
         )
+        .with("latency", latency)
         .with("block_cache", block_cache)
         .with("instructions_log2_histogram", Json::Arr(buckets));
 
@@ -350,6 +398,15 @@ pub fn profile_text(manifest: &Manifest) -> String {
             f(sim.get("total_compile_secs")),
             f(sim.get("insts_per_sec")) / 1e6,
         );
+        if let Some(latency) = sim.get("latency") {
+            let _ = writeln!(
+                out,
+                "sim latency per config: p50 {:.3}s / p90 {:.3}s / p99 {:.3}s",
+                f(latency.get("p50_secs")),
+                f(latency.get("p90_secs")),
+                f(latency.get("p99_secs")),
+            );
+        }
     }
     if let Some(mc) = manifest.get("miss_classes") {
         let total = u(mc.get("total"));
@@ -487,6 +544,14 @@ mod tests {
         assert!(
             matches!(sim.get("engine"), Some(Json::Str(s)) if s == "step" || s == "block"),
             "sim section missing engine name"
+        );
+        let latency = sim.get("latency").expect("sim missing latency");
+        for key in ["p50_secs", "p90_secs", "p99_secs"] {
+            assert!(latency.get(key).is_some(), "latency missing `{key}`");
+        }
+        assert!(
+            f(latency.get("p50_secs")) <= f(latency.get("p99_secs")),
+            "latency percentiles not monotone"
         );
         let bc = sim.get("block_cache").expect("sim missing block_cache");
         for key in [

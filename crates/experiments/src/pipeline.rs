@@ -32,8 +32,13 @@ use dl_analysis::ctx::{AnalysisCtx, CtxStats};
 use dl_analysis::extract::ProgramAnalysis;
 use dl_minic::OptLevel;
 use dl_mips::program::Program;
-use dl_sim::{run_with_stats, BlockStats, CacheConfig, Engine, RunConfig, RunResult};
+use dl_obs::Spans;
+use dl_sim::{
+    run_with_stats, BlockStats, CacheConfig, Engine, ObserveConfig, RunConfig, RunResult,
+};
 use dl_workloads::Benchmark;
+
+use crate::obs::SpanPassObserver;
 
 /// Number of memo-table shards. A small power of two: plenty to spread
 /// ~100 configurations across worker threads without measurable memory
@@ -224,6 +229,14 @@ pub struct Pipeline {
     /// Block-cache counters merged over every computed simulation
     /// (all zero under [`Engine::Step`]).
     block_stats: Mutex<BlockStats>,
+    /// When set, every computed compile and simulation records a
+    /// timestamped span here (and new analysis contexts forward their
+    /// pass computations), so `--trace-out` can lay the whole pipeline
+    /// out on one timeline. `None` (the default) records nothing.
+    trace: Mutex<Option<Arc<Spans>>>,
+    /// When set, every simulation runs with the per-load-site miss
+    /// observatory enabled. `None` (the default) keeps the fast path.
+    observe: Mutex<Option<ObserveConfig>>,
 }
 
 impl Default for Pipeline {
@@ -236,6 +249,8 @@ impl Default for Pipeline {
             classify: AtomicBool::new(false),
             engine: Mutex::new(Engine::from_env()),
             block_stats: Mutex::default(),
+            trace: Mutex::new(None),
+            observe: Mutex::new(None),
         }
     }
 }
@@ -277,6 +292,41 @@ impl Pipeline {
     #[must_use]
     pub fn engine(&self) -> Engine {
         *self.engine.lock().expect("engine lock")
+    }
+
+    /// Attaches a span collector that receives a timestamped span for
+    /// every compile (`compile/<bench>/<opt>`), every analysis pass a
+    /// new context computes (`analysis/<bench>/<opt>/<pass>`), and
+    /// every simulation (`sim/<label>`) this pipeline computes *from
+    /// now on*. Memoized entries recorded nothing retroactively.
+    /// Spans arrive in completion order from whichever worker thread
+    /// computed them — a timeline, not a deterministic artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace lock is poisoned.
+    pub fn set_trace_spans(&self, spans: Arc<Spans>) {
+        *self.trace.lock().expect("trace lock") = Some(spans);
+    }
+
+    fn trace_spans(&self) -> Option<Arc<Spans>> {
+        self.trace.lock().expect("trace lock").clone()
+    }
+
+    /// Enables the simulator's per-load-site miss observatory on every
+    /// simulation this pipeline computes *from now on* (memoized
+    /// entries keep whatever setting they were computed under). The
+    /// windowed data itself is surfaced by `dlc top`; through the
+    /// pipeline the toggle exists so the zero-overhead suite can prove
+    /// observing changes no table byte. Observation rides the block
+    /// engine's instrumented slow path and never changes hit/miss
+    /// counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observe lock is poisoned.
+    pub fn set_observe(&self, config: Option<ObserveConfig>) {
+        *self.observe.lock().expect("observe lock") = config;
     }
 
     fn shard_of(&self, key: &Key) -> &Shard {
@@ -372,12 +422,21 @@ impl Pipeline {
             );
         }
         let ctx = AnalysisCtx::new(program);
+        if let Some(spans) = self.trace_spans() {
+            ctx.set_pass_observer(Arc::new(SpanPassObserver::new(
+                spans,
+                format!("analysis/{}/{opt}", bench.name),
+            )));
+        }
         // Force pattern extraction eagerly: prewarm worker threads
         // parallelize it here, and `compile_secs` keeps covering
         // compile + extraction. Loop nests, load classes, and
         // frequency estimates stay lazy — many runs never need them.
         let _ = ctx.analysis();
         let secs = start.elapsed().as_secs_f64();
+        if let Some(spans) = self.trace_spans() {
+            spans.record_at(&format!("compile/{}/{opt}", bench.name), start, secs);
+        }
         self.counters.compile_misses.fetch_add(1, Ordering::Relaxed);
         let mut map = self.compiled.lock().expect("compile lock");
         let entry = map.entry(key).or_insert_with(|| ctx.clone());
@@ -398,12 +457,17 @@ impl Pipeline {
             input: bench.input(input_set).to_vec(),
             classify_misses: self.classify.load(Ordering::Relaxed),
             engine: self.engine(),
+            observe: *self.observe.lock().expect("observe lock"),
             ..RunConfig::default()
         };
         let sim_start = Instant::now();
         let (result, block_stats) = run_with_stats(compiled.program(), &config)
             .unwrap_or_else(|e| panic!("{} trapped at {opt}: {e}", bench.name));
         let sim_secs = sim_start.elapsed().as_secs_f64();
+        if let Some(spans) = self.trace_spans() {
+            let label = format!("sim/{}/{opt}/in{input_set}/{cache}", bench.name);
+            spans.record_at(&label, sim_start, sim_secs);
+        }
         if let Some(stats) = block_stats {
             self.block_stats
                 .lock()
@@ -567,6 +631,31 @@ mod tests {
         // The compile-cache hit reports zero compile seconds.
         assert_eq!(timings[1].compile_secs, 0.0);
         assert_eq!(p.ready_runs().len(), 2);
+    }
+
+    #[test]
+    fn trace_spans_cover_compile_analysis_and_sim() {
+        let p = Pipeline::new();
+        let spans = Arc::new(dl_obs::Spans::default());
+        p.set_trace_spans(Arc::clone(&spans));
+        let mut b = dl_workloads::by_name("197.parser").expect("exists");
+        b.input1 = vec![500, 2];
+        let _ = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_training());
+        let _ = p.run(&b, OptLevel::O0, 1, CacheConfig::paper_baseline());
+        let records = spans.records();
+        let count = |prefix: &str| {
+            records
+                .iter()
+                .filter(|r| r.path.starts_with(prefix))
+                .count()
+        };
+        // One compilation shared by two simulated configurations.
+        assert_eq!(count("compile/197.parser/O0"), 1);
+        assert_eq!(count("sim/197.parser/O0/in1/"), 2);
+        // The eager ctx.analysis() computes cfg/reaching/patterns at
+        // minimum; every recorded pass rides the analysis/ prefix.
+        assert!(count("analysis/197.parser/O0/") >= 3);
+        assert!(records.iter().all(|r| r.secs >= 0.0 && r.start_secs >= 0.0));
     }
 
     #[test]

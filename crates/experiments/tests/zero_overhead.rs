@@ -1,15 +1,19 @@
 //! Observability must never perturb results: the experiment tables a
 //! pipeline renders with miss classification (the `DL_OBS`/`--profile`
-//! collection path) enabled are byte-identical to an unobserved run.
-//! Classification only *labels* misses the cache already took — it
-//! must not change what hits or misses, and none of its output flows
-//! into the tables.
+//! collection path), span tracing (`--trace-out`), or the per-site
+//! miss observatory (`dlc top`) enabled are byte-identical to an
+//! unobserved run. Instrumentation only *labels or times* work the
+//! simulator already does — it must not change what hits or misses,
+//! and none of its output flows into the tables.
+
+use std::sync::Arc;
 
 use dl_experiments::document::experiments_doc;
 use dl_experiments::pipeline::Pipeline;
 use dl_experiments::schedule::{prewarm, union_specs, RunSpec};
 use dl_experiments::tables::{all_tables, TableFn};
-use dl_sim::Engine;
+use dl_obs::Spans;
+use dl_sim::{Engine, ObserveConfig};
 
 const SUBSET: &[&str] = &["table3", "table7"];
 
@@ -35,12 +39,36 @@ fn subset_tables() -> Vec<(&'static str, TableFn)> {
         .collect()
 }
 
-fn render_with(classify: bool, engine: Engine) -> String {
+/// Which instrumentation the pipeline runs under, one axis at a time.
+#[derive(Debug, Clone, Copy)]
+enum Instrument {
+    Off,
+    Classify,
+    Trace,
+    Observe,
+}
+
+fn render_instrumented(mode: Instrument, engine: Engine) -> String {
     let pipeline = Pipeline::new();
-    pipeline.set_classify_misses(classify);
     pipeline.set_engine(engine);
+    match mode {
+        Instrument::Off => {}
+        Instrument::Classify => pipeline.set_classify_misses(true),
+        Instrument::Trace => pipeline.set_trace_spans(Arc::new(Spans::default())),
+        // A small epoch so the shrunk runs still roll several windows.
+        Instrument::Observe => pipeline.set_observe(Some(ObserveConfig { epoch_len: 4096 })),
+    }
     prewarm(&pipeline, &shrunk_specs(SUBSET), 2);
     experiments_doc(&pipeline, &subset_tables(), |_, _| {})
+}
+
+fn render_with(classify: bool, engine: Engine) -> String {
+    let mode = if classify {
+        Instrument::Classify
+    } else {
+        Instrument::Off
+    };
+    render_instrumented(mode, engine)
 }
 
 fn render(classify: bool) -> String {
@@ -79,6 +107,25 @@ fn observed_tables_identical_across_engines() {
         step_on, block_on,
         "step and block engines diverge under classification"
     );
+}
+
+/// The 6-way instrumentation matrix: both engines × {all off, tracing
+/// on, observatory on} render byte-identical tables. Tracing records
+/// wall-clock spans off to the side; the observatory forces the block
+/// engine onto its instrumented slow path — neither may change a
+/// single table byte.
+#[test]
+fn tracing_and_observatory_leave_tables_byte_identical() {
+    let baseline = render_instrumented(Instrument::Off, Engine::Step);
+    for engine in [Engine::Step, Engine::Block] {
+        for mode in [Instrument::Off, Instrument::Trace, Instrument::Observe] {
+            assert_eq!(
+                baseline,
+                render_instrumented(mode, engine),
+                "{mode:?} under {engine:?} changed rendered experiment tables"
+            );
+        }
+    }
 }
 
 #[test]

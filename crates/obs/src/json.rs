@@ -3,7 +3,9 @@
 //! Just enough JSON to write manifests without an external crate:
 //! object keys keep insertion order (builders insert deterministically),
 //! floats render with a fixed precision, and strings are escaped per
-//! RFC 8259. No parser — this crate only ever *emits* JSON.
+//! RFC 8259. [`Json::parse`] reads the same dialect back (any
+//! RFC 8259 document, in fact) so tools like `dlc bench-diff` can
+//! compare previously emitted files without an external crate.
 
 use std::fmt::Write as _;
 
@@ -72,6 +74,27 @@ impl Json {
         }
     }
 
+    /// Parses an RFC 8259 JSON document.
+    ///
+    /// Integral numbers without a fraction or exponent become
+    /// [`Json::U64`] (or [`Json::I64`] when negative); everything else
+    /// numeric becomes [`Json::F64`]. Duplicate object keys keep the
+    /// last value, matching [`Json::set`] semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
     /// Renders pretty-printed JSON with a trailing newline.
     #[must_use]
     pub fn render(&self) -> String {
@@ -137,6 +160,204 @@ impl Json {
             }
         }
     }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {}", *pos)),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte '{}' at byte {}", *c as char, *pos)),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut obj = Json::obj();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(obj);
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        obj.set(&key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(obj);
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(format!("unterminated string at byte {}", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let code = parse_hex4(bytes, pos)?;
+                        // Surrogate pairs: a high surrogate must be
+                        // followed by an escaped low surrogate.
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err(format!("lone surrogate at byte {}", *pos));
+                            }
+                            *pos += 2;
+                            let low = parse_hex4(bytes, pos)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(format!("invalid low surrogate at byte {}", *pos));
+                            }
+                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                        } else {
+                            code
+                        };
+                        out.push(
+                            char::from_u32(c)
+                                .ok_or_else(|| format!("invalid codepoint at byte {}", *pos))?,
+                        );
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => {
+                return Err(format!("raw control byte in string at byte {}", *pos))
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (the input is a &str, so byte
+                // boundaries are already valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).expect("valid utf-8"));
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    // Called with *pos on the 'u'; consumes it plus four hex digits,
+    // leaving *pos on the final digit (the caller advances past it).
+    let hex = bytes
+        .get(*pos + 1..*pos + 5)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .ok_or_else(|| format!("truncated \\u escape at byte {}", *pos))?;
+    let code =
+        u32::from_str_radix(hex, 16).map_err(|_| format!("invalid \\u escape at byte {}", *pos))?;
+    *pos += 4;
+    Ok(code)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut integral = true;
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                integral = false;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
+    if integral {
+        if text.starts_with('-') {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        } else if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::U64(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::F64)
+        .map_err(|_| format!("invalid number at byte {start}"))
 }
 
 fn newline_indent(out: &mut String, indent: usize) {
@@ -240,5 +461,66 @@ mod tests {
     fn empty_containers_render_compactly() {
         assert_eq!(Json::obj().render(), "{}\n");
         assert_eq!(Json::Arr(vec![]).render(), "[]\n");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_output() {
+        let j = Json::obj()
+            .with("name", "x \"quoted\"\n".into())
+            .with("count", 42u64.into())
+            .with("neg", Json::I64(-7))
+            .with("rate", Json::F64(1.5))
+            .with("flag", true.into())
+            .with("nothing", Json::Null)
+            .with(
+                "xs",
+                Json::Arr(vec![1u64.into(), Json::Arr(vec![]), Json::obj()]),
+            );
+        assert_eq!(Json::parse(&j.render()), Ok(j));
+    }
+
+    #[test]
+    fn parse_number_types() {
+        assert_eq!(Json::parse("42"), Ok(Json::U64(42)));
+        assert_eq!(Json::parse("-42"), Ok(Json::I64(-42)));
+        assert_eq!(Json::parse("1.5"), Ok(Json::F64(1.5)));
+        assert_eq!(Json::parse("-2.5e3"), Ok(Json::F64(-2500.0)));
+        assert_eq!(Json::parse("18446744073709551615"), Ok(Json::U64(u64::MAX)));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\nd\u0041\u00e9""#),
+            Ok(Json::Str("a\"b\\c\ndAé".to_owned()))
+        );
+        // Surrogate pair → astral-plane character.
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#),
+            Ok(Json::Str("😀".to_owned()))
+        );
+        // Raw multi-byte UTF-8 passes through.
+        assert_eq!(Json::parse("\"héllo\""), Ok(Json::Str("héllo".to_owned())));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("tru").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"\\ud800\"").is_err()); // lone surrogate
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_everywhere() {
+        let j = Json::parse(" {\n \"a\" : [ 1 , 2 ] ,\t\"b\" : { } } ").unwrap();
+        assert_eq!(
+            j.get("a"),
+            Some(&Json::Arr(vec![Json::U64(1), Json::U64(2)]))
+        );
+        assert_eq!(j.get("b"), Some(&Json::obj()));
     }
 }

@@ -38,11 +38,13 @@ pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use json::Json;
 pub use manifest::Manifest;
 pub use metrics::{Counter, Gauge, Histogram, Registry};
-pub use span::{SpanGuard, SpanRecord, Spans};
+pub use span::{current_tid, SpanGuard, SpanRecord, Spans};
+pub use trace::chrome_trace;
 
 /// Output mode selected by the `DL_OBS` environment variable.
 ///

@@ -50,7 +50,10 @@ impl Manifest {
     }
 
     /// Adds a `stages` section from finished spans: one entry per
-    /// span, in completion order, as `{ "name": path, "secs": f }`.
+    /// span, in completion order, as
+    /// `{ "name": path, "secs": f, "start_secs": f }`. Thread ids are
+    /// deliberately omitted — their assignment order is scheduling-
+    /// dependent and would break deterministic byte-compares.
     #[must_use]
     pub fn with_stages(self, spans: &Spans) -> Self {
         let stages = spans
@@ -60,6 +63,7 @@ impl Manifest {
                 Json::obj()
                     .with("name", r.path.into())
                     .with("secs", r.secs.into())
+                    .with("start_secs", r.start_secs.into())
             })
             .collect();
         self.with("stages", Json::Arr(stages))
@@ -105,10 +109,12 @@ impl Manifest {
         self
     }
 
-    /// Zeroes every float stored under a key containing `sec` —
-    /// i.e. every wall-clock-derived value — leaving deterministic
-    /// values untouched. Used by golden tests to pin the manifest
-    /// *structure* without pinning timings.
+    /// Zeroes every number stored under a timing key — one containing
+    /// `sec` or ending in `_us`/`_ms`/`_ns` — i.e. every
+    /// wall-clock-derived value, leaving deterministic values
+    /// untouched. Integer timestamps (e.g. trace-event `ts`/`dur`
+    /// microseconds) are zeroed too, not just floats. Used by golden
+    /// tests to pin the manifest *structure* without pinning timings.
     pub fn zero_timings(&mut self) {
         zero_timings_in(&mut self.root, false);
     }
@@ -126,9 +132,17 @@ impl Manifest {
     }
 }
 
+/// Whether values under `key` are wall-clock-derived and must be
+/// zeroed for deterministic comparison.
+fn is_timing_key(key: &str) -> bool {
+    key.contains("sec") || key.ends_with("_us") || key.ends_with("_ms") || key.ends_with("_ns")
+}
+
 fn zero_timings_in(value: &mut Json, under_timing_key: bool) {
     match value {
         Json::F64(v) if under_timing_key => *v = 0.0,
+        Json::U64(v) if under_timing_key => *v = 0,
+        Json::I64(v) if under_timing_key => *v = 0,
         Json::Arr(items) => {
             for item in items {
                 zero_timings_in(item, under_timing_key);
@@ -136,7 +150,7 @@ fn zero_timings_in(value: &mut Json, under_timing_key: bool) {
         }
         Json::Obj(pairs) => {
             for (k, v) in pairs {
-                zero_timings_in(v, k.contains("sec"));
+                zero_timings_in(v, is_timing_key(k));
             }
         }
         _ => {}
@@ -171,6 +185,40 @@ mod tests {
         let sim = m.get("sim").unwrap();
         assert_eq!(sim.get("insts_per_sec"), Some(&Json::F64(0.0)));
         assert_eq!(sim.get("instructions"), Some(&Json::U64(5)));
+    }
+
+    #[test]
+    fn zero_timings_covers_integer_timestamps_and_unit_suffixes() {
+        let mut m = Manifest::new("x")
+            .with("ts_us", Json::U64(123_456))
+            .with("skew_ns", Json::I64(-40))
+            .with("lat_ms", Json::F64(1.5))
+            .with("bucket_us", Json::Arr(vec![Json::U64(3), Json::U64(9)]))
+            .with("focus", Json::U64(7)) // "us" not a suffix match
+            .with("instructions", Json::U64(5));
+        m.zero_timings();
+        assert_eq!(m.get("ts_us"), Some(&Json::U64(0)));
+        assert_eq!(m.get("skew_ns"), Some(&Json::I64(0)));
+        assert_eq!(m.get("lat_ms"), Some(&Json::F64(0.0)));
+        assert_eq!(
+            m.get("bucket_us"),
+            Some(&Json::Arr(vec![Json::U64(0), Json::U64(0)]))
+        );
+        assert_eq!(m.get("focus"), Some(&Json::U64(7)));
+        assert_eq!(m.get("instructions"), Some(&Json::U64(5)));
+    }
+
+    #[test]
+    fn zeroed_stage_timeline_is_deterministic() {
+        let spans = Spans::default();
+        spans.record("warm", 0.25);
+        let mut m = Manifest::new("repro").with_stages(&spans);
+        m.zero_timings();
+        let Some(Json::Arr(stages)) = m.get("stages") else {
+            panic!("stages missing");
+        };
+        assert_eq!(stages[0].get("secs"), Some(&Json::F64(0.0)));
+        assert_eq!(stages[0].get("start_secs"), Some(&Json::F64(0.0)));
     }
 
     #[test]

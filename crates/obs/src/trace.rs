@@ -1,0 +1,81 @@
+//! Chrome trace-event export for span timelines.
+//!
+//! [`chrome_trace`] converts a [`Spans`] collector into the Trace
+//! Event Format's JSON object form (`{"traceEvents": [...]}`), the
+//! dialect both `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)
+//! load directly. Every finished span becomes one complete (`"ph":
+//! "X"`) event positioned by its `start_secs` offset, with the span's
+//! thread id mapped to a trace `tid` so per-worker concurrency is
+//! visible as parallel tracks.
+
+use crate::json::Json;
+use crate::span::{SpanRecord, Spans};
+
+/// The timeline as a Chrome trace-event JSON document.
+///
+/// Event fields: `name` (full span path), `cat` (the path's first
+/// `/`-segment, so Perfetto can filter by subsystem), `ph` = `"X"`
+/// (complete event), `ts`/`dur` in integer microseconds, `pid` = 1,
+/// and `tid` from the recording thread. Events are emitted in the
+/// collector's completion order; trace viewers sort by `ts`
+/// themselves.
+#[must_use]
+pub fn chrome_trace(spans: &Spans) -> Json {
+    let events = spans.records().iter().map(event).collect();
+    Json::obj()
+        .with("traceEvents", Json::Arr(events))
+        .with("displayTimeUnit", "ms".into())
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn micros(secs: f64) -> u64 {
+    (secs.max(0.0) * 1e6).round() as u64
+}
+
+fn event(r: &SpanRecord) -> Json {
+    let cat = r.path.split('/').next().unwrap_or("span");
+    Json::obj()
+        .with("name", r.path.as_str().into())
+        .with("cat", cat.into())
+        .with("ph", "X".into())
+        .with("ts", micros(r.start_secs).into())
+        .with("dur", micros(r.secs).into())
+        .with("pid", 1u64.into())
+        .with("tid", r.tid.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_one_complete_event_per_span() {
+        let spans = Spans::default();
+        spans.record("repro/warm", 0.5);
+        spans.record("repro/tables/table3", 0.25);
+        let trace = chrome_trace(&spans);
+        let Some(Json::Arr(events)) = trace.get("traceEvents") else {
+            panic!("traceEvents missing");
+        };
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.get("ph"), Some(&Json::Str("X".into())));
+            assert_eq!(e.get("cat"), Some(&Json::Str("repro".into())));
+            assert_eq!(e.get("pid"), Some(&Json::U64(1)));
+            assert!(matches!(e.get("ts"), Some(Json::U64(_))));
+            assert!(matches!(e.get("dur"), Some(Json::U64(_))));
+            assert!(matches!(e.get("tid"), Some(Json::U64(_))));
+        }
+        assert_eq!(events[0].get("name"), Some(&Json::Str("repro/warm".into())));
+        assert_eq!(events[1].get("dur"), Some(&Json::U64(250_000)));
+    }
+
+    #[test]
+    fn trace_json_round_trips_through_the_parser() {
+        let spans = Spans::default();
+        spans.time("a/b", || {});
+        let trace = chrome_trace(&spans);
+        let parsed = Json::parse(&trace.render()).expect("trace parses");
+        assert_eq!(parsed, trace);
+    }
+}

@@ -138,11 +138,13 @@ fn golden_manifest_structure_with_timings_zeroed() {
   "stages": [
     {
       "name": "repro/warm",
-      "secs": 0.000000
+      "secs": 0.000000,
+      "start_secs": 0.000000
     },
     {
       "name": "repro/tables/table3",
-      "secs": 0.000000
+      "secs": 0.000000,
+      "start_secs": 0.000000
     }
   ],
   "counters": {

@@ -15,6 +15,7 @@ use dl_mips::reg::Reg;
 use crate::block::{self, BlockCache, BlockStats, Engine};
 use crate::cache::{Cache, CacheConfig};
 use crate::mem::{MemFault, Memory};
+use crate::observe::{MissObservatory, ObserveConfig};
 use crate::stats::RunResult;
 use crate::trace::TraceRecord;
 
@@ -126,6 +127,10 @@ pub struct RunConfig {
     /// per-site attribution into [`RunResult::load_miss_classes`].
     /// Costs a shadow-cache update per access; off by default.
     pub classify_misses: bool,
+    /// Collect epoch-windowed per-load-site miss counts into
+    /// [`SimOutput::observatory`] (see [`crate::observe`]). Routes the
+    /// block engine through its instrumented path; off by default.
+    pub observe: Option<ObserveConfig>,
     /// Which interpreter core executes the run. Both produce identical
     /// results; see [`Engine`]. The default honours `DL_SIM_ENGINE`.
     pub engine: Engine,
@@ -140,6 +145,7 @@ impl Default for RunConfig {
             seed: 0x5eed_1234_abcd_ef01,
             prefetch: None,
             classify_misses: false,
+            observe: None,
             engine: Engine::from_env(),
         }
     }
@@ -156,6 +162,9 @@ pub struct SimOutput {
     pub trace: Vec<TraceRecord>,
     /// Block-cache behaviour counters ([`Engine::Block`] only).
     pub block_stats: Option<BlockStats>,
+    /// Epoch-windowed per-load-site miss counts (only when
+    /// [`RunConfig::observe`] was set).
+    pub observatory: Option<MissObservatory>,
 }
 
 /// The simulator state; use [`run`] unless you need single-stepping.
@@ -177,12 +186,15 @@ pub struct Machine<'p> {
     prefetch_degree: Vec<u32>,
     // When Some, every data access is recorded.
     trace: Option<Vec<TraceRecord>>,
+    // When Some, every load access is windowed into miss epochs.
+    observatory: Option<MissObservatory>,
     // Hot-path flags mirroring `trace`/`prefetch_degree`: data
     // accesses check one bool each instead of an Option walk and a
     // per-access Vec index.
     tracing: bool,
     has_prefetch: bool,
     classifying: bool,
+    observing: bool,
 }
 
 impl<'p> Machine<'p> {
@@ -226,12 +238,16 @@ impl<'p> Machine<'p> {
                 v
             },
             trace: None,
+            observatory: config
+                .observe
+                .map(|obs| MissObservatory::new(program.insts.len(), obs)),
             tracing: false,
             has_prefetch: config
                 .prefetch
                 .as_ref()
                 .is_some_and(|pf| pf.degree > 0 && !pf.sites.is_empty()),
             classifying: config.classify_misses,
+            observing: config.observe.is_some(),
         }
     }
 
@@ -316,13 +332,24 @@ impl<'p> Machine<'p> {
             .expect("classifying implies attribution table")[at][class.index()] += 1;
     }
 
+    /// Windows one load access into the observatory's current epoch.
+    /// Out of line: the observatory is opt-in reporting only.
+    #[cold]
+    fn observe_load(&mut self, at: usize, miss: bool) {
+        self.observatory
+            .as_mut()
+            .expect("observing flag implies observatory")
+            .observe(at, miss);
+    }
+
     pub(crate) fn dcache_load(&mut self, at: usize, addr: u32) {
         if self.tracing {
             self.push_trace(at, addr, false);
         }
         self.result.dcache_accesses += 1;
         self.result.loads += 1;
-        if self.cache.access(addr) {
+        let hit = self.cache.access(addr);
+        if hit {
             self.result.load_hits[at] += 1;
         } else {
             self.result.load_misses[at] += 1;
@@ -331,6 +358,9 @@ impl<'p> Machine<'p> {
             if self.classifying {
                 self.attribute_miss_class(at);
             }
+        }
+        if self.observing {
+            self.observe_load(at, !hit);
         }
         if self.has_prefetch {
             self.issue_prefetches(at, addr);
@@ -641,10 +671,24 @@ impl<'p> Machine<'p> {
                 panic!("inconsistent RunResult: {violation}");
             }
         }
+        let observatory = self.observatory.map(|mut obs| {
+            obs.finish();
+            obs
+        });
+        if cfg!(debug_assertions) {
+            if let Some(obs) = &observatory {
+                assert_eq!(
+                    obs.site_totals(),
+                    self.result.load_misses,
+                    "observatory epoch totals diverge from per-site miss counts"
+                );
+            }
+        }
         Ok(SimOutput {
             result: self.result,
             trace: self.trace.unwrap_or_default(),
             block_stats,
+            observatory,
         })
     }
 
@@ -660,12 +704,13 @@ impl<'p> Machine<'p> {
     }
 
     /// Block-cached engine: decoded basic-block dispatch. Tracing,
-    /// prefetch and miss classification need per-access hooks, so any
-    /// of them selects the slow dispatch instantiation; the common
-    /// configuration runs the fully batched fast path.
+    /// prefetch, miss classification and the observatory need
+    /// per-access hooks, so any of them selects the slow dispatch
+    /// instantiation; the common configuration runs the fully batched
+    /// fast path.
     fn run_block_engine(&mut self, max_steps: u64) -> Result<BlockStats, Trap> {
         let mut cache = BlockCache::new(self.program.insts.len());
-        let slow = self.tracing || self.has_prefetch || self.classifying;
+        let slow = self.tracing || self.has_prefetch || self.classifying || self.observing;
         if slow {
             block::run_blocks::<true>(self, &mut cache, max_steps)?;
         } else {
@@ -713,6 +758,17 @@ pub fn run_with_stats(
     Machine::new(program, config)
         .run_full(config.max_steps)
         .map(|out| (out.result, out.block_stats))
+}
+
+/// Like [`run`], returning every output of the run — including the
+/// miss observatory when [`RunConfig::observe`] is set.
+///
+/// # Errors
+///
+/// Returns a [`Trap`] if the program faults or exceeds
+/// `config.max_steps`.
+pub fn run_full(program: &Program, config: &RunConfig) -> Result<SimOutput, Trap> {
+    Machine::new(program, config).run_full(config.max_steps)
 }
 
 #[cfg(test)]
@@ -829,6 +885,54 @@ mod tests {
             classified.load_misses[load_idx]
         );
         classified.check_consistency().expect("consistent");
+    }
+
+    #[test]
+    fn observatory_windows_misses_identically_on_both_engines() {
+        // Strided scan over 4 KiB (1024 loads): every 8th access
+        // misses. With 256-access epochs the run splits into exactly
+        // 4 full epochs of 32 misses each at the single load site.
+        let src = "main:\n\
+                   \tli  $t0, 0\n\
+                   \tli  $t3, 1024\n\
+                   .Lloop:\n\
+                   \tsll $t1, $t0, 2\n\
+                   \taddu $t1, $t1, $gp\n\
+                   \tlw  $t2, 0($t1)\n\
+                   \taddiu $t0, $t0, 1\n\
+                   \tbne $t0, $t3, .Lloop\n\
+                   \tli $v0, 10\n\
+                   \tsyscall\n";
+        let p = parse_asm(src).unwrap();
+        let load_idx = 4;
+        let mut outputs = Vec::new();
+        for engine in [Engine::Step, Engine::Block] {
+            let cfg = RunConfig {
+                observe: Some(crate::observe::ObserveConfig { epoch_len: 256 }),
+                engine,
+                ..RunConfig::default()
+            };
+            let out = super::run_full(&p, &cfg).unwrap();
+            let obs = out.observatory.as_ref().expect("observatory collected");
+            assert_eq!(obs.epochs().len(), 4);
+            for epoch in obs.epochs() {
+                assert_eq!(epoch.loads, 256);
+                assert_eq!(epoch.misses, vec![(load_idx as u32, 32)]);
+            }
+            assert_eq!(obs.site_totals(), out.result.load_misses);
+            // Observation must not perturb the measurement record.
+            let plain = run(
+                &p,
+                &RunConfig {
+                    engine,
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.result, plain);
+            outputs.push(obs.epochs().to_vec());
+        }
+        assert_eq!(outputs[0], outputs[1], "epochs diverge across engines");
     }
 
     #[test]

@@ -37,10 +37,12 @@ pub mod block;
 pub mod cache;
 pub mod cpu;
 pub mod mem;
+pub mod observe;
 pub mod stats;
 pub mod trace;
 
 pub use block::{BlockStats, Engine};
 pub use cache::{Cache, CacheConfig, CacheProfile, MissClass, MissClasses};
-pub use cpu::{run, run_with_stats, Machine, PrefetchConfig, RunConfig, SimOutput, Trap};
+pub use cpu::{run, run_full, run_with_stats, Machine, PrefetchConfig, RunConfig, SimOutput, Trap};
+pub use observe::{EpochMisses, MissObservatory, ObserveConfig};
 pub use stats::RunResult;

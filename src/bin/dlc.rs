@@ -7,6 +7,9 @@
 //! dlc run    prog.mc [-O1] [--input 1,2,3]          # compile and simulate
 //! dlc analyze prog.mc [-O1] [--input 1,2,3] [--delta 0.1]
 //!                                                   # flag possibly-delinquent loads
+//! dlc top    prog.mc [--epoch N] [--limit K]        # miss observatory: rank load sites
+//! dlc bench-diff old.json new.json [--threshold PCT]
+//!                                                   # perf-regression gate over bench JSON
 //! ```
 //!
 //! `--engine step|block` (on `run` and `analyze`) selects the
@@ -32,17 +35,35 @@
 //! trip count, every in-loop load's address class and predicted miss
 //! ratio next to the measured one, and the reuse and hybrid
 //! delinquent sets scored with the same π/ρ metrics.
+//!
+//! `--trace-out PATH` (on `run`, `analyze`, and `top`) writes a Chrome
+//! trace-event JSON timeline (loadable in Perfetto /
+//! `chrome://tracing`) with compile, per-analysis-pass, and simulation
+//! spans.
+//!
+//! `top` runs the simulator with the per-load-site miss observatory on:
+//! misses are windowed into epochs of `--epoch` observed loads
+//! (default 2^20) and the hottest `--limit` sites are ranked by total
+//! misses, with each static predictor's verdict and the site's phase
+//! behavior over epochs alongside.
+//!
+//! `bench-diff` is the perf-regression gate: it compares the
+//! higher-is-better throughput metrics of two `bench --json` outputs
+//! and fails if any dropped by more than `--threshold` percent.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use delinquent_loads::heuristic::combine::{combine_hybrid, HybridMode};
 use delinquent_loads::heuristic::{Heuristic, Predictor};
 use delinquent_loads::minic::{compile, OptLevel};
 use delinquent_loads::mips::encode::encode_program;
 use dl_analysis::{AnalysisCtx, CacheGeometry};
-use dl_baselines::ReusePredictor;
+use dl_baselines::{Bdh, Okn, ReusePredictor};
 use dl_experiments::metrics::{pi, rho};
-use dl_sim::{run, Engine, RunConfig, RunResult};
+use dl_experiments::obs::SpanPassObserver;
+use dl_obs::{chrome_trace, Json, Spans};
+use dl_sim::{run, run_full, Engine, ObserveConfig, RunConfig, RunResult};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,6 +85,9 @@ struct Options {
     profile: bool,
     reuse: bool,
     engine: Option<Engine>,
+    trace_out: Option<String>,
+    epoch: u64,
+    limit: usize,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -76,6 +100,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         profile: false,
         reuse: false,
         engine: None,
+        trace_out: None,
+        epoch: dl_sim::ObserveConfig::default().epoch_len,
+        limit: 10,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -109,6 +136,26 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .parse::<Engine>()?,
                 );
             }
+            "--trace-out" => {
+                options.trace_out = Some(it.next().ok_or("--trace-out requires a path")?.clone());
+            }
+            "--epoch" => {
+                options.epoch = it
+                    .next()
+                    .ok_or("--epoch requires a load count")?
+                    .parse::<u64>()
+                    .map_err(|e| e.to_string())?;
+                if options.epoch == 0 {
+                    return Err("--epoch must be positive".into());
+                }
+            }
+            "--limit" => {
+                options.limit = it
+                    .next()
+                    .ok_or("--limit requires a site count")?
+                    .parse::<usize>()
+                    .map_err(|e| e.to_string())?;
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`"));
             }
@@ -135,11 +182,16 @@ fn load_program(options: &Options) -> Result<dl_mips::program::Program, String> 
 fn dispatch(args: &[String]) -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
         return Err(
-            "usage: dlc <build|run|analyze> prog.mc [-O1] [--emit asm|bin|words] \
-             [--input 1,2,3] [--delta 0.1] [--profile] [--reuse] [--engine step|block]"
+            "usage: dlc <build|run|analyze|top> prog.mc [-O1] [--emit asm|bin|words] \
+             [--input 1,2,3] [--delta 0.1] [--profile] [--reuse] [--engine step|block] \
+             [--trace-out t.json] [--epoch N] [--limit K]\n       \
+             dlc bench-diff old.json new.json [--threshold PCT]"
                 .into(),
         );
     };
+    if command == "bench-diff" {
+        return bench_diff(rest);
+    }
     let options = parse_options(rest)?;
     match command.as_str() {
         "build" => {
@@ -165,7 +217,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "run" => {
-            let program = load_program(&options)?;
+            let spans = Arc::new(Spans::default());
+            let program = spans.time(&format!("compile/{}", options.path), || {
+                load_program(&options)
+            })?;
             let config = RunConfig {
                 input: options.input.clone(),
                 classify_misses: options.profile,
@@ -176,6 +231,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             let start = std::time::Instant::now();
             let result = run(&program, &config).map_err(|e| e.to_string())?;
             let secs = start.elapsed().as_secs_f64();
+            spans.record_at(&format!("sim/{}", options.path), start, secs);
             for v in &result.output {
                 println!("{v}");
             }
@@ -188,21 +244,37 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 result.instructions as f64 / secs.max(1e-9) / 1e6
             );
             print_profile(&result);
-            Ok(())
+            write_trace(&options, &spans)
         }
+        "top" => top(&options),
         "analyze" => {
-            let program = load_program(&options)?;
+            let spans = Arc::new(Spans::default());
+            let program = spans.time(&format!("compile/{}", options.path), || {
+                load_program(&options)
+            })?;
             let config = RunConfig {
                 input: options.input.clone(),
                 classify_misses: options.profile,
                 engine: options.engine.unwrap_or_else(Engine::from_env),
                 ..RunConfig::default()
             };
+            let start = std::time::Instant::now();
             let result = run(&program, &config).map_err(|e| e.to_string())?;
+            spans.record_at(
+                &format!("sim/{}", options.path),
+                start,
+                start.elapsed().as_secs_f64(),
+            );
             // One pass manager feeds the heuristic and the --reuse
             // report: patterns, loops, and load classes are each
             // computed at most once however many predictors run.
             let ctx = AnalysisCtx::new(program).with_profile(&result.exec_counts);
+            if options.trace_out.is_some() {
+                ctx.set_pass_observer(Arc::new(SpanPassObserver::new(
+                    Arc::clone(&spans),
+                    format!("analysis/{}", options.path),
+                )));
+            }
             let analysis = ctx.analysis();
             let heuristic = Heuristic::default().with_threshold(options.delta);
             let delinquent = heuristic.predict(&ctx);
@@ -243,9 +315,253 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 }
             }
             print_profile(&result);
-            Ok(())
+            write_trace(&options, &spans)
         }
         other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Writes the Chrome trace-event timeline if `--trace-out` was given.
+fn write_trace(options: &Options, spans: &Spans) -> Result<(), String> {
+    let Some(path) = &options.trace_out else {
+        return Ok(());
+    };
+    std::fs::write(path, chrome_trace(spans).render()).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("[trace written to {path}]");
+    Ok(())
+}
+
+/// The `top` subcommand: simulate with the miss observatory on, rank
+/// load sites by total misses, and print each static predictor's
+/// verdict plus the site's phase behavior over epochs.
+fn top(options: &Options) -> Result<(), String> {
+    let spans = Arc::new(Spans::default());
+    let program = spans.time(&format!("compile/{}", options.path), || {
+        load_program(options)
+    })?;
+    let config = RunConfig {
+        input: options.input.clone(),
+        engine: options.engine.unwrap_or_else(Engine::from_env),
+        observe: Some(ObserveConfig {
+            epoch_len: options.epoch,
+        }),
+        ..RunConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let output = run_full(&program, &config).map_err(|e| e.to_string())?;
+    spans.record_at(
+        &format!("sim/{}", options.path),
+        start,
+        start.elapsed().as_secs_f64(),
+    );
+    let result = &output.result;
+    let observatory = output.observatory.as_ref().expect("observe configured");
+
+    // One shared pass manager: every predictor reuses the same cached
+    // patterns, loops, and load classes.
+    let ctx = AnalysisCtx::new(program).with_profile(&result.exec_counts);
+    if options.trace_out.is_some() {
+        ctx.set_pass_observer(Arc::new(SpanPassObserver::new(
+            Arc::clone(&spans),
+            format!("analysis/{}", options.path),
+        )));
+    }
+    let cache = config.cache;
+    let geometry = CacheGeometry::new(
+        u64::from(cache.size_bytes()),
+        u64::from(cache.block_bytes()),
+        cache.assoc(),
+    );
+    let heuristic_set = Heuristic::default()
+        .with_threshold(options.delta)
+        .predict(&ctx);
+    let reuse_set = ReusePredictor {
+        geometry,
+        threshold: options.delta,
+    }
+    .predict(&ctx);
+    let sets = [
+        ("heur", heuristic_set.clone()),
+        ("okn", Okn.predict(&ctx)),
+        ("bdh", Bdh.predict(&ctx)),
+        ("reuse", reuse_set.clone()),
+        (
+            "∩",
+            combine_hybrid(&heuristic_set, &reuse_set, HybridMode::Intersect),
+        ),
+        (
+            "∪",
+            combine_hybrid(&heuristic_set, &reuse_set, HybridMode::Union),
+        ),
+    ];
+
+    let epochs = observatory.epochs();
+    let missing: Vec<(usize, u64)> = result
+        .load_misses
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, m)| m > 0)
+        .collect();
+    println!(
+        "[{} of {} load sites missed; epoch = {} loads, {} epochs over {} observed loads]",
+        missing.len(),
+        ctx.analysis().loads.len(),
+        observatory.epoch_len(),
+        epochs.len(),
+        observatory.total_loads(),
+    );
+    if let Some(block) = &output.block_stats {
+        println!(
+            "[block cache: {} blocks decoded ({:.1} insts mean), {} dispatches ({} cached), {} insts retired]",
+            block.blocks_decoded,
+            block.mean_block_len(),
+            block.dispatches,
+            block.dispatch_hits,
+            block.insts_retired,
+        );
+    }
+    let mut ranked = missing;
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(options.limit);
+    let header: String = sets
+        .iter()
+        .map(|(name, _)| *name)
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!(
+        "{:>6} {:>10} {:>10} {:>7}  {header}  phases",
+        "inst", "misses", "execs", "ratio"
+    );
+    for (idx, misses) in ranked {
+        let execs = result.exec_counts[idx];
+        #[allow(clippy::cast_precision_loss)]
+        let ratio = if execs > 0 {
+            misses as f64 / execs as f64
+        } else {
+            0.0
+        };
+        let verdicts: String = sets
+            .iter()
+            .map(|(name, set)| {
+                let mark = if set.contains(&idx) { '+' } else { '.' };
+                format!("{mark:>width$}", width = name.chars().count())
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let per_epoch: Vec<u64> = epochs
+            .iter()
+            .map(|e| {
+                e.misses
+                    .iter()
+                    .find(|&&(at, _)| at as usize == idx)
+                    .map_or(0, |&(_, n)| n)
+            })
+            .collect();
+        println!(
+            "{idx:>6} {misses:>10} {execs:>10} {ratio:>7.3}  {verdicts}  {}",
+            sparkline(&per_epoch, 32)
+        );
+    }
+    write_trace(options, &spans)
+}
+
+/// Renders per-epoch counts as a fixed-height bar chart, summing
+/// adjacent epochs down to at most `max_cols` columns.
+fn sparkline(values: &[u64], max_cols: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let chunk = values.len().div_ceil(max_cols).max(1);
+    let cols: Vec<u64> = values.chunks(chunk).map(|c| c.iter().sum()).collect();
+    let max = cols.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return BARS[0].to_string().repeat(cols.len());
+    }
+    cols.iter()
+        .map(|&v| BARS[usize::try_from(u128::from(v) * 7 / u128::from(max)).expect("0..=7")])
+        .collect()
+}
+
+/// The `bench-diff` perf-regression gate: compares the
+/// higher-is-better throughput metrics of two `bench --json` outputs
+/// and fails if any dropped by more than `threshold` percent.
+fn bench_diff(args: &[String]) -> Result<(), String> {
+    let mut threshold = 10.0;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .ok_or("--threshold requires a percent")?
+                    .parse::<f64>()
+                    .map_err(|e| e.to_string())?;
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            p => paths.push(p.to_owned()),
+        }
+    }
+    if paths.len() != 2 {
+        return Err("bench-diff needs exactly two JSON files: old new".into());
+    }
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let old = load(&paths[0])?;
+    let new = load(&paths[1])?;
+    // Higher-is-better throughput metrics emitted by `bench --json`.
+    // Ratios (speedups) regress like raw rates: a drop is a slowdown.
+    const METRICS: [&str; 4] = [
+        "sim_insts_per_sec",
+        "sim_step_insts_per_sec",
+        "sim_engine_speedup",
+        "speedup",
+    ];
+    #[allow(clippy::cast_precision_loss)]
+    let num = |json: &Json, key: &str| match json.get(key) {
+        Some(Json::F64(v)) => Some(*v),
+        Some(Json::U64(v)) => Some(*v as f64),
+        _ => None,
+    };
+    println!(
+        "{:<24} {:>16} {:>16} {:>9}",
+        "metric", "old", "new", "delta"
+    );
+    let mut compared = 0u32;
+    let mut regressions: Vec<&str> = Vec::new();
+    for key in METRICS {
+        let (Some(o), Some(n)) = (num(&old, key), num(&new, key)) else {
+            continue;
+        };
+        if o <= 0.0 {
+            continue;
+        }
+        compared += 1;
+        let delta = 100.0 * (n - o) / o;
+        let flag = if delta <= -threshold {
+            regressions.push(key);
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        println!("{key:<24} {o:>16.3} {n:>16.3} {delta:>+8.1}%{flag}");
+    }
+    if compared == 0 {
+        return Err("no comparable metrics found in the two files".into());
+    }
+    if regressions.is_empty() {
+        println!("ok: {compared} metric(s) within {threshold}% of baseline");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} metric(s) regressed more than {threshold}%: {}",
+            regressions.len(),
+            regressions.join(", ")
+        ))
     }
 }
 
@@ -432,6 +748,68 @@ mod tests {
         assert!(opts(&["a.mc", "--emit"]).is_err());
         assert!(opts(&["a.mc", "--engine"]).is_err());
         assert!(opts(&["a.mc", "--engine", "jit"]).is_err());
+        assert!(opts(&["a.mc", "--trace-out"]).is_err());
+        assert!(opts(&["a.mc", "--epoch", "0"]).is_err());
+        assert!(opts(&["a.mc", "--limit", "-1"]).is_err());
+    }
+
+    #[test]
+    fn observatory_flags_parse() {
+        let o = opts(&[
+            "prog.mc",
+            "--trace-out",
+            "t.json",
+            "--epoch",
+            "4096",
+            "--limit",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(o.epoch, 4096);
+        assert_eq!(o.limit, 3);
+        // Defaults mirror the simulator's observatory config.
+        let d = opts(&["prog.mc"]).unwrap();
+        assert_eq!(d.epoch, ObserveConfig::default().epoch_len);
+        assert_eq!(d.limit, 10);
+        assert!(d.trace_out.is_none());
+    }
+
+    #[test]
+    fn sparkline_downsamples_and_scales() {
+        assert_eq!(sparkline(&[], 8), "");
+        assert_eq!(sparkline(&[0, 0, 0], 8), "▁▁▁");
+        let line = sparkline(&[0, 7, 3, 7], 8);
+        assert_eq!(line.chars().count(), 4);
+        assert!(line.starts_with('▁') && line.contains('█'));
+        // 64 epochs fold into at most 8 columns.
+        let folded = sparkline(&vec![1; 64], 8);
+        assert_eq!(folded.chars().count(), 8);
+    }
+
+    #[test]
+    fn bench_diff_gates_on_regression() {
+        let dir = std::env::temp_dir();
+        let old = dir.join("dlc_bench_diff_old.json");
+        let new = dir.join("dlc_bench_diff_new.json");
+        std::fs::write(&old, r#"{"sim_insts_per_sec": 100.0, "speedup": 2.0}"#).unwrap();
+        std::fs::write(&new, r#"{"sim_insts_per_sec": 55.0, "speedup": 2.1}"#).unwrap();
+        let args = |t: &str| {
+            vec![
+                old.display().to_string(),
+                new.display().to_string(),
+                "--threshold".to_owned(),
+                t.to_owned(),
+            ]
+        };
+        // A 45% drop fails a 10% gate but passes a 60% one.
+        let err = bench_diff(&args("10")).unwrap_err();
+        assert!(err.contains("sim_insts_per_sec"), "unexpected error: {err}");
+        assert!(bench_diff(&args("60")).is_ok());
+        // Metrics missing from either side are skipped, not compared.
+        std::fs::write(&new, r#"{"speedup": 2.1}"#).unwrap();
+        assert!(bench_diff(&args("10")).is_ok());
+        assert!(bench_diff(&[old.display().to_string()]).is_err());
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Observatory consistency on the real workload suite: the windowed
+//! per-load-site miss counts (the `dlc top` data source) must account
+//! for *every* miss the simulator's per-site classifier sees — epoch
+//! totals sum exactly to the per-site miss counts — and the epochs
+//! themselves must be identical under the step and block engines,
+//! since epochs are windows of observed load accesses and the access
+//! stream is engine-invariant.
+
+use delinquent_loads::prelude::*;
+use delinquent_loads::workloads::Benchmark;
+use dl_sim::{run_full, Engine, ObserveConfig, SimOutput};
+
+/// Reduced inputs so the whole suite runs in seconds even unoptimized
+/// (mirrors `engine_differential.rs`).
+fn small_inputs(b: &Benchmark) -> Vec<i32> {
+    match b.name {
+        "008.espresso" => vec![48, 24, 1],
+        "022.li" => vec![400, 2, 5],
+        "072.sc" => vec![12, 10, 2],
+        "099.go" => vec![2, 2, 3],
+        "101.tomcatv" => vec![16, 2],
+        "124.m88ksim" => vec![2000, 7],
+        "126.gcc" => vec![8, 6, 2],
+        "129.compress" => vec![2000, 3],
+        "132.ijpeg" => vec![3, 2],
+        "147.vortex" => vec![128, 2],
+        "164.gzip" => vec![2000, 3],
+        "175.vpr" => vec![10, 500, 3],
+        "179.art" => vec![8, 1000, 3],
+        "181.mcf" => vec![64, 128, 2],
+        "183.equake" => vec![64, 4, 2],
+        "188.ammp" => vec![64, 4, 2],
+        "197.parser" => vec![400, 3],
+        "300.twolf" => vec![10, 500, 2],
+        other => panic!("unknown benchmark {other}"),
+    }
+}
+
+fn observe(program: &Program, input: &[i32], engine: Engine) -> SimOutput {
+    let config = RunConfig {
+        input: input.to_vec(),
+        max_steps: 200_000_000,
+        engine,
+        classify_misses: true,
+        // Small windows so even the shrunk runs roll several epochs.
+        observe: Some(ObserveConfig { epoch_len: 1 << 14 }),
+        ..RunConfig::default()
+    };
+    run_full(program, &config).expect("workload runs clean")
+}
+
+#[test]
+fn observatory_totals_match_classifier_on_all_workloads() {
+    for b in delinquent_loads::workloads::all() {
+        let input = small_inputs(&b);
+        let program = b.compile(OptLevel::O0).expect("workload compiles");
+        let block = observe(&program, &input, Engine::Block);
+        let obs = block.observatory.as_ref().expect("observe configured");
+
+        // Every epoch window sums back exactly to the per-site miss
+        // counts the classifier records — no miss lost, none invented.
+        assert_eq!(
+            obs.site_totals(),
+            block.result.load_misses,
+            "{}: observatory epoch totals diverge from per-site misses",
+            b.name
+        );
+        assert_eq!(
+            obs.total_misses(),
+            block.result.load_misses_total,
+            "{}: observatory miss total diverges",
+            b.name
+        );
+        // The per-site three-Cs classification agrees with the same
+        // per-site counts, closing the loop: observatory == per-site
+        // misses == classified misses.
+        let classes = block
+            .result
+            .load_miss_classes
+            .as_ref()
+            .expect("classification on");
+        for (site, per_class) in classes.iter().enumerate() {
+            assert_eq!(
+                per_class.iter().sum::<u64>(),
+                block.result.load_misses[site],
+                "{}: site {site} classified misses diverge",
+                b.name
+            );
+        }
+
+        // Epochs are windows of observed loads, so the step engine
+        // produces the same windows, misses, and order.
+        let step = observe(&program, &input, Engine::Step);
+        assert_eq!(step.result, block.result, "{}: engines diverge", b.name);
+        let step_obs = step.observatory.as_ref().expect("observe configured");
+        assert_eq!(
+            step_obs.epochs(),
+            obs.epochs(),
+            "{}: observatory epochs diverge across engines",
+            b.name
+        );
+    }
+}
