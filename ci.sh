@@ -73,7 +73,7 @@ if command -v python3 >/dev/null 2>&1; then
 import json
 doc = json.load(open("/tmp/ci_manifest.json"))
 assert doc["schema"] == "dl-obs/1", f"unexpected schema {doc.get('schema')}"
-for key in ("stages", "memo", "workers", "sim", "miss_classes", "reuse", "analysis"):
+for key in ("stages", "memo", "workers", "sim", "miss_classes", "reuse", "profile", "analysis"):
     assert key in doc, f"manifest missing {key}"
 assert doc["stages"], "manifest has no stage timings"
 assert all("secs" in s for s in doc["stages"]), "stage entries missing wall times"
@@ -89,6 +89,12 @@ for key in ("blocks_decoded", "insts_decoded", "mean_block_len",
     assert key in bc, f"manifest block_cache missing {key}"
 assert doc["miss_classes"]["total"] > 0, "manifest classified no misses"
 assert doc["reuse"]["loads"] > 0, "manifest reuse section saw no loads"
+profile = doc["profile"]
+for key in ("runs", "loads", "modeled", "abstained", "interprocedural", "flagged"):
+    assert key in profile, f"manifest profile section missing {key}"
+assert profile["loads"] > 0, "manifest profile section saw no loads"
+assert profile["modeled"] + profile["abstained"] == profile["loads"], \
+    "profile modeled/abstained split does not cover every load"
 lat = doc["sim"]["latency"]
 for key in ("p50_secs", "p90_secs", "p99_secs"):
     assert key in lat, f"manifest sim.latency missing {key}"
@@ -98,7 +104,7 @@ for key in ("contexts", "hits", "misses", "hit_rate", "total_compute_secs", "pas
     assert key in analysis, f"manifest analysis section missing {key}"
 assert analysis["contexts"] > 0, "manifest recorded no analysis contexts"
 assert analysis["hits"] > 0, "analysis ctx cache recorded no sharing"
-assert len(analysis["passes"]) == 7, "manifest pass list incomplete"
+assert len(analysis["passes"]) == 9, "manifest pass list incomplete"
 per_program = {p["pass"]: p["misses"] for p in analysis["passes"]}
 # Each program is analyzed exactly once however many configurations
 # share it: program-level passes compute once per context, never more.
@@ -111,8 +117,9 @@ elif command -v jq >/dev/null 2>&1; then
          and (.sim.engine == "step" or .sim.engine == "block") and .sim.block_cache != null
          and .sim.latency.p50_secs != null and .sim.latency.p99_secs != null
          and .miss_classes.total > 0 and .reuse.loads > 0
+         and .profile.loads > 0 and (.profile.modeled + .profile.abstained) == .profile.loads
          and .analysis.contexts > 0 and .analysis.hits > 0
-         and (.analysis.passes | length == 7)' /tmp/ci_manifest.json >/dev/null
+         and (.analysis.passes | length == 9)' /tmp/ci_manifest.json >/dev/null
   echo "RUN_MANIFEST OK"
 else
   echo "warning: neither python3 nor jq available; skipped manifest validation"
@@ -204,6 +211,51 @@ echo "== reuse-predictor determinism check =="
 ./target/release/repro --jobs 4 extension-reuse > /tmp/ci_reuse_par.out 2>/dev/null
 cmp /tmp/ci_reuse_seq.out /tmp/ci_reuse_par.out
 echo "extension-reuse output byte-identical"
+
+echo "== reuse-profile determinism check =="
+# The profile engine's OnceLock-cached histograms and the per-geometry
+# pricing must not depend on worker scheduling: both profile tables are
+# byte-compared across job counts.
+./target/release/repro --jobs 1 extension-profile profile-geometries > /tmp/ci_prof_seq.out 2>/dev/null
+./target/release/repro --jobs 4 extension-profile profile-geometries > /tmp/ci_prof_par.out 2>/dev/null
+cmp /tmp/ci_prof_seq.out /tmp/ci_prof_par.out
+echo "profile tables byte-identical"
+
+echo "== manifest + trace combination determinism check =="
+# --manifest and --trace-out together must not perturb table output,
+# and the manifest's stage list must be schedule-independent: with
+# timings stripped, runs at different job counts render identical
+# manifests.
+./target/release/repro --smoke --jobs 1 --manifest /tmp/ci_m1.json --trace-out /tmp/ci_t1.json table3 > /tmp/ci_mt1.out 2>/dev/null
+./target/release/repro --smoke --jobs 4 --manifest /tmp/ci_m4.json --trace-out /tmp/ci_t4.json table3 > /tmp/ci_mt4.out 2>/dev/null
+cmp /tmp/ci_mt1.out /tmp/ci_mt4.out
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+
+def zero(value, timing):
+    if isinstance(value, dict):
+        return {k: zero(v, "sec" in k or k.endswith(("_us", "_ms", "_ns")))
+                for k, v in value.items()}
+    if isinstance(value, list):
+        return [zero(v, timing) for v in value]
+    if timing and isinstance(value, (int, float)) and not isinstance(value, bool):
+        return 0
+    return value
+
+docs = [zero(json.load(open(p)), False) for p in ("/tmp/ci_m1.json", "/tmp/ci_m4.json")]
+# Sections that are deterministic by contract. Scheduling-dependent
+# counters (workers, memo waits, per-pass hit splits under racing
+# OnceLock initialization) are legitimately job-count-dependent.
+for key in ("schema", "command", "stages", "miss_classes", "reuse", "profile"):
+    assert docs[0][key] == docs[1][key], f"zeroed manifest `{key}` diverges across job counts"
+names = [s["name"] for s in docs[0]["stages"]]
+assert names == sorted(names), f"manifest stages not sorted: {names}"
+print(f"manifest+trace OK: {len(names)} stages, schedule-independent")
+EOF
+else
+  echo "warning: python3 unavailable; skipped manifest combination validation"
+fi
 
 echo "== paper-tables determinism check =="
 # The shared AnalysisCtx must not change any table under concurrency:

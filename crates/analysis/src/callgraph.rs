@@ -1,0 +1,398 @@
+//! Interprocedural call-graph construction.
+//!
+//! The per-function passes (CFG, loops, induction variables) stop at
+//! `jal`/`jr` boundaries; this pass recovers the program-level shape
+//! those passes are blind to. Direct `jal` edges whose target is a
+//! function entry become call edges; `jalr` (and `jr` through any
+//! register other than `$ra`) is statically unresolvable, so the
+//! calling function is conservatively marked — downstream consumers
+//! (the reuse-profile pass) must treat its footprint as unknown
+//! rather than pretend precision. Recursion is detected by Tarjan SCC
+//! over the direct edges, and reachability from the program entry
+//! distinguishes live functions from dead ones.
+//!
+//! Function order matches [`crate::ctx::AnalysisCtx`] and
+//! [`crate::loops::ProgramLoops`]: non-empty functions sorted by start
+//! index, so the three structures can be zipped positionally.
+
+use dl_mips::inst::Inst;
+use dl_mips::program::Program;
+use dl_mips::reg::Reg;
+
+/// One direct call instruction with its resolved callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// Instruction index of the `jal`.
+    pub at: usize,
+    /// Index of the callee in [`CallGraph::nodes`].
+    pub callee: usize,
+}
+
+/// One function of the call graph.
+#[derive(Debug, Clone)]
+pub struct CallNode {
+    /// Function name.
+    pub name: String,
+    /// Instruction range `[start, end)`.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Every resolved direct call in this function, in instruction
+    /// order.
+    pub call_sites: Vec<CallSite>,
+    /// Distinct direct callees (node indices), sorted ascending.
+    pub callees: Vec<usize>,
+    /// Distinct direct callers (node indices), sorted ascending.
+    pub callers: Vec<usize>,
+    /// Number of direct call sites targeting this function (counts
+    /// every site, not just distinct callers).
+    pub incoming_sites: usize,
+    /// `true` if the function contains a `jalr` or a non-`$ra` `jr` —
+    /// control flow this pass cannot resolve. Conservative consumers
+    /// treat such a function's behaviour (and therefore its callers')
+    /// as unknown.
+    pub has_indirect: bool,
+    /// Strongly connected component id (Tarjan order, arbitrary but
+    /// deterministic).
+    pub scc: usize,
+    /// `true` if the function can call itself again before returning:
+    /// it sits in a multi-node SCC or has a direct self edge.
+    pub recursive: bool,
+    /// `true` if reachable from the entry function along direct edges.
+    /// Conservatively `true` for every node when any reachable
+    /// function has unresolved indirect control flow.
+    pub reachable: bool,
+}
+
+/// The program call graph. Nodes are the non-empty functions sorted by
+/// start index.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// One node per non-empty function, sorted by start index.
+    pub nodes: Vec<CallNode>,
+    /// Index of the function containing the program entry point, if
+    /// the entry lies inside one.
+    pub entry: Option<usize>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`.
+    #[must_use]
+    pub fn build(program: &Program) -> CallGraph {
+        let mut funcs: Vec<(String, usize, usize)> = program
+            .symbols
+            .funcs()
+            .iter()
+            .filter(|f| f.start < f.end)
+            .map(|f| (f.name.clone(), f.start, f.end))
+            .collect();
+        funcs.sort_by_key(|&(_, start, _)| start);
+        let node_of_start = |target: usize| -> Option<usize> {
+            funcs
+                .binary_search_by_key(&target, |&(_, start, _)| start)
+                .ok()
+        };
+
+        let mut nodes: Vec<CallNode> = funcs
+            .iter()
+            .map(|(name, start, end)| CallNode {
+                name: name.clone(),
+                start: *start,
+                end: *end,
+                call_sites: Vec::new(),
+                callees: Vec::new(),
+                callers: Vec::new(),
+                incoming_sites: 0,
+                has_indirect: false,
+                scc: 0,
+                recursive: false,
+                reachable: false,
+            })
+            .collect();
+
+        for node in &mut nodes {
+            for at in node.start..node.end {
+                match &program.insts[at] {
+                    Inst::Jal { target } => {
+                        // A `jal` into the middle of a function is not
+                        // a call this pass understands; treat it like
+                        // an indirect transfer.
+                        match node_of_start(target.index()) {
+                            Some(callee) => {
+                                node.call_sites.push(CallSite { at, callee });
+                            }
+                            None => node.has_indirect = true,
+                        }
+                    }
+                    Inst::Jalr { .. } => node.has_indirect = true,
+                    Inst::Jr { rs } if *rs != Reg::Ra => node.has_indirect = true,
+                    _ => {}
+                }
+            }
+            let mut callees: Vec<usize> = node.call_sites.iter().map(|s| s.callee).collect();
+            callees.sort_unstable();
+            callees.dedup();
+            node.callees = callees;
+        }
+
+        for i in 0..nodes.len() {
+            let sites = nodes[i].call_sites.clone();
+            for s in &sites {
+                nodes[s.callee].incoming_sites += 1;
+            }
+            for &callee in &nodes[i].callees.clone() {
+                nodes[callee].callers.push(i);
+            }
+        }
+        for node in &mut nodes {
+            node.callers.sort_unstable();
+            node.callers.dedup();
+        }
+
+        tarjan_sccs(&mut nodes);
+
+        let entry = nodes
+            .iter()
+            .position(|n| n.start <= program.entry && program.entry < n.end);
+        mark_reachable(&mut nodes, entry);
+
+        CallGraph { nodes, entry }
+    }
+
+    /// The node whose range contains instruction `index`.
+    #[must_use]
+    pub fn node_at(&self, index: usize) -> Option<&CallNode> {
+        let at = self.nodes.partition_point(|n| n.start <= index);
+        at.checked_sub(1)
+            .map(|i| &self.nodes[i])
+            .filter(|n| index < n.end)
+    }
+
+    /// Node indices in bottom-up (callees before callers) order:
+    /// reverse topological order of the SCC condensation, members of
+    /// one SCC adjacent.
+    #[must_use]
+    pub fn bottom_up(&self) -> Vec<usize> {
+        // Tarjan numbers SCCs in reverse topological order of the
+        // condensation already (an SCC is finished only after every
+        // SCC it reaches), so sorting by (scc, index) is bottom-up.
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_by_key(|&i| (self.nodes[i].scc, i));
+        order
+    }
+}
+
+/// Iterative Tarjan over the direct edges; fills `scc` and
+/// `recursive`.
+fn tarjan_sccs(nodes: &mut [CallNode]) {
+    const UNVISITED: usize = usize::MAX;
+    let n = nodes.len();
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_scc = 0usize;
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        // (node, next child position) work list.
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut child)) = work.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = nodes[v].callees.get(*child) {
+                *child += 1;
+                if index[w] == UNVISITED {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        members.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let cyclic = members.len() > 1;
+                    for &m in &members {
+                        nodes[m].scc = next_scc;
+                        nodes[m].recursive = cyclic || nodes[m].callees.contains(&m);
+                    }
+                    next_scc += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Marks every node reachable from `entry` along direct edges. If any
+/// reachable node has unresolved indirect control flow, every node is
+/// conservatively reachable (the indirect transfer could target any
+/// of them).
+fn mark_reachable(nodes: &mut [CallNode], entry: Option<usize>) {
+    let Some(entry) = entry else {
+        return;
+    };
+    let mut work = vec![entry];
+    while let Some(v) = work.pop() {
+        if nodes[v].reachable {
+            continue;
+        }
+        nodes[v].reachable = true;
+        work.extend(nodes[v].callees.iter().copied());
+    }
+    if nodes.iter().any(|n| n.reachable && n.has_indirect) {
+        for n in nodes {
+            n.reachable = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_mips::parse::parse_asm;
+
+    fn graph(src: &str) -> CallGraph {
+        CallGraph::build(&parse_asm(src).unwrap())
+    }
+
+    #[test]
+    fn direct_edges_and_sites_resolve() {
+        let g = graph(
+            "main:\n\
+             \tjal helper\n\
+             \tjal helper\n\
+             \tjr $ra\n\
+             helper:\n\
+             \tlw $t0, 0($gp)\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(g.nodes.len(), 2);
+        assert_eq!(g.entry, Some(0));
+        let main = &g.nodes[0];
+        assert_eq!(main.name, "main");
+        assert_eq!(main.callees, vec![1]);
+        assert_eq!(main.call_sites.len(), 2);
+        assert!(!main.has_indirect);
+        let helper = &g.nodes[1];
+        assert_eq!(helper.callers, vec![0]);
+        assert_eq!(helper.incoming_sites, 2);
+        assert!(helper.reachable && main.reachable);
+        assert!(!helper.recursive && !main.recursive);
+    }
+
+    #[test]
+    fn jr_only_returns_are_not_indirect() {
+        // A leaf function returning through `jr $ra` must not be
+        // flagged: `$ra` returns are the one resolvable `jr` form.
+        let g = graph(
+            "main:\n\
+             \tjal leaf\n\
+             \tjr $ra\n\
+             leaf:\n\
+             \tjr $ra\n",
+        );
+        assert!(g.nodes.iter().all(|n| !n.has_indirect));
+    }
+
+    #[test]
+    fn jalr_and_computed_jr_are_conservative() {
+        let g = graph(
+            "main:\n\
+             \tjalr $ra, $t0\n\
+             \tjr $ra\n\
+             dead:\n\
+             \tjr $t1\n",
+        );
+        assert!(g.nodes[0].has_indirect, "jalr must mark the caller");
+        assert!(g.nodes[1].has_indirect, "computed jr must mark");
+        // The indirect transfer in a reachable function could target
+        // anything: everything becomes reachable.
+        assert!(g.nodes.iter().all(|n| n.reachable));
+    }
+
+    #[test]
+    fn self_recursion_is_an_scc_of_one() {
+        let g = graph(
+            "main:\n\
+             \tjal main\n\
+             \tjr $ra\n",
+        );
+        assert!(g.nodes[0].recursive);
+    }
+
+    #[test]
+    fn mutual_recursion_shares_an_scc() {
+        let g = graph(
+            "main:\n\
+             \tjal even\n\
+             \tjr $ra\n\
+             even:\n\
+             \tjal odd\n\
+             \tjr $ra\n\
+             odd:\n\
+             \tjal even\n\
+             \tjr $ra\n",
+        );
+        let (main, even, odd) = (&g.nodes[0], &g.nodes[1], &g.nodes[2]);
+        assert!(!main.recursive);
+        assert!(even.recursive && odd.recursive);
+        assert_eq!(even.scc, odd.scc);
+        assert_ne!(main.scc, even.scc);
+        // Bottom-up order puts the recursive pair before main.
+        let order = g.bottom_up();
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(1) < pos(0) && pos(2) < pos(0));
+    }
+
+    #[test]
+    fn unreachable_callee_is_marked_dead() {
+        let g = graph(
+            "main:\n\
+             \tjal used\n\
+             \tjr $ra\n\
+             used:\n\
+             \tjr $ra\n\
+             orphan:\n\
+             \tjal used\n\
+             \tjr $ra\n",
+        );
+        assert!(g.nodes[0].reachable && g.nodes[1].reachable);
+        let orphan = g.nodes.iter().find(|n| n.name == "orphan").unwrap();
+        assert!(!orphan.reachable, "orphan is never called from entry");
+        // The dead caller still contributes an incoming site count.
+        assert_eq!(g.nodes[1].incoming_sites, 2);
+    }
+
+    #[test]
+    fn node_at_maps_instructions_to_functions() {
+        let g = graph(
+            "main:\n\
+             \tjal f\n\
+             \tjr $ra\n\
+             f:\n\
+             \tjr $ra\n",
+        );
+        assert_eq!(g.node_at(0).unwrap().name, "main");
+        assert_eq!(g.node_at(2).unwrap().name, "f");
+        assert!(g.node_at(99).is_none());
+    }
+}

@@ -29,12 +29,14 @@ use std::time::{Duration, Instant};
 
 use dl_mips::program::{FuncSym, Program};
 
+use crate::callgraph::CallGraph;
 use crate::cfg::Cfg;
 use crate::dom::Dominators;
 use crate::extract::{analyze_function, AnalysisConfig, ProgramAnalysis};
 use crate::freq::{estimate_frequencies_with, FreqEstimate};
 use crate::indvar::{classify_loads_with, LoadLoopClass};
 use crate::loops::ProgramLoops;
+use crate::profile::{self, ProfilePrediction, ReuseProfiles};
 use crate::reaching::ReachingDefs;
 use crate::reuse::{predict_from_classes, CacheGeometry, ReusePrediction};
 
@@ -107,12 +109,16 @@ pub struct CtxStats {
     pub indvar: PassStats,
     /// Static execution-frequency estimation (per program).
     pub freq: PassStats,
+    /// Call-graph construction (per program).
+    pub callgraph: PassStats,
+    /// Static reuse-profile histograms (per program).
+    pub profile: PassStats,
 }
 
 impl CtxStats {
     /// Every pass with its name, in dependency order.
     #[must_use]
-    pub fn passes(&self) -> [(&'static str, PassStats); 7] {
+    pub fn passes(&self) -> [(&'static str, PassStats); 9] {
         [
             ("cfg", self.cfg),
             ("dom", self.dom),
@@ -121,6 +127,8 @@ impl CtxStats {
             ("loops", self.loops),
             ("indvar", self.indvar),
             ("freq", self.freq),
+            ("callgraph", self.callgraph),
+            ("profile", self.profile),
         ]
     }
 
@@ -133,6 +141,8 @@ impl CtxStats {
         self.loops.merge(&other.loops);
         self.indvar.merge(&other.indvar);
         self.freq.merge(&other.freq);
+        self.callgraph.merge(&other.callgraph);
+        self.profile.merge(&other.profile);
     }
 
     /// Total cache hits over all passes.
@@ -185,6 +195,8 @@ struct CtxInner {
     loops: OnceLock<ProgramLoops>,
     classes: OnceLock<Vec<LoadLoopClass>>,
     freq: OnceLock<FreqEstimate>,
+    callgraph: OnceLock<CallGraph>,
+    reuse_profiles: OnceLock<ReuseProfiles>,
     counters: Counters,
     /// Optional pass-event sink (set at most once, usually right after
     /// construction). `None` costs one `OnceLock::get` per miss.
@@ -200,6 +212,8 @@ struct Counters {
     loops: PassCounter,
     indvar: PassCounter,
     freq: PassCounter,
+    callgraph: PassCounter,
+    profile: PassCounter,
 }
 
 /// The per-program pass manager. Cheap to clone: clones share one
@@ -262,6 +276,8 @@ impl AnalysisCtx {
                 loops: OnceLock::new(),
                 classes: OnceLock::new(),
                 freq: OnceLock::new(),
+                callgraph: OnceLock::new(),
+                reuse_profiles: OnceLock::new(),
                 counters: Counters::default(),
                 observer: OnceLock::new(),
             }),
@@ -481,6 +497,44 @@ impl AnalysisCtx {
         predict_from_classes(self.load_classes(), geometry)
     }
 
+    /// The interprocedural call graph, computed once per program.
+    pub fn callgraph(&self) -> &CallGraph {
+        self.pass(
+            "callgraph",
+            &self.inner.callgraph,
+            &self.inner.counters.callgraph,
+            || CallGraph::build(&self.inner.program),
+        )
+    }
+
+    /// The static reuse-distance profiles of every load, computed
+    /// once per program from the cached load classes, loop nests, and
+    /// call graph. Geometry-free: price against any geometry with
+    /// [`Self::profile_predictions`].
+    pub fn reuse_profiles(&self) -> &ReuseProfiles {
+        self.pass(
+            "profile",
+            &self.inner.reuse_profiles,
+            &self.inner.counters.profile,
+            || {
+                let classes = self.load_classes();
+                let loops = self.loops();
+                let cg = self.callgraph();
+                profile::build(classes, loops, cg)
+            },
+        )
+    }
+
+    /// Histogram-derived predictions against `geometry`. Like
+    /// [`Self::reuse_predictions`], the geometry-independent artifact
+    /// ([`Self::reuse_profiles`]) is cached and the per-geometry
+    /// pricing is cheap arithmetic — a 9-geometry sweep runs the
+    /// analysis once.
+    #[must_use]
+    pub fn profile_predictions(&self, geometry: &CacheGeometry) -> Vec<ProfilePrediction> {
+        self.reuse_profiles().predict(geometry)
+    }
+
     /// Snapshot of every pass cache's hit/miss/time counters.
     #[must_use]
     pub fn stats(&self) -> CtxStats {
@@ -493,6 +547,8 @@ impl AnalysisCtx {
             loops: c.loops.snapshot(),
             indvar: c.indvar.snapshot(),
             freq: c.freq.snapshot(),
+            callgraph: c.callgraph.snapshot(),
+            profile: c.profile.snapshot(),
         }
     }
 }
@@ -533,6 +589,8 @@ mod tests {
             let _ = ctx.loops();
             let _ = ctx.load_classes();
             let _ = ctx.freq();
+            let _ = ctx.callgraph();
+            let _ = ctx.reuse_profiles();
         }
         let s = ctx.stats();
         // Function-local passes: exactly one computation per function,
@@ -546,6 +604,8 @@ mod tests {
             ("loops", s.loops),
             ("indvar", s.indvar),
             ("freq", s.freq),
+            ("callgraph", s.callgraph),
+            ("profile", s.profile),
         ] {
             assert_eq!(pass.misses, 1, "{name} recomputed");
             assert!(pass.hits >= 1, "{name} saw no cache hits");
@@ -648,6 +708,7 @@ mod tests {
             let _ = ctx.analysis();
             let _ = ctx.load_classes();
             let _ = ctx.freq();
+            let _ = ctx.reuse_profiles();
         }
         let mut events = recorder.0.lock().unwrap().clone();
         events.sort_unstable();
@@ -656,7 +717,17 @@ mod tests {
         assert_eq!(
             events,
             vec![
-                "cfg", "cfg", "dom", "dom", "freq", "indvar", "loops", "patterns", "reaching",
+                "callgraph",
+                "cfg",
+                "cfg",
+                "dom",
+                "dom",
+                "freq",
+                "indvar",
+                "loops",
+                "patterns",
+                "profile",
+                "reaching",
                 "reaching"
             ]
         );

@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod cfg;
 pub mod ctx;
 pub mod dom;
@@ -51,13 +52,16 @@ pub mod freq;
 pub mod indvar;
 pub mod loops;
 pub mod pattern;
+pub mod profile;
 pub mod reaching;
 pub mod reuse;
 
+pub use callgraph::{CallGraph, CallNode, CallSite};
 pub use cfg::Cfg;
 pub use ctx::{AnalysisCtx, CtxStats, PassObserver, PassStats};
 pub use extract::{analyze_program, AnalysisConfig, LoadInfo, ProgramAnalysis};
 pub use indvar::{classify_loads, AddressClass, LoadLoopClass};
 pub use loops::{Loop, LoopNest, ProgramLoops, TripCount};
 pub use pattern::Ap;
+pub use profile::{LoadProfile, ProfilePrediction, ReuseHistogram, ReuseProfiles};
 pub use reuse::{delinquent_set as reuse_delinquent_set, CacheGeometry, ReusePrediction};

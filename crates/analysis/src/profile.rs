@@ -1,0 +1,1030 @@
+//! Static reuse-distance *profiles*: a per-load histogram of reuse
+//! distances, from which a miss ratio for **any** cache geometry
+//! falls out of one analysis.
+//!
+//! Where [`crate::reuse`] collapses each load to a single miss ratio
+//! against one geometry (re-deriving the fits/aliasing judgement per
+//! geometry), this pass computes the geometry-free artifact the
+//! static reuse-profile literature works with (Razzak et al.; Barai
+//! et al., see `PAPERS.md`): for every load site, the distribution of
+//! *stack distances* — distinct cache blocks touched between
+//! consecutive accesses to the same block. Under the classic
+//! fully-associative LRU model an access hits iff its distance is
+//! below the cache's block capacity, so one histogram prices every
+//! geometry of the 8–64 KiB sweep with plain bucket arithmetic.
+//!
+//! Distances are derived from the loop nest: an invariant load's
+//! reuses happen one iteration apart (distance ≈ blocks touched per
+//! iteration), a strided load reuses its block within a line walk and
+//! again on the next traversal of an outer loop (distance ≈ the inner
+//! loop's whole footprint), a pointer chase only reuses across
+//! traversals, and an irregular load abstains. Loops whose trip
+//! counts were solved **exactly** produce point buckets; `Assumed`
+//! trips widen each bucket into an interval of
+//! [`ASSUMED_SLACK_BUCKETS`] log₂ buckets on each side, and the miss
+//! model scores a straddling interval fractionally — uncertainty is
+//! carried, not hidden.
+//!
+//! The pass is *interprocedural*: [`crate::callgraph`] supplies
+//! direct call edges, and two traversals stitch functions together.
+//! A bottom-up pass summarises each callee's distinct-block footprint
+//! (recursive SCCs and functions with unresolved indirect control
+//! flow summarise as unknown), which is inlined at call sites so a
+//! calling loop's per-iteration footprint includes what its callees
+//! touch. A top-down pass then assigns each singly-called function a
+//! *calling context* (how often it runs, how many blocks pass
+//! between invocations), which promotes the callee's own
+//! fixed-address loads from one-shot cold accesses to loop-carried
+//! reuses — loads the intraprocedural model had to abstain on.
+
+use crate::callgraph::CallGraph;
+use crate::indvar::{AddressClass, LoadLoopClass};
+use crate::loops::{FuncLoops, Loop, ProgramLoops, TripCount};
+use crate::reuse::CacheGeometry;
+
+/// Cache-line size (bytes) the histograms are denominated in. Every
+/// geometry in this repository uses 32-byte lines; a caller pricing a
+/// histogram against a different line size gets the documented
+/// approximation, not an error.
+pub const PROFILE_LINE: f64 = 32.0;
+
+/// Half-width, in log₂ buckets, of the interval an `Assumed` trip
+/// count widens a distance bucket into (±2 ≈ a factor of four each
+/// way).
+pub const ASSUMED_SLACK_BUCKETS: u8 = 2;
+
+/// Distinct-block footprint charged for a call whose callee is
+/// statically unknowable (recursive SCC, `jalr`, computed `jr`).
+/// Deliberately small-but-nonzero: an unknown callee touches
+/// *something*, and the resulting buckets are marked inexact anyway.
+pub const UNKNOWN_CALL_BLOCKS: f64 = 8.0;
+
+/// Highest distance bucket (distances are dynamic block counts, so 64
+/// log₂ buckets cover every representable distance).
+pub const MAX_BUCKET: u8 = 64;
+
+/// A statically estimated quantity that remembers whether every trip
+/// count it was derived from was solved exactly.
+#[derive(Debug, Clone, Copy)]
+struct Est {
+    val: f64,
+    exact: bool,
+}
+
+impl Est {
+    const ZERO: Est = Est {
+        val: 0.0,
+        exact: true,
+    };
+    const ONE: Est = Est {
+        val: 1.0,
+        exact: true,
+    };
+
+    fn new(val: f64, exact: bool) -> Est {
+        Est { val, exact }
+    }
+
+    fn add(self, other: Est) -> Est {
+        Est::new(self.val + other.val, self.exact && other.exact)
+    }
+
+    fn mul(self, other: Est) -> Est {
+        Est::new(self.val * other.val, self.exact && other.exact)
+    }
+
+    fn max(self, other: Est) -> Est {
+        Est::new(self.val.max(other.val), self.exact && other.exact)
+    }
+
+    fn of_trip(t: TripCount) -> Est {
+        Est::new(t.iterations(), t.is_exact())
+    }
+}
+
+/// The log₂ distance bucket of `d` (in blocks): bucket 0 holds
+/// distance 0, bucket `b ≥ 1` holds distances in `[2^(b-1), 2^b)`.
+/// This matches `dl-sim`'s measured bucketing bit for bit, and makes
+/// the hit test *exact* for power-of-two block capacities: `d < 2^k`
+/// iff `bucket(d) ≤ k`.
+#[must_use]
+pub fn distance_bucket(d: f64) -> u8 {
+    if d < 1.0 {
+        0
+    } else {
+        let b = d.log2().floor() + 1.0;
+        if b >= f64::from(MAX_BUCKET) {
+            MAX_BUCKET
+        } else {
+            b as u8
+        }
+    }
+}
+
+/// One weighted bucket interval of a reuse histogram. `lo == hi` is a
+/// point bucket (every trip count involved was exact); a wider
+/// interval records `Assumed`-trip uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Lowest log₂ distance bucket the reuses may fall in.
+    pub lo: u8,
+    /// Highest log₂ distance bucket the reuses may fall in.
+    pub hi: u8,
+    /// Fraction of the load's dynamic accesses in this interval.
+    pub weight: f64,
+}
+
+/// The static reuse-distance histogram of one load site. Weights
+/// (`buckets` + `cold` + `abstain`) sum to 1: every dynamic access is
+/// either a modelled reuse, a first touch, or unmodellable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReuseHistogram {
+    /// Modelled reuses, as weighted bucket intervals.
+    pub buckets: Vec<Bucket>,
+    /// First-touch (compulsory) fraction — a miss in every geometry.
+    pub cold: f64,
+    /// Fraction with no static distance evidence (irregular
+    /// addresses, unknown contexts). Scores as neither hit nor miss.
+    pub abstain: f64,
+}
+
+impl ReuseHistogram {
+    fn abstained() -> ReuseHistogram {
+        ReuseHistogram {
+            abstain: 1.0,
+            ..ReuseHistogram::default()
+        }
+    }
+
+    fn cold_only() -> ReuseHistogram {
+        ReuseHistogram {
+            cold: 1.0,
+            ..ReuseHistogram::default()
+        }
+    }
+
+    /// Adds `weight` worth of reuses at estimated distance `d`
+    /// (blocks). An inexact estimate widens into an
+    /// ±[`ASSUMED_SLACK_BUCKETS`] interval.
+    fn push(&mut self, d: Est, weight: f64) {
+        if weight <= 0.0 {
+            return;
+        }
+        let b = distance_bucket(d.val);
+        let (lo, hi) = if d.exact {
+            (b, b)
+        } else {
+            (
+                b.saturating_sub(ASSUMED_SLACK_BUCKETS),
+                (b + ASSUMED_SLACK_BUCKETS).min(MAX_BUCKET),
+            )
+        };
+        if let Some(existing) = self.buckets.iter_mut().find(|e| e.lo == lo && e.hi == hi) {
+            existing.weight += weight;
+        } else {
+            self.buckets.push(Bucket { lo, hi, weight });
+        }
+    }
+
+    /// Fraction of accesses the histogram models (everything but
+    /// `abstain`).
+    #[must_use]
+    pub fn modeled(&self) -> f64 {
+        1.0 - self.abstain
+    }
+
+    /// Predicted miss ratio in a fully-associative LRU cache of
+    /// `cap_blocks` blocks: cold accesses always miss, a point bucket
+    /// misses iff its distances reach the capacity, and an interval
+    /// bucket is scored per sub-bucket with a fractional charge for
+    /// the one sub-bucket a non-power-of-two capacity straddles.
+    /// Abstained weight contributes nothing (the estimator does not
+    /// guess).
+    #[must_use]
+    pub fn miss_ratio(&self, cap_blocks: u64) -> f64 {
+        let mut miss = self.cold;
+        for b in &self.buckets {
+            let span = f64::from(b.hi - b.lo) + 1.0;
+            for sub in b.lo..=b.hi {
+                miss += b.weight / span * sub_bucket_miss(sub, cap_blocks);
+            }
+        }
+        miss.clamp(0.0, 1.0)
+    }
+}
+
+/// Fraction of bucket `b`'s distance range at or beyond `cap`.
+fn sub_bucket_miss(b: u8, cap: u64) -> f64 {
+    if cap == 0 {
+        return 1.0;
+    }
+    if b == 0 {
+        return 0.0; // distance 0 hits any non-empty cache
+    }
+    let min_d = 2f64.powi(i32::from(b) - 1);
+    let max_d = 2f64.powi(i32::from(b)) - 1.0;
+    let cap = cap as f64;
+    if max_d < cap {
+        0.0
+    } else if min_d >= cap {
+        1.0
+    } else {
+        // Uniform within the bucket: the share of [min_d, 2^b) at or
+        // beyond the capacity.
+        ((max_d + 1.0 - cap) / (max_d + 1.0 - min_d)).clamp(0.0, 1.0)
+    }
+}
+
+/// The static reuse profile of one load site.
+#[derive(Debug, Clone)]
+pub struct LoadProfile {
+    /// Instruction index of the load.
+    pub index: usize,
+    /// Address class in its innermost enclosing loop.
+    pub class: AddressClass,
+    /// `true` if the load executes repeatedly — inside a loop, or
+    /// inside a function a calling context proves is invoked from a
+    /// loop.
+    pub in_loop: bool,
+    /// Estimated executions per program run of the iteration context
+    /// the histogram was built against.
+    pub trip: f64,
+    /// `true` if that trip estimate was solved exactly.
+    pub trip_exact: bool,
+    /// `true` if the histogram needed the interprocedural machinery
+    /// (callee summaries or a calling context) — i.e. the
+    /// intraprocedural model alone would have abstained or gone cold.
+    pub interprocedural: bool,
+    /// The reuse-distance histogram.
+    pub hist: ReuseHistogram,
+}
+
+/// Static reuse profiles for every load of a program, in load order.
+#[derive(Debug, Clone, Default)]
+pub struct ReuseProfiles {
+    /// One profile per static load.
+    pub loads: Vec<LoadProfile>,
+}
+
+/// One load's geometry-priced verdict.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfilePrediction {
+    /// Instruction index of the load.
+    pub index: usize,
+    /// Histogram-derived miss ratio in `[0, 1]`.
+    pub miss_ratio: f64,
+    /// `true` if the histogram abstains on most accesses — the
+    /// prediction carries no weight.
+    pub abstained: bool,
+    /// `true` if the load has a repeating iteration context (see
+    /// [`LoadProfile::in_loop`]).
+    pub in_loop: bool,
+    /// Copied from [`LoadProfile::interprocedural`].
+    pub interprocedural: bool,
+}
+
+impl ReuseProfiles {
+    /// Prices every histogram against `geometry` (fully-associative
+    /// LRU over `capacity / line` blocks — associativity does not
+    /// enter the stack-distance model). Cheap arithmetic: call it
+    /// once per geometry of a sweep.
+    #[must_use]
+    pub fn predict(&self, geometry: &CacheGeometry) -> Vec<ProfilePrediction> {
+        let cap_blocks = geometry.capacity / geometry.line;
+        self.loads
+            .iter()
+            .map(|l| ProfilePrediction {
+                index: l.index,
+                miss_ratio: l.hist.miss_ratio(cap_blocks),
+                abstained: l.hist.abstain >= 0.5,
+                in_loop: l.in_loop,
+                interprocedural: l.interprocedural,
+            })
+            .collect()
+    }
+
+    /// Loads flagged delinquent at `threshold`: repeating loads whose
+    /// histogram commits to a miss ratio at or above it. One-shot
+    /// loads (a single compulsory miss) and mostly-abstained loads
+    /// are never flagged, mirroring [`crate::reuse`]'s abstention
+    /// semantics.
+    #[must_use]
+    pub fn delinquent_set(&self, geometry: &CacheGeometry, threshold: f64) -> Vec<usize> {
+        self.predict(geometry)
+            .into_iter()
+            .filter(|p| p.in_loop && !p.abstained && p.miss_ratio >= threshold)
+            .map(|p| p.index)
+            .collect()
+    }
+
+    /// How many loads needed the interprocedural machinery.
+    #[must_use]
+    pub fn interprocedural_count(&self) -> usize {
+        self.loads.iter().filter(|l| l.interprocedural).count()
+    }
+}
+
+/// A callee's distinct-block footprint per invocation.
+#[derive(Debug, Clone, Copy)]
+struct Summary {
+    blocks: Est,
+    known: bool,
+}
+
+/// The per-loop aggregates of one function: blocks touched by one
+/// iteration and by one full execution.
+#[derive(Debug, Clone, Copy)]
+struct LoopBlocks {
+    iter: Est,
+    footprint: Est,
+}
+
+/// The calling context a singly-called function inherits: how many
+/// times it is invoked over the program, and how many distinct blocks
+/// pass between consecutive invocations.
+#[derive(Debug, Clone, Copy)]
+struct Context {
+    trip: Est,
+    between: Est,
+}
+
+/// Per-iteration *new* blocks a load contributes to its innermost
+/// loop's footprint growth.
+fn novelty(class: AddressClass) -> f64 {
+    match class {
+        AddressClass::Invariant => 0.0,
+        AddressClass::Strided(s) => ((s.unsigned_abs() as f64).max(1.0) / PROFILE_LINE).min(1.0),
+        // A chase touches a fresh block per node; an irregular load is
+        // charged the same so its neighbours' distances stay honest.
+        AddressClass::PointerChase | AddressClass::Irregular => 1.0,
+    }
+}
+
+/// Everything the per-function phases need, gathered once.
+struct FuncShape<'a> {
+    floops: &'a FuncLoops,
+    /// Loads of this function with their innermost loop id.
+    loads: Vec<(&'a LoadLoopClass, Option<usize>)>,
+    /// Direct call sites with their innermost loop id and callee.
+    calls: Vec<(Option<usize>, usize)>,
+    /// Children of each loop id.
+    children: Vec<Vec<usize>>,
+}
+
+impl<'a> FuncShape<'a> {
+    fn gather(
+        floops: &'a FuncLoops,
+        classes: &'a [LoadLoopClass],
+        node: &crate::callgraph::CallNode,
+    ) -> FuncShape<'a> {
+        let innermost_of = |at: usize| -> Option<usize> {
+            floops.nest.innermost(floops.cfg.block_of(at)).map(|l| l.id)
+        };
+        let loads = classes
+            .iter()
+            .filter(|c| c.index >= floops.start && c.index < floops.end)
+            .map(|c| (c, innermost_of(c.index)))
+            .collect();
+        let calls = node
+            .call_sites
+            .iter()
+            .map(|s| (innermost_of(s.at), s.callee))
+            .collect();
+        let mut children = vec![Vec::new(); floops.nest.loops().len()];
+        for l in floops.nest.loops() {
+            if let Some(p) = l.parent {
+                children[p].push(l.id);
+            }
+        }
+        FuncShape {
+            floops,
+            loads,
+            calls,
+            children,
+        }
+    }
+
+    /// Total-trip of loop `id` with exactness tracked.
+    fn total_trip(&self, id: usize) -> Est {
+        let loops = self.floops.nest.loops();
+        let mut est = Est::ONE;
+        let mut cur = Some(id);
+        let mut steps = 0;
+        while let Some(l) = cur {
+            est = est.mul(Est::of_trip(loops[l].trip));
+            steps += 1;
+            if steps > loops.len() {
+                break;
+            }
+            cur = loops[l].parent;
+        }
+        est
+    }
+
+    /// Outer-trip (ancestors only) of loop `id` with exactness.
+    fn outer_trip(&self, id: usize) -> Est {
+        self.floops.nest.loops()[id]
+            .parent
+            .map_or(Est::ONE, |p| self.total_trip(p))
+    }
+
+    /// Computes [`LoopBlocks`] for every loop (children before
+    /// parents) given the callee summaries.
+    fn loop_blocks(&self, summaries: &[Summary]) -> Vec<LoopBlocks> {
+        let loops = self.floops.nest.loops();
+        let mut out = vec![
+            LoopBlocks {
+                iter: Est::ZERO,
+                footprint: Est::ZERO,
+            };
+            loops.len()
+        ];
+        // Deeper loops first: children are finished before parents.
+        let mut order: Vec<usize> = (0..loops.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(loops[i].depth));
+        for id in order {
+            let mut iter = Est::ZERO;
+            let mut new_per_iter = Est::ZERO;
+            for (c, innermost) in &self.loads {
+                if *innermost == Some(id) {
+                    iter = iter.add(Est::ONE);
+                    new_per_iter = new_per_iter.add(Est::new(novelty(c.class), true));
+                }
+            }
+            for &(site_loop, callee) in &self.calls {
+                if site_loop == Some(id) {
+                    let s = summaries[callee];
+                    iter = iter.add(s.blocks);
+                    new_per_iter = new_per_iter.add(s.blocks);
+                }
+            }
+            for &child in &self.children[id] {
+                iter = iter.add(out[child].footprint);
+                new_per_iter = new_per_iter.add(out[child].footprint);
+            }
+            let trip = Est::of_trip(loops[id].trip);
+            // A full execution re-touches invariant data but keeps
+            // streaming over strided data; children and callees are
+            // charged once (their data is assumed re-walked).
+            let streamed = {
+                let mut only_loads = Est::ZERO;
+                for (c, innermost) in &self.loads {
+                    if *innermost == Some(id) {
+                        only_loads = only_loads.add(Est::new(novelty(c.class), true));
+                    }
+                }
+                only_loads
+                    .mul(trip)
+                    .add(new_per_iter.add(only_loads.mul(Est::new(-1.0, true))))
+            };
+            out[id] = LoopBlocks {
+                iter,
+                footprint: iter.max(streamed),
+            };
+        }
+        out
+    }
+
+    /// The function's per-invocation footprint: top-level loads, root
+    /// loops, top-level calls.
+    fn own_summary(&self, summaries: &[Summary], blocks: &[LoopBlocks]) -> Summary {
+        let mut total = Est::ZERO;
+        let mut known = true;
+        for (_, innermost) in &self.loads {
+            if innermost.is_none() {
+                total = total.add(Est::ONE);
+            }
+        }
+        for l in self.floops.nest.loops() {
+            if l.parent.is_none() {
+                total = total.add(blocks[l.id].footprint);
+            }
+        }
+        for &(site_loop, callee) in &self.calls {
+            if site_loop.is_none() {
+                let s = summaries[callee];
+                total = total.add(s.blocks);
+                known &= s.known;
+            }
+        }
+        Summary {
+            blocks: total,
+            known,
+        }
+    }
+}
+
+/// Builds the reuse profile of every load. `classes`, `loops`, and
+/// `cg` must come from the same program (the pass manager guarantees
+/// this).
+#[must_use]
+pub fn build(classes: &[LoadLoopClass], loops: &ProgramLoops, cg: &CallGraph) -> ReuseProfiles {
+    debug_assert_eq!(loops.funcs.len(), cg.nodes.len());
+    let n = cg.nodes.len();
+    let shapes: Vec<FuncShape<'_>> = (0..n)
+        .map(|i| {
+            debug_assert_eq!(loops.funcs[i].start, cg.nodes[i].start);
+            FuncShape::gather(&loops.funcs[i], classes, &cg.nodes[i])
+        })
+        .collect();
+
+    // Bottom-up: per-callee footprint summaries, inlined at call
+    // sites. Recursive SCCs and indirect control flow summarise as
+    // unknown (a small inexact footprint).
+    let unknown = Summary {
+        blocks: Est::new(UNKNOWN_CALL_BLOCKS, false),
+        known: false,
+    };
+    let mut summaries = vec![unknown; n];
+    let mut loop_blocks: Vec<Vec<LoopBlocks>> = vec![Vec::new(); n];
+    for fi in cg.bottom_up() {
+        let node = &cg.nodes[fi];
+        loop_blocks[fi] = shapes[fi].loop_blocks(&summaries);
+        if node.recursive || node.has_indirect {
+            summaries[fi] = unknown;
+        } else {
+            summaries[fi] = shapes[fi].own_summary(&summaries, &loop_blocks[fi]);
+        }
+    }
+
+    // Top-down: calling contexts. Only attempted when every reachable
+    // call is a resolved direct one — an unresolved transfer could
+    // invoke anything, invalidating any single-site context.
+    let any_indirect = cg.nodes.iter().any(|no| no.reachable && no.has_indirect);
+    let mut contexts: Vec<Option<Context>> = vec![None; n];
+    if let Some(entry) = cg.entry {
+        contexts[entry] = Some(Context {
+            trip: Est::ONE,
+            between: Est::ZERO,
+        });
+    }
+    if !any_indirect {
+        for &fi in cg.bottom_up().iter().rev() {
+            if Some(fi) == cg.entry {
+                continue;
+            }
+            let node = &cg.nodes[fi];
+            if node.recursive || !node.reachable || node.incoming_sites != 1 {
+                continue;
+            }
+            // The unique direct call site.
+            let Some((caller, site)) = (0..n).find_map(|c| {
+                cg.nodes[c]
+                    .call_sites
+                    .iter()
+                    .find(|s| s.callee == fi)
+                    .map(|s| (c, *s))
+            }) else {
+                continue;
+            };
+            let Some(caller_ctx) = contexts[caller] else {
+                continue;
+            };
+            let site_loop = shapes[caller]
+                .floops
+                .nest
+                .innermost(shapes[caller].floops.cfg.block_of(site.at))
+                .map(|l| l.id);
+            contexts[fi] = Some(match site_loop {
+                Some(l) => Context {
+                    trip: caller_ctx.trip.mul(shapes[caller].total_trip(l)),
+                    between: loop_blocks[caller][l].iter,
+                },
+                None => caller_ctx,
+            });
+        }
+    }
+
+    // Histograms.
+    let mut loads = Vec::with_capacity(classes.len());
+    for fi in 0..n {
+        let shape = &shapes[fi];
+        let ctx = contexts[fi];
+        for &(c, innermost) in &shape.loads {
+            loads.push(profile_load(shape, &loop_blocks[fi], ctx, c, innermost));
+        }
+    }
+    // Loads outside every non-empty function (should not happen, but
+    // stay total): abstain.
+    for c in classes {
+        if !loads.iter().any(|l: &LoadProfile| l.index == c.index) {
+            loads.push(LoadProfile {
+                index: c.index,
+                class: c.class,
+                in_loop: c.in_loop,
+                trip: c.trip,
+                trip_exact: c.trip_exact,
+                interprocedural: false,
+                hist: ReuseHistogram::abstained(),
+            });
+        }
+    }
+    loads.sort_by_key(|l| l.index);
+    ReuseProfiles { loads }
+}
+
+/// Builds one load's histogram from its loop (or calling) context.
+fn profile_load(
+    shape: &FuncShape<'_>,
+    blocks: &[LoopBlocks],
+    ctx: Option<Context>,
+    c: &LoadLoopClass,
+    innermost: Option<usize>,
+) -> LoadProfile {
+    let ctx_trip = ctx.map_or(Est::ONE, |x| x.trip);
+    let Some(id) = innermost else {
+        // Not in a loop. A calling context that proves repetition
+        // promotes a fixed-address load into an invariant reuse; an
+        // irregular one still abstains; everything else is one cold
+        // access.
+        return match ctx {
+            Some(x) if x.trip.val > 1.5 && c.class == AddressClass::Invariant => {
+                let mut hist = ReuseHistogram::default();
+                let between = x.between.add(Est::new(-1.0, true)).max(Est::ZERO);
+                hist.push(between, 1.0 - 1.0 / x.trip.val);
+                hist.cold = 1.0 / x.trip.val;
+                LoadProfile {
+                    index: c.index,
+                    class: c.class,
+                    in_loop: true,
+                    trip: x.trip.val,
+                    trip_exact: x.trip.exact,
+                    interprocedural: true,
+                    hist,
+                }
+            }
+            _ => LoadProfile {
+                index: c.index,
+                class: c.class,
+                in_loop: false,
+                trip: 1.0,
+                trip_exact: true,
+                interprocedural: false,
+                hist: if c.class == AddressClass::Irregular {
+                    ReuseHistogram::abstained()
+                } else {
+                    ReuseHistogram::cold_only()
+                },
+            },
+        };
+    };
+
+    let nest_loop: &Loop = &shape.floops.nest.loops()[id];
+    let trip = Est::of_trip(nest_loop.trip);
+    let n_iter = trip.val.max(1.0);
+    // Re-entries of this loop: ancestors within the function times the
+    // calling context's invocation count.
+    let outer = shape.outer_trip(id).mul(ctx_trip);
+    let m = outer.val.max(1.0);
+    // Distance between consecutive iterations: the blocks one
+    // iteration touches, minus this load's own block.
+    let d_iter = blocks[id].iter.add(Est::new(-1.0, true)).max(Est::ZERO);
+    // Distance between consecutive traversals: the blocks one
+    // iteration of the *enclosing* context touches (which includes
+    // this loop's whole footprint), minus the load's own block.
+    let d_rewalk = match nest_loop.parent {
+        Some(p) => blocks[p].iter,
+        None => match ctx {
+            Some(x) if x.trip.val > 1.5 => x.between,
+            // No enclosing context: d_rewalk is unused because m == 1.
+            _ => blocks[id].footprint,
+        },
+    }
+    .add(Est::new(-1.0, true))
+    .max(Est::ZERO);
+    let interprocedural =
+        ctx.is_some_and(|x| x.trip.val > 1.5) && nest_loop.parent.is_none() && m > 1.0;
+
+    let mut hist = ReuseHistogram::default();
+    // Fraction of accesses that touch a block not touched by the
+    // previous iteration of this load.
+    let frac_new = match c.class {
+        AddressClass::Invariant => 1.0 / n_iter,
+        AddressClass::Strided(s) => ((s.unsigned_abs() as f64).max(1.0) / PROFILE_LINE).min(1.0),
+        AddressClass::PointerChase => 1.0,
+        AddressClass::Irregular => {
+            return LoadProfile {
+                index: c.index,
+                class: c.class,
+                in_loop: true,
+                trip: c.trip,
+                trip_exact: c.trip_exact,
+                interprocedural: false,
+                hist: ReuseHistogram::abstained(),
+            };
+        }
+    };
+    // Within-traversal reuses one iteration apart.
+    hist.push(d_iter, 1.0 - frac_new);
+    // New blocks: re-found on the next traversal when one exists,
+    // cold otherwise (and the first traversal is always cold).
+    if m > 1.0 {
+        hist.push(d_rewalk, frac_new * (1.0 - 1.0 / m));
+        hist.cold = frac_new / m;
+    } else {
+        hist.cold = frac_new;
+    }
+
+    LoadProfile {
+        index: c.index,
+        class: c.class,
+        in_loop: true,
+        trip: c.trip,
+        trip_exact: c.trip_exact && outer.exact,
+        interprocedural,
+        hist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{analyze_program, AnalysisConfig};
+    use crate::indvar::classify_loads;
+    use dl_mips::parse::parse_asm;
+
+    fn profiles(src: &str) -> ReuseProfiles {
+        let p = parse_asm(src).unwrap();
+        let analysis = analyze_program(&p, &AnalysisConfig::default());
+        let loops = ProgramLoops::build(&p);
+        let classes = classify_loads(&p, &analysis, &loops);
+        let cg = CallGraph::build(&p);
+        build(&classes, &loops, &cg)
+    }
+
+    fn geom(kb: u64) -> CacheGeometry {
+        CacheGeometry::new(kb * 1024, 32, 4)
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_for_powers_of_two() {
+        assert_eq!(distance_bucket(0.0), 0);
+        assert_eq!(distance_bucket(1.0), 1);
+        assert_eq!(distance_bucket(3.0), 2);
+        assert_eq!(distance_bucket(4.0), 3);
+        assert_eq!(distance_bucket(255.0), 8);
+        assert_eq!(distance_bucket(256.0), 9);
+        // 256-block capacity (8 KiB / 32 B): bucket 8 hits, bucket 9
+        // misses — the boundary never straddles.
+        assert_eq!(sub_bucket_miss(8, 256), 0.0);
+        assert_eq!(sub_bucket_miss(9, 256), 1.0);
+    }
+
+    #[test]
+    fn interval_buckets_straddle_fractionally() {
+        let h = ReuseHistogram {
+            buckets: vec![Bucket {
+                lo: 7,
+                hi: 11,
+                weight: 1.0,
+            }],
+            cold: 0.0,
+            abstain: 0.0,
+        };
+        let r = h.miss_ratio(256);
+        // Sub-buckets 7, 8 hit; 9, 10, 11 miss → 3/5.
+        assert!((r - 0.6).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn streaming_walk_is_cold_every_new_line() {
+        // 16 KiB walk, once: 4-byte stride → 1/8 of accesses first-
+        // touch a line and never see it again. Miss ratio 1/8 at
+        // every geometry.
+        let p = profiles(
+            "main:\n\
+             \tli $t0, 0\n\
+             \tli $t1, 16384\n\
+             .Lh:\n\
+             \tlw $t2, 0($t0)\n\
+             \taddiu $t0, $t0, 4\n\
+             \tbne $t0, $t1, .Lh\n\
+             \tjr $ra\n",
+        );
+        let load = &p.loads[0];
+        assert!((load.hist.cold - 1.0 / 8.0).abs() < 1e-9);
+        for kb in [8, 16, 32, 64] {
+            let r = load.hist.miss_ratio(kb * 1024 / 32);
+            assert!((r - 1.0 / 8.0).abs() < 1e-9, "{kb} KiB: {r}");
+        }
+    }
+
+    #[test]
+    fn rewalked_array_hits_when_it_fits() {
+        // 4 KiB inner walk re-walked 8 times: fits a 8 KiB cache
+        // (re-walk distance 128 blocks < 256), misses at 2 KiB
+        // (128 >= 64).
+        let p = profiles(
+            "main:\n\
+             \tli $s0, 8\n\
+             .Louter:\n\
+             \tli $t0, 0\n\
+             \tli $t1, 4096\n\
+             .Lh:\n\
+             \tlw $t2, 0($t0)\n\
+             \taddiu $t0, $t0, 4\n\
+             \tbne $t0, $t1, .Lh\n\
+             \taddiu $s0, $s0, -1\n\
+             \tbgtz $s0, .Louter\n\
+             \tjr $ra\n",
+        );
+        let load = &p.loads[0];
+        let fits = load.hist.miss_ratio(256);
+        let thrashes = load.hist.miss_ratio(64);
+        // Fitting: only the first walk's 1/8 first-touches miss, and
+        // only once over 8 walks.
+        assert!((fits - 1.0 / 8.0 / 8.0).abs() < 1e-9, "{fits}");
+        // Thrashing: every new line misses on every walk.
+        assert!((thrashes - 1.0 / 8.0).abs() < 1e-9, "{thrashes}");
+        // The same histogram priced both geometries.
+        assert!(p.delinquent_set(&geom(2), 0.10).contains(&load.index));
+        assert!(!p.delinquent_set(&geom(8), 0.10).contains(&load.index));
+    }
+
+    #[test]
+    fn invariant_load_reuses_every_iteration() {
+        let p = profiles(
+            "main:\n\
+             \tli $t0, 100\n\
+             .Lh:\n\
+             \tlw $t1, 0($gp)\n\
+             \taddiu $t0, $t0, -1\n\
+             \tbgtz $t0, .Lh\n\
+             \tjr $ra\n",
+        );
+        let load = &p.loads[0];
+        assert!((load.hist.cold - 0.01).abs() < 1e-9);
+        assert!((load.hist.miss_ratio(256) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assumed_trips_widen_buckets() {
+        // A chase of unknown length re-walked by an exact outer loop:
+        // the re-walk distance depends on the assumed trip, so the
+        // bucket must be an interval, not a point.
+        let p = profiles(
+            "main:\n\
+             \tli $s0, 4\n\
+             .Louter:\n\
+             \tlw $t0, 0($gp)\n\
+             .Lh:\n\
+             \tlw $t0, 0($t0)\n\
+             \tbne $t0, $zero, .Lh\n\
+             \taddiu $s0, $s0, -1\n\
+             \tbgtz $s0, .Louter\n\
+             \tjr $ra\n",
+        );
+        let chase = p
+            .loads
+            .iter()
+            .find(|l| l.class == AddressClass::PointerChase)
+            .expect("chase load profiled");
+        let wide = chase.hist.buckets.iter().any(|b| b.hi > b.lo);
+        assert!(wide, "assumed-trip distances must widen: {:?}", chase.hist);
+    }
+
+    #[test]
+    fn irregular_loads_abstain() {
+        // The address register is hashed with the loaded value each
+        // iteration — no affine or chase structure to model.
+        let p = profiles(
+            "main:\n\
+             \tli $t0, 100\n\
+             \tli $t3, 64\n\
+             .Lh:\n\
+             \tlw $t1, 0($t3)\n\
+             \txor $t3, $t3, $t1\n\
+             \taddiu $t0, $t0, -1\n\
+             \tbgtz $t0, .Lh\n\
+             \tjr $ra\n",
+        );
+        let load = &p.loads[0];
+        assert_eq!(load.hist.abstain, 1.0);
+        assert!(p.delinquent_set(&geom(8), 0.0).is_empty());
+    }
+
+    #[test]
+    fn call_context_resolves_cross_function_load() {
+        // The callee's fixed-address load is one-shot to the
+        // intraprocedural model; the calling loop's context proves it
+        // repeats and reuses at a tiny distance.
+        let in_loop = profiles(
+            "main:\n\
+             \tli $s0, 100\n\
+             .Lh:\n\
+             \tjal helper\n\
+             \taddiu $s0, $s0, -1\n\
+             \tbgtz $s0, .Lh\n\
+             \tjr $ra\n\
+             helper:\n\
+             \tlw $t1, 0($gp)\n\
+             \tjr $ra\n",
+        );
+        let load = &in_loop.loads[0];
+        assert!(load.interprocedural, "context must resolve the load");
+        assert!(load.in_loop);
+        // The calling loop's trip is Assumed (the call interrupts the
+        // countdown tracking), so the context is inexact but present:
+        // the load repeats ~trip times and mostly hits.
+        assert!(load.trip > 1.5, "context trip: {}", load.trip);
+        assert!(!load.trip_exact);
+        assert!((load.hist.cold - 1.0 / load.trip).abs() < 1e-9);
+        assert!(load.hist.miss_ratio(256) < 0.05);
+        assert_eq!(in_loop.interprocedural_count(), 1);
+
+        // The same callee invoked once stays a single cold access.
+        let once = profiles(
+            "main:\n\
+             \tjal helper\n\
+             \tjr $ra\n\
+             helper:\n\
+             \tlw $t1, 0($gp)\n\
+             \tjr $ra\n",
+        );
+        assert!(!once.loads[0].interprocedural);
+        assert_eq!(once.loads[0].hist.cold, 1.0);
+        assert_eq!(once.interprocedural_count(), 0);
+    }
+
+    #[test]
+    fn two_deep_call_chain_propagates_context() {
+        // main loops over f1; f1 calls f2 at top level: f2's load
+        // inherits the loop context through the chain.
+        let p = profiles(
+            "main:\n\
+             \tli $s0, 50\n\
+             .Lh:\n\
+             \tjal f1\n\
+             \taddiu $s0, $s0, -1\n\
+             \tbgtz $s0, .Lh\n\
+             \tjr $ra\n\
+             f1:\n\
+             \taddiu $sp, $sp, -8\n\
+             \tsw $ra, 4($sp)\n\
+             \tjal f2\n\
+             \tlw $ra, 4($sp)\n\
+             \taddiu $sp, $sp, 8\n\
+             \tjr $ra\n\
+             f2:\n\
+             \tlw $t1, 0($gp)\n\
+             \tjr $ra\n",
+        );
+        let f2_load = p
+            .loads
+            .iter()
+            .find(|l| l.interprocedural)
+            .expect("f2's load resolved through the chain");
+        assert!((f2_load.trip - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recursive_callee_footprint_is_unknown_not_wrong() {
+        let p = profiles(
+            "main:\n\
+             \tli $s0, 10\n\
+             .Lh:\n\
+             \tjal rec\n\
+             \tlw $t1, 0($gp)\n\
+             \taddiu $s0, $s0, -1\n\
+             \tbgtz $s0, .Lh\n\
+             \tjr $ra\n\
+             rec:\n\
+             \tjal rec\n\
+             \tjr $ra\n",
+        );
+        // The invariant load next to the recursive call still gets a
+        // histogram, but its iteration distance is inexact (the
+        // recursive footprint is unknown) → interval buckets.
+        let load = &p.loads[0];
+        assert!(load.in_loop);
+        assert!(
+            load.hist.buckets.iter().any(|b| b.hi > b.lo),
+            "unknown callee footprint must widen: {:?}",
+            load.hist
+        );
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let p = profiles(
+            "main:\n\
+             \tli $s0, 8\n\
+             .Louter:\n\
+             \tli $t0, 0\n\
+             \tli $t1, 4096\n\
+             .Lh:\n\
+             \tlw $t2, 0($t0)\n\
+             \tlw $t3, 0($gp)\n\
+             \taddiu $t0, $t0, 4\n\
+             \tbne $t0, $t1, .Lh\n\
+             \taddiu $s0, $s0, -1\n\
+             \tbgtz $s0, .Louter\n\
+             \tjr $ra\n",
+        );
+        for l in &p.loads {
+            let total: f64 =
+                l.hist.buckets.iter().map(|b| b.weight).sum::<f64>() + l.hist.cold + l.hist.abstain;
+            assert!((total - 1.0).abs() < 1e-9, "load {}: {total}", l.index);
+        }
+    }
+}

@@ -29,5 +29,5 @@ pub mod reuse;
 
 pub use bdh::{bdh_classify, bdh_delinquent_set, BdhClass, Kind, Region};
 pub use okn::{okn_classify, okn_delinquent_set, OknClass};
-pub use predictors::{Bdh, Okn, ReusePredictor};
+pub use predictors::{Bdh, Okn, ProfilePredictor, ReusePredictor};
 pub use reuse::{reuse_delinquent_set, reuse_predictions};

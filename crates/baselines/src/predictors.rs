@@ -72,6 +72,43 @@ impl Predictor for ReusePredictor {
     }
 }
 
+/// The static reuse-*profile* estimator as a [`Predictor`]: prices
+/// each load's cached reuse-distance histogram
+/// (`dl-analysis::profile`, interprocedural) against
+/// [`Self::geometry`] and flags those whose miss ratio reaches
+/// [`Self::threshold`]. The histogram is geometry-free, so a sweep of
+/// geometries shares one analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfilePredictor {
+    /// The cache the histograms are priced against.
+    pub geometry: CacheGeometry,
+    /// Miss-ratio threshold above which a load is flagged.
+    pub threshold: f64,
+}
+
+impl ProfilePredictor {
+    /// A profile predictor over `geometry` with the default threshold
+    /// ([`reuse::REUSE_DELTA`], shared with [`ReusePredictor`]).
+    #[must_use]
+    pub fn new(geometry: CacheGeometry) -> Self {
+        ProfilePredictor {
+            geometry,
+            threshold: reuse::REUSE_DELTA,
+        }
+    }
+}
+
+impl Predictor for ProfilePredictor {
+    fn name(&self) -> &'static str {
+        "profile"
+    }
+
+    fn predict(&self, ctx: &AnalysisCtx) -> DelinquencySet {
+        ctx.reuse_profiles()
+            .delinquent_set(&self.geometry, self.threshold)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,10 +157,31 @@ mod tests {
     }
 
     #[test]
+    fn profile_predictor_prices_cached_histograms() {
+        let ctx = ctx();
+        let g8 = CacheGeometry::new(8 * 1024, 32, 4);
+        let p = ProfilePredictor::new(g8);
+        assert_eq!(
+            p.predict(&ctx),
+            ctx.reuse_profiles().delinquent_set(&g8, reuse::REUSE_DELTA)
+        );
+        // The 16 KiB single-pass walk streams: every new line is a
+        // cold miss at any geometry, so the load is flagged.
+        assert_eq!(p.predict(&ctx), vec![3]);
+        // A geometry sweep reuses the one cached histogram pass.
+        for kb in [16, 64] {
+            let _ = ProfilePredictor::new(CacheGeometry::new(kb * 1024, 32, 4)).predict(&ctx);
+        }
+        assert_eq!(ctx.stats().profile.misses, 1);
+    }
+
+    #[test]
     fn names_are_stable() {
         assert_eq!(Okn.name(), "okn");
         assert_eq!(Bdh.name(), "bdh");
         let r = ReusePredictor::new(CacheGeometry::new(8 * 1024, 32, 4));
         assert_eq!(r.name(), "reuse");
+        let p = ProfilePredictor::new(CacheGeometry::new(8 * 1024, 32, 4));
+        assert_eq!(p.name(), "profile");
     }
 }

@@ -8,58 +8,19 @@ use dl_analysis::extract::{analyze_program, AnalysisConfig};
 use dl_analysis::reuse::REUSE_DELTA;
 use dl_analysis::{AnalysisCtx, CacheGeometry};
 use dl_baselines::{bdh_delinquent_set, okn_delinquent_set, reuse_delinquent_set};
-use dl_baselines::{Bdh, Okn, ReusePredictor};
+use dl_baselines::{Bdh, Okn, ProfilePredictor, ReusePredictor};
 use dl_core::combine::{combine_hybrid, HybridMode};
 use dl_core::{Heuristic, Hybrid, Predictor};
 use dl_mips::parse::parse_asm;
 use dl_mips::program::Program;
-use dl_testkit::{cases, Rng};
+use dl_testkit::{cases, progen, Rng};
 
-/// A random multi-function program rich in loads: stack reloads,
-/// register-based (possibly chased) dereferences, global accesses,
-/// pointer arithmetic, and arbitrary control flow — the full input
-/// space the predictors disagree over.
+/// A random program from `dl_testkit::progen`: half call-free
+/// control-flow soup, half call-bearing (direct calls, calls in
+/// counted loops, 2-deep call chains) — the full input space the
+/// predictors and the interprocedural profile engine disagree over.
 fn arb_program(rng: &mut Rng) -> Program {
-    let nfuncs = 1 + rng.index(3);
-    let mut s = String::new();
-    for fi in 0..nfuncs {
-        if fi == 0 {
-            s.push_str("main:\n");
-        } else {
-            s.push_str(&format!("f{fi}:\n"));
-        }
-        let nblocks = 1 + rng.index(4);
-        for b in 0..nblocks {
-            s.push_str(&format!(".L{fi}_{b}:\n"));
-            for _ in 0..1 + rng.index(5) {
-                let (d, a, c) = (rng.index(8), rng.index(8), rng.index(8));
-                match rng.index(8) {
-                    0 => s.push_str(&format!("\tlw $t{d}, {}($sp)\n", 4 * rng.index(16))),
-                    1 => s.push_str(&format!("\tlw $t{d}, {}($t{a})\n", 4 * rng.index(8))),
-                    2 => s.push_str(&format!("\tlw $t{d}, {}($gp)\n", 4 * rng.index(16))),
-                    3 => s.push_str(&format!(
-                        "\taddiu $t{d}, $t{a}, {}\n",
-                        rng.range_i32(-8, 64)
-                    )),
-                    4 => s.push_str(&format!("\tsll $t{d}, $t{a}, {}\n", 1 + rng.index(3))),
-                    5 => s.push_str(&format!("\tli $t{d}, {}\n", rng.index(4096))),
-                    6 => s.push_str(&format!("\tsw $t{d}, {}($sp)\n", 4 * rng.index(16))),
-                    _ => s.push_str(&format!("\taddu $t{d}, $t{a}, $t{c}\n")),
-                }
-            }
-            let target = rng.index(nblocks);
-            match rng.index(3) {
-                0 => {}
-                1 => s.push_str(&format!("\tj .L{fi}_{target}\n")),
-                _ => s.push_str(&format!(
-                    "\tbne $t{}, $zero, .L{fi}_{target}\n",
-                    rng.index(8)
-                )),
-            }
-        }
-        s.push_str("\tjr $ra\n");
-    }
-    parse_asm(&s).expect("generated asm parses")
+    parse_asm(&progen::arb_program(rng)).expect("generated asm parses")
 }
 
 #[test]
@@ -96,5 +57,27 @@ fn every_predictor_matches_its_direct_path() {
             combine_hybrid(&direct_heur, &direct_reuse, HybridMode::Union),
             "hybrid-union diverged"
         );
+
+        // The profile predictor has no pre-refactor direct path; its
+        // equivalence property is determinism across independent pass
+        // managers (OnceLock caching must never change an answer) and
+        // the abstention contract: flagged loads are in-loop loads.
+        let profile = ProfilePredictor::new(geometry);
+        let flagged = profile.predict(&ctx);
+        let fresh = AnalysisCtx::new(ctx.program().clone());
+        assert_eq!(
+            profile.predict(&fresh),
+            flagged,
+            "profile diverged across pass managers"
+        );
+        for &i in &flagged {
+            let lp = fresh
+                .reuse_profiles()
+                .loads
+                .iter()
+                .find(|l| l.index == i)
+                .expect("flagged load is profiled");
+            assert!(lp.in_loop, "flagged load {i} has no repeat context");
+        }
     });
 }

@@ -234,6 +234,49 @@ pub fn run_manifest(
         .with("irregular", by_class[3].into())
         .with("flagged", flagged.into());
 
+    // Static reuse-profile summary (the interprocedural histogram
+    // pass) against the same baseline geometry. Counts over cached
+    // per-ctx artifacts — order-independent and deterministic.
+    let mut profile_runs = 0u64;
+    let mut profile_loads = 0u64;
+    let mut modeled = 0u64;
+    let mut abstained = 0u64;
+    let mut interprocedural = 0u64;
+    let mut profile_flagged = 0u64;
+    for run in pipeline.ready_runs() {
+        profile_runs += 1;
+        let profiles = run.ctx().reuse_profiles();
+        for p in profiles.predict(&geometry) {
+            profile_loads += 1;
+            if p.abstained {
+                abstained += 1;
+            } else {
+                modeled += 1;
+            }
+            if p.interprocedural {
+                interprocedural += 1;
+            }
+            if p.in_loop && !p.abstained && p.miss_ratio >= REUSE_DELTA {
+                profile_flagged += 1;
+            }
+        }
+    }
+    let profile_section = Json::obj()
+        .with("runs", profile_runs.into())
+        .with(
+            "geometry",
+            format!(
+                "{}B/{}-way/{}B-line",
+                geometry.capacity, geometry.assoc, geometry.line
+            )
+            .into(),
+        )
+        .with("loads", profile_loads.into())
+        .with("modeled", modeled.into())
+        .with("abstained", abstained.into())
+        .with("interprocedural", interprocedural.into())
+        .with("flagged", profile_flagged.into());
+
     // Pass-manager cache counters: how much analysis the run actually
     // computed vs. how much the ctx cache absorbed. Timing lives in
     // `*_secs` keys only, so the zeroed manifest stays deterministic.
@@ -291,6 +334,7 @@ pub fn run_manifest(
         .with("sim", sim)
         .with("miss_classes", miss_classes)
         .with("reuse", reuse)
+        .with("profile", profile_section)
         .with("analysis", analysis)
         .with("slowest", Json::Arr(slowest));
     if let Some(report) = prewarm {
@@ -444,6 +488,21 @@ pub fn profile_text(manifest: &Manifest) -> String {
             s(reuse.get("geometry")),
         );
     }
+    if let Some(profile) = manifest.get("profile") {
+        let _ = writeln!(
+            out,
+            "profile: {} loads over {} runs — {} modeled / {} abstained, \
+             {} interprocedural, {} flagged at {} ({})",
+            u(profile.get("loads")),
+            u(profile.get("runs")),
+            u(profile.get("modeled")),
+            u(profile.get("abstained")),
+            u(profile.get("interprocedural")),
+            u(profile.get("flagged")),
+            REUSE_DELTA,
+            s(profile.get("geometry")),
+        );
+    }
     if let Some(analysis) = manifest.get("analysis") {
         let _ = writeln!(
             out,
@@ -529,6 +588,7 @@ mod tests {
             "sim",
             "miss_classes",
             "reuse",
+            "profile",
             "analysis",
             "slowest",
             "prewarm",
@@ -579,10 +639,20 @@ mod tests {
             "sim:",
             "miss classes:",
             "reuse:",
+            "profile:",
             "analysis:",
         ] {
             assert!(text.contains(needle), "profile text missing `{needle}`");
         }
+
+        // The profile section models loads and counts are coherent.
+        let profile = manifest.get("profile").unwrap();
+        assert!(u(profile.get("loads")) > 0, "profile section saw no loads");
+        assert_eq!(
+            u(profile.get("modeled")) + u(profile.get("abstained")),
+            u(profile.get("loads")),
+            "modeled + abstained must partition the loads"
+        );
 
         // The pass manager analyzed each program exactly once: table3
         // runs the training set at one opt level and one cache.
@@ -592,7 +662,7 @@ mod tests {
         let Some(Json::Arr(passes)) = analysis.get("passes") else {
             panic!("analysis section missing `passes`");
         };
-        assert_eq!(passes.len(), 7);
+        assert_eq!(passes.len(), 9);
         let patterns = passes
             .iter()
             .find(|p| s(p.get("pass")) == "patterns")

@@ -105,6 +105,7 @@ pub fn table_specs(table: &str) -> Vec<RunSpec> {
         | "ablation-patterns"
         | "extension-static-frequency"
         | "extension-reuse"
+        | "extension-profile"
         | "ablation-delta-tuning" => specs(dl_workloads::all(), o0, 1, baseline),
         "table13" => specs(dl_workloads::training_set(), o1, 1, CacheConfig::kb(16, 4)),
         "extension-prefetch" => {
@@ -113,6 +114,19 @@ pub fn table_specs(table: &str) -> Vec<RunSpec> {
                 .map(|n| dl_workloads::by_name(n).expect("known benchmark"))
                 .collect();
             specs(benches, o0, 1, baseline)
+        }
+        "profile-geometries" => {
+            let benches: Vec<_> = ["181.mcf", "183.equake", "179.art", "164.gzip"]
+                .into_iter()
+                .map(|n| dl_workloads::by_name(n).expect("known benchmark"))
+                .collect();
+            let mut v = specs(benches.clone(), o0, 1, baseline);
+            for kb in [8u32, 16, 64] {
+                for assoc in [2u32, 4, 8] {
+                    v.extend(specs(benches.clone(), o0, 1, CacheConfig::kb(kb, assoc)));
+                }
+            }
+            v
         }
         _ => Vec::new(),
     }

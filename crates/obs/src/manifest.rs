@@ -56,8 +56,18 @@ impl Manifest {
     /// dependent and would break deterministic byte-compares.
     #[must_use]
     pub fn with_stages(self, spans: &Spans) -> Self {
-        let stages = spans
-            .records()
+        // Spans complete in whatever order worker threads finish, so
+        // the raw record order is nondeterministic under --jobs > 1.
+        // Sort by path (then start time for repeated paths) so the
+        // stage list — and the zeroed manifest built from it — is
+        // byte-stable across schedules.
+        let mut records = spans.records();
+        records.sort_by(|a, b| {
+            a.path
+                .cmp(&b.path)
+                .then_with(|| a.start_secs.total_cmp(&b.start_secs))
+        });
+        let stages = records
             .into_iter()
             .map(|r| {
                 Json::obj()
@@ -231,7 +241,21 @@ mod tests {
             panic!("stages missing");
         };
         assert_eq!(stages.len(), 2);
-        assert_eq!(stages[0].get("name"), Some(&Json::Str("warm".into())));
-        assert_eq!(stages[1].get("secs"), Some(&Json::F64(2.0)));
+        // Stages are sorted by path, not completion order, so the
+        // list is deterministic under any worker schedule.
+        assert_eq!(
+            stages[0].get("name"),
+            Some(&Json::Str("tables/table3".into()))
+        );
+        assert_eq!(stages[0].get("secs"), Some(&Json::F64(2.0)));
+        assert_eq!(stages[1].get("name"), Some(&Json::Str("warm".into())));
+
+        // Recording the same spans in the opposite order renders the
+        // identical stage list.
+        let reversed = Spans::default();
+        reversed.record("tables/table3", 2.0);
+        reversed.record("warm", 1.0);
+        let m2 = Manifest::new("repro").with_stages(&reversed);
+        assert_eq!(m.get("stages"), m2.get("stages"));
     }
 }

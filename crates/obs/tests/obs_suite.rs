@@ -137,12 +137,12 @@ fn golden_manifest_structure_with_timings_zeroed() {
   "command": "repro",
   "stages": [
     {
-      "name": "repro/warm",
+      "name": "repro/tables/table3",
       "secs": 0.000000,
       "start_secs": 0.000000
     },
     {
-      "name": "repro/tables/table3",
+      "name": "repro/warm",
       "secs": 0.000000,
       "start_secs": 0.000000
     }

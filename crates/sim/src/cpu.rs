@@ -16,6 +16,7 @@ use crate::block::{self, BlockCache, BlockStats, Engine};
 use crate::cache::{Cache, CacheConfig};
 use crate::mem::{MemFault, Memory};
 use crate::observe::{MissObservatory, ObserveConfig};
+use crate::reuse::ReuseMeasurement;
 use crate::stats::RunResult;
 use crate::trace::TraceRecord;
 
@@ -131,6 +132,11 @@ pub struct RunConfig {
     /// [`SimOutput::observatory`] (see [`crate::observe`]). Routes the
     /// block engine through its instrumented path; off by default.
     pub observe: Option<ObserveConfig>,
+    /// Measure per-load-site reuse-distance histograms over a shadow
+    /// LRU stack into [`SimOutput::reuse`] (see [`crate::reuse`]) —
+    /// the ground truth for the static reuse profiles. Routes the
+    /// block engine through its instrumented path; off by default.
+    pub reuse_profile: bool,
     /// Which interpreter core executes the run. Both produce identical
     /// results; see [`Engine`]. The default honours `DL_SIM_ENGINE`.
     pub engine: Engine,
@@ -146,6 +152,7 @@ impl Default for RunConfig {
             prefetch: None,
             classify_misses: false,
             observe: None,
+            reuse_profile: false,
             engine: Engine::from_env(),
         }
     }
@@ -165,6 +172,9 @@ pub struct SimOutput {
     /// Epoch-windowed per-load-site miss counts (only when
     /// [`RunConfig::observe`] was set).
     pub observatory: Option<MissObservatory>,
+    /// Measured reuse-distance histograms (only when
+    /// [`RunConfig::reuse_profile`] was set).
+    pub reuse: Option<ReuseMeasurement>,
 }
 
 /// The simulator state; use [`run`] unless you need single-stepping.
@@ -188,6 +198,8 @@ pub struct Machine<'p> {
     trace: Option<Vec<TraceRecord>>,
     // When Some, every load access is windowed into miss epochs.
     observatory: Option<MissObservatory>,
+    // When Some, every data access updates the shadow LRU stack.
+    reuse: Option<ReuseMeasurement>,
     // Hot-path flags mirroring `trace`/`prefetch_degree`: data
     // accesses check one bool each instead of an Option walk and a
     // per-access Vec index.
@@ -195,6 +207,7 @@ pub struct Machine<'p> {
     has_prefetch: bool,
     classifying: bool,
     observing: bool,
+    reusing: bool,
 }
 
 impl<'p> Machine<'p> {
@@ -241,6 +254,9 @@ impl<'p> Machine<'p> {
             observatory: config
                 .observe
                 .map(|obs| MissObservatory::new(program.insts.len(), obs)),
+            reuse: config
+                .reuse_profile
+                .then(|| ReuseMeasurement::new(program.insts.len(), config.cache.block_bytes())),
             tracing: false,
             has_prefetch: config
                 .prefetch
@@ -248,6 +264,7 @@ impl<'p> Machine<'p> {
                 .is_some_and(|pf| pf.degree > 0 && !pf.sites.is_empty()),
             classifying: config.classify_misses,
             observing: config.observe.is_some(),
+            reusing: config.reuse_profile,
         }
     }
 
@@ -342,6 +359,16 @@ impl<'p> Machine<'p> {
             .observe(at, miss);
     }
 
+    /// Pushes one data access onto the shadow LRU stack. Out of line:
+    /// reuse measurement is opt-in validation only.
+    #[cold]
+    fn record_reuse(&mut self, at: usize, addr: u32, store: bool) {
+        self.reuse
+            .as_mut()
+            .expect("reusing flag implies measurement")
+            .record(at, addr, store);
+    }
+
     pub(crate) fn dcache_load(&mut self, at: usize, addr: u32) {
         if self.tracing {
             self.push_trace(at, addr, false);
@@ -362,6 +389,9 @@ impl<'p> Machine<'p> {
         if self.observing {
             self.observe_load(at, !hit);
         }
+        if self.reusing {
+            self.record_reuse(at, addr, false);
+        }
         if self.has_prefetch {
             self.issue_prefetches(at, addr);
         }
@@ -375,6 +405,9 @@ impl<'p> Machine<'p> {
         self.result.stores += 1;
         if !self.cache.access(addr) {
             self.result.dcache_misses += 1;
+        }
+        if self.reusing {
+            self.record_reuse(at, addr, true);
         }
     }
 
@@ -689,6 +722,7 @@ impl<'p> Machine<'p> {
             trace: self.trace.unwrap_or_default(),
             block_stats,
             observatory,
+            reuse: self.reuse,
         })
     }
 
@@ -710,7 +744,8 @@ impl<'p> Machine<'p> {
     /// fast path.
     fn run_block_engine(&mut self, max_steps: u64) -> Result<BlockStats, Trap> {
         let mut cache = BlockCache::new(self.program.insts.len());
-        let slow = self.tracing || self.has_prefetch || self.classifying || self.observing;
+        let slow =
+            self.tracing || self.has_prefetch || self.classifying || self.observing || self.reusing;
         if slow {
             block::run_blocks::<true>(self, &mut cache, max_steps)?;
         } else {
@@ -933,6 +968,55 @@ mod tests {
             outputs.push(obs.epochs().to_vec());
         }
         assert_eq!(outputs[0], outputs[1], "epochs diverge across engines");
+    }
+
+    #[test]
+    fn reuse_measurement_is_engine_invariant_and_non_perturbing() {
+        // Strided scan over 4 KiB: 7/8 of accesses reuse their block
+        // at distance 0, 1/8 first-touch 128 distinct blocks.
+        let src = "main:\n\
+                   \tli  $t0, 0\n\
+                   \tli  $t3, 1024\n\
+                   .Lloop:\n\
+                   \tsll $t1, $t0, 2\n\
+                   \taddu $t1, $t1, $gp\n\
+                   \tlw  $t2, 0($t1)\n\
+                   \taddiu $t0, $t0, 1\n\
+                   \tbne $t0, $t3, .Lloop\n\
+                   \tli $v0, 10\n\
+                   \tsyscall\n";
+        let p = parse_asm(src).unwrap();
+        let load_idx = 4;
+        let mut per_engine = Vec::new();
+        for engine in [Engine::Step, Engine::Block] {
+            let cfg = RunConfig {
+                reuse_profile: true,
+                engine,
+                ..RunConfig::default()
+            };
+            let out = super::run_full(&p, &cfg).unwrap();
+            let site = out
+                .reuse
+                .as_ref()
+                .expect("measurement collected")
+                .site(load_idx);
+            assert_eq!(site.cold, 128);
+            assert_eq!(site.buckets[0], 896);
+            assert_eq!(site.total(), 1024);
+            // Measurement must not perturb the run itself.
+            let plain = run(
+                &p,
+                &RunConfig {
+                    engine,
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.result, plain);
+            per_engine.push(site.clone());
+        }
+        assert_eq!(per_engine[0].buckets, per_engine[1].buckets);
+        assert_eq!(per_engine[0].cold, per_engine[1].cold);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod cache;
 pub mod cpu;
 pub mod mem;
 pub mod observe;
+pub mod reuse;
 pub mod stats;
 pub mod trace;
 
@@ -45,4 +46,5 @@ pub use block::{BlockStats, Engine};
 pub use cache::{Cache, CacheConfig, CacheProfile, MissClass, MissClasses};
 pub use cpu::{run, run_full, run_with_stats, Machine, PrefetchConfig, RunConfig, SimOutput, Trap};
 pub use observe::{EpochMisses, MissObservatory, ObserveConfig};
+pub use reuse::{ReuseMeasurement, SiteHistogram};
 pub use stats::RunResult;

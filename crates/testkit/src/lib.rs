@@ -22,6 +22,8 @@
 
 #![warn(missing_docs)]
 
+pub mod progen;
+
 /// A deterministic xorshift64* generator.
 ///
 /// The same recurrence as the simulator's `rand` syscall

@@ -1,0 +1,203 @@
+//! Random MIPS assembly generation for property tests.
+//!
+//! Emits assembly *strings* (this crate stays dependency-free); the
+//! consuming test parses them with `dl_mips::parse::parse_asm`. Two
+//! families:
+//!
+//! - [`arb_flow_program`]: multi-function, call-free programs rich in
+//!   loads and arbitrary intra-function control flow — the original
+//!   input space of the predictor-equivalence suite.
+//! - [`arb_call_program`]: call-bearing programs — direct `jal`
+//!   calls, calls inside counted loops, and call chains nested two or
+//!   more functions deep — the input space of the interprocedural
+//!   reuse-profile engine. Calls only target higher-numbered
+//!   functions, so generated call graphs are acyclic by construction
+//!   and every mid-chain function saves/restores `$ra`.
+//!
+//! [`arb_program`] mixes the two families, so one `cases` loop
+//! exercises both.
+
+use crate::Rng;
+
+/// Appends 1–5 random body instructions to `s`: stack reloads,
+/// register-based (possibly chased) dereferences, global accesses,
+/// pointer arithmetic, and stores — the instruction mix the
+/// classifiers and predictors disagree over.
+fn block_body(rng: &mut Rng, s: &mut String) {
+    for _ in 0..1 + rng.index(5) {
+        let (d, a, c) = (rng.index(8), rng.index(8), rng.index(8));
+        match rng.index(8) {
+            0 => s.push_str(&format!("\tlw $t{d}, {}($sp)\n", 4 * rng.index(16))),
+            1 => s.push_str(&format!("\tlw $t{d}, {}($t{a})\n", 4 * rng.index(8))),
+            2 => s.push_str(&format!("\tlw $t{d}, {}($gp)\n", 4 * rng.index(16))),
+            3 => s.push_str(&format!(
+                "\taddiu $t{d}, $t{a}, {}\n",
+                rng.range_i32(-8, 64)
+            )),
+            4 => s.push_str(&format!("\tsll $t{d}, $t{a}, {}\n", 1 + rng.index(3))),
+            5 => s.push_str(&format!("\tli $t{d}, {}\n", rng.index(4096))),
+            6 => s.push_str(&format!("\tsw $t{d}, {}($sp)\n", 4 * rng.index(16))),
+            _ => s.push_str(&format!("\taddu $t{d}, $t{a}, $t{c}\n")),
+        }
+    }
+}
+
+/// A random multi-function, call-free program with arbitrary
+/// intra-function control flow (forward and backward jumps and
+/// branches between 1–4 blocks per function).
+#[must_use]
+pub fn arb_flow_program(rng: &mut Rng) -> String {
+    let nfuncs = 1 + rng.index(3);
+    let mut s = String::new();
+    for fi in 0..nfuncs {
+        if fi == 0 {
+            s.push_str("main:\n");
+        } else {
+            s.push_str(&format!("f{fi}:\n"));
+        }
+        let nblocks = 1 + rng.index(4);
+        for b in 0..nblocks {
+            s.push_str(&format!(".L{fi}_{b}:\n"));
+            block_body(rng, &mut s);
+            let target = rng.index(nblocks);
+            match rng.index(3) {
+                0 => {}
+                1 => s.push_str(&format!("\tj .L{fi}_{target}\n")),
+                _ => s.push_str(&format!(
+                    "\tbne $t{}, $zero, .L{fi}_{target}\n",
+                    rng.index(8)
+                )),
+            }
+        }
+        s.push_str("\tjr $ra\n");
+    }
+    s
+}
+
+/// A random call-bearing program: `main` plus 1–3 callees. Every
+/// non-leaf function calls exactly one higher-numbered function —
+/// either as a plain direct call or inside a counted loop (trip
+/// 2–7) — so chains nest up to three functions deep and the call
+/// graph is acyclic. Mid-chain functions save and restore `$ra`
+/// around their call.
+#[must_use]
+pub fn arb_call_program(rng: &mut Rng) -> String {
+    let nfuncs = 2 + rng.index(3);
+    let mut s = String::new();
+    for fi in 0..nfuncs {
+        if fi == 0 {
+            s.push_str("main:\n");
+        } else {
+            s.push_str(&format!("f{fi}:\n"));
+        }
+        let makes_calls = fi + 1 < nfuncs;
+        let saves_ra = fi > 0 && makes_calls;
+        if saves_ra {
+            s.push_str("\taddiu $sp, $sp, -8\n\tsw $ra, 4($sp)\n");
+        }
+        block_body(rng, &mut s);
+        if makes_calls {
+            let callee = fi + 1 + rng.index(nfuncs - fi - 1);
+            if rng.chance(0.5) {
+                // Call inside a counted loop: the shape interprocedural
+                // summary inlining must price (callee footprint re-walked
+                // every iteration). A saved register holds the counter so
+                // the callee cannot clobber it.
+                let trip = 2 + rng.index(6);
+                s.push_str(&format!("\tli $s{fi}, {trip}\n.Lcall{fi}:\n"));
+                s.push_str(&format!("\tjal f{callee}\n"));
+                s.push_str(&format!(
+                    "\taddiu $s{fi}, $s{fi}, -1\n\tbgtz $s{fi}, .Lcall{fi}\n"
+                ));
+            } else {
+                s.push_str(&format!("\tjal f{callee}\n"));
+            }
+            block_body(rng, &mut s);
+        }
+        if saves_ra {
+            s.push_str("\tlw $ra, 4($sp)\n\taddiu $sp, $sp, 8\n");
+        }
+        s.push_str("\tjr $ra\n");
+    }
+    s
+}
+
+/// A random program from either family: call-free control flow or
+/// call-bearing, 50/50.
+#[must_use]
+pub fn arb_program(rng: &mut Rng) -> String {
+    if rng.chance(0.5) {
+        arb_call_program(rng)
+    } else {
+        arb_flow_program(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = Rng::new(99);
+        let mut b = Rng::new(99);
+        for _ in 0..20 {
+            assert_eq!(arb_program(&mut a), arb_program(&mut b));
+        }
+    }
+
+    #[test]
+    fn call_programs_cover_all_required_shapes() {
+        // Across a modest case budget the generator must produce
+        // plain direct calls, calls inside loops, and 2-deep nesting
+        // (a function that both is called and calls — it saves $ra).
+        let (mut direct, mut in_loop, mut nested) = (false, false, false);
+        cases(64, 0x9106, |rng| {
+            let s = arb_call_program(rng);
+            let jals = s.matches("jal f").count();
+            assert!(jals >= 1, "every call program calls: {s}");
+            if s.contains(".Lcall") {
+                in_loop = true;
+            } else {
+                direct = true;
+            }
+            if s.contains("sw $ra") {
+                nested = true;
+            }
+        });
+        assert!(direct, "no plain direct call generated");
+        assert!(in_loop, "no call-in-loop generated");
+        assert!(nested, "no 2-deep call chain generated");
+    }
+
+    #[test]
+    fn call_targets_are_defined_and_forward_only() {
+        cases(64, 0x517e, |rng| {
+            let s = arb_call_program(rng);
+            let mut current = 0usize;
+            for line in s.lines() {
+                if let Some(name) = line.strip_suffix(':') {
+                    if let Some(n) = name.strip_prefix('f') {
+                        current = n.parse().expect("function label");
+                    }
+                }
+                if let Some(callee) = line.trim().strip_prefix("jal f") {
+                    let callee: usize = callee.parse().expect("callee index");
+                    assert!(callee > current, "call must target a later function: {s}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn flow_programs_stay_call_free() {
+        let mut any_loads = false;
+        cases(32, 0xF10C, |rng| {
+            let s = arb_flow_program(rng);
+            assert!(!s.contains("jal"), "flow programs must not call: {s}");
+            any_loads |= s.contains("lw ");
+        });
+        assert!(any_loads, "no flow program carried a load");
+    }
+}

@@ -59,7 +59,7 @@ use delinquent_loads::heuristic::{Heuristic, Predictor};
 use delinquent_loads::minic::{compile, OptLevel};
 use delinquent_loads::mips::encode::encode_program;
 use dl_analysis::{AnalysisCtx, CacheGeometry};
-use dl_baselines::{Bdh, Okn, ReusePredictor};
+use dl_baselines::{Bdh, Okn, ProfilePredictor, ReusePredictor};
 use dl_experiments::metrics::{pi, rho};
 use dl_experiments::obs::SpanPassObserver;
 use dl_obs::{chrome_trace, Json, Spans};
@@ -380,11 +380,17 @@ fn top(options: &Options) -> Result<(), String> {
         threshold: options.delta,
     }
     .predict(&ctx);
+    let profile_set = ProfilePredictor {
+        geometry,
+        threshold: options.delta,
+    }
+    .predict(&ctx);
     let sets = [
         ("heur", heuristic_set.clone()),
         ("okn", Okn.predict(&ctx)),
         ("bdh", Bdh.predict(&ctx)),
         ("reuse", reuse_set.clone()),
+        ("prof", profile_set),
         (
             "∩",
             combine_hybrid(&heuristic_set, &reuse_set, HybridMode::Intersect),
@@ -631,7 +637,49 @@ fn print_reuse(
             measured,
         );
     }
+    // The reuse-profile engine: one static histogram per load, priced
+    // at this geometry with no re-analysis.
+    let profiles = ctx.reuse_profiles();
+    println!(
+        "== reuse profiles ({} loads, {} interprocedural) ==",
+        profiles.loads.len(),
+        profiles.interprocedural_count(),
+    );
+    println!(
+        "{:>6}  {:<16} {:>10} {:>6} {:>10} {:>10}",
+        "inst", "class", "trip", "xproc", "profile", "measured"
+    );
+    let cap_blocks = geometry.capacity / geometry.line;
+    for l in &profiles.loads {
+        if !l.in_loop {
+            continue;
+        }
+        let execs = result.exec_counts[l.index];
+        let measured = if execs > 0 {
+            result.load_misses[l.index] as f64 / execs as f64
+        } else {
+            0.0
+        };
+        let ratio = if l.hist.abstain >= 0.5 {
+            "   abstain".to_owned()
+        } else {
+            format!("{:>10.3}", l.hist.miss_ratio(cap_blocks))
+        };
+        println!(
+            "{:>6}  {:<16} {:>10.0} {:>6} {ratio} {:>10.3}",
+            l.index,
+            l.class.to_string(),
+            l.trip,
+            if l.interprocedural { "yes" } else { "" },
+            measured,
+        );
+    }
     let reuse_set = ReusePredictor {
+        geometry,
+        threshold: delta,
+    }
+    .predict(ctx);
+    let profile_set = ProfilePredictor {
         geometry,
         threshold: delta,
     }
@@ -644,6 +692,7 @@ fn print_reuse(
     };
     for (name, set) in [
         ("reuse", reuse_set.clone()),
+        ("profile", profile_set),
         (
             "hybrid∩",
             combine_hybrid(heuristic_set, &reuse_set, HybridMode::Intersect),

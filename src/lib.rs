@@ -70,7 +70,9 @@ pub use dl_workloads as workloads;
 pub mod prelude {
     pub use dl_analysis::extract::{analyze_program, AnalysisConfig, ProgramAnalysis};
     pub use dl_analysis::AnalysisCtx;
-    pub use dl_baselines::{bdh_delinquent_set, okn_delinquent_set, Bdh, Okn, ReusePredictor};
+    pub use dl_baselines::{
+        bdh_delinquent_set, okn_delinquent_set, Bdh, Okn, ProfilePredictor, ReusePredictor,
+    };
     pub use dl_core::combine::combine_with_profiling;
     pub use dl_core::{AgClass, Heuristic, Hybrid, Predictor, Weights};
     pub use dl_experiments::metrics::{ideal_set, pi, profiling_set, rho};
