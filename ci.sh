@@ -41,7 +41,8 @@ assert analysis["contexts"] > 0, "bench recorded no analysis contexts"
 # Block-engine contract: the throughput section reports both engines
 # and the block-cache counters prove the decoded-block path ran.
 assert doc["sim_engine"] == "block", "throughput engine is not the block engine"
-for key in ("sim_step_insts_per_sec", "sim_engine_speedup"):
+for key in ("sim_step_insts_per_sec", "sim_engine_speedup",
+            "sim_l2_insts_per_sec", "sim_prefetch_insts_per_sec"):
     assert doc.get(key, 0) > 0, f"bench JSON missing {key}"
 bc = doc["block_cache"]
 for key in ("blocks_decoded", "insts_decoded", "mean_block_len",
@@ -54,6 +55,7 @@ EOF
 elif command -v jq >/dev/null 2>&1; then
   jq -e '.jobs and .sequential_secs > 0 and .parallel_secs > 0 and .speedup and .memo and .sim_insts_per_sec
          and .sim_engine == "block" and .sim_step_insts_per_sec > 0 and .sim_engine_speedup > 0
+         and .sim_l2_insts_per_sec > 0 and .sim_prefetch_insts_per_sec > 0
          and .block_cache.dispatches > 0 and .block_cache.insts_retired > 0
          and .analysis.contexts > 0 and .analysis.hit_rate != null' \
     /tmp/ci_bench.json >/dev/null
@@ -73,8 +75,11 @@ if command -v python3 >/dev/null 2>&1; then
 import json
 doc = json.load(open("/tmp/ci_manifest.json"))
 assert doc["schema"] == "dl-obs/1", f"unexpected schema {doc.get('schema')}"
-for key in ("stages", "memo", "workers", "sim", "miss_classes", "reuse", "profile", "analysis"):
+for key in ("stages", "memo", "workers", "sim", "miss_classes", "memory", "reuse", "profile", "analysis"):
     assert key in doc, f"manifest missing {key}"
+memory = doc["memory"]
+for key in ("non_default_configs", "l2_hits", "l2_misses", "prefetch_fills", "prefetch_useful"):
+    assert key in memory, f"manifest memory section missing {key}"
 assert doc["stages"], "manifest has no stage timings"
 assert all("secs" in s for s in doc["stages"]), "stage entries missing wall times"
 assert "hit_rate" in doc["memo"], "manifest missing memo hit rate"
@@ -116,7 +121,7 @@ elif command -v jq >/dev/null 2>&1; then
          and (.workers | length > 0) and .sim.insts_per_sec > 0
          and (.sim.engine == "step" or .sim.engine == "block") and .sim.block_cache != null
          and .sim.latency.p50_secs != null and .sim.latency.p99_secs != null
-         and .miss_classes.total > 0 and .reuse.loads > 0
+         and .miss_classes.total > 0 and .memory.prefetch_fills != null and .reuse.loads > 0
          and .profile.loads > 0 and (.profile.modeled + .profile.abstained) == .profile.loads
          and .analysis.contexts > 0 and .analysis.hits > 0
          and (.analysis.passes | length == 9)' /tmp/ci_manifest.json >/dev/null
@@ -190,6 +195,27 @@ test -s /tmp/ci_dlc_trace.json
 cmp /tmp/ci_run_plain.out /tmp/ci_run_step.out
 echo "dlc top OK"
 
+echo "== dlc memory-system smoke =="
+# The memory flags reshape the simulated hierarchy: a stride
+# prefetcher must hide misses on the scan kernel (the `top` report
+# grows a hidden column), the same config must arrive via DL_* env
+# vars, and the step engine must agree byte-for-byte under the full
+# stack (non-LRU policy + L2 + prefetch).
+./target/release/dlc top /tmp/ci_top.mc --input 20000 --epoch 8192 --limit 5 \
+  --prefetch 2 > /tmp/ci_top_pf.out 2>&1
+grep -q "hidden" /tmp/ci_top_pf.out
+grep -q "hidden by prefetch" /tmp/ci_top_pf.out
+DL_POLICY=plru DL_L2=64 DL_PREFETCH=2 ./target/release/dlc run /tmp/ci_top.mc \
+  --input 20000 > /tmp/ci_run_env.out 2>/tmp/ci_run_env.err
+grep -q "memory plru" /tmp/ci_run_env.err
+./target/release/dlc run /tmp/ci_top.mc --input 20000 \
+  --policy plru --l2 64 --prefetch 2 > /tmp/ci_run_mem.out 2>/dev/null
+cmp /tmp/ci_run_env.out /tmp/ci_run_mem.out
+./target/release/dlc run /tmp/ci_top.mc --input 20000 --engine step \
+  --policy plru --l2 64 --prefetch 2 > /tmp/ci_run_mem_step.out 2>/dev/null
+cmp /tmp/ci_run_mem.out /tmp/ci_run_mem_step.out
+echo "dlc memory flags OK"
+
 echo "== perf-regression gate (bench-diff) =="
 # Smoke-run numbers against the committed full-run baseline. Hosts
 # and smoke inputs vary wildly, so the threshold is deliberately
@@ -256,6 +282,20 @@ EOF
 else
   echo "warning: python3 unavailable; skipped manifest combination validation"
 fi
+
+echo "== memory-system matrix determinism check =="
+# The extension-memmatrix table sweeps {replacement policy} × {L1,
+# +L2 inclusive, +L2 exclusive} × {prefetch off/on}; its output must
+# be byte-identical across worker counts and across both simulator
+# engines (smoke inputs — the full sweep runs in the test suite).
+./target/release/repro --smoke --jobs 1 extension-memmatrix > /tmp/ci_mem_seq.out 2>/dev/null
+./target/release/repro --smoke --jobs 4 extension-memmatrix > /tmp/ci_mem_par.out 2>/dev/null
+cmp /tmp/ci_mem_seq.out /tmp/ci_mem_par.out
+DL_SIM_ENGINE=step ./target/release/repro --smoke --jobs 4 extension-memmatrix > /tmp/ci_mem_step.out 2>/dev/null
+cmp /tmp/ci_mem_seq.out /tmp/ci_mem_step.out
+grep -q "plru" /tmp/ci_mem_seq.out
+grep -q "random" /tmp/ci_mem_seq.out
+echo "memory-matrix table byte-identical across jobs and engines"
 
 echo "== paper-tables determinism check =="
 # The shared AnalysisCtx must not change any table under concurrency:

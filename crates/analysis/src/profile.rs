@@ -36,6 +36,16 @@
 //! between invocations), which promotes the callee's own
 //! fixed-address loads from one-shot cold accesses to loop-carried
 //! reuses — loads the intraprocedural model had to abstain on.
+//!
+//! The pricing model is **fully-associative LRU by construction**.
+//! `dl-sim`'s memory system can now diverge from that model on three
+//! axes — PLRU/random replacement keeps hot blocks alive for
+//! different durations than true LRU, an L2 changes which re-walks
+//! are cheap without changing which L1 accesses miss, and a stride
+//! prefetcher hides misses this model still (correctly) predicts.
+//! The prediction is deliberately left geometry-only: the
+//! `extension-memmatrix` table quantifies how far the simulated
+//! hierarchy can drift before the FA-LRU ρ estimate degrades.
 
 use crate::callgraph::CallGraph;
 use crate::indvar::{AddressClass, LoadLoopClass};

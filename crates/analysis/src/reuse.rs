@@ -15,7 +15,12 @@
 //!
 //! The cache geometry is a plain value object so this crate stays
 //! independent of `dl-sim`; callers construct it from `dl-sim`'s
-//! `CacheConfig` accessors (capacity / line / associativity).
+//! `CacheConfig` accessors (capacity / line / associativity). The
+//! geometry carries no replacement policy, hierarchy, or prefetcher:
+//! the estimate assumes LRU-like retention, so when `dl-sim` runs
+//! with PLRU/random replacement, an L2, or a stride prefetcher, the
+//! predicted set stays fixed while the simulated misses move — the
+//! `extension-memmatrix` table measures exactly that divergence.
 
 use crate::extract::ProgramAnalysis;
 use crate::indvar::{classify_loads, AddressClass, LoadLoopClass};

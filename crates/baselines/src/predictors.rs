@@ -42,6 +42,11 @@ impl Predictor for Bdh {
 /// loads whose predicted miss ratio against [`Self::geometry`] reaches
 /// [`Self::threshold`]. Uses the ctx's cached load classification, so
 /// several geometries share one classification.
+///
+/// The geometry names capacity/line/ways only — the estimate prices
+/// LRU-like retention and no L2 or prefetcher, so under `dl-sim`'s
+/// non-default memory systems its flagged set is unchanged while the
+/// measured misses shift (see `extension-memmatrix`).
 #[derive(Debug, Clone, Copy)]
 pub struct ReusePredictor {
     /// The cache the miss ratios are predicted against.

@@ -16,7 +16,10 @@ use dl_experiments::pipeline::Pipeline;
 use dl_experiments::schedule::{default_jobs, prewarm, union_specs};
 use dl_minic::{compile, OptLevel};
 use dl_obs::Json;
-use dl_sim::{run_with_stats, BlockStats, Engine, RunConfig};
+use dl_sim::{
+    run_with_stats, BlockStats, Engine, Inclusion, L2Config, MemoryConfig, RunConfig,
+    StridePrefetchConfig,
+};
 
 /// Tables whose union of configurations the full benchmark times.
 /// Chosen to span opt levels, both input sets, and several cache
@@ -94,13 +97,16 @@ fn throughput_kernel(smoke: bool) -> dl_mips::program::Program {
     compile(&source, OptLevel::O0).expect("kernel compiles")
 }
 
-/// Raw simulator throughput of one engine on the shared kernel.
+/// Raw simulator throughput of one engine on the shared kernel under
+/// the given memory system.
 fn sim_throughput(
     program: &dl_mips::program::Program,
     engine: Engine,
+    memory: MemoryConfig,
 ) -> (u64, f64, Option<BlockStats>) {
     let config = RunConfig {
         engine,
+        memory,
         ..RunConfig::default()
     };
     // Warmup.
@@ -130,15 +136,35 @@ fn main() {
 
     eprintln!("[simulator throughput: step vs block]");
     let kernel = throughput_kernel(args.smoke);
-    let (insts, step_secs, _) = sim_throughput(&kernel, Engine::Step);
+    let (insts, step_secs, _) = sim_throughput(&kernel, Engine::Step, MemoryConfig::default());
     let step_rate = insts as f64 / step_secs;
     eprintln!("  step:  {insts} instructions in {step_secs:.3}s = {step_rate:.0} insts/s");
-    let (_, sim_secs, block_stats) = sim_throughput(&kernel, Engine::Block);
+    let (_, sim_secs, block_stats) =
+        sim_throughput(&kernel, Engine::Block, MemoryConfig::default());
     let insts_per_sec = insts as f64 / sim_secs;
     let engine_speedup = step_secs / sim_secs.max(1e-9);
     eprintln!("  block: {insts} instructions in {sim_secs:.3}s = {insts_per_sec:.0} insts/s");
     eprintln!("  engine speedup: {engine_speedup:.2}x");
     let block_stats = block_stats.unwrap_or_default();
+
+    // The non-default memory systems: an L2 keeps the block engine's
+    // fast path (L2 is touched only on L1 misses), a stride prefetcher
+    // forces the slow path (it must observe every load). Tracking both
+    // pins each regime's own regression baseline.
+    let l2_mem = MemoryConfig {
+        l2: Some(L2Config::kb(64, 8, Inclusion::Inclusive)),
+        ..MemoryConfig::default()
+    };
+    let (_, l2_secs, _) = sim_throughput(&kernel, Engine::Block, l2_mem);
+    let l2_rate = insts as f64 / l2_secs;
+    eprintln!("  block+l2: {insts} instructions in {l2_secs:.3}s = {l2_rate:.0} insts/s");
+    let pf_mem = MemoryConfig {
+        prefetch: Some(StridePrefetchConfig::degree(2)),
+        ..MemoryConfig::default()
+    };
+    let (_, pf_secs, _) = sim_throughput(&kernel, Engine::Block, pf_mem);
+    let pf_rate = insts as f64 / pf_secs;
+    eprintln!("  block+pf: {insts} instructions in {pf_secs:.3}s = {pf_rate:.0} insts/s");
 
     eprintln!("[sequential prewarm: {}]", tables.join(", "));
     let (seq_secs, configs, _) = time_prewarm(tables, 1);
@@ -201,6 +227,10 @@ fn main() {
         .with("sim_insts_per_sec", insts_per_sec.into())
         .with("sim_step_secs", step_secs.into())
         .with("sim_step_insts_per_sec", step_rate.into())
+        .with("sim_l2_secs", l2_secs.into())
+        .with("sim_l2_insts_per_sec", l2_rate.into())
+        .with("sim_prefetch_secs", pf_secs.into())
+        .with("sim_prefetch_insts_per_sec", pf_rate.into())
         .with("sim_engine_speedup", engine_speedup.into())
         .with(
             "block_cache",

@@ -69,11 +69,12 @@ pub struct RunInfo {
 /// Builds the full run manifest. Mandatory sections (checked by
 /// `ci.sh`): `stages` (per-stage wall times), `memo` (hit/miss/wait
 /// counters and `hit_rate`), `workers` (per-worker simulation counts),
-/// `sim` (including `insts_per_sec`), `miss_classes`, `reuse`
-/// (static reuse-analysis load counts against the paper-baseline
-/// geometry), and `analysis` (pass-manager cache counters: one
-/// analyzed context per `(bench, opt)` pair, per-pass hits/misses and
-/// compute seconds).
+/// `sim` (including `insts_per_sec`), `miss_classes`, `memory`
+/// (per-level hit/miss counters and prefetcher effectiveness summed
+/// over every completed run), `reuse` (static reuse-analysis load
+/// counts against the paper-baseline geometry), and `analysis`
+/// (pass-manager cache counters: one analyzed context per
+/// `(bench, opt)` pair, per-pass hits/misses and compute seconds).
 #[must_use]
 pub fn run_manifest(
     info: &RunInfo,
@@ -175,6 +176,29 @@ pub fn run_manifest(
         .with("capacity", classes.capacity.into())
         .with("conflict", classes.conflict.into())
         .with("total", classes.total().into());
+
+    // Memory-system summary: per-level hit/miss counters and
+    // prefetcher effectiveness summed over every completed run, plus
+    // how many simulated configurations used a non-default memory
+    // system. Pure counter sums — order-independent and deterministic
+    // under any worker schedule.
+    let mut l2_hits = 0u64;
+    let mut l2_misses = 0u64;
+    let mut prefetch_fills = 0u64;
+    let mut prefetch_useful = 0u64;
+    for run in pipeline.ready_runs() {
+        l2_hits += run.result.l2_hits;
+        l2_misses += run.result.l2_misses;
+        prefetch_fills += run.result.prefetch_fills;
+        prefetch_useful += run.result.prefetch_useful;
+    }
+    let non_default = timings.iter().filter(|t| !t.memory.is_default()).count();
+    let memory = Json::obj()
+        .with("non_default_configs", non_default.into())
+        .with("l2_hits", l2_hits.into())
+        .with("l2_misses", l2_misses.into())
+        .with("prefetch_fills", prefetch_fills.into())
+        .with("prefetch_useful", prefetch_useful.into());
 
     // Static reuse-analysis summary over every completed run, always
     // against the paper-baseline geometry so the numbers are
@@ -333,6 +357,7 @@ pub fn run_manifest(
         .with("workers", Json::Arr(workers))
         .with("sim", sim)
         .with("miss_classes", miss_classes)
+        .with("memory", memory)
         .with("reuse", reuse)
         .with("profile", profile_section)
         .with("analysis", analysis)
@@ -469,6 +494,18 @@ pub fn profile_text(manifest: &Manifest) -> String {
             out.push_str("miss classes: (classification off — rerun with --profile/--manifest)\n");
         }
     }
+    if let Some(memory) = manifest.get("memory") {
+        let _ = writeln!(
+            out,
+            "memory: {} non-default configs — L2 {} hits / {} misses; \
+             prefetch {} fills, {} useful",
+            u(memory.get("non_default_configs")),
+            u(memory.get("l2_hits")),
+            u(memory.get("l2_misses")),
+            u(memory.get("prefetch_fills")),
+            u(memory.get("prefetch_useful")),
+        );
+    }
     if let Some(reuse) = manifest.get("reuse") {
         let _ = writeln!(
             out,
@@ -587,6 +624,7 @@ mod tests {
             "workers",
             "sim",
             "miss_classes",
+            "memory",
             "reuse",
             "profile",
             "analysis",
@@ -599,6 +637,16 @@ mod tests {
         assert_eq!(u(memo.get("misses")), report.processed as u64);
         let mc = manifest.get("miss_classes").unwrap();
         assert!(u(mc.get("total")) > 0, "classification produced no misses");
+        let memory = manifest.get("memory").unwrap();
+        for key in [
+            "non_default_configs",
+            "l2_hits",
+            "l2_misses",
+            "prefetch_fills",
+            "prefetch_useful",
+        ] {
+            assert!(memory.get(key).is_some(), "memory missing `{key}`");
+        }
         let sim = manifest.get("sim").unwrap();
         assert!(f(sim.get("insts_per_sec")) > 0.0);
         assert!(
@@ -638,6 +686,7 @@ mod tests {
             "workers:",
             "sim:",
             "miss classes:",
+            "memory:",
             "reuse:",
             "profile:",
             "analysis:",

@@ -34,7 +34,8 @@ use dl_minic::OptLevel;
 use dl_mips::program::Program;
 use dl_obs::Spans;
 use dl_sim::{
-    run_with_stats, BlockStats, CacheConfig, Engine, ObserveConfig, RunConfig, RunResult,
+    run_with_stats, BlockStats, CacheConfig, Engine, MemoryConfig, ObserveConfig, RunConfig,
+    RunResult,
 };
 use dl_workloads::Benchmark;
 
@@ -93,7 +94,7 @@ impl BenchRun {
     }
 }
 
-type Key = (String, OptLevel, u8, CacheConfig);
+type Key = (String, OptLevel, u8, CacheConfig, MemoryConfig);
 
 /// State of one memo-table entry.
 #[derive(Debug)]
@@ -179,6 +180,8 @@ pub struct ConfigTiming {
     pub input_set: u8,
     /// Cache geometry.
     pub cache: CacheConfig,
+    /// Memory-system configuration (policy / L2 / prefetch).
+    pub memory: MemoryConfig,
     /// Seconds spent compiling + analyzing (0 on a compile-cache hit).
     pub compile_secs: f64,
     /// Seconds spent simulating.
@@ -189,12 +192,20 @@ pub struct ConfigTiming {
 
 impl ConfigTiming {
     /// A compact human label, e.g. `181.mcf/O0/in1/8KB 4-way 32B-block`.
+    /// A non-default memory system appends its own segment, e.g.
+    /// `…/32B-block/plru+l2:64KB-8w-incl`, so the paper-reproduction
+    /// labels stay byte-identical.
     #[must_use]
     pub fn label(&self) -> String {
-        format!(
+        let mut s = format!(
             "{}/{}/in{}/{}",
             self.bench, self.opt, self.input_set, self.cache
-        )
+        );
+        if !self.memory.is_default() {
+            s.push('/');
+            s.push_str(&self.memory.to_string());
+        }
+        s
     }
 }
 
@@ -351,7 +362,31 @@ impl Pipeline {
         input_set: u8,
         cache: CacheConfig,
     ) -> Arc<BenchRun> {
-        let key: Key = (bench.name.to_owned(), opt, input_set, cache);
+        self.run_mem(bench, opt, input_set, cache, MemoryConfig::default())
+    }
+
+    /// Runs (or returns the memoized run of) one configuration under an
+    /// explicit memory system — replacement policy, optional L2, and
+    /// stride prefetcher. [`Pipeline::run`] is this with the default
+    /// (LRU, L1-only, no prefetch), so the memmatrix sweep shares the
+    /// memo table — and the compile cache — with every other table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark fails to compile or traps during
+    /// simulation — both indicate bugs in the bundled workloads and
+    /// are covered by tests. A panic releases the in-flight claim so
+    /// concurrent waiters do not deadlock.
+    #[must_use]
+    pub fn run_mem(
+        &self,
+        bench: &Benchmark,
+        opt: OptLevel,
+        input_set: u8,
+        cache: CacheConfig,
+        memory: MemoryConfig,
+    ) -> Arc<BenchRun> {
+        let key: Key = (bench.name.to_owned(), opt, input_set, cache, memory);
         let shard = self.shard_of(&key);
         {
             let mut waited = false;
@@ -385,7 +420,7 @@ impl Pipeline {
             key: key.clone(),
             armed: true,
         };
-        let run = Arc::new(self.compute(bench, opt, input_set, cache));
+        let run = Arc::new(self.compute(bench, opt, input_set, cache, memory));
         guard.armed = false;
         let mut runs = shard.runs.lock().expect("pipeline lock");
         runs.insert(key, Slot::Ready(Arc::clone(&run)));
@@ -450,10 +485,12 @@ impl Pipeline {
         opt: OptLevel,
         input_set: u8,
         cache: CacheConfig,
+        memory: MemoryConfig,
     ) -> BenchRun {
         let (compiled, compile_secs) = self.compiled_for(bench, opt);
         let config = RunConfig {
             cache,
+            memory,
             input: bench.input(input_set).to_vec(),
             classify_misses: self.classify.load(Ordering::Relaxed),
             engine: self.engine(),
@@ -465,7 +502,11 @@ impl Pipeline {
             .unwrap_or_else(|e| panic!("{} trapped at {opt}: {e}", bench.name));
         let sim_secs = sim_start.elapsed().as_secs_f64();
         if let Some(spans) = self.trace_spans() {
-            let label = format!("sim/{}/{opt}/in{input_set}/{cache}", bench.name);
+            let mut label = format!("sim/{}/{opt}/in{input_set}/{cache}", bench.name);
+            if !memory.is_default() {
+                label.push('/');
+                label.push_str(&memory.to_string());
+            }
             spans.record_at(&label, sim_start, sim_secs);
         }
         if let Some(stats) = block_stats {
@@ -485,6 +526,7 @@ impl Pipeline {
                 opt,
                 input_set,
                 cache,
+                memory,
                 compile_secs,
                 sim_secs,
                 instructions: result.instructions,
@@ -730,6 +772,45 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.misses, 1);
         assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn memory_config_is_part_of_the_memo_key() {
+        use dl_sim::{Policy, StridePrefetchConfig};
+        let p = Pipeline::new();
+        let mut b = dl_workloads::by_name("197.parser").expect("exists");
+        b.input1 = vec![500, 2];
+        let cache = CacheConfig::paper_training();
+        let base = p.run(&b, OptLevel::O0, 1, cache);
+        // run() is run_mem() under the default memory system: same entry.
+        let same = p.run_mem(&b, OptLevel::O0, 1, cache, MemoryConfig::default());
+        assert!(Arc::ptr_eq(&base, &same));
+        assert_eq!(p.simulations(), 1);
+        // A different policy or prefetcher is a distinct simulation —
+        // but still the same compilation.
+        let plru = MemoryConfig {
+            policy: Policy::Plru,
+            ..MemoryConfig::default()
+        };
+        let pf = MemoryConfig {
+            prefetch: Some(StridePrefetchConfig::degree(2)),
+            ..MemoryConfig::default()
+        };
+        let r_plru = p.run_mem(&b, OptLevel::O0, 1, cache, plru);
+        let r_pf = p.run_mem(&b, OptLevel::O0, 1, cache, pf);
+        assert!(!Arc::ptr_eq(&base, &r_plru));
+        assert!(!Arc::ptr_eq(&base, &r_pf));
+        assert_eq!(p.simulations(), 3);
+        assert_eq!(p.stats().compile_misses, 1);
+        // Default-memory labels stay byte-identical to the pre-matrix
+        // format; non-default ones grow a memory segment.
+        let timings = p.config_timings();
+        assert!(timings
+            .iter()
+            .any(|t| t.memory.is_default() && !t.label().contains("lru")));
+        assert!(timings
+            .iter()
+            .any(|t| t.label().ends_with("/plru") || t.label().ends_with("/pf2")));
     }
 
     #[test]

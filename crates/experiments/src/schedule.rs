@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use dl_minic::OptLevel;
-use dl_sim::CacheConfig;
+use dl_sim::{CacheConfig, MemoryConfig};
 use dl_workloads::Benchmark;
 
 use crate::pipeline::Pipeline;
@@ -31,15 +31,20 @@ pub struct RunSpec {
     pub input_set: u8,
     /// Cache geometry.
     pub cache: CacheConfig,
+    /// Memory system (replacement policy / L2 / prefetcher). The
+    /// default — LRU, L1-only, no prefetch — for every paper table;
+    /// only the memmatrix sweep varies it.
+    pub memory: MemoryConfig,
 }
 
 impl RunSpec {
-    fn key(&self) -> (String, OptLevel, u8, CacheConfig) {
+    fn key(&self) -> (String, OptLevel, u8, CacheConfig, MemoryConfig) {
         (
             self.bench.name.to_owned(),
             self.opt,
             self.input_set,
             self.cache,
+            self.memory,
         )
     }
 }
@@ -57,6 +62,7 @@ fn specs(
             opt,
             input_set,
             cache,
+            memory: MemoryConfig::default(),
         })
         .collect()
 }
@@ -114,6 +120,24 @@ pub fn table_specs(table: &str) -> Vec<RunSpec> {
                 .map(|n| dl_workloads::by_name(n).expect("known benchmark"))
                 .collect();
             specs(benches, o0, 1, baseline)
+        }
+        "extension-memmatrix" => {
+            let benches: Vec<_> = crate::tables::memmatrix_benches()
+                .into_iter()
+                .map(|n| dl_workloads::by_name(n).expect("known benchmark"))
+                .collect();
+            crate::tables::memmatrix_configs()
+                .into_iter()
+                .flat_map(|memory| {
+                    benches.iter().cloned().map(move |bench| RunSpec {
+                        bench,
+                        opt: o0,
+                        input_set: 1,
+                        cache: baseline,
+                        memory,
+                    })
+                })
+                .collect()
         }
         "profile-geometries" => {
             let benches: Vec<_> = ["181.mcf", "183.equake", "179.art", "164.gzip"]
@@ -222,7 +246,13 @@ pub fn prewarm_with_stats(pipeline: &Pipeline, specs: &[RunSpec], jobs: usize) -
     if jobs <= 1 || specs.len() <= 1 {
         let start = Instant::now();
         for spec in specs {
-            let _ = pipeline.run(&spec.bench, spec.opt, spec.input_set, spec.cache);
+            let _ = pipeline.run_mem(
+                &spec.bench,
+                spec.opt,
+                spec.input_set,
+                spec.cache,
+                spec.memory,
+            );
         }
         return PrewarmReport {
             processed: specs.len(),
@@ -251,7 +281,13 @@ pub fn prewarm_with_stats(pipeline: &Pipeline, specs: &[RunSpec], jobs: usize) -
                             break stat;
                         };
                         let start = Instant::now();
-                        let _ = pipeline.run(&spec.bench, spec.opt, spec.input_set, spec.cache);
+                        let _ = pipeline.run_mem(
+                            &spec.bench,
+                            spec.opt,
+                            spec.input_set,
+                            spec.cache,
+                            spec.memory,
+                        );
                         stat.specs += 1;
                         stat.busy_secs += start.elapsed().as_secs_f64();
                     }

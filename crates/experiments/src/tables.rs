@@ -16,7 +16,7 @@ use dl_core::combine::{combine_with_profiling, HybridMode};
 use dl_core::training::{h1_class_defs, train_class, train_weights, TrainingParams, TrainingRun};
 use dl_core::{AgClass, Heuristic, Hybrid, Predictor, Weights};
 use dl_minic::OptLevel;
-use dl_sim::CacheConfig;
+use dl_sim::{CacheConfig, Inclusion, L2Config, MemoryConfig, Policy, StridePrefetchConfig};
 use dl_workloads::Benchmark;
 
 use crate::metrics::{ideal_set, pct, pi, profiling_set, random_control, rho, xi};
@@ -1190,6 +1190,162 @@ pub fn profile_geometries(p: &Pipeline) -> Table {
     t
 }
 
+/// The workloads the memory-system matrix sweeps: the three extension
+/// access-pattern families (B-tree lookups, hash join, BFS over CSR)
+/// plus two canonical paper behaviours (pointer chase, hash probes)
+/// as anchors.
+#[must_use]
+pub fn memmatrix_benches() -> Vec<&'static str> {
+    vec![
+        "ext.btree",
+        "ext.hashjoin",
+        "ext.bfs",
+        "181.mcf",
+        "129.compress",
+    ]
+}
+
+/// The policy × hierarchy × prefetch grid behind
+/// `extension-memmatrix`: every replacement policy with and without an
+/// inclusive 64 KiB 8-way L2 and with and without a degree-2 stride
+/// prefetcher, plus the exclusive-L2 pair under LRU — 14
+/// configurations, the first of which is the paper default (LRU,
+/// L1-only, no prefetch) shared with every other table.
+#[must_use]
+pub fn memmatrix_configs() -> Vec<MemoryConfig> {
+    let mut v = Vec::new();
+    for policy in [Policy::Lru, Policy::Plru, Policy::Random] {
+        for l2 in [None, Some(L2Config::kb(64, 8, Inclusion::Inclusive))] {
+            for prefetch in [None, Some(StridePrefetchConfig::degree(2))] {
+                v.push(MemoryConfig {
+                    policy,
+                    l2,
+                    prefetch,
+                });
+            }
+        }
+    }
+    for prefetch in [None, Some(StridePrefetchConfig::degree(2))] {
+        v.push(MemoryConfig {
+            policy: Policy::Lru,
+            l2: Some(L2Config::kb(64, 8, Inclusion::Exclusive)),
+            prefetch,
+        });
+    }
+    v
+}
+
+/// The static load with the most misses — the head of the delinquency
+/// ranking — or `None` when nothing missed. Ties break to the lowest
+/// instruction index so the reference is deterministic.
+fn top_site(result: &dl_sim::RunResult) -> Option<usize> {
+    result
+        .load_misses
+        .iter()
+        .enumerate()
+        .filter(|&(_, &m)| m > 0)
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+}
+
+/// Extension: delinquency across the memory-system matrix. Each row is
+/// one memory system (replacement policy / optional L2 / stride
+/// prefetcher) over the five matrix workloads; columns report the
+/// aggregate load-miss ratio, the share of would-be misses the
+/// prefetcher hid, and every predictor's π/ρ against that system's
+/// per-load miss ground truth.
+#[must_use]
+pub fn extension_memmatrix(p: &Pipeline) -> Table {
+    let cache = CacheConfig::paper_baseline();
+    let geometry = CacheGeometry::new(
+        u64::from(cache.size_bytes()),
+        u64::from(cache.block_bytes()),
+        cache.assoc(),
+    );
+    let h = Heuristic::default();
+    let profile = ProfilePredictor::new(geometry);
+    let reuse = ReusePredictor::new(geometry);
+    let inter = Hybrid::new(h.clone(), profile, HybridMode::Intersect);
+    let union = Hybrid::new(h.clone(), profile, HybridMode::Union);
+    let mut t = Table::new(
+        "extension-memmatrix",
+        "delinquency across the memory-system matrix (8 KiB L1)",
+        &[
+            "Memory system",
+            "load miss",
+            "pf hidden",
+            "heuristic π/ρ",
+            "OKN π/ρ",
+            "BDH π/ρ",
+            "reuse π/ρ",
+            "profile π/ρ",
+            "hybrid∩ π/ρ",
+            "hybrid∪ π/ρ",
+            "top moved",
+        ],
+    );
+    let benches: Vec<Benchmark> = memmatrix_benches()
+        .into_iter()
+        .map(|n| dl_workloads::by_name(n).expect("known benchmark"))
+        .collect();
+    // Predictor sets are static — the profile they consume (execution
+    // counts) is identical under every memory system — so compute them
+    // once per benchmark from the default-configuration run, along
+    // with that run's top miss site as the ranking reference.
+    let preds: [&dyn Predictor; 7] = [&h, &Okn, &Bdh, &reuse, &profile, &inter, &union];
+    let baseline_runs: Vec<Arc<BenchRun>> = benches
+        .iter()
+        .map(|b| p.run_mem(b, OptLevel::O0, 1, cache, MemoryConfig::default()))
+        .collect();
+    let sets: Vec<Vec<Vec<usize>>> = baseline_runs
+        .iter()
+        .map(|run| preds.iter().map(|pred| pred.predict(run.ctx())).collect())
+        .collect();
+    let top_ref: Vec<Option<usize>> = baseline_runs.iter().map(|r| top_site(&r.result)).collect();
+    for memory in memmatrix_configs() {
+        let (mut miss, mut hidden) = (vec![], vec![]);
+        let mut pis: Vec<Vec<f64>> = vec![vec![]; preds.len()];
+        let mut rhos: Vec<Vec<f64>> = vec![vec![]; preds.len()];
+        let mut moved = 0usize;
+        for (bi, b) in benches.iter().enumerate() {
+            let run = p.run_mem(b, OptLevel::O0, 1, cache, memory);
+            miss.push(run.result.load_misses_total as f64 / run.result.loads.max(1) as f64);
+            let would_miss = run.result.dcache_misses + run.result.prefetch_useful;
+            hidden.push(run.result.prefetch_useful as f64 / would_miss.max(1) as f64);
+            for (k, set) in sets[bi].iter().enumerate() {
+                pis[k].push(pi(set.len(), run.lambda()));
+                rhos[k].push(rho(&run.result, set));
+            }
+            if top_site(&run.result) != top_ref[bi] {
+                moved += 1;
+            }
+        }
+        let mut cells = vec![memory.to_string(), pct(avg(&miss), 2), pct(avg(&hidden), 1)];
+        for k in 0..preds.len() {
+            cells.push(format!(
+                "{} / {}",
+                pct(avg(&pis[k]), 2),
+                pct(avg(&rhos[k]), 1)
+            ));
+        }
+        cells.push(format!("{moved}/{}", benches.len()));
+        t.push_row(cells);
+    }
+    t.set_note(
+        "Beyond the paper. π is constant down each column because every \
+         predictor is static — only the ground truth moves. The reuse and \
+         profile predictors price a fully-associative LRU model, so their ρ \
+         degrading under plru/random is the model divergence DESIGN.md \
+         documents, not a bug. 'pf hidden' is the share of would-be demand \
+         misses the stride prefetcher converted to hits; 'top moved' counts \
+         workloads whose single most delinquent load differs from the \
+         default system's — non-zero prefetch rows mean the ranking a \
+         compiler should target depends on the memory system it compiles \
+         for.",
+    );
+    t
+}
+
 /// A table generator function.
 pub type TableFn = fn(&Pipeline) -> Table;
 
@@ -1217,6 +1373,7 @@ pub fn all_tables() -> Vec<(&'static str, TableFn)> {
         ("extension-prefetch", extension_prefetch),
         ("extension-reuse", extension_reuse),
         ("extension-profile", extension_profile),
+        ("extension-memmatrix", extension_memmatrix),
         ("profile-geometries", profile_geometries),
         ("ablation-profile-fidelity", ablation_profile_fidelity),
         ("ablation-delta-tuning", ablation_delta_tuning),
@@ -1258,5 +1415,87 @@ mod tests {
     fn averages_helper() {
         assert_eq!(avg(&[]), 0.0);
         assert!((avg(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memmatrix_grid_shape() {
+        let configs = memmatrix_configs();
+        assert!(configs.len() >= 12, "matrix must span at least 12 configs");
+        assert_eq!(configs[0], MemoryConfig::default());
+        let labels: std::collections::HashSet<String> =
+            configs.iter().map(ToString::to_string).collect();
+        assert_eq!(labels.len(), configs.len(), "duplicate matrix configs");
+        for name in memmatrix_benches() {
+            assert!(dl_workloads::by_name(name).is_some(), "{name} unknown");
+        }
+    }
+
+    /// The acceptance demonstration: enabling the stride prefetcher
+    /// must demonstrably reorder the delinquency ranking of at least
+    /// one matrix workload — the streaming half of its misses is
+    /// hidden, so a scatter-dominated site takes over the top of the
+    /// list the compiler would target.
+    #[test]
+    fn prefetcher_shifts_the_delinquency_ranking() {
+        let p = Pipeline::new();
+        let cache = CacheConfig::paper_baseline();
+        let pf = MemoryConfig {
+            prefetch: Some(StridePrefetchConfig::degree(2)),
+            ..MemoryConfig::default()
+        };
+        let ranking = |result: &dl_sim::RunResult| -> Vec<usize> {
+            let mut sites: Vec<(usize, u64)> = result
+                .load_misses
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, m)| m > 0)
+                .collect();
+            sites.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            sites.into_iter().take(3).map(|(i, _)| i).collect()
+        };
+        let shifted = memmatrix_benches().into_iter().any(|name| {
+            let b = dl_workloads::by_name(name).expect("known benchmark");
+            let base = p.run_mem(&b, OptLevel::O0, 1, cache, MemoryConfig::default());
+            let with_pf = p.run_mem(&b, OptLevel::O0, 1, cache, pf);
+            assert!(
+                with_pf.result.prefetch_fills > 0,
+                "{name}: prefetcher never fired"
+            );
+            ranking(&base.result) != ranking(&with_pf.result)
+        });
+        assert!(
+            shifted,
+            "no matrix workload's top-3 delinquent loads moved under prefetching"
+        );
+    }
+
+    /// Two fresh pipelines must render byte-identical memmatrix tables:
+    /// the random replacement policy is seeded from the run
+    /// configuration, never from ambient entropy, so the sweep is
+    /// reproducible run to run (and, via the ci.sh gate, across
+    /// engines and worker counts).
+    #[test]
+    fn memmatrix_table_is_deterministic() {
+        let render = || {
+            let p = Pipeline::new();
+            let mut specs = crate::schedule::table_specs("extension-memmatrix");
+            for spec in &mut specs {
+                for v in spec
+                    .bench
+                    .input1
+                    .iter_mut()
+                    .chain(spec.bench.input2.iter_mut())
+                {
+                    *v = (*v).clamp(1, 64);
+                }
+            }
+            crate::schedule::prewarm(&p, &specs, 4);
+            extension_memmatrix(&p).to_markdown()
+        };
+        let first = render();
+        assert_eq!(first, render());
+        assert!(first.contains("plru+l2:64KB-8w-incl+pf2"));
+        assert!(first.contains("random"));
     }
 }

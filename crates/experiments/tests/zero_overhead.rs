@@ -128,6 +128,39 @@ fn tracing_and_observatory_leave_tables_byte_identical() {
     }
 }
 
+/// The memory-system matrix table is covered by the zero-overhead
+/// guarantee too: rendering `extension-memmatrix` — whose runs span
+/// every replacement policy, both L2 inclusion modes, and the stride
+/// prefetcher — with the observatory enabled under the block engine
+/// must be byte-identical to an unobserved step-engine render.
+#[test]
+fn memmatrix_table_is_immune_to_instrumentation() {
+    let memmatrix: Vec<(&str, TableFn)> = all_tables()
+        .into_iter()
+        .filter(|(name, _)| *name == "extension-memmatrix")
+        .collect();
+    assert_eq!(memmatrix.len(), 1, "extension-memmatrix is registered");
+    let render = |observe: bool, engine: Engine| {
+        let pipeline = Pipeline::new();
+        pipeline.set_engine(engine);
+        if observe {
+            pipeline.set_observe(Some(ObserveConfig { epoch_len: 4096 }));
+        }
+        prewarm(&pipeline, &shrunk_specs(&["extension-memmatrix"]), 2);
+        experiments_doc(&pipeline, &memmatrix, |_, _| {})
+    };
+    let baseline = render(false, Engine::Step);
+    assert!(
+        baseline.contains("plru") && baseline.contains("random"),
+        "memmatrix table missing non-default policies"
+    );
+    assert_eq!(
+        baseline,
+        render(true, Engine::Block),
+        "observatory under the block engine changed the memmatrix table"
+    );
+}
+
 #[test]
 fn classification_attaches_profiles_without_extra_simulations() {
     let pipeline = Pipeline::new();

@@ -38,8 +38,8 @@ use dl_mips::layout;
 use dl_mips::program::Program;
 use dl_mips::reg::Reg;
 
-use crate::cache::Cache;
 use crate::cpu::{Machine, Trap};
+use crate::memory::MemorySystem;
 use crate::stats::RunResult;
 
 /// Which interpreter core executes a run.
@@ -1148,7 +1148,7 @@ struct CacheView {
 }
 
 impl CacheView {
-    fn new(cache: &Cache) -> Self {
+    fn new(cache: &MemorySystem) -> Self {
         CacheView {
             set_shift: cache.hot_params(),
         }
@@ -1449,11 +1449,11 @@ fn load_access<const SLOW: bool>(m: &mut Machine<'_>, cv: CacheView, at: usize, 
     load_access_slow(m, at, addr);
 }
 
-/// Non-MRU load access: full cache model plus miss counters. Out of
-/// line so the hit path materializes nothing for it.
+/// Non-MRU load access: full memory-system walk plus miss counters.
+/// Out of line so the hit path materializes nothing for it.
 #[cold]
 fn load_access_slow(m: &mut Machine<'_>, at: usize, addr: u32) {
-    if !m.cache.access(addr) {
+    if !m.cache.demand_access(addr).hit {
         m.result.load_misses[at] += 1;
         m.result.load_misses_total += 1;
         m.result.dcache_misses += 1;
@@ -1476,7 +1476,7 @@ fn store_access<const SLOW: bool>(m: &mut Machine<'_>, cv: CacheView, at: usize,
 /// Non-MRU store access. Out of line like [`load_access_slow`].
 #[cold]
 fn store_access_slow(m: &mut Machine<'_>, addr: u32) {
-    if !m.cache.access(addr) {
+    if !m.cache.demand_access(addr).hit {
         m.result.dcache_misses += 1;
     }
 }

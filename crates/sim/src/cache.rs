@@ -1,11 +1,17 @@
-//! A set-associative, LRU, write-allocate L1 data-cache model.
+//! A set-associative, write-allocate data-cache model.
 //!
 //! Matches the paper's simulated cache: the training configuration is a
 //! 4-way, 256-set, 32-byte-block data cache (32 KiB); the evaluation
-//! sweeps associativity (2/4/8) and capacity (8–64 KiB).
+//! sweeps associativity (2/4/8) and capacity (8–64 KiB). Replacement
+//! defaults to true LRU; [`Cache::with_policy`] selects tree-PLRU or
+//! random instead (see [`crate::memory`]), and the block-level
+//! operations ([`Cache::invalidate_block`] and friends) exist for the
+//! two-level hierarchy's inclusion maintenance.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+
+use crate::memory::{Policy, RandomEvict, ReplacementPolicy, TreePlru};
 
 /// Geometry of a cache: total capacity, associativity, and block size.
 ///
@@ -129,6 +135,12 @@ impl fmt::Display for CacheConfig {
 
 const INVALID_TAG: u64 = u64::MAX;
 
+/// Reconstructs the block number a displaced tag held, or `None` for
+/// an invalid (empty) way. Block and (set, tag) determine each other.
+fn evicted_block(old_tag: u64, set: u32, tag_shift: u32) -> Option<u64> {
+    (old_tag != INVALID_TAG).then(|| (old_tag << tag_shift) | u64::from(set))
+}
+
 /// The classical "three Cs" classification of one cache miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MissClass {
@@ -228,15 +240,59 @@ impl ProfileState {
     }
 }
 
-/// A simulated data cache with true-LRU replacement and write-allocate
-/// stores.
+/// Replacement machinery: the default LRU keeps its fused
+/// search/recency representation (the `order` permutation inside
+/// [`Cache`], searched MRU-first and rotated in place); the
+/// alternative policies carry their own per-set state behind
+/// [`ReplacementPolicy`] and are dispatched statically per access.
+#[derive(Debug, Clone)]
+enum Repl {
+    /// True LRU via the `order` permutation (not this enum's state).
+    Lru,
+    /// Tree-PLRU recency bits.
+    Plru(TreePlru),
+    /// Random victims from a seeded PRNG.
+    Random(RandomEvict),
+}
+
+impl Repl {
+    fn touch(&mut self, set: usize, assoc: usize, way: usize) {
+        match self {
+            // The LRU arm fuses its touch into the set walk.
+            Repl::Lru => unreachable!("LRU recency lives in Cache::order"),
+            Repl::Plru(p) => p.touch(set, assoc, way),
+            Repl::Random(r) => r.touch(set, assoc, way),
+        }
+    }
+
+    fn victim(&mut self, set: usize, assoc: usize) -> usize {
+        match self {
+            Repl::Lru => unreachable!("LRU victims live in Cache::order"),
+            Repl::Plru(p) => p.victim(set, assoc),
+            Repl::Random(r) => r.victim(set, assoc),
+        }
+    }
+
+    fn reset(&mut self, sets: usize, assoc: u32) {
+        match self {
+            Repl::Lru => {}
+            Repl::Plru(p) => *p = TreePlru::new(sets, assoc),
+            Repl::Random(r) => r.reset(),
+        }
+    }
+}
+
+/// A simulated data cache with write-allocate stores and pluggable
+/// replacement (true LRU by default).
 ///
-/// Replacement state is a per-set MRU-first permutation of way
+/// LRU replacement state is a per-set MRU-first permutation of way
 /// indices (`order`), not timestamps: a hit rotates the touched way
 /// to the front, a miss evicts the way at the tail. Repeated accesses
 /// to the hottest block of a set — by far the common case in loop
 /// code — take a one-compare fast path that neither walks the set nor
-/// rewrites the recency state.
+/// rewrites the recency state; that fast path stays valid under every
+/// policy because re-touching the most recently touched way is always
+/// a no-op (see [`crate::memory`]).
 ///
 /// # Example
 ///
@@ -264,6 +320,7 @@ pub struct Cache {
     tag_shift: u32,
     hits: u64,
     misses: u64,
+    repl: Repl,
     // Opt-in profiling (miss classes, per-set histograms). `profiling`
     // mirrors `profile.is_some()` so the hot path tests one bool.
     profiling: bool,
@@ -290,8 +347,33 @@ impl Cache {
             tag_shift: (cfg.sets() - 1).count_ones(),
             hits: 0,
             misses: 0,
+            repl: Repl::Lru,
             profiling: false,
             profile: None,
+        }
+    }
+
+    /// Creates an empty cache running `policy` instead of the default
+    /// LRU. `seed` feeds the random policy's PRNG (other policies
+    /// ignore it), keeping victim streams deterministic per run.
+    #[must_use]
+    pub fn with_policy(cfg: CacheConfig, policy: Policy, seed: u64) -> Self {
+        let mut cache = Cache::new(cfg);
+        cache.repl = match policy {
+            Policy::Lru => Repl::Lru,
+            Policy::Plru => Repl::Plru(TreePlru::new(cfg.sets() as usize, cfg.assoc())),
+            Policy::Random => Repl::Random(RandomEvict::new(seed)),
+        };
+        cache
+    }
+
+    /// The replacement policy this cache runs.
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        match self.repl {
+            Repl::Lru => Policy::Lru,
+            Repl::Plru(_) => Policy::Plru,
+            Repl::Random(_) => Policy::Random,
         }
     }
 
@@ -360,9 +442,19 @@ impl Cache {
     }
 
     /// Simulates one access to `addr`, returning `true` on hit.
-    /// On a miss the block is filled (evicting the LRU way).
+    /// On a miss the block is filled (evicting the policy's victim).
     #[inline]
     pub fn access(&mut self, addr: u32) -> bool {
+        self.access_with_victim(addr).0
+    }
+
+    /// Like [`Cache::access`], additionally reporting the block number
+    /// the fill evicted (if the access missed and displaced a valid
+    /// line) — the information the two-level hierarchy needs for
+    /// inclusion maintenance. Victim reconstruction runs only on the
+    /// miss path, so [`Cache::access`] pays nothing for it.
+    #[inline]
+    pub(crate) fn access_with_victim(&mut self, addr: u32) -> (bool, Option<u64>) {
         let block = u64::from(addr >> self.set_shift);
         let set = (block as u32) & self.set_mask;
         let tag = block >> self.tag_shift;
@@ -373,15 +465,15 @@ impl Cache {
             if self.profiling {
                 self.profile_access(block, set, true);
             }
-            return true;
+            return (true, None);
         }
         let assoc = self.cfg.assoc as usize;
-        let hit = self.access_slow(set as usize * assoc, assoc, tag);
+        let (hit, evicted) = self.access_slow(set as usize * assoc, assoc, set, tag);
         self.mru[set as usize] = block;
         if self.profiling {
             self.profile_access(block, set, hit);
         }
-        hit
+        (hit, evicted)
     }
 
     /// Profiling bookkeeping for one access: per-set histograms, the
@@ -423,8 +515,18 @@ impl Cache {
         }
     }
 
-    /// Non-MRU hit or miss: walk the set and update the recency order.
-    fn access_slow(&mut self, base: usize, assoc: usize, tag: u64) -> bool {
+    /// Non-MRU hit or miss: walk the set and update the recency state,
+    /// reporting the evicted block (if any valid line was displaced).
+    fn access_slow(
+        &mut self,
+        base: usize,
+        assoc: usize,
+        set: u32,
+        tag: u64,
+    ) -> (bool, Option<u64>) {
+        if !matches!(self.repl, Repl::Lru) {
+            return self.access_slow_policy(base, assoc, set, tag);
+        }
         let order = &mut self.order[base..base + assoc];
         let hit_pos = order[1..]
             .iter()
@@ -435,7 +537,7 @@ impl Cache {
             order.copy_within(0..p, 1);
             order[0] = w;
             self.hits += 1;
-            return true;
+            return (true, None);
         }
         // Miss: evict the LRU way (the tail of the order). Untouched
         // (invalid) ways sit at the tail, so cold fills consume them
@@ -443,9 +545,120 @@ impl Cache {
         let victim = order[assoc - 1];
         order.copy_within(0..assoc - 1, 1);
         order[0] = victim;
+        let old = self.tags[base + victim as usize];
         self.tags[base + victim as usize] = tag;
         self.misses += 1;
-        false
+        (false, evicted_block(old, set, self.tag_shift))
+    }
+
+    /// The PLRU/random set walk: hit detection scans the tags directly
+    /// (these policies keep no search order), recency goes through the
+    /// policy state, and invalid ways always fill before a victim is
+    /// consulted — matching the LRU arm, whose untouched ways sit at
+    /// the order tail.
+    fn access_slow_policy(
+        &mut self,
+        base: usize,
+        assoc: usize,
+        set: u32,
+        tag: u64,
+    ) -> (bool, Option<u64>) {
+        for way in 0..assoc {
+            if self.tags[base + way] == tag {
+                self.repl.touch(set as usize, assoc, way);
+                self.hits += 1;
+                return (true, None);
+            }
+        }
+        self.misses += 1;
+        let way = match (0..assoc).find(|&w| self.tags[base + w] == INVALID_TAG) {
+            Some(w) => w,
+            None => self.repl.victim(set as usize, assoc),
+        };
+        let old = self.tags[base + way];
+        self.tags[base + way] = tag;
+        self.repl.touch(set as usize, assoc, way);
+        (false, evicted_block(old, set, self.tag_shift))
+    }
+
+    /// Removes `block` if present, reporting whether it was. Used by
+    /// the hierarchy: back-invalidation when an inclusive L2 evicts,
+    /// and the probe side of an exclusive L2 (a hit migrates the line
+    /// up, so it leaves this level). Clears the MRU shortcut when it
+    /// pointed at the removed line — a stale entry would fake hits on
+    /// the fast path — and demotes the freed way to the LRU tail so
+    /// the next fill reuses it.
+    pub(crate) fn extract_block(&mut self, block: u64) -> bool {
+        let set = (block as u32) & self.set_mask;
+        let tag = block >> self.tag_shift;
+        let assoc = self.cfg.assoc as usize;
+        let base = set as usize * assoc;
+        let Some(way) = (0..assoc).find(|&w| self.tags[base + w] == tag) else {
+            return false;
+        };
+        self.tags[base + way] = INVALID_TAG;
+        if self.mru[set as usize] == block {
+            self.mru[set as usize] = INVALID_TAG;
+        }
+        if matches!(self.repl, Repl::Lru) {
+            let order = &mut self.order[base..base + assoc];
+            let pos = order
+                .iter()
+                .position(|&w| usize::from(w) == way)
+                .expect("resident way appears in its set's order");
+            order.copy_within(pos + 1.., pos);
+            order[assoc - 1] = way as u16;
+        }
+        true
+    }
+
+    /// Removes `block` if present (inclusive back-invalidation).
+    pub(crate) fn invalidate_block(&mut self, block: u64) {
+        self.extract_block(block);
+    }
+
+    /// Inserts `block` without counting an access — an exclusive L2
+    /// absorbing an L1 victim. Lands on the existing line if present
+    /// (refreshing recency), else an invalid way, else the policy
+    /// victim; returns the displaced block, if any.
+    pub(crate) fn insert_block(&mut self, block: u64) -> Option<u64> {
+        let set = (block as u32) & self.set_mask;
+        let tag = block >> self.tag_shift;
+        let assoc = self.cfg.assoc as usize;
+        let base = set as usize * assoc;
+        if matches!(self.repl, Repl::Lru) {
+            let order = &mut self.order[base..base + assoc];
+            // Invalid ways always sit at the order tail, so the tail is
+            // the landing slot whether or not the set is full.
+            let pos = order
+                .iter()
+                .position(|&w| self.tags[base + usize::from(w)] == tag)
+                .unwrap_or(assoc - 1);
+            let way = usize::from(order[pos]);
+            order.copy_within(0..pos, 1);
+            order[0] = way as u16;
+            let old = self.tags[base + way];
+            self.tags[base + way] = tag;
+            self.mru[set as usize] = block;
+            return (old != tag)
+                .then(|| evicted_block(old, set, self.tag_shift))
+                .flatten();
+        }
+        let existing = (0..assoc).find(|&w| self.tags[base + w] == tag);
+        let way = match existing {
+            Some(w) => w,
+            None => match (0..assoc).find(|&w| self.tags[base + w] == INVALID_TAG) {
+                Some(w) => w,
+                None => self.repl.victim(set as usize, assoc),
+            },
+        };
+        let old = self.tags[base + way];
+        self.tags[base + way] = tag;
+        self.repl.touch(set as usize, assoc, way);
+        self.mru[set as usize] = block;
+        (old != tag)
+            .then(|| evicted_block(old, set, self.tag_shift))
+            .flatten()
     }
 
     /// Total hits so far.
@@ -470,6 +683,7 @@ impl Cache {
         }
         self.hits = 0;
         self.misses = 0;
+        self.repl.reset(self.cfg.sets() as usize, self.cfg.assoc());
         if self.profiling {
             self.profile = Some(Box::new(ProfileState::new(self.cfg)));
         }
@@ -654,5 +868,112 @@ mod tests {
         let p = c.profile().unwrap();
         assert_eq!(p.classes.compulsory, 1);
         assert_eq!(p.set_accesses.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn with_policy_reports_and_defaults() {
+        let cfg = CacheConfig::kb(8, 4);
+        assert_eq!(Cache::new(cfg).policy(), Policy::Lru);
+        assert_eq!(
+            Cache::with_policy(cfg, Policy::Plru, 0).policy(),
+            Policy::Plru
+        );
+        assert_eq!(
+            Cache::with_policy(cfg, Policy::Random, 7).policy(),
+            Policy::Random
+        );
+    }
+
+    #[test]
+    fn every_policy_holds_a_set_sized_working_set() {
+        // Any sane policy keeps a working set that exactly fills one
+        // set resident across re-touches (no evictions ever needed).
+        for policy in [Policy::Lru, Policy::Plru, Policy::Random] {
+            let cfg = CacheConfig::kb(8, 4);
+            let mut c = Cache::with_policy(cfg, policy, 99);
+            let stride = cfg.sets() * cfg.block_bytes();
+            let addrs: Vec<u32> = (0..4).map(|i| 0x2000_0000 + i * stride).collect();
+            for &a in &addrs {
+                assert!(!c.access(a), "{policy}: cold fill");
+            }
+            for _ in 0..3 {
+                for &a in &addrs {
+                    assert!(c.access(a), "{policy}: resident working set");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plru_evicts_unprotected_way() {
+        // 2-way PLRU degenerates to true LRU: a(miss) b(miss) a(hit)
+        // d(miss) must evict b.
+        let cfg = CacheConfig::kb(8, 2);
+        let mut c = Cache::with_policy(cfg, Policy::Plru, 0);
+        let stride = cfg.sets() * cfg.block_bytes();
+        let (a, b, d) = (0x2000_0000, 0x2000_0000 + stride, 0x2000_0000 + 2 * stride);
+        assert!(!c.access(a));
+        assert!(!c.access(b));
+        assert!(c.access(a));
+        assert!(!c.access(d));
+        assert!(c.access(a), "a was protected");
+        assert!(!c.access(b), "b was the PLRU victim");
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_and_stays_in_set() {
+        let cfg = CacheConfig::kb(8, 2);
+        let mut x = Cache::with_policy(cfg, Policy::Random, 1234);
+        let mut y = Cache::with_policy(cfg, Policy::Random, 1234);
+        let stride = cfg.sets() * cfg.block_bytes();
+        for i in 0..4000u32 {
+            let addr = 0x2000_0000 + (i % 5) * stride + (i % 11) * 4;
+            assert_eq!(x.access(addr), y.access(addr), "access {i}");
+        }
+        assert_eq!(x.hits(), y.hits());
+        assert_eq!(x.misses(), y.misses());
+    }
+
+    #[test]
+    fn access_with_victim_reports_displaced_blocks() {
+        let cfg = CacheConfig::kb(8, 2);
+        let mut c = Cache::new(cfg);
+        let stride = cfg.sets() * cfg.block_bytes();
+        let a = 0x2000_0000u32;
+        // Cold fills displace nothing.
+        assert_eq!(c.access_with_victim(a), (false, None));
+        assert_eq!(c.access_with_victim(a + stride), (false, None));
+        // Third block in the set evicts a's block (the LRU).
+        let (hit, victim) = c.access_with_victim(a + 2 * stride);
+        assert!(!hit);
+        assert_eq!(victim, Some(u64::from(a >> 5)));
+    }
+
+    #[test]
+    fn extract_block_clears_residency_and_mru() {
+        let mut c = Cache::new(CacheConfig::kb(8, 4));
+        let a = 0x2000_0000u32;
+        let block = u64::from(a >> 5);
+        c.access(a);
+        assert!(c.extract_block(block));
+        assert!(!c.extract_block(block), "already gone");
+        // The MRU shortcut must not resurrect the line.
+        assert!(!c.access(a), "invalidated line re-misses");
+    }
+
+    #[test]
+    fn insert_block_fills_and_reports_victims() {
+        let cfg = CacheConfig::kb(8, 2);
+        let mut c = Cache::new(cfg);
+        let set_stride = u64::from(cfg.sets());
+        let b0 = 0x10_0000u64;
+        assert_eq!(c.insert_block(b0), None);
+        assert_eq!(c.insert_block(b0 + set_stride), None);
+        // Set full: a third insert displaces the LRU (b0).
+        assert_eq!(c.insert_block(b0 + 2 * set_stride), Some(b0));
+        // Re-inserting a resident block displaces nothing.
+        assert_eq!(c.insert_block(b0 + set_stride), None);
+        // Inserted lines are resident: the matching address hits.
+        assert!(c.access((b0 + set_stride) as u32 * 32));
     }
 }

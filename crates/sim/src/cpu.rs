@@ -13,8 +13,9 @@ use dl_mips::program::Program;
 use dl_mips::reg::Reg;
 
 use crate::block::{self, BlockCache, BlockStats, Engine};
-use crate::cache::{Cache, CacheConfig};
+use crate::cache::CacheConfig;
 use crate::mem::{MemFault, Memory};
+use crate::memory::{MemoryConfig, MemorySystem};
 use crate::observe::{MissObservatory, ObserveConfig};
 use crate::reuse::ReuseMeasurement;
 use crate::stats::RunResult;
@@ -113,8 +114,13 @@ impl PrefetchConfig {
 /// Configuration for one simulated run.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
-    /// Data-cache geometry.
+    /// L1 data-cache geometry.
     pub cache: CacheConfig,
+    /// Memory-system shape beyond the L1 geometry: replacement
+    /// policy, optional L2, optional stride prefetcher (see
+    /// [`crate::memory`]). The default is the plain L1 LRU the paper
+    /// evaluates.
+    pub memory: MemoryConfig,
     /// Abort with [`Trap::StepLimit`] after this many instructions.
     pub max_steps: u64,
     /// Integers served to the `read_int` syscall, in order.
@@ -146,6 +152,7 @@ impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
             cache: CacheConfig::default(),
+            memory: MemoryConfig::default(),
             max_steps: 500_000_000,
             input: Vec::new(),
             seed: 0x5eed_1234_abcd_ef01,
@@ -185,7 +192,7 @@ pub struct Machine<'p> {
     pub(crate) pc: usize,
     pub(crate) halt_index: usize,
     pub(crate) mem: Memory,
-    pub(crate) cache: Cache,
+    pub(crate) cache: MemorySystem,
     rng: u64,
     input: VecDeque<i32>,
     pub(crate) result: RunResult,
@@ -208,6 +215,8 @@ pub struct Machine<'p> {
     classifying: bool,
     observing: bool,
     reusing: bool,
+    // Stride prefetcher configured: every demand load trains the table.
+    striding: bool,
 }
 
 impl<'p> Machine<'p> {
@@ -221,7 +230,11 @@ impl<'p> Machine<'p> {
         // Returning from the entry function jumps to the halt sentinel.
         let halt_index = program.insts.len();
         regs[Reg::Ra as usize] = layout::pc_of_index(halt_index);
-        let mut cache = Cache::new(config.cache);
+        let has_prefetch = config
+            .prefetch
+            .as_ref()
+            .is_some_and(|pf| pf.degree > 0 && !pf.sites.is_empty());
+        let mut cache = MemorySystem::new(config.cache, &config.memory, config.seed, has_prefetch);
         let mut result = RunResult::with_len(program.insts.len());
         if config.classify_misses {
             cache.enable_profiling();
@@ -258,13 +271,11 @@ impl<'p> Machine<'p> {
                 .reuse_profile
                 .then(|| ReuseMeasurement::new(program.insts.len(), config.cache.block_bytes())),
             tracing: false,
-            has_prefetch: config
-                .prefetch
-                .as_ref()
-                .is_some_and(|pf| pf.degree > 0 && !pf.sites.is_empty()),
+            has_prefetch,
             classifying: config.classify_misses,
             observing: config.observe.is_some(),
             reusing: config.reuse_profile,
+            striding: config.memory.prefetch.is_some_and(|pf| pf.degree > 0),
         }
     }
 
@@ -325,13 +336,12 @@ impl<'p> Machine<'p> {
         if degree == 0 {
             return;
         }
-        let block = self.cache.config().block_bytes();
+        let block = self.cache.l1().config().block_bytes();
         for d in 1..=degree {
             let Some(next) = addr.checked_add(block * d) else {
                 break;
             };
-            self.cache.access(next);
-            self.result.prefetches_issued += 1;
+            self.cache.prefetch_fill(next);
         }
     }
 
@@ -359,6 +369,16 @@ impl<'p> Machine<'p> {
             .observe(at, miss);
     }
 
+    /// Records that the load about to be observed hit only because a
+    /// prefetch filed its line. Out of line, same as `observe_load`.
+    #[cold]
+    fn observe_hidden_load(&mut self, at: usize) {
+        self.observatory
+            .as_mut()
+            .expect("observing flag implies observatory")
+            .observe_hidden(at);
+    }
+
     /// Pushes one data access onto the shadow LRU stack. Out of line:
     /// reuse measurement is opt-in validation only.
     #[cold]
@@ -375,8 +395,8 @@ impl<'p> Machine<'p> {
         }
         self.result.dcache_accesses += 1;
         self.result.loads += 1;
-        let hit = self.cache.access(addr);
-        if hit {
+        let access = self.cache.demand_access(addr);
+        if access.hit {
             self.result.load_hits[at] += 1;
         } else {
             self.result.load_misses[at] += 1;
@@ -387,13 +407,19 @@ impl<'p> Machine<'p> {
             }
         }
         if self.observing {
-            self.observe_load(at, !hit);
+            if access.hidden {
+                self.observe_hidden_load(at);
+            }
+            self.observe_load(at, !access.hit);
         }
         if self.reusing {
             self.record_reuse(at, addr, false);
         }
         if self.has_prefetch {
             self.issue_prefetches(at, addr);
+        }
+        if self.striding {
+            self.cache.stride_observe(at, addr);
         }
     }
 
@@ -403,7 +429,7 @@ impl<'p> Machine<'p> {
         }
         self.result.dcache_accesses += 1;
         self.result.stores += 1;
-        if !self.cache.access(addr) {
+        if !self.cache.demand_access(addr).hit {
             self.result.dcache_misses += 1;
         }
         if self.reusing {
@@ -699,6 +725,7 @@ impl<'p> Machine<'p> {
         };
         self.result.exit_code = self.finished.unwrap_or(0);
         self.result.cache_profile = self.cache.take_profile();
+        self.cache.flush_into(&mut self.result);
         if cfg!(debug_assertions) {
             if let Err(violation) = self.result.check_consistency() {
                 panic!("inconsistent RunResult: {violation}");
@@ -744,8 +771,12 @@ impl<'p> Machine<'p> {
     /// fast path.
     fn run_block_engine(&mut self, max_steps: u64) -> Result<BlockStats, Trap> {
         let mut cache = BlockCache::new(self.program.insts.len());
-        let slow =
-            self.tracing || self.has_prefetch || self.classifying || self.observing || self.reusing;
+        let slow = self.tracing
+            || self.has_prefetch
+            || self.classifying
+            || self.observing
+            || self.reusing
+            || self.cache.forces_slow();
         if slow {
             block::run_blocks::<true>(self, &mut cache, max_steps)?;
         } else {

@@ -37,6 +37,7 @@ pub mod block;
 pub mod cache;
 pub mod cpu;
 pub mod mem;
+pub mod memory;
 pub mod observe;
 pub mod reuse;
 pub mod stats;
@@ -45,6 +46,9 @@ pub mod trace;
 pub use block::{BlockStats, Engine};
 pub use cache::{Cache, CacheConfig, CacheProfile, MissClass, MissClasses};
 pub use cpu::{run, run_full, run_with_stats, Machine, PrefetchConfig, RunConfig, SimOutput, Trap};
+pub use memory::{
+    Inclusion, L2Config, MemoryConfig, Policy, ReplacementPolicy, StridePrefetchConfig,
+};
 pub use observe::{EpochMisses, MissObservatory, ObserveConfig};
 pub use reuse::{ReuseMeasurement, SiteHistogram};
 pub use stats::RunResult;

@@ -44,6 +44,10 @@ pub struct EpochMisses {
     /// Sparse `(site, misses)` pairs, site index ascending; sites with
     /// no misses in the epoch are omitted.
     pub misses: Vec<(u32, u64)>,
+    /// Sparse `(site, hidden)` pairs: demand hits on lines a prefetcher
+    /// filed ahead of time — misses the memory system hid rather than
+    /// true locality. Empty unless a prefetcher is configured.
+    pub hidden: Vec<(u32, u64)>,
 }
 
 /// Collects per-load-site miss counts in fixed-size epoch windows.
@@ -52,6 +56,8 @@ pub struct MissObservatory {
     epoch_len: u64,
     /// Dense per-site miss counts for the epoch in progress.
     current: Vec<u64>,
+    /// Dense per-site prefetch-hidden counts for the epoch in progress.
+    current_hidden: Vec<u64>,
     /// Load accesses observed in the epoch in progress.
     seen: u64,
     epochs: Vec<EpochMisses>,
@@ -70,6 +76,7 @@ impl MissObservatory {
         MissObservatory {
             epoch_len: config.epoch_len,
             current: vec![0; sites],
+            current_hidden: vec![0; sites],
             seen: 0,
             epochs: Vec::new(),
         }
@@ -87,6 +94,13 @@ impl MissObservatory {
         }
     }
 
+    /// Records that the access about to be [`Self::observe`]d at `at`
+    /// hit only because a prefetch filed the line ahead of demand.
+    /// Call *before* `observe` so the count lands in the same epoch.
+    pub fn observe_hidden(&mut self, at: usize) {
+        self.current_hidden[at] += 1;
+    }
+
     /// Closes the final (possibly partial) epoch. Idempotent.
     pub fn finish(&mut self) {
         if self.seen > 0 {
@@ -95,20 +109,24 @@ impl MissObservatory {
     }
 
     fn roll(&mut self) {
-        let misses = self
-            .current
-            .iter_mut()
-            .enumerate()
-            .filter(|(_, n)| **n > 0)
-            .map(|(i, n)| {
-                let count = std::mem::take(n);
-                (u32::try_from(i).expect("site index fits u32"), count)
-            })
-            .collect();
+        fn drain_sparse(dense: &mut [u64]) -> Vec<(u32, u64)> {
+            dense
+                .iter_mut()
+                .enumerate()
+                .filter(|(_, n)| **n > 0)
+                .map(|(i, n)| {
+                    let count = std::mem::take(n);
+                    (u32::try_from(i).expect("site index fits u32"), count)
+                })
+                .collect()
+        }
+        let misses = drain_sparse(&mut self.current);
+        let hidden = drain_sparse(&mut self.current_hidden);
         self.epochs.push(EpochMisses {
             epoch: u32::try_from(self.epochs.len()).expect("epoch count fits u32"),
             loads: self.seen,
             misses,
+            hidden,
         });
         self.seen = 0;
     }
@@ -143,6 +161,25 @@ impl MissObservatory {
     #[must_use]
     pub fn total_misses(&self) -> u64 {
         self.site_totals().iter().sum()
+    }
+
+    /// Dense per-site prefetch-hidden totals summed over every
+    /// finished epoch (plus the window in progress).
+    #[must_use]
+    pub fn hidden_totals(&self) -> Vec<u64> {
+        let mut totals = self.current_hidden.clone();
+        for epoch in &self.epochs {
+            for &(site, n) in &epoch.hidden {
+                totals[site as usize] += n;
+            }
+        }
+        totals
+    }
+
+    /// Total prefetch-hidden accesses observed across all sites.
+    #[must_use]
+    pub fn total_hidden(&self) -> u64 {
+        self.hidden_totals().iter().sum()
     }
 
     /// Total load accesses observed.
@@ -202,5 +239,25 @@ mod tests {
     #[should_panic(expected = "epoch_len must be positive")]
     fn zero_epoch_len_panics() {
         let _ = MissObservatory::new(1, ObserveConfig { epoch_len: 0 });
+    }
+
+    #[test]
+    fn hidden_counts_land_in_the_same_epoch() {
+        let mut obs = MissObservatory::new(3, ObserveConfig { epoch_len: 2 });
+        // A prefetch-hidden hit on the epoch's final access: record
+        // hidden first, then the access itself (which rolls the epoch).
+        obs.observe(0, true);
+        obs.observe_hidden(1);
+        obs.observe(1, false);
+        obs.observe(2, true);
+        obs.finish();
+        let epochs = obs.epochs();
+        assert_eq!(epochs.len(), 2);
+        assert_eq!(epochs[0].misses, vec![(0, 1)]);
+        assert_eq!(epochs[0].hidden, vec![(1, 1)]);
+        assert_eq!(epochs[1].hidden, vec![]);
+        assert_eq!(obs.hidden_totals(), vec![0, 1, 0]);
+        assert_eq!(obs.total_hidden(), 1);
+        assert_eq!(obs.site_totals(), vec![1, 0, 1]);
     }
 }

@@ -30,6 +30,16 @@ pub struct RunResult {
     pub load_hits: Vec<u64>,
     /// Prefetch requests issued by instrumented load sites.
     pub prefetches_issued: u64,
+    /// L2 hits (zero unless an L2 is configured).
+    pub l2_hits: u64,
+    /// L2 misses (zero unless an L2 is configured).
+    pub l2_misses: u64,
+    /// Prefetches that actually filled a line into the L1 (issued
+    /// minus those that hit a resident line).
+    pub prefetch_fills: u64,
+    /// Prefetch fills whose line was later touched by a demand load
+    /// before eviction — the prefetcher's useful-fill count.
+    pub prefetch_useful: u64,
     /// Values printed via the `print_int` syscall.
     pub output: Vec<i32>,
     /// Exit code passed to the `exit` syscall (or `$v0` on fallthrough
@@ -114,6 +124,28 @@ impl RunResult {
             return Err(format!(
                 "exec_counts sum {execs} != instructions {}",
                 self.instructions
+            ));
+        }
+        if self.prefetch_fills > self.prefetches_issued {
+            return Err(format!(
+                "prefetch fills {} > issued {}",
+                self.prefetch_fills, self.prefetches_issued
+            ));
+        }
+        if self.prefetch_useful > self.prefetch_fills {
+            return Err(format!(
+                "prefetch useful {} > fills {}",
+                self.prefetch_useful, self.prefetch_fills
+            ));
+        }
+        if self.l2_hits + self.l2_misses != 0
+            && self.l2_hits + self.l2_misses != self.dcache_misses + self.prefetch_fills
+        {
+            return Err(format!(
+                "L2 accesses {} != demand misses {} + prefetch fills {}",
+                self.l2_hits + self.l2_misses,
+                self.dcache_misses,
+                self.prefetch_fills
             ));
         }
         if let Some(classes) = &self.load_miss_classes {

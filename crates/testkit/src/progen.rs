@@ -133,6 +133,86 @@ pub fn arb_program(rng: &mut Rng) -> String {
     }
 }
 
+/// A strided scan: `trips` loads stepping `stride` bytes through the
+/// global segment, the regular access pattern a PC-indexed stride
+/// prefetcher must lock onto (and PLRU sweeps evict predictably).
+/// `stride` is rounded up to a positive multiple of 4.
+#[must_use]
+pub fn strided_scan_program(stride: u32, trips: u32) -> String {
+    let stride = stride.next_multiple_of(4).max(4);
+    let trips = trips.max(1);
+    format!(
+        "main:\n\
+         \tli $t0, {trips}\n\
+         \tmove $t1, $gp\n\
+         .Lscan:\n\
+         \tlw $t2, 0($t1)\n\
+         \taddiu $t1, $t1, {stride}\n\
+         \taddiu $t0, $t0, -1\n\
+         \tbgtz $t0, .Lscan\n\
+         \tli $v0, 10\n\
+         \tli $a0, 0\n\
+         \tsyscall\n"
+    )
+}
+
+/// A pointer chase: builds an in-memory linked chain whose nodes sit
+/// `stride` bytes apart in the global segment, then walks it `trips`
+/// times. Each hop's address comes from the previous load, so no
+/// stride is observable at the chasing site — the anti-pattern the
+/// prefetcher must *not* win on. `stride` is rounded up to a positive
+/// multiple of 8 (node = next pointer + payload word).
+#[must_use]
+pub fn pointer_chase_program(stride: u32, nodes: u32, trips: u32) -> String {
+    let stride = stride.next_multiple_of(8).max(8);
+    let nodes = nodes.max(2);
+    let trips = trips.max(1);
+    format!(
+        "main:\n\
+         \tli $t0, {nodes}\n\
+         \tmove $t1, $gp\n\
+         .Lbuild:\n\
+         \taddiu $t2, $t1, {stride}\n\
+         \tsw $t2, 0($t1)\n\
+         \tsw $t0, 4($t1)\n\
+         \tmove $t1, $t2\n\
+         \taddiu $t0, $t0, -1\n\
+         \tbgtz $t0, .Lbuild\n\
+         \tsw $gp, 0($t1)\n\
+         \tli $t3, {trips}\n\
+         .Lwalk:\n\
+         \tmove $t1, $gp\n\
+         \tli $t0, {nodes}\n\
+         .Lhop:\n\
+         \tlw $t4, 4($t1)\n\
+         \tlw $t1, 0($t1)\n\
+         \taddiu $t0, $t0, -1\n\
+         \tbgtz $t0, .Lhop\n\
+         \taddiu $t3, $t3, -1\n\
+         \tbgtz $t3, .Lwalk\n\
+         \tli $v0, 10\n\
+         \tli $a0, 0\n\
+         \tsyscall\n"
+    )
+}
+
+/// A random access-pattern kernel for the memory-matrix differential
+/// sweeps: a strided scan or a pointer chase with randomized stride
+/// and footprint, 50/50.
+#[must_use]
+pub fn arb_pattern_program(rng: &mut Rng) -> String {
+    if rng.chance(0.5) {
+        let stride = 4 * (1 + rng.index(24)) as u32;
+        let trips = (64 + rng.index(448)) as u32;
+        strided_scan_program(stride, trips)
+    } else {
+        let stride = 8 * (1 + rng.index(12)) as u32;
+        let nodes = (8 + rng.index(56)) as u32;
+        let trips = (2 + rng.index(6)) as u32;
+        pointer_chase_program(stride, nodes, trips)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +268,45 @@ mod tests {
                 }
             }
         });
+    }
+
+    #[test]
+    fn strided_scan_rounds_stride_and_steps_it() {
+        let s = strided_scan_program(6, 100);
+        assert!(s.contains("addiu $t1, $t1, 8"), "stride rounds to 8: {s}");
+        assert!(s.contains("li $t0, 100"));
+        // Degenerate inputs stay executable.
+        let s = strided_scan_program(0, 0);
+        assert!(s.contains("addiu $t1, $t1, 4"));
+        assert!(s.contains("li $t0, 1"));
+    }
+
+    #[test]
+    fn pointer_chase_builds_then_walks() {
+        let s = pointer_chase_program(16, 10, 3);
+        let build = s.find(".Lbuild").expect("build loop");
+        let walk = s.find(".Lwalk").expect("walk loop");
+        assert!(build < walk, "chain built before walked");
+        assert!(s.contains("lw $t1, 0($t1)"), "address chases a load: {s}");
+    }
+
+    #[test]
+    fn pattern_programs_cover_both_shapes_deterministically() {
+        let (mut scans, mut chases) = (false, false);
+        let mut a = Rng::new(0x9a77);
+        let mut b = Rng::new(0x9a77);
+        for _ in 0..32 {
+            let s = arb_pattern_program(&mut a);
+            assert_eq!(s, arb_pattern_program(&mut b), "nondeterministic");
+            if s.contains(".Lscan") {
+                scans = true;
+            }
+            if s.contains(".Lhop") {
+                chases = true;
+            }
+        }
+        assert!(scans, "no strided scan generated");
+        assert!(chases, "no pointer chase generated");
     }
 
     #[test]

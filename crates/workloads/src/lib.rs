@@ -167,6 +167,35 @@ pub fn all() -> Vec<Benchmark> {
     ]
 }
 
+/// The three extension benchmarks added for the memory-system matrix
+/// (DESIGN.md "Memory-system matrix"): access-pattern families the
+/// paper's SPEC-derived eighteen under-represent, chosen so the policy
+/// × hierarchy × prefetch sweep actually discriminates. Not part of
+/// the paper's training/test split ([`all`] stays at eighteen).
+#[must_use]
+pub fn extension_benchmarks() -> Vec<Benchmark> {
+    vec![
+        bench!("ext.btree", "btree.mc",
+               "B-tree point lookups: per-node key scans, scattered descents",
+               false, in1: [24000, 4000, 3], in2: [15000, 2600, 5]),
+        bench!("ext.hashjoin", "hashjoin.mc",
+               "hash join: streaming probes into chained buckets",
+               false, in1: [4000, 6000, 3], in2: [2800, 4200, 5]),
+        bench!("ext.bfs", "bfs.mc",
+               "graph BFS over CSR: edge-slice streams, visited gathers",
+               false, in1: [3000, 8, 4], in2: [2200, 6, 6]),
+    ]
+}
+
+/// The full suite: the paper's eighteen plus the extension
+/// benchmarks — what the differential and matrix sweeps iterate.
+#[must_use]
+pub fn all_with_extensions() -> Vec<Benchmark> {
+    let mut v = all();
+    v.extend(extension_benchmarks());
+    v
+}
+
 /// The eleven training benchmarks (paper §8.2).
 #[must_use]
 pub fn training_set() -> Vec<Benchmark> {
@@ -179,10 +208,10 @@ pub fn test_set() -> Vec<Benchmark> {
     all().into_iter().filter(|b| !b.training).collect()
 }
 
-/// Looks up a benchmark by name.
+/// Looks up a benchmark by name, extension benchmarks included.
 #[must_use]
 pub fn by_name(name: &str) -> Option<Benchmark> {
-    all().into_iter().find(|b| b.name == name)
+    all_with_extensions().into_iter().find(|b| b.name == name)
 }
 
 #[cfg(test)]
@@ -198,21 +227,33 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let mut names: Vec<&str> = all().iter().map(|b| b.name).collect();
+        let mut names: Vec<&str> = all_with_extensions().iter().map(|b| b.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 21);
     }
 
     #[test]
     fn lookup_by_name() {
         assert!(by_name("181.mcf").is_some());
+        assert!(by_name("ext.bfs").is_some());
         assert!(by_name("999.nope").is_none());
     }
 
     #[test]
+    fn extensions_ride_outside_the_paper_split() {
+        assert_eq!(extension_benchmarks().len(), 3);
+        assert_eq!(all_with_extensions().len(), 21);
+        for b in extension_benchmarks() {
+            assert!(b.name.starts_with("ext."), "{}", b.name);
+            assert!(!b.training, "{} must stay out of training", b.name);
+            assert!(all().iter().all(|p| p.name != b.name));
+        }
+    }
+
+    #[test]
     fn every_benchmark_compiles_at_both_levels() {
-        for b in all() {
+        for b in all_with_extensions() {
             for opt in [OptLevel::O0, OptLevel::O1] {
                 b.compile(opt)
                     .unwrap_or_else(|e| panic!("{} fails at {opt}: {e}", b.name));
@@ -222,7 +263,7 @@ mod tests {
 
     #[test]
     fn inputs_are_distinct() {
-        for b in all() {
+        for b in all_with_extensions() {
             assert_ne!(b.input1, b.input2, "{} inputs identical", b.name);
         }
     }

@@ -19,6 +19,14 @@
 //! `DL_SIM_ENGINE` environment variable sets the default when the
 //! flag is absent.
 //!
+//! `--policy lru|plru|random`, `--l2 KB[,ASSOC][,incl|excl]` (or
+//! `none`), and `--prefetch DEGREE` (on `run`, `analyze`, and `top`)
+//! select the memory system: L1 replacement policy, an optional
+//! second cache level, and a PC-indexed stride prefetcher (degree 0
+//! disables it). The `DL_POLICY` / `DL_L2` / `DL_PREFETCH`
+//! environment variables set the defaults when the flags are absent.
+//! All default to the paper's single LRU L1.
+//!
 //! `--profile` (on `run` and `analyze`) turns on the simulator's
 //! opt-in cache profiling: the miss-class breakdown (compulsory /
 //! capacity / conflict, paper §3) and the hottest cache sets are
@@ -63,7 +71,10 @@ use dl_baselines::{Bdh, Okn, ProfilePredictor, ReusePredictor};
 use dl_experiments::metrics::{pi, rho};
 use dl_experiments::obs::SpanPassObserver;
 use dl_obs::{chrome_trace, Json, Spans};
-use dl_sim::{run, run_full, Engine, ObserveConfig, RunConfig, RunResult};
+use dl_sim::{
+    run, run_full, Engine, L2Config, MemoryConfig, ObserveConfig, RunConfig, RunResult,
+    StridePrefetchConfig,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -85,9 +96,29 @@ struct Options {
     profile: bool,
     reuse: bool,
     engine: Option<Engine>,
+    memory: MemoryConfig,
     trace_out: Option<String>,
     epoch: u64,
     limit: usize,
+}
+
+/// The memory-system defaults from `DL_POLICY` / `DL_L2` /
+/// `DL_PREFETCH`; the corresponding flags override them.
+fn memory_from_env() -> Result<MemoryConfig, String> {
+    let mut memory = MemoryConfig::default();
+    if let Ok(v) = std::env::var("DL_POLICY") {
+        memory.policy = v.parse().map_err(|e| format!("DL_POLICY: {e}"))?;
+    }
+    if let Ok(v) = std::env::var("DL_L2") {
+        if !v.is_empty() && v != "none" {
+            memory.l2 = Some(v.parse::<L2Config>().map_err(|e| format!("DL_L2: {e}"))?);
+        }
+    }
+    if let Ok(v) = std::env::var("DL_PREFETCH") {
+        let degree: u32 = v.parse().map_err(|e| format!("DL_PREFETCH: {e}"))?;
+        memory.prefetch = (degree > 0).then(|| StridePrefetchConfig::degree(degree));
+    }
+    Ok(memory)
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -100,6 +131,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         profile: false,
         reuse: false,
         engine: None,
+        memory: memory_from_env()?,
         trace_out: None,
         epoch: dl_sim::ObserveConfig::default().epoch_len,
         limit: 10,
@@ -135,6 +167,31 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .ok_or("--engine requires step|block")?
                         .parse::<Engine>()?,
                 );
+            }
+            "--policy" => {
+                options.memory.policy = it
+                    .next()
+                    .ok_or("--policy requires lru|plru|random")?
+                    .parse()?;
+            }
+            "--l2" => {
+                let v = it
+                    .next()
+                    .ok_or("--l2 requires KB[,ASSOC][,incl|excl] or none")?;
+                options.memory.l2 = if v == "none" {
+                    None
+                } else {
+                    Some(v.parse::<L2Config>()?)
+                };
+            }
+            "--prefetch" => {
+                let degree = it
+                    .next()
+                    .ok_or("--prefetch requires a degree (0 disables)")?
+                    .parse::<u32>()
+                    .map_err(|e| e.to_string())?;
+                options.memory.prefetch =
+                    (degree > 0).then(|| StridePrefetchConfig::degree(degree));
             }
             "--trace-out" => {
                 options.trace_out = Some(it.next().ok_or("--trace-out requires a path")?.clone());
@@ -184,6 +241,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         return Err(
             "usage: dlc <build|run|analyze|top> prog.mc [-O1] [--emit asm|bin|words] \
              [--input 1,2,3] [--delta 0.1] [--profile] [--reuse] [--engine step|block] \
+             [--policy lru|plru|random] [--l2 KB[,ASSOC][,incl|excl]|none] [--prefetch N] \
              [--trace-out t.json] [--epoch N] [--limit K]\n       \
              dlc bench-diff old.json new.json [--threshold PCT]"
                 .into(),
@@ -226,6 +284,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 classify_misses: options.profile,
                 // Precedence: --engine beats DL_SIM_ENGINE beats the default.
                 engine: options.engine.unwrap_or_else(Engine::from_env),
+                memory: options.memory,
                 ..RunConfig::default()
             };
             let start = std::time::Instant::now();
@@ -243,6 +302,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 result.exit_code,
                 result.instructions as f64 / secs.max(1e-9) / 1e6
             );
+            print_memory(&config, &result);
             print_profile(&result);
             write_trace(&options, &spans)
         }
@@ -256,6 +316,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 input: options.input.clone(),
                 classify_misses: options.profile,
                 engine: options.engine.unwrap_or_else(Engine::from_env),
+                memory: options.memory,
                 ..RunConfig::default()
             };
             let start = std::time::Instant::now();
@@ -314,6 +375,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                     eprintln!("  inst {idx:>5}: {compulsory} / {capacity} / {conflict}");
                 }
             }
+            print_memory(&config, &result);
             print_profile(&result);
             write_trace(&options, &spans)
         }
@@ -342,6 +404,7 @@ fn top(options: &Options) -> Result<(), String> {
     let config = RunConfig {
         input: options.input.clone(),
         engine: options.engine.unwrap_or_else(Engine::from_env),
+        memory: options.memory,
         observe: Some(ObserveConfig {
             epoch_len: options.epoch,
         }),
@@ -417,6 +480,21 @@ fn top(options: &Options) -> Result<(), String> {
         epochs.len(),
         observatory.total_loads(),
     );
+    // With a stride prefetcher in play, show what it hid: demand hits
+    // on prefetched lines are would-be misses the ranking no longer
+    // sees, attributed per site by the observatory.
+    let hidden = if config.memory.prefetch.is_some() {
+        let totals = observatory.hidden_totals();
+        println!(
+            "[memory {}: {} would-be misses hidden by prefetch across {} sites]",
+            config.memory,
+            observatory.total_hidden(),
+            totals.iter().filter(|&&n| n > 0).count(),
+        );
+        Some(totals)
+    } else {
+        None
+    };
     if let Some(block) = &output.block_stats {
         println!(
             "[block cache: {} blocks decoded ({:.1} insts mean), {} dispatches ({} cached), {} insts retired]",
@@ -435,8 +513,13 @@ fn top(options: &Options) -> Result<(), String> {
         .map(|(name, _)| *name)
         .collect::<Vec<_>>()
         .join(" ");
+    let hidden_header = if hidden.is_some() {
+        format!(" {:>9}", "hidden")
+    } else {
+        String::new()
+    };
     println!(
-        "{:>6} {:>10} {:>10} {:>7}  {header}  phases",
+        "{:>6} {:>10} {:>10} {:>7}{hidden_header}  {header}  phases",
         "inst", "misses", "execs", "ratio"
     );
     for (idx, misses) in ranked {
@@ -464,8 +547,11 @@ fn top(options: &Options) -> Result<(), String> {
                     .map_or(0, |&(_, n)| n)
             })
             .collect();
+        let hidden_cell = hidden.as_ref().map_or_else(String::new, |totals| {
+            format!(" {:>9}", totals.get(idx).copied().unwrap_or(0))
+        });
         println!(
-            "{idx:>6} {misses:>10} {execs:>10} {ratio:>7.3}  {verdicts}  {}",
+            "{idx:>6} {misses:>10} {execs:>10} {ratio:>7.3}{hidden_cell}  {verdicts}  {}",
             sparkline(&per_epoch, 32)
         );
     }
@@ -519,11 +605,65 @@ fn bench_diff(args: &[String]) -> Result<(), String> {
     };
     let old = load(&paths[0])?;
     let new = load(&paths[1])?;
+    let diff = diff_metrics(&old, &new, threshold);
+    println!(
+        "{:<26} {:>16} {:>16} {:>9}",
+        "metric", "old", "new", "delta"
+    );
+    for row in &diff.rows {
+        println!("{row}");
+    }
+    // One-sided metrics are reported, not gated: a freshly added
+    // throughput entry has no baseline to regress against, and a
+    // removed one is loud here instead of silently vanishing from
+    // the comparison.
+    for key in &diff.added {
+        println!("{key:<26} {:>16} {:>16}   (added in new)", "-", "present");
+    }
+    for key in &diff.removed {
+        println!("{key:<26} {:>16} {:>16}   (removed in new)", "present", "-");
+    }
+    if diff.compared == 0 {
+        return Err("no comparable metrics found in the two files".into());
+    }
+    if diff.regressions.is_empty() {
+        println!(
+            "ok: {} metric(s) within {threshold}% of baseline",
+            diff.compared
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{} metric(s) regressed more than {threshold}%: {}",
+            diff.regressions.len(),
+            diff.regressions.join(", ")
+        ))
+    }
+}
+
+/// The outcome of one metric comparison pass: formatted rows for the
+/// two-sided metrics, plus the bookkeeping `bench_diff` gates on.
+struct MetricsDiff {
+    rows: Vec<String>,
+    compared: u32,
+    regressions: Vec<&'static str>,
+    /// Metrics present only in the new file.
+    added: Vec<&'static str>,
+    /// Metrics present only in the old file.
+    removed: Vec<&'static str>,
+}
+
+/// Compares the higher-is-better throughput metrics of two bench JSON
+/// documents. Metrics present in only one document are classified as
+/// added/removed rather than silently skipped.
+fn diff_metrics(old: &Json, new: &Json, threshold: f64) -> MetricsDiff {
     // Higher-is-better throughput metrics emitted by `bench --json`.
     // Ratios (speedups) regress like raw rates: a drop is a slowdown.
-    const METRICS: [&str; 4] = [
+    const METRICS: [&str; 6] = [
         "sim_insts_per_sec",
         "sim_step_insts_per_sec",
+        "sim_l2_insts_per_sec",
+        "sim_prefetch_insts_per_sec",
         "sim_engine_speedup",
         "speedup",
     ];
@@ -533,42 +673,43 @@ fn bench_diff(args: &[String]) -> Result<(), String> {
         Some(Json::U64(v)) => Some(*v as f64),
         _ => None,
     };
-    println!(
-        "{:<24} {:>16} {:>16} {:>9}",
-        "metric", "old", "new", "delta"
-    );
-    let mut compared = 0u32;
-    let mut regressions: Vec<&str> = Vec::new();
+    let mut diff = MetricsDiff {
+        rows: Vec::new(),
+        compared: 0,
+        regressions: Vec::new(),
+        added: Vec::new(),
+        removed: Vec::new(),
+    };
     for key in METRICS {
-        let (Some(o), Some(n)) = (num(&old, key), num(&new, key)) else {
-            continue;
+        let (o, n) = (num(old, key), num(new, key));
+        let (o, n) = match (o, n) {
+            (Some(o), Some(n)) => (o, n),
+            (None, Some(_)) => {
+                diff.added.push(key);
+                continue;
+            }
+            (Some(_), None) => {
+                diff.removed.push(key);
+                continue;
+            }
+            (None, None) => continue,
         };
         if o <= 0.0 {
             continue;
         }
-        compared += 1;
+        diff.compared += 1;
         let delta = 100.0 * (n - o) / o;
         let flag = if delta <= -threshold {
-            regressions.push(key);
+            diff.regressions.push(key);
             "  REGRESSION"
         } else {
             ""
         };
-        println!("{key:<24} {o:>16.3} {n:>16.3} {delta:>+8.1}%{flag}");
+        diff.rows.push(format!(
+            "{key:<26} {o:>16.3} {n:>16.3} {delta:>+8.1}%{flag}"
+        ));
     }
-    if compared == 0 {
-        return Err("no comparable metrics found in the two files".into());
-    }
-    if regressions.is_empty() {
-        println!("ok: {compared} metric(s) within {threshold}% of baseline");
-        Ok(())
-    } else {
-        Err(format!(
-            "{} metric(s) regressed more than {threshold}%: {}",
-            regressions.len(),
-            regressions.join(", ")
-        ))
-    }
+    diff
 }
 
 /// Prints the `--reuse` report on stdout: the loop-nest structure,
@@ -707,6 +848,30 @@ fn print_reuse(
     }
 }
 
+/// Prints the memory-system counters on stderr when a non-default
+/// system (policy / L2 / prefetcher) is in play: per-level hit/miss
+/// traffic and the prefetcher's fill accuracy.
+fn print_memory(config: &RunConfig, result: &RunResult) {
+    if config.memory.is_default() {
+        return;
+    }
+    let mut line = format!("[memory {}", config.memory);
+    if result.l2_hits + result.l2_misses > 0 {
+        line.push_str(&format!(
+            ": L2 {} hits / {} misses",
+            result.l2_hits, result.l2_misses
+        ));
+    }
+    if config.memory.prefetch.is_some() {
+        line.push_str(&format!(
+            "; prefetch {} fills, {} useful",
+            result.prefetch_fills, result.prefetch_useful
+        ));
+    }
+    line.push(']');
+    eprintln!("{line}");
+}
+
 /// Prints the `--profile` cache breakdown on stderr: the three-Cs
 /// miss-class split and the most conflicted cache sets.
 fn print_profile(result: &dl_sim::RunResult) {
@@ -803,6 +968,33 @@ mod tests {
     }
 
     #[test]
+    fn memory_flags_parse() {
+        use dl_sim::{Inclusion, Policy};
+        let o = opts(&[
+            "prog.mc",
+            "--policy",
+            "plru",
+            "--l2",
+            "64,8,excl",
+            "--prefetch",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(o.memory.policy, Policy::Plru);
+        let l2 = o.memory.l2.expect("l2 configured");
+        assert_eq!(l2.inclusion, Inclusion::Exclusive);
+        assert_eq!(o.memory.prefetch.map(|pf| pf.degree), Some(2));
+        assert_eq!(o.memory.to_string(), "plru+l2:64KB-8w-excl+pf2");
+        // Degree 0 and `--l2 none` disable their subsystems.
+        let off = opts(&["prog.mc", "--prefetch", "0", "--l2", "none"]).unwrap();
+        assert!(off.memory.prefetch.is_none());
+        assert!(off.memory.l2.is_none());
+        assert!(opts(&["prog.mc", "--policy", "fifo"]).is_err());
+        assert!(opts(&["prog.mc", "--l2", "potato"]).is_err());
+        assert!(opts(&["prog.mc", "--prefetch", "-1"]).is_err());
+    }
+
+    #[test]
     fn observatory_flags_parse() {
         let o = opts(&[
             "prog.mc",
@@ -855,10 +1047,26 @@ mod tests {
         let err = bench_diff(&args("10")).unwrap_err();
         assert!(err.contains("sim_insts_per_sec"), "unexpected error: {err}");
         assert!(bench_diff(&args("60")).is_ok());
-        // Metrics missing from either side are skipped, not compared.
+        // A metric that vanished from the new file is reported as
+        // removed — it no longer gates, but it is not silently skipped.
         std::fs::write(&new, r#"{"speedup": 2.1}"#).unwrap();
         assert!(bench_diff(&args("10")).is_ok());
         assert!(bench_diff(&[old.display().to_string()]).is_err());
+    }
+
+    #[test]
+    fn diff_metrics_reports_one_sided_keys_as_added_or_removed() {
+        let old = Json::parse(r#"{"sim_insts_per_sec": 100.0, "speedup": 2.0}"#).unwrap();
+        let new =
+            Json::parse(r#"{"sim_insts_per_sec": 99.0, "sim_l2_insts_per_sec": 80.0}"#).unwrap();
+        let d = diff_metrics(&old, &new, 10.0);
+        assert_eq!(d.compared, 1);
+        assert!(d.regressions.is_empty());
+        assert_eq!(d.added, vec!["sim_l2_insts_per_sec"]);
+        assert_eq!(d.removed, vec!["speedup"]);
+        // Metrics absent from both sides appear nowhere.
+        assert!(!d.added.contains(&"sim_prefetch_insts_per_sec"));
+        assert!(!d.removed.contains(&"sim_prefetch_insts_per_sec"));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 
 use delinquent_loads::prelude::*;
 use delinquent_loads::workloads::Benchmark;
-use dl_sim::Engine;
+use dl_sim::{
+    run_full, Engine, Inclusion, L2Config, MemoryConfig, ObserveConfig, Policy,
+    StridePrefetchConfig,
+};
 
 /// Reduced inputs so the whole suite runs in seconds even unoptimized
 /// (mirrors `workloads_smoke.rs`).
@@ -83,4 +86,111 @@ fn classified_workloads_identical_across_engines() {
             b.name
         );
     }
+}
+
+/// A sample of the memory-system matrix ({policy} × {L1 only, +L2
+/// inclusive, +L2 exclusive} × {prefetch off/on}) on the memory-bound
+/// extension workloads: every configuration must produce a
+/// byte-identical `RunResult` under both engines, and the per-level
+/// counters must stay self-consistent.
+#[test]
+fn extension_workloads_identical_across_engines_under_memory_matrix() {
+    let configs = [
+        MemoryConfig::default(),
+        MemoryConfig {
+            policy: Policy::Plru,
+            ..MemoryConfig::default()
+        },
+        MemoryConfig {
+            policy: Policy::Random,
+            l2: Some(L2Config::kb(64, 8, Inclusion::Inclusive)),
+            ..MemoryConfig::default()
+        },
+        MemoryConfig {
+            l2: Some(L2Config::kb(64, 8, Inclusion::Exclusive)),
+            prefetch: Some(StridePrefetchConfig::degree(2)),
+            ..MemoryConfig::default()
+        },
+        MemoryConfig {
+            prefetch: Some(StridePrefetchConfig::degree(4)),
+            ..MemoryConfig::default()
+        },
+    ];
+    for b in delinquent_loads::workloads::extension_benchmarks() {
+        let input: Vec<i32> = b.input2.iter().map(|v| (*v).clamp(1, 64)).collect();
+        let program = b.compile(OptLevel::O1).expect("workload compiles");
+        for memory in configs {
+            let config = |engine| RunConfig {
+                input: input.clone(),
+                max_steps: 200_000_000,
+                engine,
+                memory,
+                ..RunConfig::default()
+            };
+            let step = run(&program, &config(Engine::Step)).expect("workload runs clean");
+            let block = run(&program, &config(Engine::Block)).expect("workload runs clean");
+            assert_eq!(
+                step, block,
+                "{} diverges across engines under {memory}",
+                b.name
+            );
+            block
+                .check_consistency()
+                .unwrap_or_else(|e| panic!("{} inconsistent under {memory}: {e}", b.name));
+        }
+    }
+}
+
+/// With a prefetcher configured, the observatory's hidden-miss ledger
+/// (the `dlc top` "hidden" column) must reconcile with the simulator's
+/// `prefetch_useful` counter under both engines: the ledger covers the
+/// *load* hits on prefetched lines, so it is bounded by the counter
+/// (stores that first-touch a prefetched line count as useful but have
+/// no load site), and the per-site totals must be engine-invariant.
+#[test]
+fn hidden_miss_ledger_matches_prefetch_counters() {
+    let memory = MemoryConfig {
+        prefetch: Some(StridePrefetchConfig::degree(2)),
+        ..MemoryConfig::default()
+    };
+    let mut hidden_somewhere = false;
+    for b in delinquent_loads::workloads::extension_benchmarks() {
+        let input: Vec<i32> = b.input2.iter().map(|v| (*v).clamp(1, 64)).collect();
+        let program = b.compile(OptLevel::O1).expect("workload compiles");
+        let observe = |engine| {
+            let config = RunConfig {
+                input: input.clone(),
+                max_steps: 200_000_000,
+                engine,
+                memory,
+                observe: Some(ObserveConfig { epoch_len: 1 << 12 }),
+                ..RunConfig::default()
+            };
+            run_full(&program, &config).expect("workload runs clean")
+        };
+        let step = observe(Engine::Step);
+        let block = observe(Engine::Block);
+        assert_eq!(step.result, block.result, "{}: engines diverge", b.name);
+        let step_obs = step.observatory.as_ref().expect("observe configured");
+        let block_obs = block.observatory.as_ref().expect("observe configured");
+        assert_eq!(
+            step_obs.hidden_totals(),
+            block_obs.hidden_totals(),
+            "{}: hidden ledger diverges across engines",
+            b.name
+        );
+        for out in [&step, &block] {
+            let obs = out.observatory.as_ref().expect("observe configured");
+            assert!(
+                obs.total_hidden() <= out.result.prefetch_useful,
+                "{}: hidden load ledger exceeds prefetch_useful",
+                b.name
+            );
+        }
+        hidden_somewhere |= block_obs.total_hidden() > 0;
+    }
+    assert!(
+        hidden_somewhere,
+        "no extension workload had a load hidden by prefetch"
+    );
 }
