@@ -4,11 +4,14 @@
 //! (run from the repo root).
 //!
 //! ```text
-//! bench [--jobs N] [--smoke] [--out PATH]
+//! bench [--jobs N] [--smoke] [--out PATH] [--best-of N]
 //! ```
 //!
 //! `--smoke` shrinks the workload (one table, one throughput run) so
 //! CI can validate the harness in seconds; the JSON shape is the same.
+//! `--best-of N` (or env `DL_BENCH_BEST_OF`; default 5) sets the
+//! timed-repetition count per throughput measurement — CI smoke runs
+//! use 2, committed numbers keep the best-of-5 methodology.
 
 use std::time::Instant;
 
@@ -31,6 +34,7 @@ struct Args {
     jobs: usize,
     smoke: bool,
     out: String,
+    best_of: usize,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +43,12 @@ fn parse_args() -> Args {
         jobs: default_jobs(),
         smoke: false,
         out: "BENCH_pipeline.json".into(),
+        // The flag wins over the environment; both default to the
+        // committed best-of-5 methodology.
+        best_of: std::env::var("DL_BENCH_BEST_OF")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5),
     };
     let mut i = 0;
     while i < argv.len() {
@@ -55,16 +65,24 @@ fn parse_args() -> Args {
                 i += 1;
                 args.out = argv.get(i).cloned().unwrap_or_else(|| usage());
             }
+            "--best-of" => {
+                i += 1;
+                args.best_of = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
         i += 1;
     }
     args.jobs = args.jobs.max(1);
+    args.best_of = args.best_of.max(1);
     args
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench [--jobs N] [--smoke] [--out PATH]");
+    eprintln!("usage: bench [--jobs N] [--smoke] [--out PATH] [--best-of N]");
     std::process::exit(2);
 }
 
@@ -97,30 +115,54 @@ fn throughput_kernel(smoke: bool) -> dl_mips::program::Program {
     compile(&source, OptLevel::O0).expect("kernel compiles")
 }
 
+/// One throughput measurement: instructions, best-trial seconds,
+/// data-cache accesses, and the block-cache stats of the best trial.
+struct SimMeasure {
+    insts: u64,
+    secs: f64,
+    accesses: u64,
+    stats: Option<BlockStats>,
+}
+
 /// Raw simulator throughput of one engine on the shared kernel under
-/// the given memory system.
+/// the given memory system. `probe_fast` toggles the block engine's
+/// probe-elimination layer so the `sim_probe` section can price it.
 fn sim_throughput(
     program: &dl_mips::program::Program,
     engine: Engine,
     memory: MemoryConfig,
-) -> (u64, f64, Option<BlockStats>) {
+    probe_fast: bool,
+    best_of: usize,
+) -> SimMeasure {
     let config = RunConfig {
         engine,
         memory,
+        probe_fast,
         ..RunConfig::default()
     };
     // Warmup.
     let _ = run_with_stats(program, &config).expect("kernel runs");
-    // Best of five timed repetitions: the minimum is the least
+    // Best of N timed repetitions: the minimum is the least
     // scheduler-disturbed sample and the standard throughput estimate
     // on a shared box.
-    let mut best: Option<(u64, f64, Option<BlockStats>)> = None;
-    for _ in 0..5 {
+    let mut best: Option<SimMeasure> = None;
+    for _ in 0..best_of {
+        // Cool-down between trials: back-to-back runs on a shared or
+        // frequency-managed host measure the sustained (throttled)
+        // clock, not the code. A short idle gap lets each trial start
+        // from the same clock state, which is what best-of-N minimum
+        // is meant to isolate.
+        std::thread::sleep(std::time::Duration::from_millis(75));
         let start = Instant::now();
         let (result, stats) = run_with_stats(program, &config).expect("kernel runs");
         let secs = start.elapsed().as_secs_f64();
-        if best.as_ref().is_none_or(|(_, b, _)| secs < *b) {
-            best = Some((result.instructions, secs, stats));
+        if best.as_ref().is_none_or(|b| secs < b.secs) {
+            best = Some(SimMeasure {
+                insts: result.instructions,
+                secs,
+                accesses: result.dcache_accesses,
+                stats,
+            });
         }
     }
     best.expect("at least one timed repetition")
@@ -134,18 +176,27 @@ fn main() {
         FULL_TABLES
     };
 
-    eprintln!("[simulator throughput: step vs block]");
+    eprintln!(
+        "[simulator throughput: step vs block, best of {}]",
+        args.best_of
+    );
     let kernel = throughput_kernel(args.smoke);
-    let (insts, step_secs, _) = sim_throughput(&kernel, Engine::Step, MemoryConfig::default());
+    let n = args.best_of;
+    // Block before step: the step engine burns ~1s of sustained CPU,
+    // and on a frequency- or quota-managed host that throttles
+    // whatever is measured next. The fastest engine gets the freshest
+    // clock; reporting order below is unchanged.
+    let block = sim_throughput(&kernel, Engine::Block, MemoryConfig::default(), true, n);
+    let step = sim_throughput(&kernel, Engine::Step, MemoryConfig::default(), true, n);
+    let (insts, step_secs) = (step.insts, step.secs);
     let step_rate = insts as f64 / step_secs;
     eprintln!("  step:  {insts} instructions in {step_secs:.3}s = {step_rate:.0} insts/s");
-    let (_, sim_secs, block_stats) =
-        sim_throughput(&kernel, Engine::Block, MemoryConfig::default());
+    let sim_secs = block.secs;
     let insts_per_sec = insts as f64 / sim_secs;
     let engine_speedup = step_secs / sim_secs.max(1e-9);
     eprintln!("  block: {insts} instructions in {sim_secs:.3}s = {insts_per_sec:.0} insts/s");
     eprintln!("  engine speedup: {engine_speedup:.2}x");
-    let block_stats = block_stats.unwrap_or_default();
+    let block_stats = block.stats.unwrap_or_default();
 
     // The non-default memory systems: an L2 keeps the block engine's
     // fast path (L2 is touched only on L1 misses), a stride prefetcher
@@ -155,16 +206,35 @@ fn main() {
         l2: Some(L2Config::kb(64, 8, Inclusion::Inclusive)),
         ..MemoryConfig::default()
     };
-    let (_, l2_secs, _) = sim_throughput(&kernel, Engine::Block, l2_mem);
+    let l2 = sim_throughput(&kernel, Engine::Block, l2_mem, true, n);
+    let l2_secs = l2.secs;
     let l2_rate = insts as f64 / l2_secs;
     eprintln!("  block+l2: {insts} instructions in {l2_secs:.3}s = {l2_rate:.0} insts/s");
     let pf_mem = MemoryConfig {
         prefetch: Some(StridePrefetchConfig::degree(2)),
         ..MemoryConfig::default()
     };
-    let (_, pf_secs, _) = sim_throughput(&kernel, Engine::Block, pf_mem);
+    let pf = sim_throughput(&kernel, Engine::Block, pf_mem, true, n);
+    let pf_secs = pf.secs;
     let pf_rate = insts as f64 / pf_secs;
     eprintln!("  block+pf: {insts} instructions in {pf_secs:.3}s = {pf_rate:.0} insts/s");
+
+    // Probe-cost microbench: ns per data-cache access in each block
+    // engine regime. `plain` runs the same kernel and memory system
+    // as `coalesced` but with `DL_PROBE_FAST`-equivalent off, so the
+    // pair prices the probe-elimination layer directly; `l2` and
+    // `prefetch` reuse the regime measurements above.
+    let ns = |m: &SimMeasure| m.secs / (m.accesses.max(1) as f64) * 1e9;
+    eprintln!("[sim_probe: ns/access]");
+    let plain = sim_throughput(&kernel, Engine::Block, MemoryConfig::default(), false, n);
+    let probe_plain_ns = ns(&plain);
+    let probe_coalesced_ns = ns(&block);
+    let probe_l2_ns = ns(&l2);
+    let probe_prefetch_ns = ns(&pf);
+    eprintln!(
+        "  plain: {probe_plain_ns:.3}  coalesced: {probe_coalesced_ns:.3}  \
+         l2: {probe_l2_ns:.3}  prefetch: {probe_prefetch_ns:.3}"
+    );
 
     eprintln!("[sequential prewarm: {}]", tables.join(", "));
     let (seq_secs, configs, _) = time_prewarm(tables, 1);
@@ -195,6 +265,7 @@ fn main() {
     let json = Json::obj()
         .with("smoke", args.smoke.into())
         .with("jobs", args.jobs.into())
+        .with("best_of", args.best_of.into())
         .with(
             "tables",
             Json::Arr(tables.iter().map(|t| (*t).into()).collect()),
@@ -231,6 +302,10 @@ fn main() {
         .with("sim_l2_insts_per_sec", l2_rate.into())
         .with("sim_prefetch_secs", pf_secs.into())
         .with("sim_prefetch_insts_per_sec", pf_rate.into())
+        .with("sim_probe_plain_ns", probe_plain_ns.into())
+        .with("sim_probe_coalesced_ns", probe_coalesced_ns.into())
+        .with("sim_probe_l2_ns", probe_l2_ns.into())
+        .with("sim_probe_prefetch_ns", probe_prefetch_ns.into())
         .with("sim_engine_speedup", engine_speedup.into())
         .with(
             "block_cache",

@@ -180,6 +180,69 @@ fn random_programs_agree_on_traces() {
     });
 }
 
+/// Stack-slot-heavy programs — dense `$sp`-relative runs that the
+/// block engine fuses into same-line coalescing groups — agree with
+/// the step engine, including when a small `max_steps` limit lands in
+/// the middle of a decoded group. These programs raise no trap other
+/// than `StepLimit` by construction, so any other divergence or fault
+/// is a coalescing bug.
+#[test]
+fn stack_heavy_programs_agree_including_mid_group_limits() {
+    let mut completed = 0u32;
+    let mut limited = 0u32;
+    cases(40, 0x57AC_C0A1, |rng| {
+        let program = parse_asm(&progen::arb_stack_heavy_program(rng)).unwrap();
+        // Tiny limits land inside coalescing groups (forcing the
+        // exact-step replay path); the large tier lets the loop finish
+        // so whole groups retire on the fast path.
+        let max_steps = match rng.index(3) {
+            0 => 1 + rng.below(40),
+            1 => 1 + rng.below(400),
+            _ => 200_000,
+        };
+        let config = RunConfig {
+            max_steps,
+            ..RunConfig::default()
+        };
+        match assert_engines_agree(&program, &config) {
+            Ok(_) => completed += 1,
+            Err(Trap::StepLimit { .. }) => limited += 1,
+            Err(t) => panic!("stack-heavy program must only step-limit, got {t:?}"),
+        }
+    });
+    assert!(completed > 0, "no stack-heavy program completed");
+    assert!(limited > 0, "no limit landed mid-program");
+}
+
+/// `max_steps` is exact inside a coalescing group: four same-line
+/// `$sp` loads plus a store fuse under the block engine, and a limit
+/// landing on each member must still report `StepLimit` at precisely
+/// that instruction count, agreeing with the step engine.
+#[test]
+fn step_limit_is_exact_mid_coalescing_group() {
+    let program = parse_asm(
+        "main:\n\tlw $t0, 0($sp)\n\tlw $t1, 4($sp)\n\tlw $t2, 8($sp)\n\tlw $t3, 12($sp)\n\tsw $t0, 0($sp)\n\tjr $ra\n",
+    )
+    .unwrap();
+    // 6 instructions total (including jr).
+    for limit in 1..=5 {
+        let config = RunConfig {
+            max_steps: limit,
+            ..RunConfig::default()
+        };
+        assert_eq!(
+            assert_engines_agree(&program, &config),
+            Err(Trap::StepLimit { limit }),
+            "limit {limit} not exact mid-group"
+        );
+    }
+    let config = RunConfig {
+        max_steps: 6,
+        ..RunConfig::default()
+    };
+    assert_engines_agree(&program, &config).expect("exactly enough steps");
+}
+
 /// `max_steps` is exact under the block engine: a limit landing in the
 /// middle of a decoded block must report `StepLimit` without running
 /// past it, and a limit of exactly the program length must succeed.
@@ -279,6 +342,9 @@ fn memory_matrix_agrees_across_engines() {
     for _ in 0..2 {
         programs.push(arb_program(&mut rng));
     }
+    // Coalescing groups must agree under every policy/hierarchy/
+    // prefetch shape, not just the default walk.
+    programs.push(parse_asm(&progen::arb_stack_heavy_program(&mut rng)).unwrap());
     for memory in memory_matrix() {
         for (pi, program) in programs.iter().enumerate() {
             let config = RunConfig {

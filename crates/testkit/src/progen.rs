@@ -196,6 +196,71 @@ pub fn pointer_chase_program(stride: u32, nodes: u32, trips: u32) -> String {
     )
 }
 
+/// A stack-slot-heavy program: dense runs of `$sp`-relative loads and
+/// stores over small 4-aligned offsets — the exact shape the block
+/// engine's decode-time same-line coalescing fuses into groups —
+/// interleaved with ALU work that must not break a group, and the
+/// occasional run-breaker (an access through a different base
+/// register, a balanced `$sp` push/pop, or an aliased copy of `$sp`)
+/// that forces the conservative bail-out. The whole body sits in a
+/// counted loop so the same decoded groups replay many times, and the
+/// program always exits cleanly: every address is a small in-bounds
+/// `$sp`/`$gp` offset, so the only trap it can raise is a step limit.
+#[must_use]
+pub fn arb_stack_heavy_program(rng: &mut Rng) -> String {
+    let trips = 2 + rng.index(7);
+    let mut s = String::new();
+    s.push_str("main:\n");
+    // The initial `$sp` has little headroom above it; open a frame so
+    // every positive offset below lands on mapped stack.
+    s.push_str("\taddiu $sp, $sp, -64\n");
+    s.push_str(&format!("\tli $s0, {trips}\n.Louter:\n"));
+    let nruns = 2 + rng.index(3);
+    for run in 0..nruns {
+        // One dense run: 3–8 `$sp`-relative accesses whose offsets
+        // cluster inside a 56-byte window, so neighbours frequently
+        // share a cache line and coalesce.
+        let base_off = 4 * rng.index(6);
+        for _ in 0..3 + rng.index(6) {
+            let d = rng.index(8);
+            let off = base_off + 4 * rng.index(10);
+            if rng.chance(0.5) {
+                s.push_str(&format!("\tlw $t{d}, {off}($sp)\n"));
+            } else {
+                s.push_str(&format!("\tsw $t{d}, {off}($sp)\n"));
+            }
+            if rng.chance(0.4) {
+                let (a, b) = (rng.index(8), rng.index(8));
+                match rng.index(3) {
+                    0 => s.push_str(&format!("\taddiu $t{a}, $t{b}, {}\n", rng.range_i32(-8, 8))),
+                    1 => s.push_str(&format!("\tsll $t{a}, $t{b}, {}\n", 1 + rng.index(3))),
+                    _ => s.push_str(&format!("\taddu $t{a}, $t{a}, $t{b}\n")),
+                }
+            }
+        }
+        if run + 1 < nruns {
+            match rng.index(3) {
+                // A different base register between two runs: the
+                // decoder cannot prove it misses the line.
+                0 => s.push_str(&format!(
+                    "\tlw $t{}, {}($gp)\n",
+                    rng.index(8),
+                    4 * rng.index(16)
+                )),
+                // A write to the group's base register itself.
+                1 => s.push_str(
+                    "\taddiu $sp, $sp, -16\n\tsw $t0, 0($sp)\n\tlw $t1, 0($sp)\n\taddiu $sp, $sp, 16\n",
+                ),
+                // An aliased copy of `$sp`: same line, different name.
+                _ => s.push_str("\tmove $t2, $sp\n\tlw $t3, 4($t2)\n"),
+            }
+        }
+    }
+    s.push_str("\taddiu $s0, $s0, -1\n\tbgtz $s0, .Louter\n");
+    s.push_str("\tli $v0, 10\n\tli $a0, 0\n\tsyscall\n");
+    s
+}
+
 /// A random access-pattern kernel for the memory-matrix differential
 /// sweeps: a strided scan or a pointer chase with randomized stride
 /// and footprint, 50/50.
@@ -307,6 +372,46 @@ mod tests {
         }
         assert!(scans, "no strided scan generated");
         assert!(chases, "no pointer chase generated");
+    }
+
+    #[test]
+    fn stack_heavy_programs_are_dense_and_bounded() {
+        let (mut any_breaker, mut any_alias) = (false, false);
+        let mut b = Rng::new(0x57AC);
+        let mut a = Rng::new(0x57AC);
+        for _ in 0..48 {
+            let s = arb_stack_heavy_program(&mut a);
+            assert_eq!(
+                s,
+                arb_stack_heavy_program(&mut b),
+                "generation must be deterministic per seed"
+            );
+            // Every program must contain at least one dense run: three
+            // consecutive `$sp`-relative accesses in a row (ignoring
+            // interleaved ALU lines, which never break a group).
+            let mut best = 0usize;
+            let mut streak = 0usize;
+            for line in s.lines() {
+                let t = line.trim();
+                if t.ends_with("($sp)") && (t.starts_with("lw") || t.starts_with("sw")) {
+                    streak += 1;
+                    best = best.max(streak);
+                } else if t.starts_with("addiu $t")
+                    || t.starts_with("sll $t")
+                    || t.starts_with("addu $t")
+                {
+                    // ALU interleave: streak survives.
+                } else {
+                    streak = 0;
+                }
+            }
+            assert!(best >= 3, "no dense sp-relative run: {s}");
+            assert!(s.ends_with("\tsyscall\n"), "must exit cleanly: {s}");
+            any_breaker |= s.contains("($gp)") || s.contains("addiu $sp, $sp, -16");
+            any_alias |= s.contains("move $t2, $sp");
+        }
+        assert!(any_breaker, "no group-breaking access generated");
+        assert!(any_alias, "no aliased-base access generated");
     }
 
     #[test]
